@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import os
+
+REPORTS_DIR = os.path.join(os.path.dirname(__file__), "..", "reports")
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a rendered experiment report under ``reports/``."""
+    os.makedirs(REPORTS_DIR, exist_ok=True)
+    path = os.path.join(REPORTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def assert_checks(result: dict) -> None:
+    """Fail the bench if any paper-shape expectation failed."""
+    failed = [desc for desc, ok in result["checks"] if not ok]
+    assert not failed, f"paper-shape checks failed: {failed}"

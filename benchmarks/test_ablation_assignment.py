@@ -1,0 +1,15 @@
+"""Ablation bench: Figure 7 sticky assignment vs round-robin."""
+
+from conftest import assert_checks, write_report
+
+from repro.bench.experiments import abl_assignment
+
+
+def test_ablation_assignment(benchmark):
+    result = benchmark.pedantic(
+        abl_assignment.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report = abl_assignment.render(result)
+    write_report("ablation_assignment", report)
+    print("\n" + report)
+    assert_checks(result)

@@ -1,0 +1,15 @@
+"""Ablation bench: LSM state store behaviour."""
+
+from conftest import assert_checks, write_report
+
+from repro.bench.experiments import abl_lsm
+
+
+def test_ablation_lsm(benchmark):
+    result = benchmark.pedantic(
+        abl_lsm.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report = abl_lsm.render(result)
+    write_report("ablation_lsm", report)
+    print("\n" + report)
+    assert_checks(result)

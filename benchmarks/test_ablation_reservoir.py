@@ -1,0 +1,15 @@
+"""Ablation bench: reservoir chunk size / codec / prefetch."""
+
+from conftest import assert_checks, write_report
+
+from repro.bench.experiments import abl_reservoir
+
+
+def test_ablation_reservoir(benchmark):
+    result = benchmark.pedantic(
+        abl_reservoir.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report = abl_reservoir.render(result)
+    write_report("ablation_reservoir", report)
+    print("\n" + report)
+    assert_checks(result)

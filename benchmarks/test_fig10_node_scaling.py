@@ -1,0 +1,15 @@
+"""Figure 10 bench: near-linear scaling to 1M ev/s on 50 nodes."""
+
+from conftest import assert_checks, write_report
+
+from repro.bench.experiments import fig10_node_scaling
+
+
+def test_fig10_node_scaling(benchmark):
+    result = benchmark.pedantic(
+        fig10_node_scaling.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report = fig10_node_scaling.render(result)
+    write_report("fig10_node_scaling", report)
+    print("\n" + report)
+    assert_checks(result)

@@ -1,0 +1,15 @@
+"""Figure 1 bench: burst detection, sliding vs hopping."""
+
+from conftest import assert_checks, write_report
+
+from repro.bench.experiments import fig1_accuracy
+
+
+def test_fig1_accuracy(benchmark):
+    result = benchmark.pedantic(
+        fig1_accuracy.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report = fig1_accuracy.render(result)
+    write_report("fig1_accuracy", report)
+    print("\n" + report)
+    assert_checks(result)

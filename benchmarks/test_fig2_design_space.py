@@ -1,0 +1,15 @@
+"""Figure 2 bench: accuracy-vs-scale quadrants, measured."""
+
+from conftest import assert_checks, write_report
+
+from repro.bench.experiments import fig2_design_space
+
+
+def test_fig2_design_space(benchmark):
+    result = benchmark.pedantic(
+        fig2_design_space.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report = fig2_design_space.render(result)
+    write_report("fig2_design_space", report)
+    print("\n" + report)
+    assert_checks(result)

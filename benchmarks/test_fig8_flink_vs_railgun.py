@@ -1,0 +1,15 @@
+"""Figure 8 bench: Flink hopping windows vs Railgun sliding windows."""
+
+from conftest import assert_checks, write_report
+
+from repro.bench.experiments import fig8_flink_vs_railgun
+
+
+def test_fig8_flink_vs_railgun(benchmark):
+    result = benchmark.pedantic(
+        fig8_flink_vs_railgun.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report = fig8_flink_vs_railgun.render(result)
+    write_report("fig8_flink_vs_railgun", report)
+    print("\n" + report)
+    assert_checks(result)

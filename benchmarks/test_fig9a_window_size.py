@@ -1,0 +1,15 @@
+"""Figure 9a bench: latency independence from window size."""
+
+from conftest import assert_checks, write_report
+
+from repro.bench.experiments import fig9a_window_size
+
+
+def test_fig9a_window_size(benchmark):
+    result = benchmark.pedantic(
+        fig9a_window_size.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report = fig9a_window_size.render(result)
+    write_report("fig9a_window_size", report)
+    print("\n" + report)
+    assert_checks(result)

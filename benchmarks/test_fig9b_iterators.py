@@ -1,0 +1,15 @@
+"""Figure 9b bench: latency vs iterator count (cache pressure + GC)."""
+
+from conftest import assert_checks, write_report
+
+from repro.bench.experiments import fig9b_iterators
+
+
+def test_fig9b_iterators(benchmark):
+    result = benchmark.pedantic(
+        fig9b_iterators.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report = fig9b_iterators.render(result)
+    write_report("fig9b_iterators", report)
+    print("\n" + report)
+    assert_checks(result)

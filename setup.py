@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has setuptools but not ``wheel``, so the
+PEP 660 editable-install path (which builds a wheel) fails. This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` use the
+legacy ``setup.py develop`` route instead. Configuration lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

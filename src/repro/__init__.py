@@ -1,0 +1,40 @@
+"""Reproduction of *Railgun: managing large streaming windows under MAD
+requirements* (Gomes, Oliveirinha, Cardoso, Bizarro — PVLDB 14(1), 2021).
+
+The package is organised bottom-up:
+
+- :mod:`repro.common` — clock, hashing, serde, compression, percentiles.
+- :mod:`repro.events` — event model, schemas, workload generators.
+- :mod:`repro.lsm` — embedded LSM-tree key-value store (RocksDB stand-in).
+- :mod:`repro.reservoir` — the disk-backed event reservoir (paper §4.1.1).
+- :mod:`repro.aggregates` — incremental window aggregators (paper §3.4).
+- :mod:`repro.windows` — sliding / tumbling / infinite / delayed windows.
+- :mod:`repro.query` — the Figure 4 query language and filter expressions.
+- :mod:`repro.plan` — shared task-plan DAGs (paper §4.1.2).
+- :mod:`repro.messaging` — partitioned log with consumer groups (Kafka
+  stand-in, paper §3.3).
+- :mod:`repro.engine` — Railgun nodes, processor units, sticky assignment,
+  recovery and the cluster harness (paper §3, §4).
+- :mod:`repro.baselines` — hopping-window and per-event-rescan engines
+  (the Flink comparisons of §5.1).
+- :mod:`repro.sim` — discrete-event latency simulation used by the
+  experiment harness.
+- :mod:`repro.bench` — regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.engine import RailgunCluster
+
+    cluster = RailgunCluster(nodes=2, processor_units=2)
+    cluster.create_stream("payments", partitioners=["cardId"], partitions=4)
+    cluster.create_metric(
+        "SELECT sum(amount), count(*) FROM payments "
+        "GROUP BY cardId OVER sliding 5 minutes"
+    )
+    reply = cluster.send("payments", {"cardId": "c1", "amount": 10.0},
+                         timestamp=1_000)
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

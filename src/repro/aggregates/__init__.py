@@ -1,0 +1,44 @@
+"""Incremental window aggregators (paper §3.4 / Figure 4).
+
+Every aggregator supports the two operations a real-time sliding window
+needs — ``add`` for events entering the window and ``evict`` for events
+leaving it — plus binary state (de)serialization so the state store can
+persist them per (metric, entity) key, exactly as the paper stores
+aggregation states in RocksDB (§4.1.3):
+
+- ``count``, ``sum``, ``avg`` — scalar accumulators;
+- ``min``/``max`` — monotonic deque (Knuth's deque, the paper's [30]);
+- ``stdDev`` — Welford's online algorithm with reverse updates ([50]);
+- ``last``/``prev`` — most recent / second most recent values;
+- ``countDistinct`` — per-value counts in an auxiliary column family.
+"""
+
+from repro.aggregates.base import Aggregator, AuxStore, MemoryAuxStore
+from repro.aggregates.basic import CountAggregator, SumAggregator, AvgAggregator
+from repro.aggregates.minmax import MaxAggregator, MinAggregator
+from repro.aggregates.stddev import StdDevAggregator
+from repro.aggregates.lastprev import LastAggregator, PrevAggregator
+from repro.aggregates.distinct import CountDistinctAggregator
+from repro.aggregates.registry import (
+    AGGREGATOR_NAMES,
+    create_aggregator,
+    aggregator_requires_numeric,
+)
+
+__all__ = [
+    "Aggregator",
+    "AuxStore",
+    "MemoryAuxStore",
+    "CountAggregator",
+    "SumAggregator",
+    "AvgAggregator",
+    "MaxAggregator",
+    "MinAggregator",
+    "StdDevAggregator",
+    "LastAggregator",
+    "PrevAggregator",
+    "CountDistinctAggregator",
+    "AGGREGATOR_NAMES",
+    "create_aggregator",
+    "aggregator_requires_numeric",
+]

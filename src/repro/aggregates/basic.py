@@ -1,0 +1,109 @@
+"""count, sum and avg — the scalar accumulators.
+
+These need no auxiliary data beyond their accumulator(s): "an average
+requires storing also a counter, while a sum or a count, do not require
+any extra data other than the current value" (§4.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common import serde
+from repro.aggregates.base import Aggregator
+from repro.events.event import Event
+
+
+class CountAggregator(Aggregator):
+    """``count(field)``: non-null values only (SQL semantics).
+
+    ``count(*)`` is expressed by feeding a constant ``True`` as the
+    value for every event (the plan does this when the argument is *).
+    """
+
+    name = "count"
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def add(self, value: Any, event: Event) -> None:
+        if value is not None:
+            self._count += 1
+
+    def evict(self, value: Any, event: Event) -> None:
+        if value is not None:
+            self._count -= 1
+
+    def result(self) -> int:
+        return self._count
+
+    def state_to_bytes(self) -> bytes:
+        buf = bytearray()
+        serde.write_signed_varint(buf, self._count)
+        return bytes(buf)
+
+    def state_from_bytes(self, data: bytes) -> None:
+        self._count, _ = serde.read_signed_varint(data, 0)
+
+
+class SumAggregator(Aggregator):
+    """``sum(field)`` over numeric values; null values are ignored."""
+
+    name = "sum"
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+
+    def add(self, value: Any, event: Event) -> None:
+        if value is not None:
+            self._sum += float(value)
+
+    def evict(self, value: Any, event: Event) -> None:
+        if value is not None:
+            self._sum -= float(value)
+
+    def result(self) -> float:
+        return self._sum
+
+    def state_to_bytes(self) -> bytes:
+        buf = bytearray()
+        serde.write_f64(buf, self._sum)
+        return bytes(buf)
+
+    def state_from_bytes(self, data: bytes) -> None:
+        self._sum, _ = serde.read_f64(data, 0)
+
+
+class AvgAggregator(Aggregator):
+    """``avg(field)``; stores sum and count, returns None when empty."""
+
+    name = "avg"
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    def add(self, value: Any, event: Event) -> None:
+        if value is not None:
+            self._sum += float(value)
+            self._count += 1
+
+    def evict(self, value: Any, event: Event) -> None:
+        if value is not None:
+            self._sum -= float(value)
+            self._count -= 1
+
+    def result(self) -> float | None:
+        if self._count == 0:
+            return None
+        return self._sum / self._count
+
+    def state_to_bytes(self) -> bytes:
+        buf = bytearray()
+        serde.write_f64(buf, self._sum)
+        serde.write_signed_varint(buf, self._count)
+        return bytes(buf)
+
+    def state_from_bytes(self, data: bytes) -> None:
+        self._sum, offset = serde.read_f64(data, 0)
+        self._count, _ = serde.read_signed_varint(data, offset)

@@ -1,0 +1,53 @@
+"""Aggregator factory — maps Figure 4 names to implementations."""
+
+from __future__ import annotations
+
+from repro.common.errors import QueryError
+from repro.aggregates.base import Aggregator
+from repro.aggregates.basic import AvgAggregator, CountAggregator, SumAggregator
+from repro.aggregates.distinct import CountDistinctAggregator
+from repro.aggregates.lastprev import LastAggregator, PrevAggregator
+from repro.aggregates.minmax import MaxAggregator, MinAggregator
+from repro.aggregates.stddev import StdDevAggregator
+
+_FACTORIES = {
+    "count": CountAggregator,
+    "sum": SumAggregator,
+    "avg": AvgAggregator,
+    "stddev": StdDevAggregator,
+    "max": MaxAggregator,
+    "min": MinAggregator,
+    "last": LastAggregator,
+    "prev": PrevAggregator,
+    "countdistinct": CountDistinctAggregator,
+}
+
+#: Canonical (case-sensitive, Figure 4) aggregation names.
+AGGREGATOR_NAMES = (
+    "count",
+    "sum",
+    "avg",
+    "stdDev",
+    "max",
+    "min",
+    "last",
+    "prev",
+    "countDistinct",
+)
+
+_NUMERIC_ONLY = {"sum", "avg", "stddev", "max", "min"}
+
+
+def create_aggregator(name: str) -> Aggregator:
+    """Instantiate an aggregator by (case-insensitive) name."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise QueryError(
+            f"unknown aggregation {name!r}; supported: {', '.join(AGGREGATOR_NAMES)}"
+        )
+    return factory()
+
+
+def aggregator_requires_numeric(name: str) -> bool:
+    """True for aggregations that only make sense on numeric fields."""
+    return name.lower() in _NUMERIC_ONLY

@@ -1,0 +1,27 @@
+"""Baseline engines Railgun is compared against (paper §2.2, §5.1).
+
+- :class:`~repro.baselines.hopping.HoppingWindowEngine` — the
+  Flink-style approximation of sliding windows: ``windowSize/hopSize``
+  overlapping pane states per key, events discarded after updating all
+  panes, results quantized to hop boundaries (the Figure 1 inaccuracy);
+- :class:`~repro.baselines.perevent_scan.PerEventScanEngine` — Flink's
+  published custom fraud-detection pattern [21]: store every event,
+  recompute each aggregation from scratch per event (quadratic);
+- :class:`~repro.baselines.lambda_arch.LambdaArchitecture` — periodic
+  batch jobs plus a small real-time window (§2.1's costly workaround);
+- :class:`~repro.baselines.reference.TrueSlidingReference` — exact
+  brute-force sliding-window results used as ground truth in accuracy
+  experiments.
+"""
+
+from repro.baselines.hopping import HoppingWindowEngine
+from repro.baselines.perevent_scan import PerEventScanEngine
+from repro.baselines.lambda_arch import LambdaArchitecture
+from repro.baselines.reference import TrueSlidingReference
+
+__all__ = [
+    "HoppingWindowEngine",
+    "PerEventScanEngine",
+    "LambdaArchitecture",
+    "TrueSlidingReference",
+]

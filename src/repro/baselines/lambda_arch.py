@@ -1,0 +1,90 @@
+"""Lambda architecture — the long-window workaround (paper §2.1, Fig 2).
+
+"Imprecise but real-time aggregations are combined with precise but
+outdated aggregations over complex pipelines": a batch layer recomputes
+exact aggregates every ``batch_interval`` over everything older than the
+batch boundary, and a speed layer keeps an exact real-time window over
+events newer than the boundary. Queries merge the two — accurate only
+up to the batch lag, which the accuracy experiments quantify.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass
+class LambdaStats:
+    """Cost counters: batch reprocessing dominates."""
+
+    events: int = 0
+    batch_runs: int = 0
+    batch_events_processed: int = 0
+
+
+class LambdaArchitecture:
+    """``sum``/``count`` over a window via batch + speed layers."""
+
+    def __init__(self, window_ms: int, batch_interval_ms: int) -> None:
+        if window_ms <= 0 or batch_interval_ms <= 0:
+            raise ValueError("window and batch interval must be positive")
+        self.window_ms = window_ms
+        self.batch_interval_ms = batch_interval_ms
+        self.stats = LambdaStats()
+        self._all_events: dict[object, list[tuple[int, float]]] = defaultdict(list)
+        self._batch_boundary = 0  # events with ts < boundary are batch-owned
+        self._batch_results: dict[object, tuple[float, int]] = {}
+
+    def on_event(self, key: object, timestamp: int, value: float) -> None:
+        """Ingest (both layers read from the same retained log here)."""
+        self.stats.events += 1
+        self._all_events[key].append((timestamp, value))
+        due_boundary = (timestamp // self.batch_interval_ms) * self.batch_interval_ms
+        if due_boundary > self._batch_boundary:
+            self._run_batch(due_boundary)
+
+    def _run_batch(self, boundary: int) -> None:
+        """Recompute exact per-key aggregates for the batch-owned range.
+
+        The batch job sees events with ``boundary - window < ts <
+        boundary`` — it is *exact but stale* by up to one interval.
+        """
+        self.stats.batch_runs += 1
+        self._batch_boundary = boundary
+        cutoff = boundary - self.window_ms
+        results: dict[object, tuple[float, int]] = {}
+        for key, entries in self._all_events.items():
+            total = 0.0
+            count = 0
+            for ts, value in entries:
+                self.stats.batch_events_processed += 1
+                if cutoff < ts < boundary:
+                    total += value
+                    count += 1
+            if count:
+                results[key] = (total, count)
+        self._batch_results = results
+
+    def _speed_layer(self, key: object, now: int) -> tuple[float, int]:
+        """Exact aggregate over events newer than the batch boundary."""
+        total = 0.0
+        count = 0
+        cutoff = max(self._batch_boundary, now - self.window_ms)
+        for ts, value in self._all_events.get(key, []):
+            if cutoff <= ts <= now:
+                total += value
+                count += 1
+        return total, count
+
+    def count(self, key: object, now: int) -> int:
+        """Merged batch + speed count (stale by up to one interval)."""
+        batch = self._batch_results.get(key, (0.0, 0))
+        speed = self._speed_layer(key, now)
+        return batch[1] + speed[1]
+
+    def sum(self, key: object, now: int) -> float:
+        """Merged batch + speed sum."""
+        batch = self._batch_results.get(key, (0.0, 0))
+        speed = self._speed_layer(key, now)
+        return batch[0] + speed[0]

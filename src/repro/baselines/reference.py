@@ -1,0 +1,52 @@
+"""Exact sliding-window ground truth for accuracy experiments.
+
+A per-key deque of (timestamp, value) pairs: on every query, expired
+entries are dropped and the aggregate recomputed incrementally. This is
+the semantics Railgun implements at scale; here it doubles as the test
+oracle and the "accurate" reference in Figure 1/Figure 2 experiments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+
+class TrueSlidingReference:
+    """Brute-force real-time sliding window ``sum``/``count`` per key."""
+
+    def __init__(self, window_ms: int) -> None:
+        if window_ms <= 0:
+            raise ValueError(f"window must be positive: {window_ms}")
+        self.window_ms = window_ms
+        self._entries: dict[object, deque[tuple[int, float]]] = defaultdict(deque)
+
+    def on_event(self, key: object, timestamp: int, value: float) -> None:
+        """Ingest one event."""
+        entries = self._entries[key]
+        entries.append((timestamp, value))
+        self._expire(entries, timestamp)
+
+    def _expire(self, entries: deque, now: int) -> None:
+        cutoff = now - self.window_ms
+        while entries and entries[0][0] <= cutoff:
+            entries.popleft()
+
+    def count(self, key: object, now: int) -> int:
+        """Exact event count in ``(now - window, now]``."""
+        entries = self._entries.get(key)
+        if not entries:
+            return 0
+        self._expire(entries, now)
+        return len(entries)
+
+    def sum(self, key: object, now: int) -> float:
+        """Exact value sum in ``(now - window, now]``."""
+        entries = self._entries.get(key)
+        if not entries:
+            return 0.0
+        self._expire(entries, now)
+        return sum(value for _, value in entries)
+
+    def stored_events(self) -> int:
+        """Total entries held (memory proxy)."""
+        return sum(len(entries) for entries in self._entries.values())

@@ -1,0 +1,17 @@
+"""Experiment harness regenerating every figure of the paper (§5).
+
+Each experiment module exposes ``run(fast=True)`` returning a result
+dict and ``render(result)`` returning the printable report with the
+paper-expected vs measured comparison. The pytest-benchmark targets in
+``benchmarks/`` call these; they are also runnable directly::
+
+    python -m repro.bench.experiments.fig8_flink_vs_railgun
+"""
+
+from repro.bench.report import (
+    ascii_chart,
+    format_percentile_table,
+    format_table,
+)
+
+__all__ = ["ascii_chart", "format_percentile_table", "format_table"]

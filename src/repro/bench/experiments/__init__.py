@@ -1,0 +1,1 @@
+"""One module per paper figure plus the design-choice ablations."""

@@ -1,0 +1,141 @@
+"""Figure 1 / §2.1 — hopping windows miss in-window bursts.
+
+The motivating example: the rule "block if the number of transactions of
+a card in the last 5 minutes is higher than 4" must fire on the fifth
+event of any burst that fits inside 5 minutes. A real-time sliding
+window always fires; hopping windows miss bursts that straddle hop
+boundaries, **regardless of hop size** ("the problem in Figure 1 can
+happen regardless of the hop size").
+
+The experiment replays adversarial bursts (packed just inside one
+window, randomly phased against the hop grid) through:
+
+- Railgun's actual engine (reservoir + plan + state store),
+- hopping engines at several hop sizes,
+
+and reports the detection rate of each.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.hopping import HoppingWindowEngine
+from repro.baselines.reference import TrueSlidingReference
+from repro.bench.report import check_expectations, format_table
+from repro.common.clock import MINUTES, SECONDS, format_duration_ms
+from repro.events.generators import BurstWorkload
+from repro.events.schema import FieldType, Schema, SchemaField, SchemaRegistry
+from repro.plan.dag import TaskPlan
+from repro.query.parser import parse_query
+from repro.reservoir.reservoir import EventReservoir, ReservoirConfig
+from repro.state.store import MetricStateStore
+
+WINDOW_MS = 5 * MINUTES
+RULE_THRESHOLD = 4  # fire when count > 4 (i.e. on the 5th event)
+
+
+def _railgun_engine():
+    registry = SchemaRegistry()
+    registry.register(
+        Schema([SchemaField("cardId", FieldType.STRING), SchemaField("amount", FieldType.FLOAT)])
+    )
+    reservoir = EventReservoir(registry, config=ReservoirConfig(chunk_max_events=64))
+    plan = TaskPlan(reservoir, MetricStateStore())
+    handle = plan.add_metric(
+        parse_query("SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 minutes")
+    )
+    return reservoir, plan, handle
+
+
+def _detection_rates(bursts: list, hop_sizes: list[int]) -> dict[str, float]:
+    reservoir, plan, handle = _railgun_engine()
+    reference = TrueSlidingReference(WINDOW_MS)
+    hoppers = {hop: HoppingWindowEngine(WINDOW_MS, hop) for hop in hop_sizes}
+
+    detections = {"railgun-sliding": 0, "true-sliding": 0}
+    detections.update({f"hopping-{format_duration_ms(h)}": 0 for h in hop_sizes})
+
+    for burst in bursts:
+        burst_detected: dict[str, bool] = {name: False for name in detections}
+        for event in burst:
+            key = event["cardId"]
+            result = reservoir.append(event)
+            replies = plan.process_event(result.event)
+            if replies[handle.metric_id]["count(*)"] > RULE_THRESHOLD:
+                burst_detected["railgun-sliding"] = True
+            reference.on_event(key, event.timestamp, 1.0)
+            if reference.count(key, event.timestamp) > RULE_THRESHOLD:
+                burst_detected["true-sliding"] = True
+            for hop, engine in hoppers.items():
+                engine.on_event(key, event.timestamp, 1.0)
+                # Early-trigger semantics: most generous to hopping.
+                if engine.max_live_count(key) > RULE_THRESHOLD:
+                    burst_detected[f"hopping-{format_duration_ms(hop)}"] = True
+        for name, hit in burst_detected.items():
+            if hit:
+                detections[name] += 1
+    return {name: hits / len(bursts) for name, hits in detections.items()}
+
+
+def run(fast: bool = True) -> dict:
+    """Replay bursts; count rule detections per engine."""
+    entities = 60 if fast else 400
+    hop_sizes = [1 * MINUTES, 30 * SECONDS, 10 * SECONDS, 1 * SECONDS]
+
+    # Part A: random burst spans (50-99.8% of the window) — the general
+    # detection-rate-vs-hop-size curve.
+    general = _detection_rates(
+        list(BurstWorkload(WINDOW_MS, burst_size=5, entities=entities, seed=13).bursts()),
+        hop_sizes,
+    )
+    # Part B: the exact Figure 1 scenario — bursts spanning (almost) the
+    # full window. No hop size can place one pane around all 5 events.
+    figure1 = _detection_rates(
+        list(
+            BurstWorkload(
+                WINDOW_MS, burst_size=5, entities=entities, seed=29,
+                span_range=(0.9995, 0.9999),
+            ).bursts()
+        ),
+        hop_sizes,
+    )
+
+    checks = [
+        ("Railgun detects every burst (general)", general["railgun-sliding"] == 1.0),
+        ("Railgun detects every burst (Figure 1 spans)", figure1["railgun-sliding"] == 1.0),
+        ("Railgun matches the brute-force reference", general["railgun-sliding"] == general["true-sliding"]),
+    ]
+    for hop in hop_sizes:
+        name = f"hopping-{format_duration_ms(hop)}"
+        if hop >= 10 * SECONDS:
+            checks.append((f"{name} misses some bursts (general)", general[name] < 1.0))
+        checks.append((f"{name} misses Figure 1 spans", figure1[name] < 0.5))
+    # Smaller hops should not detect fewer bursts than larger hops.
+    ordered = [general[f"hopping-{format_duration_ms(h)}"] for h in hop_sizes]
+    checks.append(("smaller hops detect at least as much", all(
+        ordered[i] <= ordered[i + 1] + 1e-9 for i in range(len(ordered) - 1)
+    )))
+    return {"bursts": entities, "general": general, "figure1": figure1, "checks": checks}
+
+
+def render(result: dict) -> str:
+    rows = [
+        [name, f"{result['general'][name]:.3f}", f"{result['figure1'][name]:.3f}"]
+        for name in result["general"]
+    ]
+    lines = [
+        "Figure 1 / §2.1 — burst detection (rule: >4 events in 5 min)",
+        f"adversarial bursts per scenario: {result['bursts']}",
+        format_table(
+            ["engine", "random spans", "Figure 1 spans (~full window)"], rows
+        ),
+        "",
+        "paper expectation: sliding windows detect 100% always; hopping",
+        "windows miss bursts at any hop size, and near-window-long bursts",
+        "(the exact Figure 1 case) are missed at every hop size.",
+    ]
+    lines += check_expectations(result["checks"])
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(run(fast=True)))

@@ -1,0 +1,33 @@
+"""Shared substrate: clock, errors, hashing, serde, compression, stats."""
+
+from repro.common.clock import ManualClock, SystemClock, Clock
+from repro.common.errors import (
+    ReproError,
+    SchemaError,
+    SerdeError,
+    StorageError,
+    QueryError,
+    MessagingError,
+    EngineError,
+    CheckpointError,
+)
+from repro.common.hashing import fnv1a_64, stable_hash
+from repro.common.percentiles import LatencyRecorder, PERCENTILE_GRID
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "SystemClock",
+    "ReproError",
+    "SchemaError",
+    "SerdeError",
+    "StorageError",
+    "QueryError",
+    "MessagingError",
+    "EngineError",
+    "CheckpointError",
+    "fnv1a_64",
+    "stable_hash",
+    "LatencyRecorder",
+    "PERCENTILE_GRID",
+]

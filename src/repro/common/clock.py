@@ -1,0 +1,131 @@
+"""Clock abstraction.
+
+All engine components take a :class:`Clock` so tests and the discrete
+event simulator can drive virtual time deterministically. Timestamps are
+integer **milliseconds** throughout the library, mirroring the paper's
+event-time model (§2: every event carries a timestamp).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Source of the current time in milliseconds."""
+
+    @abstractmethod
+    def now(self) -> int:
+        """Return the current time in milliseconds."""
+
+    def now_seconds(self) -> float:
+        """Return the current time in (fractional) seconds."""
+        return self.now() / 1000.0
+
+
+class SystemClock(Clock):
+    """Wall-clock time; used by the interactive examples."""
+
+    def now(self) -> int:
+        return int(time.time() * 1000)
+
+
+class ManualClock(Clock):
+    """Deterministic clock advanced explicitly by tests and simulators."""
+
+    def __init__(self, start_ms: int = 0) -> None:
+        if start_ms < 0:
+            raise ValueError(f"clock cannot start at negative time: {start_ms}")
+        self._now_ms = start_ms
+
+    def now(self) -> int:
+        return self._now_ms
+
+    def advance(self, delta_ms: int) -> int:
+        """Move time forward by ``delta_ms`` and return the new time."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot move time backwards: {delta_ms}")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def set(self, now_ms: int) -> None:
+        """Jump to an absolute time (must be monotonically non-decreasing)."""
+        if now_ms < self._now_ms:
+            raise ValueError(
+                f"clock must be monotonic: {now_ms} < {self._now_ms}"
+            )
+        self._now_ms = now_ms
+
+
+# Convenient duration constants (milliseconds).
+MILLIS = 1
+SECONDS = 1000
+MINUTES = 60 * SECONDS
+HOURS = 60 * MINUTES
+DAYS = 24 * HOURS
+
+
+def parse_duration_ms(text: str) -> int:
+    """Parse a human-friendly duration like ``"5 minutes"`` or ``"30s"``.
+
+    Supported units: ms, s/sec/second(s), m/min/minute(s), h/hour(s),
+    d/day(s), w/week(s). Used by the query language (``OVER sliding 5
+    minutes``) and by configuration files.
+    """
+    units = {
+        "ms": MILLIS,
+        "millis": MILLIS,
+        "millisecond": MILLIS,
+        "milliseconds": MILLIS,
+        "s": SECONDS,
+        "sec": SECONDS,
+        "secs": SECONDS,
+        "second": SECONDS,
+        "seconds": SECONDS,
+        "m": MINUTES,
+        "min": MINUTES,
+        "mins": MINUTES,
+        "minute": MINUTES,
+        "minutes": MINUTES,
+        "h": HOURS,
+        "hour": HOURS,
+        "hours": HOURS,
+        "d": DAYS,
+        "day": DAYS,
+        "days": DAYS,
+        "w": 7 * DAYS,
+        "week": 7 * DAYS,
+        "weeks": 7 * DAYS,
+    }
+    stripped = text.strip().lower()
+    if not stripped:
+        raise ValueError("empty duration")
+    # Split the numeric prefix from the unit suffix.
+    idx = 0
+    while idx < len(stripped) and (stripped[idx].isdigit() or stripped[idx] == "."):
+        idx += 1
+    number_part = stripped[:idx]
+    unit_part = stripped[idx:].strip()
+    if not number_part:
+        raise ValueError(f"duration missing number: {text!r}")
+    if unit_part not in units:
+        raise ValueError(f"unknown duration unit {unit_part!r} in {text!r}")
+    value = float(number_part)
+    result = int(round(value * units[unit_part]))
+    if result <= 0:
+        raise ValueError(f"duration must be positive: {text!r}")
+    return result
+
+
+def format_duration_ms(ms: int) -> str:
+    """Render a millisecond duration compactly, e.g. ``300000`` -> ``"5m"``."""
+    if ms % DAYS == 0:
+        return f"{ms // DAYS}d"
+    if ms % HOURS == 0:
+        return f"{ms // HOURS}h"
+    if ms % MINUTES == 0:
+        return f"{ms // MINUTES}m"
+    if ms % SECONDS == 0:
+        return f"{ms // SECONDS}s"
+    return f"{ms}ms"

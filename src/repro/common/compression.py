@@ -1,0 +1,106 @@
+"""Pluggable compression codecs for reservoir chunks and SSTable blocks.
+
+The paper (§4.1.1) compresses chunks "aggressively to guarantee a good
+compression ratio", trading CPU for storage because events are
+replicated across task processors. We expose a small codec registry so
+the ablation bench can sweep codecs (none / zlib levels) and measure the
+storage-vs-deserialization trade-off the paper alludes to.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+
+from repro.common.errors import SerdeError
+
+
+class Codec(ABC):
+    """A reversible byte-level compressor."""
+
+    #: single-byte wire id stored alongside compressed payloads
+    wire_id: int = -1
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``."""
+
+    @abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Decompress ``data`` (inverse of :meth:`compress`)."""
+
+
+class NoneCodec(Codec):
+    """Identity codec — useful as an ablation baseline."""
+
+    wire_id = 0
+    name = "none"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        return data
+
+
+class ZlibCodec(Codec):
+    """zlib/DEFLATE at a configurable level (1 = fast, 9 = aggressive)."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 1 <= level <= 9:
+            raise ValueError(f"zlib level out of range: {level}")
+        self.level = level
+        self.wire_id = level  # wire ids 1..9 reserved for zlib levels
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise SerdeError(f"corrupt zlib payload: {exc}") from exc
+
+
+_CODECS: dict[int, Codec] = {0: NoneCodec()}
+for _level in range(1, 10):
+    _CODECS[_level] = ZlibCodec(_level)
+
+
+def codec_by_id(wire_id: int) -> Codec:
+    """Look up a codec by its single-byte wire id."""
+    try:
+        return _CODECS[wire_id]
+    except KeyError:
+        raise SerdeError(f"unknown codec id {wire_id}") from None
+
+
+def codec_by_name(name: str) -> Codec:
+    """Look up a codec by name: ``"none"``, ``"zlib"`` or ``"zlib:<level>"``."""
+    if name == "none":
+        return _CODECS[0]
+    if name == "zlib":
+        return _CODECS[6]
+    if name.startswith("zlib:"):
+        try:
+            level = int(name.split(":", 1)[1])
+        except ValueError:
+            raise SerdeError(f"bad codec spec {name!r}") from None
+        return codec_by_id(level)
+    raise SerdeError(f"unknown codec {name!r}")
+
+
+def compress_with_header(codec: Codec, data: bytes) -> bytes:
+    """Compress and prepend the codec wire id so readers self-describe."""
+    return bytes([codec.wire_id]) + codec.compress(data)
+
+
+def decompress_with_header(payload: bytes) -> bytes:
+    """Inverse of :func:`compress_with_header`."""
+    if not payload:
+        raise SerdeError("empty compressed payload")
+    codec = codec_by_id(payload[0])
+    return codec.decompress(payload[1:])

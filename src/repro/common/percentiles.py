@@ -1,0 +1,167 @@
+"""Latency recording and percentile estimation.
+
+The paper reports full latency distributions on a percentile grid
+(0, 50, 75, 90, 95, 99, 99.9, 99.99, 99.999, 100 — Figures 8 and 9) and
+p95/p99.9 series (Figure 10). :class:`LatencyRecorder` is an
+HdrHistogram-style recorder: values are bucketed with bounded relative
+error so millions of samples cost a fixed, small amount of memory, and
+high percentiles stay accurate.
+
+It also implements the coordinated-omission correction the paper applies
+(§5: "latencies are corrected to take into account the coordination
+omission problem"): when a recorded value exceeds the injector's expected
+inter-arrival interval, the missing back-to-back samples are synthesized.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+#: The percentile grid used across the paper's latency figures.
+PERCENTILE_GRID = (0.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 99.99, 99.999, 100.0)
+
+
+class LatencyRecorder:
+    """Log-bucketed histogram of latency samples (milliseconds, float).
+
+    Buckets grow geometrically: bucket ``i`` covers
+    ``[min_value * growth**i, min_value * growth**(i+1))``, giving a
+    bounded relative error of ``growth - 1`` (default 1%) at any scale
+    from microseconds to minutes.
+    """
+
+    def __init__(self, min_value_ms: float = 0.001, relative_error: float = 0.01) -> None:
+        if min_value_ms <= 0:
+            raise ValueError("min_value_ms must be positive")
+        if not 0 < relative_error < 1:
+            raise ValueError("relative_error must be in (0, 1)")
+        self._min = min_value_ms
+        self._growth = 1.0 + relative_error
+        self._log_growth = math.log(self._growth)
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._min_seen = math.inf
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return self._count
+
+    @property
+    def max_value(self) -> float:
+        """Largest recorded sample (exact, not bucketed)."""
+        return self._max
+
+    @property
+    def min_value(self) -> float:
+        """Smallest recorded sample (exact, not bucketed)."""
+        return 0.0 if self._count == 0 else self._min_seen
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded samples."""
+        return self._sum / self._count if self._count else 0.0
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self._min:
+            return 0
+        return 1 + int(math.log(value / self._min) / self._log_growth)
+
+    def _bucket_value(self, index: int) -> float:
+        if index == 0:
+            return self._min
+        # Midpoint of the geometric bucket keeps the estimate unbiased.
+        low = self._min * self._growth ** (index - 1)
+        return low * (1.0 + (self._growth - 1.0) / 2.0)
+
+    def record(self, value_ms: float, count: int = 1) -> None:
+        """Record ``count`` occurrences of a latency sample."""
+        if value_ms < 0:
+            raise ValueError(f"negative latency: {value_ms}")
+        if count <= 0:
+            raise ValueError(f"count must be positive: {count}")
+        idx = self._bucket_index(value_ms)
+        self._buckets[idx] = self._buckets.get(idx, 0) + count
+        self._count += count
+        self._sum += value_ms * count
+        if value_ms > self._max:
+            self._max = value_ms
+        if value_ms < self._min_seen:
+            self._min_seen = value_ms
+
+    def record_corrected(self, value_ms: float, expected_interval_ms: float) -> None:
+        """Record with coordinated-omission correction.
+
+        If a sample exceeds the expected inter-arrival interval of an
+        open-loop injector, the stalled injector *would have* produced
+        additional requests that all queue behind the slow one; we
+        synthesize those phantom samples at ``value - k*interval`` as
+        HdrHistogram does.
+        """
+        self.record(value_ms)
+        if expected_interval_ms <= 0:
+            return
+        missing = value_ms - expected_interval_ms
+        while missing >= expected_interval_ms:
+            self.record(missing)
+            missing -= expected_interval_ms
+
+    def percentile(self, pct: float) -> float:
+        """Estimate the ``pct``-th percentile (0..100)."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        if self._count == 0:
+            return 0.0
+        if pct == 0.0:
+            return self.min_value
+        if pct == 100.0:
+            return self._max
+        target = pct / 100.0 * self._count
+        running = 0
+        for idx in sorted(self._buckets):
+            running += self._buckets[idx]
+            if running >= target:
+                # Clamp the bucket-midpoint estimate to the observed
+                # range so the percentile function stays monotone with
+                # the exact min/max endpoints.
+                estimate = self._bucket_value(idx)
+                return min(max(estimate, self.min_value), self._max)
+        return self._max
+
+    def percentiles(self, grid: Iterable[float] = PERCENTILE_GRID) -> dict[float, float]:
+        """Estimate several percentiles in one sorted pass."""
+        return {pct: self.percentile(pct) for pct in grid}
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one.
+
+        Both recorders must share bucket geometry; merging is how the
+        multi-processor simulation combines per-queue recorders into the
+        cluster-wide distribution.
+        """
+        if (other._min, other._growth) != (self._min, self._growth):
+            raise ValueError("cannot merge recorders with different geometry")
+        for idx, count in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + count
+        self._count += other._count
+        self._sum += other._sum
+        self._max = max(self._max, other._max)
+        self._min_seen = min(self._min_seen, other._min_seen)
+
+    def summary(self) -> dict[str, float]:
+        """A compact dict of the headline statistics."""
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+            "p99.9": self.percentile(99.9),
+            "max": self._max,
+        }

@@ -1,0 +1,264 @@
+"""The Figure 7 sticky assignment strategy.
+
+Assigns every task (topic, partition) to exactly one *active* processor
+unit and ``replication_factor`` *replica* units, protecting two
+invariants (§4.2):
+
+1. **node exclusivity** — a physical node holds at most one copy of a
+   task per rebalance (losing a node must not lose multiple copies);
+2. **budget** — no processor exceeds ``ceil(total copies / processors)``
+   (weighted when task weights are provided — the paper's future-work
+   extension).
+
+Preference order (active pass): previous active holder -> previous
+replica holders (least loaded first) -> previous stale holders (data
+leftovers) -> least loaded. Replica pass: previous replica -> stale ->
+least loaded. Active tasks are assigned first so they land on processors
+that already hold the data and recover instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import EngineError
+from repro.messaging.log import TopicPartition
+
+
+@dataclass(frozen=True)
+class ProcessorInfo:
+    """Identity and locality of one processor unit."""
+
+    processor_id: str
+    node_id: str
+
+
+@dataclass
+class PreviousState:
+    """What each processor held before this rebalance."""
+
+    active: dict[str, set[TopicPartition]] = field(default_factory=dict)
+    replica: dict[str, set[TopicPartition]] = field(default_factory=dict)
+    stale: dict[str, set[TopicPartition]] = field(default_factory=dict)
+
+
+@dataclass
+class Assignment:
+    """The outcome: per-processor active and replica task sets."""
+
+    active: dict[str, set[TopicPartition]]
+    replica: dict[str, set[TopicPartition]]
+    unplaced_replicas: list[TopicPartition] = field(default_factory=list)
+
+    def owner_of(self, task: TopicPartition) -> str | None:
+        """Active processor of a task (None when unassigned)."""
+        for processor_id, tasks in self.active.items():
+            if task in tasks:
+                return processor_id
+        return None
+
+    def replicas_of(self, task: TopicPartition) -> list[str]:
+        """Replica processors of a task, sorted."""
+        return sorted(
+            processor_id
+            for processor_id, tasks in self.replica.items()
+            if task in tasks
+        )
+
+    def load_of(self, processor_id: str) -> int:
+        """Task copies (active + replica) on a processor."""
+        return len(self.active.get(processor_id, set())) + len(
+            self.replica.get(processor_id, set())
+        )
+
+    def moved_from(self, previous: PreviousState) -> int:
+        """Copies that landed on a processor which had no data for them.
+
+        The data-shuffle metric the sticky strategy minimizes; the
+        assignment ablation bench reports it.
+        """
+        moves = 0
+        for processor_id, tasks in self.active.items():
+            had = (
+                previous.active.get(processor_id, set())
+                | previous.replica.get(processor_id, set())
+                | previous.stale.get(processor_id, set())
+            )
+            moves += sum(1 for task in tasks if task not in had)
+        for processor_id, tasks in self.replica.items():
+            had = (
+                previous.active.get(processor_id, set())
+                | previous.replica.get(processor_id, set())
+                | previous.stale.get(processor_id, set())
+            )
+            moves += sum(1 for task in tasks if task not in had)
+        return moves
+
+
+class StickyAssignmentStrategy:
+    """The greedy two-pass algorithm of Figure 7."""
+
+    def __init__(self, replication_factor: int = 0, task_weights: dict[TopicPartition, int] | None = None) -> None:
+        if replication_factor < 0:
+            raise EngineError(f"replication factor cannot be negative: {replication_factor}")
+        self.replication_factor = replication_factor
+        self._weights = task_weights or {}
+
+    def _weight(self, task: TopicPartition) -> int:
+        return self._weights.get(task, 1)
+
+    def assign(
+        self,
+        tasks: list[TopicPartition],
+        processors: list[ProcessorInfo],
+        previous: PreviousState | None = None,
+    ) -> Assignment:
+        """Compute a full cluster assignment."""
+        if not processors:
+            return Assignment(active={}, replica={}, unplaced_replicas=list(tasks))
+        previous = previous or PreviousState()
+        ids = [p.processor_id for p in processors]
+        if len(set(ids)) != len(ids):
+            raise EngineError("duplicate processor ids")
+        node_of = {p.processor_id: p.node_id for p in processors}
+
+        total_weight = sum(self._weight(t) for t in tasks) * (1 + self.replication_factor)
+        budget = -(-total_weight // len(processors))  # ceil, reset per rebalance
+        if tasks:
+            # A single task heavier than the fair share must still fit
+            # somewhere; the budget can never be below the heaviest task.
+            budget = max(budget, max(self._weight(t) for t in tasks))
+
+        load: dict[str, int] = {p: 0 for p in ids}
+        node_tasks: dict[str, set[TopicPartition]] = {p.node_id: set() for p in processors}
+        active: dict[str, set[TopicPartition]] = {p: set() for p in ids}
+        replica: dict[str, set[TopicPartition]] = {p: set() for p in ids}
+
+        def can_take(processor_id: str, task: TopicPartition) -> bool:
+            if load[processor_id] + self._weight(task) > budget:
+                return False
+            return task not in node_tasks[node_of[processor_id]]
+
+        def place(processor_id: str, task: TopicPartition, as_active: bool) -> None:
+            (active if as_active else replica)[processor_id].add(task)
+            load[processor_id] += self._weight(task)
+            node_tasks[node_of[processor_id]].add(task)
+
+        def by_load(candidates: list[str]) -> list[str]:
+            return sorted(candidates, key=lambda p: (load[p], p))
+
+        ordered_tasks = sorted(tasks, key=str)
+
+        # -- active pass (Figure 7, left) ---------------------------------
+        for task in ordered_tasks:
+            placed = False
+            prev_active = [
+                p for p in ids if task in previous.active.get(p, set())
+            ]
+            for candidate in by_load(prev_active):
+                if can_take(candidate, task):
+                    place(candidate, task, as_active=True)
+                    placed = True
+                    break
+            if not placed:
+                prev_replicas = [
+                    p for p in ids if task in previous.replica.get(p, set())
+                ]
+                for candidate in by_load(prev_replicas):
+                    if can_take(candidate, task):
+                        place(candidate, task, as_active=True)
+                        placed = True
+                        break
+            if not placed:
+                prev_stale = [
+                    p for p in ids if task in previous.stale.get(p, set())
+                ]
+                for candidate in by_load(prev_stale):
+                    if can_take(candidate, task):
+                        place(candidate, task, as_active=True)
+                        placed = True
+                        break
+            if not placed:
+                for candidate in by_load(ids):
+                    if can_take(candidate, task):
+                        place(candidate, task, as_active=True)
+                        placed = True
+                        break
+            if not placed:
+                raise EngineError(
+                    f"no processor can take active task {task} "
+                    f"(budget {budget}, processors {len(ids)})"
+                )
+
+        # -- replica pass (Figure 7, right) --------------------------------
+        unplaced: list[TopicPartition] = []
+        for task in ordered_tasks:
+            for _ in range(self.replication_factor):
+                placed = False
+                prev_replicas = [
+                    p for p in ids if task in previous.replica.get(p, set())
+                ]
+                for candidate in by_load(prev_replicas):
+                    if can_take(candidate, task):
+                        place(candidate, task, as_active=False)
+                        placed = True
+                        break
+                if not placed:
+                    prev_stale = [
+                        p for p in ids if task in previous.stale.get(p, set())
+                    ]
+                    for candidate in by_load(prev_stale):
+                        if can_take(candidate, task):
+                            place(candidate, task, as_active=False)
+                            placed = True
+                            break
+                if not placed:
+                    for candidate in by_load(ids):
+                        if can_take(candidate, task):
+                            place(candidate, task, as_active=False)
+                            placed = True
+                            break
+                if not placed:
+                    # Not enough distinct nodes (or budget) for full
+                    # replication; availability degrades but the cluster
+                    # keeps running.
+                    unplaced.append(task)
+        return Assignment(active=active, replica=replica, unplaced_replicas=unplaced)
+
+
+def round_robin_task_strategy(
+    tasks: list[TopicPartition],
+    processors: list[ProcessorInfo],
+    previous: PreviousState | None = None,
+    replication_factor: int = 0,
+) -> Assignment:
+    """Naive non-sticky baseline for the assignment ablation bench.
+
+    Ignores history entirely: deterministic round-robin of actives, then
+    replicas on the next processors (distinct nodes).
+    """
+    if not processors:
+        return Assignment(active={}, replica={}, unplaced_replicas=list(tasks))
+    ids = [p.processor_id for p in processors]
+    node_of = {p.processor_id: p.node_id for p in processors}
+    active: dict[str, set[TopicPartition]] = {p: set() for p in ids}
+    replica: dict[str, set[TopicPartition]] = {p: set() for p in ids}
+    unplaced: list[TopicPartition] = []
+    ordered = sorted(tasks, key=str)
+    for index, task in enumerate(ordered):
+        owner = ids[index % len(ids)]
+        active[owner].add(task)
+        owner_nodes = {node_of[owner]}
+        placed = 0
+        for step in range(1, len(ids)):
+            if placed >= replication_factor:
+                break
+            candidate = ids[(index + step) % len(ids)]
+            if node_of[candidate] in owner_nodes:
+                continue
+            replica[candidate].add(task)
+            owner_nodes.add(node_of[candidate])
+            placed += 1
+        for _ in range(replication_factor - placed):
+            unplaced.append(task)
+    return Assignment(active=active, replica=replica, unplaced_replicas=unplaced)

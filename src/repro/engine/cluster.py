@@ -1,0 +1,531 @@
+"""The Railgun cluster harness and client facade.
+
+Owns the world: the message bus, the group coordinator, all nodes, the
+rebalance authority (running the Figure 7 strategy across the active and
+replica consumer groups) and the recovery brokerage between processor
+units. The harness is cooperative/step-driven: ``pump()`` advances the
+whole cluster by one loop iteration per component, which keeps every
+multi-node test deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.common.clock import ManualClock
+from repro.common.errors import EngineError, MessagingError
+from repro.engine.assignment import (
+    Assignment,
+    PreviousState,
+    ProcessorInfo,
+    StickyAssignmentStrategy,
+)
+from repro.engine.catalog import (
+    AddPartitionerOp,
+    Catalog,
+    CHECKPOINTS_TOPIC,
+    CreateMetricOp,
+    CreateStreamOp,
+    DeleteMetricOp,
+    EvolveSchemaOp,
+    GLOBAL_PARTITIONER,
+    MetricDef,
+    OPERATIONS_TOPIC,
+    REPLY_TOPIC_PREFIX,
+    StreamDef,
+    topic_name,
+)
+from repro.engine.node import RailgunNode
+from repro.engine.processor import ACTIVE_GROUP, UnitConfig, replica_group
+from repro.engine.task import TaskCheckpoint
+from repro.events.event import Event
+from repro.events.schema import Schema
+from repro.messaging.broker import MessageBus
+from repro.messaging.groups import GroupCoordinator
+from repro.messaging.log import TopicPartition
+from repro.messaging.producer import Producer
+from repro.query.parser import parse_query
+
+
+@dataclass
+class Reply:
+    """A completed client response."""
+
+    event: Event
+    stream: str
+    results: dict[int, dict[str, Any]]
+    latency_ms: int
+
+    def metric(self, metric_id: int) -> dict[str, Any]:
+        """All columns of one metric."""
+        return self.results.get(metric_id, {})
+
+    def value(self, metric_id: int, column: str) -> Any:
+        """One aggregation value, e.g. ``reply.value(0, "sum(amount)")``."""
+        return self.results.get(metric_id, {}).get(column)
+
+
+def _normalize_fields(schema: object) -> tuple[tuple[str, str], ...]:
+    """Accept a Schema, mapping, or (name, type) iterable."""
+    if isinstance(schema, Schema):
+        return tuple((f.name, f.field_type.value) for f in schema.fields)
+    if isinstance(schema, Mapping):
+        return tuple((name, str(type_name)) for name, type_name in schema.items())
+    return tuple((name, str(type_name)) for name, type_name in schema)
+
+
+class RailgunCluster:
+    """N equal Railgun nodes over one message bus (Figure 3)."""
+
+    def __init__(
+        self,
+        nodes: int = 1,
+        processor_units: int = 2,
+        replication_factor: int = 0,
+        brokers: int = 1,
+        session_timeout_ms: int = 10_000,
+        unit_config: UnitConfig | None = None,
+        tick_ms: int = 1,
+        assignment_strategy: object | None = None,
+    ) -> None:
+        if nodes <= 0:
+            raise EngineError(f"need at least one node: {nodes}")
+        self.clock = ManualClock(start_ms=1)
+        self.bus = MessageBus(brokers=brokers)
+        self.coordinator = GroupCoordinator(self.bus, session_timeout_ms)
+        self.coordinator.external_authority = self._on_group_change
+        # Any object with .assign(tasks, processors, previous) works —
+        # the ablation bench swaps in the non-sticky baseline here.
+        self.strategy = (
+            assignment_strategy
+            if assignment_strategy is not None
+            else StickyAssignmentStrategy(replication_factor)
+        )
+        self.replication_factor = replication_factor
+        self.unit_config = unit_config if unit_config is not None else UnitConfig()
+        self.tick_ms = tick_ms
+        self.catalog = Catalog()
+        self.nodes: dict[str, RailgunNode] = {}
+        self._assignment_dirty = False
+        self._last_assignment: Assignment | None = None
+        self._next_node = 0
+        self._rr_cursor = 0
+        self.rebalance_count = 0
+
+        self.bus.create_topic(OPERATIONS_TOPIC, partitions=1)
+        self.bus.create_topic(CHECKPOINTS_TOPIC, partitions=1)
+        self._ops_producer = Producer(self.bus, self.clock)
+        for _ in range(nodes):
+            self.add_node(processor_units)
+
+    # -- topology -------------------------------------------------------------------
+
+    def add_node(self, processor_units: int = 2) -> str:
+        """Add (and start) a node; returns its id."""
+        node_id = f"node-{self._next_node}"
+        self._next_node += 1
+        self.bus.create_topic(REPLY_TOPIC_PREFIX + node_id, partitions=1)
+        node = RailgunNode(
+            node_id,
+            self.bus,
+            self.coordinator,
+            self.clock,
+            processor_units,
+            cluster=self,
+            unit_config=self.unit_config,
+        )
+        self.nodes[node_id] = node
+        node.subscribe_units(self._event_topics())
+        self._assignment_dirty = True
+        return node_id
+
+    def kill_node(self, node_id: str) -> None:
+        """Fail-stop a node; detection happens via heartbeat expiry."""
+        self._node(node_id).kill()
+
+    def fail_node(self, node_id: str) -> None:
+        """Kill a node and advance past the session timeout + rebalance."""
+        self.kill_node(node_id)
+        self.advance(self.coordinator.session_timeout_ms + 1)
+        self.pump()
+
+    def revive_node(self, node_id: str) -> None:
+        """Bring a failed node back; it rejoins groups on next pump."""
+        self._node(node_id).revive()
+        self._assignment_dirty = True
+
+    def alive_nodes(self) -> list[RailgunNode]:
+        """Nodes currently up."""
+        return [node for node in self.nodes.values() if node.alive]
+
+    def _node(self, node_id: str) -> RailgunNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise EngineError(f"unknown node {node_id!r}") from None
+
+    # -- DDL ----------------------------------------------------------------------------
+
+    def create_stream(
+        self,
+        name: str,
+        partitioners: Iterable[str],
+        partitions: int = 4,
+        schema: object = (),
+        replication: int = 1,
+        with_global_partitioner: bool = False,
+    ) -> None:
+        """Register a stream: schema + partitioners + topic creation."""
+        if name in self.catalog.streams:
+            raise EngineError(f"stream {name!r} already exists")
+        partitioner_list = list(partitioners)
+        if with_global_partitioner:
+            partitioner_list.append(GLOBAL_PARTITIONER)
+        if not partitioner_list:
+            raise EngineError("a stream needs at least one partitioner")
+        fields = _normalize_fields(schema)
+        declared = {field_name for field_name, _ in fields}
+        for partitioner in partitioner_list:
+            if partitioner != GLOBAL_PARTITIONER and partitioner not in declared:
+                raise EngineError(
+                    f"partitioner {partitioner!r} is not a schema field"
+                )
+        stream = StreamDef(name, fields, tuple(partitioner_list), partitions)
+        for partitioner in partitioner_list:
+            count = 1 if partitioner == GLOBAL_PARTITIONER else partitions
+            self.bus.create_topic(
+                topic_name(name, partitioner), partitions=count,
+                replication=min(self.bus.broker_count, 1 + self.replication_factor),
+            )
+        self._publish_op(CreateStreamOp(stream))
+        self._sync_subscriptions()
+        self._assignment_dirty = True
+
+    def create_metric(self, query_text: str, backfill: bool = False) -> int:
+        """Register a metric from a Figure 4 statement; returns metric id."""
+        query = parse_query(query_text)
+        if query.stream not in self.catalog.streams:
+            raise EngineError(f"unknown stream {query.stream!r}")
+        self._validate_metric_fields(query)
+        topic = self.catalog.route_metric(query)
+        metric_id = self.catalog.next_metric_id
+        metric = MetricDef(
+            metric_id=metric_id,
+            query_text=query_text,
+            stream=query.stream,
+            topic=topic,
+            backfill=backfill,
+        )
+        self._publish_op(CreateMetricOp(metric))
+        return metric_id
+
+    def _validate_metric_fields(self, query) -> None:
+        stream = self.catalog.streams[query.stream]
+        declared = {name for name, _ in stream.fields}
+        for agg in query.aggregations:
+            if agg.field is not None and agg.field not in declared:
+                raise EngineError(
+                    f"aggregation field {agg.field!r} not in stream {query.stream!r}"
+                )
+        for field_name in query.group_by:
+            if field_name not in declared:
+                raise EngineError(
+                    f"group-by field {field_name!r} not in stream {query.stream!r}"
+                )
+        if query.where is not None:
+            for field_name in query.where.referenced_fields():
+                if field_name not in declared:
+                    raise EngineError(
+                        f"filter field {field_name!r} not in stream {query.stream!r}"
+                    )
+
+    def delete_metric(self, metric_id: int) -> None:
+        """Remove a metric cluster-wide."""
+        self._publish_op(DeleteMetricOp(metric_id))
+
+    def evolve_schema(self, stream: str, new_fields: object) -> None:
+        """Append fields to a stream schema (old chunks stay readable)."""
+        self._publish_op(EvolveSchemaOp(stream, _normalize_fields(new_fields)))
+
+    def add_partitioner(self, stream: str, partitioner: str) -> None:
+        """Add a top-level partitioner after stream creation (§4).
+
+        Creates the new topic and triggers a rebalance; existing topics'
+        processing is unaffected thanks to sticky assignment.
+        """
+        stream_def = self.catalog.streams.get(stream)
+        if stream_def is None:
+            raise EngineError(f"unknown stream {stream!r}")
+        if partitioner in stream_def.partitioners:
+            return
+        declared = {name for name, _ in stream_def.fields}
+        if partitioner != GLOBAL_PARTITIONER and partitioner not in declared:
+            raise EngineError(f"partitioner {partitioner!r} is not a schema field")
+        count = 1 if partitioner == GLOBAL_PARTITIONER else stream_def.partitions
+        self.bus.create_topic(topic_name(stream, partitioner), partitions=count)
+        self._publish_op(AddPartitionerOp(stream, partitioner))
+        self._sync_subscriptions()
+        self._assignment_dirty = True
+
+    def _publish_op(self, op: object) -> None:
+        self.catalog.apply(op)
+        self._ops_producer.send(OPERATIONS_TOPIC, key=None, value=op)
+
+    def _event_topics(self) -> list[str]:
+        return sorted(
+            topic
+            for stream in self.catalog.streams.values()
+            for topic in stream.topics()
+        )
+
+    def _sync_subscriptions(self) -> None:
+        topics = self._event_topics()
+        for node in self.alive_nodes():
+            for unit in node.units:
+                if unit.active_consumer.is_member():
+                    unit.active_consumer.update_subscription(topics)
+                if unit.replica_consumer.is_member():
+                    unit.replica_consumer.update_subscription(topics)
+
+    # -- the data path --------------------------------------------------------------------
+
+    def send(
+        self,
+        stream: str,
+        fields: Mapping[str, Any] | None = None,
+        timestamp: int | None = None,
+        event: Event | None = None,
+        event_id: str | None = None,
+        node_id: str | None = None,
+        max_rounds: int = 500,
+    ) -> Reply:
+        """Send one event and pump the world until its reply completes."""
+        correlation, frontend = self.send_async(
+            stream, fields=fields, timestamp=timestamp, event=event,
+            event_id=event_id, node_id=node_id,
+        )
+        for _ in range(max_rounds):
+            completed = frontend.take_completed(correlation)
+            if completed is not None:
+                return Reply(
+                    event=completed.event,
+                    stream=completed.stream,
+                    results=completed.results,
+                    latency_ms=completed.latency_ms,
+                )
+            self.pump()
+        raise EngineError(
+            f"reply for correlation {correlation} did not complete within "
+            f"{max_rounds} pump rounds"
+        )
+
+    def send_async(
+        self,
+        stream: str,
+        fields: Mapping[str, Any] | None = None,
+        timestamp: int | None = None,
+        event: Event | None = None,
+        event_id: str | None = None,
+        node_id: str | None = None,
+    ):
+        """Publish an event without waiting; returns (corr_id, frontend)."""
+        if event is None:
+            if fields is None:
+                raise EngineError("either fields or event is required")
+            if timestamp is None:
+                timestamp = self.clock.now()
+            if event_id is None:
+                event_id = f"client-{self.bus.messages_published:012d}"
+            event = Event(event_id, timestamp, fields)
+        node = self._pick_node(node_id)
+        correlation = node.frontend.send(stream, event)
+        return correlation, node.frontend
+
+    def _pick_node(self, node_id: str | None) -> RailgunNode:
+        if node_id is not None:
+            node = self._node(node_id)
+            if not node.alive:
+                raise EngineError(f"node {node_id!r} is down")
+            return node
+        alive = self.alive_nodes()
+        if not alive:
+            raise EngineError("no alive nodes")
+        node = alive[self._rr_cursor % len(alive)]
+        self._rr_cursor += 1
+        return node
+
+    # -- the world loop ----------------------------------------------------------------------
+
+    def pump(self) -> int:
+        """One cooperative step of every component; returns work count."""
+        self.clock.advance(self.tick_ms)
+        self.coordinator.tick(self.clock.now())
+        self._ensure_membership()
+        if self._assignment_dirty:
+            self._rebalance()
+        handled = 0
+        for node in self.alive_nodes():
+            handled += node.pump()
+        return handled
+
+    def run_until_quiet(self, max_rounds: int = 300, quiet_rounds: int = 3) -> int:
+        """Pump until nothing happens for ``quiet_rounds`` consecutive steps."""
+        total = 0
+        quiet = 0
+        for _ in range(max_rounds):
+            handled = self.pump()
+            total += handled
+            pending = sum(len(n.frontend.pending) for n in self.alive_nodes())
+            if handled == 0 and pending == 0:
+                quiet += 1
+                if quiet >= quiet_rounds:
+                    return total
+            else:
+                quiet = 0
+        return total
+
+    def advance(self, ms: int) -> None:
+        """Advance the virtual clock (e.g. past the session timeout)."""
+        self.clock.advance(ms)
+
+    def _ensure_membership(self) -> None:
+        """Revived nodes rejoin their groups; dead nodes stay out."""
+        topics = self._event_topics()
+        from repro.engine.processor import _keep_previous_assignor
+
+        for node in self.alive_nodes():
+            for unit in node.units:
+                if not unit.active_consumer.is_member():
+                    unit.active_consumer.rejoin(topics, strategy=_keep_previous_assignor)
+                    self._assignment_dirty = True
+                if not unit.replica_consumer.is_member():
+                    unit.replica_consumer.rejoin(topics, strategy=_keep_previous_assignor)
+
+    # -- the Figure 7 authority ---------------------------------------------------------------
+
+    def _on_group_change(self, group_id: str) -> None:
+        if group_id == ACTIVE_GROUP or group_id.startswith("railgun-replica."):
+            self._assignment_dirty = True
+
+    def _rebalance(self) -> None:
+        self._assignment_dirty = False
+        tasks = [
+            tp
+            for topic in self._event_topics()
+            for tp in self.bus.topic_partitions(topic)
+        ]
+        processors: list[ProcessorInfo] = []
+        units_by_id = {}
+        for node in self.alive_nodes():
+            for unit in node.units:
+                if unit.active_consumer.is_member():
+                    processors.append(ProcessorInfo(unit.unit_id, node.node_id))
+                    units_by_id[unit.unit_id] = unit
+        if not processors or not tasks:
+            self._last_assignment = None
+            return
+        previous = PreviousState()
+        for info in processors:
+            unit = units_by_id[info.processor_id]
+            previous.active[info.processor_id] = self.coordinator.assignment_of(
+                ACTIVE_GROUP, info.processor_id
+            )
+            previous.replica[info.processor_id] = self.coordinator.assignment_of(
+                replica_group(info.processor_id), info.processor_id
+            )
+            # Any local data counts as leftovers for stickiness: revoked
+            # tasks (stale dict) and still-live processors whose group
+            # membership was lost (e.g. after a mass heartbeat expiry).
+            previous.stale[info.processor_id] = set(unit.stale) | set(
+                unit.task_processors
+            )
+        assignment = self.strategy.assign(tasks, processors, previous)
+        self._last_assignment = assignment
+        self.rebalance_count += 1
+        self.coordinator.set_assignment(
+            ACTIVE_GROUP,
+            {info.processor_id: assignment.active.get(info.processor_id, set())
+             for info in processors},
+        )
+        for info in processors:
+            self.coordinator.set_assignment(
+                replica_group(info.processor_id),
+                {info.processor_id: assignment.replica.get(info.processor_id, set())},
+            )
+
+    # -- recovery brokerage ----------------------------------------------------------------------
+
+    def request_recovery_data(
+        self,
+        tp: TopicPartition,
+        exclude_unit: str,
+        local_sealed: set[str],
+    ) -> TaskCheckpoint | None:
+        """Find the best donor for a task and fetch its checkpoint (§4.2).
+
+        Donors are ranked by how far their data reaches (highest next
+        offset); the receiver's sealed files are excluded from the
+        payload (delta copy for stale holders).
+        """
+        best_unit = None
+        best_offset = -1
+        for node in self.alive_nodes():
+            for unit in node.units:
+                if unit.unit_id == exclude_unit:
+                    continue
+                offset = unit.data_offset_for(tp)
+                if offset is not None and offset > best_offset:
+                    best_offset = offset
+                    best_unit = unit
+        if best_unit is None:
+            return None
+        return best_unit.donate_checkpoint(tp, exclude_files=local_sealed)
+
+    # -- introspection ------------------------------------------------------------------------------
+
+    def assignment_snapshot(self) -> dict[str, dict[str, list[str]]]:
+        """Human-readable owner/replica map per task (for tests/examples)."""
+        snapshot: dict[str, dict[str, list[str]]] = {}
+        assignment = self._last_assignment
+        if assignment is None:
+            return snapshot
+        tasks = {
+            tp
+            for tps in list(assignment.active.values()) + list(assignment.replica.values())
+            for tp in tps
+        }
+        for tp in sorted(tasks, key=str):
+            snapshot[str(tp)] = {
+                "active": [assignment.owner_of(tp) or "?"],
+                "replicas": assignment.replicas_of(tp),
+            }
+        return snapshot
+
+    def total_messages_processed(self) -> int:
+        """Sum over all units (actives + replicas double-count by design)."""
+        return sum(
+            unit.messages_processed
+            for node in self.nodes.values()
+            for unit in node.units
+        )
+
+    def recovery_stats(self) -> dict[str, int]:
+        """Aggregated recovery counters across all units."""
+        totals = {
+            "recoveries": 0,
+            "delta_recoveries": 0,
+            "fresh_starts": 0,
+            "promotions": 0,
+            "bytes_transferred": 0,
+            "checkpoints_taken": 0,
+        }
+        for node in self.nodes.values():
+            for unit in node.units:
+                totals["recoveries"] += unit.stats.recoveries
+                totals["delta_recoveries"] += unit.stats.delta_recoveries
+                totals["fresh_starts"] += unit.stats.fresh_starts
+                totals["promotions"] += unit.stats.promotions
+                totals["bytes_transferred"] += unit.stats.bytes_transferred
+                totals["checkpoints_taken"] += unit.stats.checkpoints_taken
+        return totals

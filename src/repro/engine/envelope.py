@@ -1,0 +1,35 @@
+"""Message envelopes flowing through the bus (Figure 3).
+
+Events travel from a front-end to event topics wrapped in
+:class:`EventEnvelope` (steps 2–3); task processors answer to the origin
+node's reply topic with :class:`ReplyEnvelope` (steps 4–5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.events.event import Event
+from repro.messaging.log import TopicPartition
+
+
+@dataclass(frozen=True)
+class EventEnvelope:
+    """An event published to one (stream, partitioner) topic."""
+
+    stream: str
+    event: Event
+    origin_node: str
+    correlation_id: int
+    fanout: int  # how many topics this event was published to
+
+
+@dataclass(frozen=True)
+class ReplyEnvelope:
+    """Aggregation results from one task processor for one event."""
+
+    correlation_id: int
+    event_id: str
+    task: TopicPartition
+    results: dict[int, dict[str, Any]]  # metric id -> column -> value

@@ -1,0 +1,225 @@
+"""Task processors (paper §4.1).
+
+"Each task processor is designed to share nothing, and work
+independently of other task processors": it owns its event reservoir,
+its metric state store, and the shared task-plan DAG for all metrics of
+its (topic, partition). Checkpoints capture reservoir + state + iterator
+positions + the next message offset atomically (taken between messages),
+so recovery is: copy data, seek the consumer, replay the tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import CheckpointError
+from repro.common.storage import MemoryStorage
+from repro.events.event import Event
+from repro.events.schema import SchemaRegistry
+from repro.engine.catalog import MetricDef, StreamDef
+from repro.lsm.db import Checkpoint, LsmConfig, LsmDb
+from repro.messaging.log import TopicPartition
+from repro.plan.dag import TaskPlan
+from repro.reservoir.reservoir import EventReservoir, ReservoirConfig
+from repro.state.store import MetricStateStore
+
+
+@dataclass
+class TaskCheckpoint:
+    """A consistent snapshot of one task processor."""
+
+    tp: TopicPartition
+    offset: int  # next message offset to consume after restore
+    reservoir_meta: bytes
+    reservoir_files: dict[str, bytes]
+    reservoir_sealed: set[str]
+    state_checkpoint: Checkpoint
+    state_files: dict[str, bytes]
+    iterator_positions: dict[str, tuple[int, int]]
+    metric_ids: tuple[int, ...]
+
+    def data_bytes(self, exclude_files: set[str] | None = None) -> int:
+        """Transfer size in bytes, optionally after delta exclusion."""
+        exclude = exclude_files or set()
+        total = len(self.reservoir_meta)
+        for name, data in self.reservoir_files.items():
+            if name not in exclude:
+                total += len(data)
+        for name, data in self.state_files.items():
+            if name not in exclude:
+                total += len(data)
+        return total
+
+    def transferable_files(self) -> set[str]:
+        """Immutable files a stale holder may already have (delta copy)."""
+        return set(self.reservoir_sealed) | set(self.state_files)
+
+
+class TaskProcessor:
+    """Computation of all metrics for one (topic, partition)."""
+
+    def __init__(
+        self,
+        tp: TopicPartition,
+        stream: StreamDef,
+        reservoir_config: ReservoirConfig | None = None,
+        lsm_config: LsmConfig | None = None,
+    ) -> None:
+        self.tp = tp
+        self.stream_name = stream.name
+        registry = SchemaRegistry()
+        registry.register(stream.schema())
+        self._reservoir_config = reservoir_config
+        self._lsm_config = lsm_config
+        self.reservoir = EventReservoir(
+            registry, MemoryStorage(), reservoir_config
+        )
+        self.state = MetricStateStore(LsmDb(MemoryStorage(), lsm_config))
+        self.plan = TaskPlan(self.reservoir, self.state)
+        self._metric_defs: dict[int, MetricDef] = {}
+        self.next_offset = 0
+        self.messages_processed = 0
+        self.replays_skipped = 0
+
+    # -- metric management -----------------------------------------------------------
+
+    def add_metric(self, metric: MetricDef) -> None:
+        """Register a metric (idempotent on metric id)."""
+        if metric.metric_id in self._metric_defs:
+            return
+        self._metric_defs[metric.metric_id] = metric
+        self.plan.add_metric(
+            metric.parse(), backfill=metric.backfill, metric_id=metric.metric_id
+        )
+
+    def remove_metric(self, metric_id: int) -> None:
+        """Unregister a metric."""
+        if metric_id in self._metric_defs:
+            del self._metric_defs[metric_id]
+            self.plan.remove_metric(metric_id)
+
+    def evolve_schema(self, stream: StreamDef) -> None:
+        """Register an evolved stream schema with the reservoir registry."""
+        self.reservoir.registry.register(stream.schema())
+
+    def metric_ids(self) -> tuple[int, ...]:
+        """Registered metric ids, sorted."""
+        return tuple(sorted(self._metric_defs))
+
+    # -- the data path ------------------------------------------------------------------
+
+    def process(self, offset: int, event: Event) -> dict[int, dict[str, Any]] | None:
+        """Process one message; returns per-metric replies.
+
+        Offsets below ``next_offset`` are replays of messages whose
+        effects are already in the restored state (recovery overlap):
+        state is **not** mutated again — exactly-once on top of the
+        log's at-least-once delivery — but a read-only reply is still
+        produced, because the original reply may never have been sent
+        (e.g. the active owner failed between processing and replying).
+        """
+        if offset < self.next_offset:
+            self.replays_skipped += 1
+            return self.plan.process_event_readonly(event)
+        self.next_offset = offset + 1
+        self.messages_processed += 1
+        result = self.reservoir.append(event)
+        if result.stored:
+            return self.plan.process_event(result.event)
+        # Duplicates / discarded out-of-order events still get a reply
+        # with the entity's current values — but must not mutate state.
+        return self.plan.process_event_readonly(event)
+
+    # -- checkpoint / restore --------------------------------------------------------------
+
+    def checkpoint(self) -> TaskCheckpoint:
+        """Snapshot reservoir + state + cursors + offset, atomically."""
+        reservoir_meta = self.reservoir.checkpoint_metadata()
+        reservoir_storage = self.reservoir.storage
+        reservoir_files = {
+            name: reservoir_storage.read_all(name)
+            for name in reservoir_storage.list()
+        }
+        sealed = {
+            name for name in reservoir_files if reservoir_storage.is_sealed(name)
+        }
+        state_cp = self.state.checkpoint()
+        state_files = self.state.export_checkpoint(state_cp)
+        return TaskCheckpoint(
+            tp=self.tp,
+            offset=self.next_offset,
+            reservoir_meta=reservoir_meta,
+            reservoir_files=reservoir_files,
+            reservoir_sealed=sealed,
+            state_checkpoint=state_cp,
+            state_files=state_files,
+            iterator_positions=self.plan.iterator_positions(),
+            metric_ids=self.metric_ids(),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint: TaskCheckpoint,
+        stream: StreamDef,
+        metrics: list[MetricDef],
+        reservoir_config: ReservoirConfig | None = None,
+        lsm_config: LsmConfig | None = None,
+        local_files: dict[str, bytes] | None = None,
+    ) -> "TaskProcessor":
+        """Rebuild a task processor from a checkpoint.
+
+        ``local_files`` supplies file contents the receiving processor
+        already holds (stale data), enabling delta transfers: the
+        checkpoint may omit those files.
+        """
+        processor = cls.__new__(cls)
+        processor.tp = checkpoint.tp
+        processor.stream_name = stream.name
+        processor._reservoir_config = reservoir_config
+        processor._lsm_config = lsm_config
+        processor._metric_defs = {}
+        processor.next_offset = checkpoint.offset
+        processor.messages_processed = 0
+        processor.replays_skipped = 0
+
+        merged: dict[str, bytes] = dict(local_files or {})
+        merged.update(checkpoint.reservoir_files)
+        reservoir_storage = MemoryStorage()
+        for name, data in merged.items():
+            if name in checkpoint.reservoir_files or name in checkpoint.reservoir_sealed:
+                reservoir_storage.create(name)
+                reservoir_storage.append(name, data)
+                if name in checkpoint.reservoir_sealed:
+                    reservoir_storage.seal(name)
+        missing = [
+            meta_name
+            for meta_name in checkpoint.reservoir_sealed
+            if not reservoir_storage.exists(meta_name)
+        ]
+        if missing:
+            raise CheckpointError(f"missing reservoir files after transfer: {missing}")
+        processor.reservoir = EventReservoir.restore(
+            checkpoint.reservoir_meta, reservoir_storage, reservoir_config
+        )
+        # The stream schema may have evolved past the checkpoint.
+        processor.reservoir.registry.register(stream.schema())
+
+        state_files: dict[str, bytes] = {
+            name: data
+            for name, data in (local_files or {}).items()
+            if name in checkpoint.state_checkpoint.all_files()
+        }
+        state_files.update(checkpoint.state_files)
+        processor.state = MetricStateStore.restore(
+            checkpoint.state_checkpoint, state_files, config=lsm_config
+        )
+        processor.plan = TaskPlan(processor.reservoir, processor.state)
+        for metric in sorted(metrics, key=lambda m: m.metric_id):
+            processor._metric_defs[metric.metric_id] = metric
+            processor.plan.add_metric(
+                metric.parse(), backfill=False, metric_id=metric.metric_id
+            )
+        processor.plan.set_iterator_positions(checkpoint.iterator_positions)
+        return processor

@@ -1,0 +1,15 @@
+"""Event model, schemas with evolution, and workload generators."""
+
+from repro.events.event import Event
+from repro.events.schema import FieldType, SchemaField, Schema, SchemaRegistry
+from repro.events.generators import FraudWorkload, fraud_schema
+
+__all__ = [
+    "Event",
+    "FieldType",
+    "SchemaField",
+    "Schema",
+    "SchemaRegistry",
+    "FraudWorkload",
+    "fraud_schema",
+]

@@ -1,0 +1,81 @@
+"""The event record.
+
+A data stream is an unbounded sequence of events, each with a timestamp
+(paper §2). Events additionally carry a client-assigned ``id`` used for
+deduplication (§4.1.1: "events are also deduplicated based on an id")
+and a dict of named fields.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+
+class Event:
+    """An immutable stream event.
+
+    Parameters
+    ----------
+    event_id:
+        Client-assigned unique id; the reservoir deduplicates on it.
+    timestamp:
+        Event time in milliseconds.
+    fields:
+        Mapping of field name to scalar value (None/bool/int/float/str).
+    """
+
+    __slots__ = ("event_id", "timestamp", "_fields")
+
+    def __init__(self, event_id: str, timestamp: int, fields: Mapping[str, Any]) -> None:
+        if timestamp < 0:
+            raise ValueError(f"negative event timestamp: {timestamp}")
+        self.event_id = event_id
+        self.timestamp = timestamp
+        self._fields = dict(fields)
+
+    def __getitem__(self, name: str) -> Any:
+        return self._fields[name]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Field value or ``default`` when absent."""
+        return self._fields.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    @property
+    def fields(self) -> dict[str, Any]:
+        """A copy of the field mapping (events are immutable)."""
+        return dict(self._fields)
+
+    def field_names(self) -> list[str]:
+        """Field names in insertion order."""
+        return list(self._fields)
+
+    def with_timestamp(self, timestamp: int) -> "Event":
+        """A copy with a rewritten timestamp.
+
+        Used by the out-of-order ``rewrite`` policy (§4.1.1: late events
+        may "have their timestamp rewritten").
+        """
+        return Event(self.event_id, timestamp, self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.event_id == other.event_id
+            and self.timestamp == other.timestamp
+            and self._fields == other._fields
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.event_id, self.timestamp))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{k}={v!r}" for k, v in list(self._fields.items())[:3])
+        suffix = ", ..." if len(self._fields) > 3 else ""
+        return f"Event(id={self.event_id!r}, ts={self.timestamp}, {preview}{suffix})"

@@ -1,0 +1,222 @@
+"""Event schemas and the schema registry.
+
+The reservoir serializes chunks "using a specific events' schema and
+stored referencing their current schema id. Each time the event schema
+changes, a new entry is added to the schema registry" (§4.1.1). A schema
+pins field order and types so events encode positionally (no per-event
+field names on disk), and old chunks remain readable after the schema
+evolves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.common import serde
+from repro.common.errors import SchemaError, SerdeError
+from repro.events.event import Event
+
+
+class FieldType(enum.Enum):
+    """Scalar types supported by event fields."""
+
+    BOOL = "bool"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    def validate(self, value: Any) -> bool:
+        """True when ``value`` (or None — all fields are nullable) fits."""
+        if value is None:
+            return True
+        if self is FieldType.BOOL:
+            return isinstance(value, bool)
+        if self is FieldType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is FieldType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return isinstance(value, str)
+
+
+@dataclass(frozen=True)
+class SchemaField:
+    """A named, typed, nullable field."""
+
+    name: str
+    field_type: FieldType
+
+
+class Schema:
+    """An ordered list of fields with a registry-assigned id."""
+
+    def __init__(self, fields: Iterable[SchemaField], schema_id: int = -1) -> None:
+        self.fields = tuple(fields)
+        self.schema_id = schema_id
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in schema: {names}")
+        self._index = {f.name: i for i, f in enumerate(self.fields)}
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def field_names(self) -> list[str]:
+        """Field names in schema order."""
+        return [f.name for f in self.fields]
+
+    def has_field(self, name: str) -> bool:
+        """True when the schema declares ``name``."""
+        return name in self._index
+
+    def validate_event(self, event: Event) -> None:
+        """Raise :class:`SchemaError` when an event does not fit."""
+        for field in self.fields:
+            if field.name in event:
+                value = event[field.name]
+                if not field.field_type.validate(value):
+                    raise SchemaError(
+                        f"field {field.name!r} expects {field.field_type.value}, "
+                        f"got {type(value).__name__}: {value!r}"
+                    )
+        for name in event.field_names():
+            if name not in self._index:
+                raise SchemaError(f"event carries undeclared field {name!r}")
+
+    def encode_event(self, event: Event, buf: bytearray) -> None:
+        """Append a positional binary encoding of ``event`` to ``buf``."""
+        serde.write_str(buf, event.event_id)
+        serde.write_varint(buf, event.timestamp)
+        for field in self.fields:
+            serde.write_value(buf, event.get(field.name))
+
+    def decode_event(self, data: bytes | memoryview, offset: int) -> tuple[Event, int]:
+        """Decode one event; returns ``(event, new_offset)``."""
+        event_id, offset = serde.read_str(data, offset)
+        timestamp, offset = serde.read_varint(data, offset)
+        fields: dict[str, Any] = {}
+        for field in self.fields:
+            value, offset = serde.read_value(data, offset)
+            if value is not None:
+                fields[field.name] = value
+        return Event(event_id, timestamp, fields), offset
+
+    def is_compatible_upgrade(self, new: "Schema") -> bool:
+        """True when ``new`` only appends fields or keeps them identical.
+
+        This is the evolution rule the registry enforces: existing fields
+        must keep name and type; new fields go at the end (old chunks
+        decode them as absent).
+        """
+        if len(new) < len(self):
+            return False
+        return all(
+            new.fields[i] == self.fields[i] for i in range(len(self.fields))
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize the schema itself (persisted with reservoir data)."""
+        buf = bytearray()
+        serde.write_varint(buf, max(self.schema_id, 0))
+        serde.write_varint(buf, len(self.fields))
+        for field in self.fields:
+            serde.write_str(buf, field.name)
+            serde.write_str(buf, field.field_type.value)
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Schema":
+        """Inverse of :meth:`to_bytes`."""
+        offset = 0
+        schema_id, offset = serde.read_varint(data, offset)
+        count, offset = serde.read_varint(data, offset)
+        fields = []
+        for _ in range(count):
+            name, offset = serde.read_str(data, offset)
+            type_name, offset = serde.read_str(data, offset)
+            try:
+                field_type = FieldType(type_name)
+            except ValueError:
+                raise SerdeError(f"unknown field type {type_name!r}") from None
+            fields.append(SchemaField(name, field_type))
+        return cls(fields, schema_id=schema_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.fields == other.fields
+
+    def __repr__(self) -> str:
+        return f"Schema(id={self.schema_id}, fields={len(self.fields)})"
+
+
+class SchemaRegistry:
+    """Registry of schema versions for one stream.
+
+    ``register`` assigns monotonically increasing ids; ``current`` is the
+    id chunks reference at write time; any historical id stays resolvable
+    so old chunks can always be deserialized (§4.1.1).
+    """
+
+    def __init__(self) -> None:
+        self._schemas: dict[int, Schema] = {}
+        self._current_id: int | None = None
+
+    def register(self, schema: Schema) -> Schema:
+        """Register a schema version; returns the stored (id-stamped) schema.
+
+        Re-registering an identical schema is a no-op returning the
+        existing version.
+        """
+        if self._current_id is not None:
+            current = self._schemas[self._current_id]
+            if current == schema:
+                return current
+            if not current.is_compatible_upgrade(schema):
+                raise SchemaError(
+                    "incompatible schema evolution: fields may only be appended"
+                )
+        new_id = (self._current_id + 1) if self._current_id is not None else 0
+        stored = Schema(schema.fields, schema_id=new_id)
+        self._schemas[new_id] = stored
+        self._current_id = new_id
+        return stored
+
+    def current(self) -> Schema:
+        """The latest schema version."""
+        if self._current_id is None:
+            raise SchemaError("registry has no schemas")
+        return self._schemas[self._current_id]
+
+    def get(self, schema_id: int) -> Schema:
+        """Resolve a historical schema id."""
+        try:
+            return self._schemas[schema_id]
+        except KeyError:
+            raise SchemaError(f"unknown schema id {schema_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def to_bytes(self) -> bytes:
+        """Serialize all versions (used by checkpoint/recovery transfer)."""
+        buf = bytearray()
+        serde.write_varint(buf, len(self._schemas))
+        for schema_id in sorted(self._schemas):
+            serde.write_bytes(buf, self._schemas[schema_id].to_bytes())
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SchemaRegistry":
+        """Inverse of :meth:`to_bytes`."""
+        registry = cls()
+        offset = 0
+        count, offset = serde.read_varint(data, offset)
+        for _ in range(count):
+            raw, offset = serde.read_bytes(data, offset)
+            schema = Schema.from_bytes(raw)
+            registry._schemas[schema.schema_id] = schema
+            if registry._current_id is None or schema.schema_id > registry._current_id:
+                registry._current_id = schema.schema_id
+        return registry

@@ -1,0 +1,71 @@
+"""Bloom filter for SSTable point lookups.
+
+A negative answer lets :meth:`LsmDb.get` skip reading a table entirely —
+the standard LSM optimization for read amplification.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common import serde
+from repro.common.hashing import fnv1a_64
+
+
+class BloomFilter:
+    """Fixed-size bloom filter with double hashing.
+
+    Uses the Kirsch–Mitzenmacher trick: ``h_i = h1 + i * h2`` gives k
+    independent-enough probes from two base hashes.
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+
+    @classmethod
+    def for_capacity(cls, expected_items: int, false_positive_rate: float = 0.01) -> "BloomFilter":
+        """Size a filter for ``expected_items`` at a target FP rate."""
+        expected_items = max(expected_items, 1)
+        if not 0 < false_positive_rate < 1:
+            raise ValueError("false_positive_rate must be in (0, 1)")
+        ln2 = math.log(2.0)
+        num_bits = max(8, int(-expected_items * math.log(false_positive_rate) / (ln2 * ln2)))
+        num_hashes = max(1, int(round(num_bits / expected_items * ln2)))
+        return cls(num_bits, num_hashes)
+
+    def _probes(self, key: bytes):
+        h1 = fnv1a_64(key, seed=0x51ED)
+        h2 = fnv1a_64(key, seed=0xC0FFEE) | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, key: bytes) -> None:
+        """Insert a key."""
+        for bit in self._probes(key):
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+
+    def might_contain(self, key: bytes) -> bool:
+        """False means definitely absent; True means probably present."""
+        return all(self._bits[bit >> 3] & (1 << (bit & 7)) for bit in self._probes(key))
+
+    def to_bytes(self) -> bytes:
+        """Serialize for embedding in an SSTable."""
+        buf = bytearray()
+        serde.write_varint(buf, self.num_bits)
+        serde.write_varint(buf, self.num_hashes)
+        serde.write_bytes(buf, bytes(self._bits))
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes | memoryview, offset: int = 0) -> tuple["BloomFilter", int]:
+        """Inverse of :meth:`to_bytes`."""
+        num_bits, offset = serde.read_varint(data, offset)
+        num_hashes, offset = serde.read_varint(data, offset)
+        raw, offset = serde.read_bytes(data, offset)
+        bloom = cls(num_bits, num_hashes)
+        bloom._bits = bytearray(raw)
+        return bloom, offset

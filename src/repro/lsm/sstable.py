@@ -1,0 +1,265 @@
+"""Immutable sorted-string tables.
+
+An SSTable is written once from a sorted stream of entries and never
+mutated — the property that makes LSM checkpoints cheap (§4.1.3) and
+lets the engine's recovery transfer files wholesale.
+
+File layout::
+
+    data region  : N x [ u8 kind | bytes key | [bytes value] ]
+    index region : sparse index, every `index_interval`-th key -> offset
+    bloom region : serialized bloom filter over all keys
+    footer       : varint data_end | varint index_off | varint bloom_off |
+                   varint count | min_key | max_key | u32 crc(footer body)
+    trailer      : u32 footer_length (fixed width, read from file end)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.common import serde
+from repro.common.errors import StorageError
+from repro.common.storage import StorageBackend
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.memtable import TOMBSTONE
+
+_KIND_PUT = 0
+_KIND_DELETE = 1
+
+
+class SSTable:
+    """Reader handle over one immutable table file."""
+
+    def __init__(
+        self,
+        storage: StorageBackend,
+        name: str,
+        *,
+        index: list[tuple[bytes, int]],
+        bloom: BloomFilter,
+        count: int,
+        min_key: bytes,
+        max_key: bytes,
+        data_end: int,
+    ) -> None:
+        self._storage = storage
+        self.name = name
+        self._index = index
+        self._bloom = bloom
+        self.count = count
+        self.min_key = min_key
+        self.max_key = max_key
+        self._data_end = data_end
+
+    # -- writing ---------------------------------------------------------
+
+    @classmethod
+    def write(
+        cls,
+        storage: StorageBackend,
+        name: str,
+        entries: Iterable[tuple[bytes, object]],
+        index_interval: int = 16,
+        bloom_fp_rate: float = 0.01,
+    ) -> "SSTable":
+        """Write sorted ``(key, value_or_TOMBSTONE)`` entries to a new file.
+
+        Entries must be strictly increasing by key; violations raise
+        :class:`StorageError` (they would corrupt binary search).
+        """
+        materialized = list(entries)
+        data = bytearray()
+        index: list[tuple[bytes, int]] = []
+        bloom = BloomFilter.for_capacity(len(materialized), bloom_fp_rate)
+        prev_key: bytes | None = None
+        min_key = b""
+        max_key = b""
+        for position, (key, value) in enumerate(materialized):
+            if prev_key is not None and key <= prev_key:
+                raise StorageError(
+                    f"sstable entries out of order: {key!r} after {prev_key!r}"
+                )
+            prev_key = key
+            if position == 0:
+                min_key = key
+            max_key = key
+            if position % index_interval == 0:
+                index.append((key, len(data)))
+            bloom.add(key)
+            if value is TOMBSTONE:
+                data.append(_KIND_DELETE)
+                serde.write_bytes(data, key)
+            else:
+                data.append(_KIND_PUT)
+                serde.write_bytes(data, key)
+                serde.write_bytes(data, value)  # type: ignore[arg-type]
+
+        index_blob = bytearray()
+        serde.write_varint(index_blob, len(index))
+        for key, offset in index:
+            serde.write_bytes(index_blob, key)
+            serde.write_varint(index_blob, offset)
+        bloom_blob = bloom.to_bytes()
+
+        footer = bytearray()
+        serde.write_varint(footer, len(data))
+        serde.write_varint(footer, len(data))  # index offset == data end
+        serde.write_varint(footer, len(data) + len(index_blob))
+        serde.write_varint(footer, len(materialized))
+        serde.write_bytes(footer, min_key)
+        serde.write_bytes(footer, max_key)
+        serde.write_u32(footer, serde.crc32_of(bytes(footer)))
+
+        blob = bytearray()
+        blob.extend(data)
+        blob.extend(index_blob)
+        blob.extend(bloom_blob)
+        blob.extend(footer)
+        trailer = bytearray()
+        serde.write_u32(trailer, len(footer))
+        blob.extend(trailer)
+
+        storage.create(name)
+        storage.append(name, bytes(blob))
+        storage.seal(name)
+        return cls(
+            storage,
+            name,
+            index=index,
+            bloom=bloom,
+            count=len(materialized),
+            min_key=min_key,
+            max_key=max_key,
+            data_end=len(data),
+        )
+
+    # -- opening ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, storage: StorageBackend, name: str) -> "SSTable":
+        """Open an existing table, reading its index/bloom/footer."""
+        size = storage.size(name)
+        if size < 4:
+            raise StorageError(f"sstable too small: {name}")
+        trailer = storage.read(name, size - 4, 4)
+        footer_len, _ = serde.read_u32(trailer, 0)
+        footer_off = size - 4 - footer_len
+        if footer_off < 0:
+            raise StorageError(f"corrupt sstable trailer: {name}")
+        footer = storage.read(name, footer_off, footer_len)
+        body = footer[:-4]
+        crc, _ = serde.read_u32(footer, footer_len - 4)
+        if serde.crc32_of(body) != crc:
+            raise StorageError(f"corrupt sstable footer: {name}")
+        offset = 0
+        data_end, offset = serde.read_varint(footer, offset)
+        index_off, offset = serde.read_varint(footer, offset)
+        bloom_off, offset = serde.read_varint(footer, offset)
+        count, offset = serde.read_varint(footer, offset)
+        min_key, offset = serde.read_bytes(footer, offset)
+        max_key, offset = serde.read_bytes(footer, offset)
+
+        index_blob = storage.read(name, index_off, bloom_off - index_off)
+        index: list[tuple[bytes, int]] = []
+        ioff = 0
+        n, ioff = serde.read_varint(index_blob, ioff)
+        for _ in range(n):
+            key, ioff = serde.read_bytes(index_blob, ioff)
+            rec_off, ioff = serde.read_varint(index_blob, ioff)
+            index.append((key, rec_off))
+
+        bloom_blob = storage.read(name, bloom_off, footer_off - bloom_off)
+        bloom, _ = BloomFilter.from_bytes(bloom_blob, 0)
+        return cls(
+            storage,
+            name,
+            index=index,
+            bloom=bloom,
+            count=count,
+            min_key=min_key,
+            max_key=max_key,
+            data_end=data_end,
+        )
+
+    # -- reading ---------------------------------------------------------
+
+    def might_contain(self, key: bytes) -> bool:
+        """Bloom + key-range pre-check (False is authoritative)."""
+        if self.count == 0:
+            return False
+        if key < self.min_key or key > self.max_key:
+            return False
+        return self._bloom.might_contain(key)
+
+    def _seek_slot(self, key: bytes) -> int:
+        """Index slot of the largest sparse-index key that is <= ``key``."""
+        lo, hi = 0, len(self._index) - 1
+        best = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self._index[mid][0] <= key:
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    def _seek_offset(self, key: bytes) -> int:
+        """Largest sparse-index offset whose key is <= ``key``."""
+        if not self._index:
+            return 0
+        return self._index[self._seek_slot(key)][1]
+
+    def get(self, key: bytes) -> object | None:
+        """Value bytes, TOMBSTONE, or None when absent from this table."""
+        if not self.might_contain(key):
+            return None
+        # A point lookup only needs the records between two consecutive
+        # sparse-index entries (the key, if present, cannot be elsewhere).
+        slot = self._seek_slot(key)
+        start = self._index[slot][1] if self._index else 0
+        end = self._index[slot + 1][1] if slot + 1 < len(self._index) else self._data_end
+        data = self._storage.read(self.name, start, end - start)
+        offset = 0
+        while offset < len(data):
+            kind = data[offset]
+            offset += 1
+            entry_key, offset = serde.read_bytes(data, offset)
+            if kind == _KIND_PUT:
+                value, offset = serde.read_bytes(data, offset)
+            else:
+                value = TOMBSTONE  # type: ignore[assignment]
+            if entry_key == key:
+                return value
+            if entry_key > key:
+                return None
+        return None
+
+    def entries(self, start: bytes | None = None, end: bytes | None = None) -> Iterator[tuple[bytes, object]]:
+        """All entries with ``start <= key < end`` in key order."""
+        data = self._read_data()
+        offset = self._seek_offset(start) if start is not None else 0
+        while offset < len(data):
+            kind = data[offset]
+            offset += 1
+            key, offset = serde.read_bytes(data, offset)
+            if kind == _KIND_PUT:
+                value, offset = serde.read_bytes(data, offset)
+            else:
+                value = TOMBSTONE  # type: ignore[assignment]
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                return
+            yield key, value
+
+    def _read_data(self) -> bytes:
+        return self._storage.read(self.name, 0, self._data_end)
+
+    def file_size(self) -> int:
+        """On-disk size in bytes."""
+        return self._storage.size(self.name)
+
+    def __repr__(self) -> str:
+        return f"SSTable({self.name}, count={self.count})"

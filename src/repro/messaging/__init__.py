@@ -1,0 +1,36 @@
+"""The messaging layer — an in-process Kafka stand-in (paper §3.3).
+
+Railgun leans on a small set of Kafka guarantees, all implemented here:
+
+- durable, offset-addressed partition logs that consumers can rewind
+  ("allows a Railgun node to recover by rewinding the stream");
+- keyed routing: messages with the same key always land in the same
+  partition (entity locality, §4);
+- consumer groups with **exactly one consumer per (topic, partition)**
+  within a group, heartbeat-based failure detection, and generation
+  numbers that fence zombies;
+- pluggable assignment strategies invoked on rebalance, including an
+  external-authority mode the engine uses to run the Figure 7 sticky
+  strategy across the active group and all replica groups at once.
+"""
+
+from repro.messaging.log import Message, PartitionLog, TopicPartition
+from repro.messaging.broker import MessageBus
+from repro.messaging.producer import Producer
+from repro.messaging.consumer import Consumer, ConsumerRecord, RebalanceListener
+from repro.messaging.groups import GroupCoordinator, range_assignor, round_robin_assignor, sticky_assignor
+
+__all__ = [
+    "Message",
+    "PartitionLog",
+    "TopicPartition",
+    "MessageBus",
+    "Producer",
+    "Consumer",
+    "ConsumerRecord",
+    "RebalanceListener",
+    "GroupCoordinator",
+    "range_assignor",
+    "round_robin_assignor",
+    "sticky_assignor",
+]

@@ -1,0 +1,202 @@
+"""Consumers: pull-based readers with group membership.
+
+"Kafka follows a pull-based approach where consumers continuously poll
+for new messages by providing their individual offset since the last
+poll" (§3.3). A consumer tracks one position per assigned partition,
+starting from the group's committed offset, and exposes ``seek`` so the
+engine can rewind to a checkpointed offset during recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import MessagingError
+from repro.messaging.broker import MessageBus
+from repro.messaging.groups import AssignmentStrategy, GroupCoordinator
+from repro.messaging.log import TopicPartition
+
+
+class RebalanceListener(Protocol):
+    """Callbacks invoked around assignment changes (Kafka-style)."""
+
+    def on_partitions_revoked(self, partitions: list[TopicPartition]) -> None:
+        """Partitions leaving this consumer."""
+
+    def on_partitions_assigned(self, partitions: list[TopicPartition]) -> None:
+        """Partitions newly owned by this consumer."""
+
+
+class ConsumerRecord:
+    """A polled message with its provenance."""
+
+    __slots__ = ("tp", "offset", "key", "value", "timestamp")
+
+    def __init__(self, tp: TopicPartition, offset: int, key, value, timestamp: int) -> None:
+        self.tp = tp
+        self.offset = offset
+        self.key = key
+        self.value = value
+        self.timestamp = timestamp
+
+    @property
+    def topic(self) -> str:
+        return self.tp.topic
+
+    @property
+    def partition(self) -> int:
+        return self.tp.partition
+
+    def __repr__(self) -> str:
+        return f"ConsumerRecord({self.tp}@{self.offset})"
+
+
+class _NullListener:
+    def on_partitions_revoked(self, partitions: list[TopicPartition]) -> None:
+        pass
+
+    def on_partitions_assigned(self, partitions: list[TopicPartition]) -> None:
+        pass
+
+
+class Consumer:
+    """A group member polling its assigned partitions."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        coordinator: GroupCoordinator,
+        group_id: str,
+        member_id: str,
+        clock: Clock | None = None,
+    ) -> None:
+        self._bus = bus
+        self._coordinator = coordinator
+        self.group_id = group_id
+        self.member_id = member_id
+        self._clock = clock if clock is not None else SystemClock()
+        self._positions: dict[TopicPartition, int] = {}
+        self._subscribed = False
+        self.records_polled = 0
+
+    # -- membership -----------------------------------------------------------------
+
+    def subscribe(
+        self,
+        topics: Iterable[str],
+        listener: RebalanceListener | None = None,
+        strategy: AssignmentStrategy | None = None,
+    ) -> None:
+        """Join the group for ``topics``; assignment arrives on next tick."""
+        if self._subscribed:
+            raise MessagingError(f"consumer {self.member_id!r} already subscribed")
+        self._coordinator.join(
+            self.group_id,
+            self.member_id,
+            topics,
+            self._clock.now(),
+            listener=listener if listener is not None else _NullListener(),
+            strategy=strategy,
+        )
+        self._subscribed = True
+
+    def update_subscription(self, topics: Iterable[str]) -> None:
+        """Change the subscribed topic set (triggers a rebalance)."""
+        if not self._subscribed:
+            raise MessagingError(f"consumer {self.member_id!r} not subscribed")
+        self._coordinator.update_subscription(self.group_id, self.member_id, topics)
+
+    def is_member(self) -> bool:
+        """True while the coordinator still counts us in (not expired)."""
+        return self.member_id in self._coordinator.members_of(self.group_id)
+
+    def rejoin(self, topics: Iterable[str], listener: RebalanceListener | None = None,
+               strategy: AssignmentStrategy | None = None) -> None:
+        """Re-enter the group after expiry (node revival path)."""
+        self._coordinator.join(
+            self.group_id,
+            self.member_id,
+            topics,
+            self._clock.now(),
+            listener=listener if listener is not None else _NullListener(),
+            strategy=strategy,
+        )
+        self._subscribed = True
+
+    def close(self) -> None:
+        """Leave the group gracefully."""
+        if self._subscribed:
+            self._coordinator.leave(self.group_id, self.member_id)
+            self._subscribed = False
+
+    def heartbeat(self) -> None:
+        """Signal liveness (the processor loop calls this every poll)."""
+        self._coordinator.heartbeat(self.group_id, self.member_id, self._clock.now())
+
+    # -- position management ------------------------------------------------------------
+
+    def assignment(self) -> list[TopicPartition]:
+        """Currently assigned partitions, sorted."""
+        return sorted(
+            self._coordinator.assignment_of(self.group_id, self.member_id), key=str
+        )
+
+    def position(self, tp: TopicPartition) -> int:
+        """Next offset this consumer will read for ``tp``."""
+        if tp not in self._positions:
+            self._positions[tp] = self._bus.committed_offset(self.group_id, tp)
+        return self._positions[tp]
+
+    def seek(self, tp: TopicPartition, offset: int) -> None:
+        """Rewind/forward the read position (recovery path)."""
+        if offset < 0:
+            raise MessagingError(f"cannot seek to negative offset {offset}")
+        self._positions[tp] = offset
+
+    def seek_to_end(self, tp: TopicPartition) -> None:
+        """Skip to the log end (replica bootstrap fast-path)."""
+        self._positions[tp] = self._bus.end_offset(tp)
+
+    def commit(self, tp: TopicPartition | None = None) -> None:
+        """Commit current position(s) for this group."""
+        targets = [tp] if tp is not None else self.assignment()
+        for target in targets:
+            self._bus.commit_offset(self.group_id, target, self.position(target))
+
+    # -- the data path ------------------------------------------------------------------
+
+    def poll(self, max_records: int = 100) -> list[ConsumerRecord]:
+        """Heartbeat + read from every assigned partition, round-robin.
+
+        A consumer expelled by the coordinator (missed heartbeats) polls
+        nothing until it rejoins — mirroring a fenced Kafka consumer.
+        """
+        if not self.is_member():
+            return []
+        self.heartbeat()
+        records: list[ConsumerRecord] = []
+        assigned = self.assignment()
+        if not assigned:
+            return records
+        per_partition = max(1, max_records // len(assigned))
+        for tp in assigned:
+            position = self.position(tp)
+            messages = self._bus.read(tp, position, per_partition)
+            for message in messages:
+                records.append(
+                    ConsumerRecord(
+                        tp, message.offset, message.key, message.value,
+                        message.timestamp,
+                    )
+                )
+            if messages:
+                self._positions[tp] = messages[-1].offset + 1
+        self.records_polled += len(records)
+        return records
+
+    def lag(self) -> int:
+        """Total unread messages across the assignment."""
+        return sum(
+            self._bus.end_offset(tp) - self.position(tp) for tp in self.assignment()
+        )

@@ -1,0 +1,36 @@
+"""Producer: keyed publishing into the bus."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.clock import Clock, SystemClock
+from repro.messaging.broker import MessageBus
+from repro.messaging.log import TopicPartition
+
+
+class Producer:
+    """A thin, stateless publishing handle.
+
+    The paper's injectors use ``ack=all`` for the event topic and
+    fire-and-forget for replies; our in-process log is always durable,
+    so acks surface only in the latency simulation.
+    """
+
+    def __init__(self, bus: MessageBus, clock: Clock | None = None) -> None:
+        self._bus = bus
+        self._clock = clock if clock is not None else SystemClock()
+        self.sent = 0
+
+    def send(
+        self,
+        topic: str,
+        key: Any,
+        value: Any,
+        timestamp: int | None = None,
+    ) -> tuple[TopicPartition, int]:
+        """Publish one message; returns ``(topic_partition, offset)``."""
+        if timestamp is None:
+            timestamp = self._clock.now()
+        self.sent += 1
+        return self._bus.publish(topic, key, value, timestamp)

@@ -1,0 +1,20 @@
+"""Task plans (paper §4.1.2, Figure 6).
+
+A task plan is a DAG of operations computing all the metrics of a task,
+in the strict order ``Window -> Filter -> GroupBy -> Aggregator``.
+Metrics sharing a prefix (same window, same filter, same group-by) share
+the corresponding DAG nodes, so shared work — especially window
+iteration — happens once.
+"""
+
+from repro.plan.dag import TaskPlan, MetricHandle
+from repro.plan.operators import AggregatorNode, FilterNode, GroupByNode, WindowNode
+
+__all__ = [
+    "TaskPlan",
+    "MetricHandle",
+    "WindowNode",
+    "FilterNode",
+    "GroupByNode",
+    "AggregatorNode",
+]

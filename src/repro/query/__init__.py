@@ -1,0 +1,19 @@
+"""The Railgun query language (paper §3.4, Figure 4).
+
+SQL-like statements with a strict clause order — the restriction that
+lets the planner share operator prefixes (§4.1.2)::
+
+    SELECT sum(amount), count(*) FROM payments
+    WHERE amount > 0 AND channel == 'ecom'
+    GROUP BY cardId
+    OVER sliding 5 minutes
+
+Filter expressions are a small JEXL-like language (§3.4 uses Apache
+Commons JEXL); see :mod:`repro.query.expressions`.
+"""
+
+from repro.query.ast import AggSpec, Query
+from repro.query.expressions import Expression, parse_expression
+from repro.query.parser import parse_query
+
+__all__ = ["AggSpec", "Query", "Expression", "parse_expression", "parse_query"]

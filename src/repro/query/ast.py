@@ -1,0 +1,54 @@
+"""Query AST: the parsed form of a Figure 4 statement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.expressions import Expression
+from repro.windows.spec import WindowSpec
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregation: ``name(field)``; field is None for ``count(*)``."""
+
+    name: str
+    field: str | None
+
+    def metric_name(self) -> str:
+        """Stable display/storage name, e.g. ``sum(amount)``."""
+        return f"{self.name}({self.field if self.field is not None else '*'})"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed metric statement.
+
+    The strict operator order (Window -> Filter -> GroupBy -> Aggregator,
+    §4.1.2) is inherent in the shape: one window, one optional filter,
+    one group-by key list, many aggregations.
+    """
+
+    aggregations: tuple[AggSpec, ...]
+    stream: str
+    window: WindowSpec
+    where: Expression | None = None
+    group_by: tuple[str, ...] = field(default=())
+    raw_text: str = ""
+
+    def metric_names(self) -> list[str]:
+        """Display names for each aggregation column."""
+        return [agg.metric_name() for agg in self.aggregations]
+
+    def describe(self) -> str:
+        """Canonical one-line rendering of the query."""
+        parts = [
+            "SELECT " + ", ".join(self.metric_names()),
+            f"FROM {self.stream}",
+        ]
+        if self.where is not None:
+            parts.append("WHERE <filter>")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(self.group_by))
+        parts.append(f"OVER {self.window.describe()}")
+        return " ".join(parts)

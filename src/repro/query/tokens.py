@@ -1,0 +1,113 @@
+"""Tokenizer shared by the query parser and the expression language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import QueryError
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    STAR = "*"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Case-insensitive keyword match on identifier tokens."""
+        return self.kind is TokenKind.IDENT and self.text.lower() == word.lower()
+
+
+_OPERATORS = (
+    "||", "&&", "==", "!=", "<=", ">=", "<", ">",
+    "+", "-", "*", "/", "%", "!", "?", ":", ".",
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; raises :class:`QueryError` on bad input."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenKind.LPAREN, char, position))
+            position += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenKind.RPAREN, char, position))
+            position += 1
+            continue
+        if char == ",":
+            tokens.append(Token(TokenKind.COMMA, char, position))
+            position += 1
+            continue
+        if char in "'\"":
+            end = position + 1
+            chars: list[str] = []
+            while end < length and text[end] != char:
+                if text[end] == "\\" and end + 1 < length:
+                    chars.append(text[end + 1])
+                    end += 2
+                else:
+                    chars.append(text[end])
+                    end += 1
+            if end >= length:
+                raise QueryError("unterminated string literal", position)
+            tokens.append(Token(TokenKind.STRING, "".join(chars), position))
+            position = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and position + 1 < length and text[position + 1].isdigit()
+        ):
+            end = position
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenKind.NUMBER, text[position:end], position))
+            position = end
+            continue
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            tokens.append(Token(TokenKind.IDENT, text[position:end], position))
+            position = end
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, position):
+                if operator == "*":
+                    tokens.append(Token(TokenKind.STAR, operator, position))
+                else:
+                    tokens.append(Token(TokenKind.OPERATOR, operator, position))
+                position += len(operator)
+                matched = True
+                break
+        if not matched:
+            raise QueryError(f"unexpected character {char!r}", position)
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens

@@ -1,0 +1,34 @@
+"""The event reservoir (paper §4.1.1, Figure 5).
+
+Stores every event of a task processor: a very small in-memory part (the
+open chunk plus the chunks pinned by window head/tail iterators) and a
+potentially large disk part (closed chunks serialized, compressed and
+appended to immutable segment files). Windows read events through
+*iterators* that transparently page chunks through an eagerly-prefetching
+cache, so window size does not affect memory usage — the paper's central
+claim ("windows of years are equivalent to windows of seconds").
+"""
+
+from repro.reservoir.chunk import Chunk, ChunkState
+from repro.reservoir.index import ChunkMeta, ReservoirIndex
+from repro.reservoir.cache import ChunkCache
+from repro.reservoir.iterator import ReservoirIterator
+from repro.reservoir.reservoir import (
+    AppendResult,
+    EventReservoir,
+    OutOfOrderPolicy,
+    ReservoirConfig,
+)
+
+__all__ = [
+    "Chunk",
+    "ChunkState",
+    "ChunkMeta",
+    "ReservoirIndex",
+    "ChunkCache",
+    "ReservoirIterator",
+    "AppendResult",
+    "EventReservoir",
+    "OutOfOrderPolicy",
+    "ReservoirConfig",
+]

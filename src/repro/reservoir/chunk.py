@@ -1,0 +1,152 @@
+"""Chunks: the unit of reservoir I/O.
+
+"Chunks hold multiple events and are kept in-memory until they reach a
+fixed size, after which they are closed, serialized, compressed, and
+persisted to disk" (§4.1.1). A chunk may pass through a *transition*
+state — closed for recent events but still open for late ones — when the
+reservoir is configured with an out-of-order grace period.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+
+from repro.common import serde
+from repro.common.compression import Codec, compress_with_header, decompress_with_header
+from repro.common.errors import SerdeError
+from repro.events.event import Event
+from repro.events.schema import Schema
+
+
+class ChunkState(enum.Enum):
+    """Life-cycle of a chunk."""
+
+    OPEN = "open"
+    TRANSITION = "transition"
+    CLOSED = "closed"
+
+
+class Chunk:
+    """An in-memory, timestamp-ordered run of events."""
+
+    __slots__ = (
+        "chunk_id",
+        "schema_id",
+        "state",
+        "events",
+        "closed_at_ms",
+        "_approx_bytes",
+    )
+
+    def __init__(self, chunk_id: int, schema_id: int) -> None:
+        self.chunk_id = chunk_id
+        self.schema_id = schema_id
+        self.state = ChunkState.OPEN
+        self.events: list[Event] = []
+        self.closed_at_ms: int | None = None
+        self._approx_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def first_ts(self) -> int:
+        """Timestamp of the oldest event (chunk must be non-empty)."""
+        return self.events[0].timestamp
+
+    @property
+    def last_ts(self) -> int:
+        """Timestamp of the newest event (chunk must be non-empty)."""
+        return self.events[-1].timestamp
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Rough in-memory payload size used for the close threshold."""
+        return self._approx_bytes
+
+    def append(self, event: Event) -> int:
+        """Insert an event keeping timestamp order; returns its position.
+
+        In-order arrivals append at the end in O(1); a late event inside
+        the chunk's range is inserted at its sorted position (the caller
+        then fixes up any iterators that already passed that position).
+        """
+        if self.state is ChunkState.CLOSED:
+            raise ValueError(f"chunk {self.chunk_id} is closed")
+        if not self.events or event.timestamp >= self.events[-1].timestamp:
+            self.events.append(event)
+            position = len(self.events) - 1
+        else:
+            position = bisect.bisect_right(
+                [e.timestamp for e in self.events], event.timestamp
+            )
+            self.events.insert(position, event)
+        self._approx_bytes += 32 + 8 * len(event.field_names())
+        return position
+
+    def mark_transition(self, now_ms: int) -> None:
+        """Close the chunk for recent events but keep it open for late ones."""
+        if self.state is not ChunkState.OPEN:
+            raise ValueError(f"chunk {self.chunk_id} is not open")
+        self.state = ChunkState.TRANSITION
+        self.closed_at_ms = now_ms
+
+    def mark_closed(self) -> None:
+        """Finalize the chunk; it becomes immutable."""
+        self.state = ChunkState.CLOSED
+
+    # -- serialization --------------------------------------------------------
+
+    def serialize(self, schema: Schema, codec: Codec) -> bytes:
+        """Encode and compress the chunk for persistence.
+
+        Wire format (pre-compression)::
+
+            varint chunk_id | varint schema_id | varint count |
+            varint first_ts | count x event
+
+        The compressed payload is prefixed with the codec wire id.
+        """
+        if schema.schema_id != self.schema_id:
+            raise SerdeError(
+                f"chunk {self.chunk_id} encoded with schema {self.schema_id}, "
+                f"got schema {schema.schema_id}"
+            )
+        buf = bytearray()
+        serde.write_varint(buf, self.chunk_id)
+        serde.write_varint(buf, self.schema_id)
+        serde.write_varint(buf, len(self.events))
+        serde.write_varint(buf, self.events[0].timestamp if self.events else 0)
+        for event in self.events:
+            schema.encode_event(event, buf)
+        return compress_with_header(codec, bytes(buf))
+
+    @staticmethod
+    def deserialize(payload: bytes, schema_lookup) -> "Chunk":
+        """Inverse of :meth:`serialize`.
+
+        ``schema_lookup`` maps a schema id to a :class:`Schema` — the
+        schema-registry hook that makes old chunks readable after the
+        event schema evolves.
+        """
+        raw = decompress_with_header(payload)
+        offset = 0
+        chunk_id, offset = serde.read_varint(raw, offset)
+        schema_id, offset = serde.read_varint(raw, offset)
+        count, offset = serde.read_varint(raw, offset)
+        _first_ts, offset = serde.read_varint(raw, offset)
+        schema = schema_lookup(schema_id)
+        chunk = Chunk(chunk_id, schema_id)
+        for _ in range(count):
+            event, offset = schema.decode_event(raw, offset)
+            chunk.events.append(event)
+        chunk.mark_closed()
+        return chunk
+
+    def __repr__(self) -> str:
+        span = f"[{self.first_ts}..{self.last_ts}]" if self.events else "[]"
+        return (
+            f"Chunk(id={self.chunk_id}, state={self.state.value}, "
+            f"n={len(self.events)}, ts={span})"
+        )

@@ -1,0 +1,140 @@
+"""Chunk metadata and the in-memory timestamp index.
+
+"Since files are immutable and events follow a monotonic order given by
+their timestamp, we can efficiently support random reads by maintaining
+an auxiliary index in-memory, from timestamps to files" (§4.1.1).
+Random reads power metric **backfill** — adding a window metric later
+and filling it from historical events.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.common import serde
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Location and time-range of one persisted chunk."""
+
+    chunk_id: int
+    file_name: str
+    offset: int
+    length: int
+    first_ts: int
+    last_ts: int
+    count: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize for checkpoints."""
+        buf = bytearray()
+        serde.write_varint(buf, self.chunk_id)
+        serde.write_str(buf, self.file_name)
+        serde.write_varint(buf, self.offset)
+        serde.write_varint(buf, self.length)
+        serde.write_varint(buf, self.first_ts)
+        serde.write_varint(buf, self.last_ts)
+        serde.write_varint(buf, self.count)
+        return bytes(buf)
+
+    @staticmethod
+    def from_bytes(data: bytes | memoryview, offset: int) -> tuple["ChunkMeta", int]:
+        """Inverse of :meth:`to_bytes`."""
+        chunk_id, offset = serde.read_varint(data, offset)
+        file_name, offset = serde.read_str(data, offset)
+        file_offset, offset = serde.read_varint(data, offset)
+        length, offset = serde.read_varint(data, offset)
+        first_ts, offset = serde.read_varint(data, offset)
+        last_ts, offset = serde.read_varint(data, offset)
+        count, offset = serde.read_varint(data, offset)
+        return (
+            ChunkMeta(chunk_id, file_name, file_offset, length, first_ts, last_ts, count),
+            offset,
+        )
+
+
+class ReservoirIndex:
+    """Ordered index of persisted chunks with timestamp binary search."""
+
+    def __init__(self) -> None:
+        self._metas: list[ChunkMeta] = []
+        self._first_ts: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._metas)
+
+    def __iter__(self):
+        return iter(self._metas)
+
+    def add(self, meta: ChunkMeta) -> None:
+        """Register a newly persisted chunk (must follow the previous one)."""
+        if self._metas:
+            last = self._metas[-1]
+            if meta.chunk_id <= last.chunk_id:
+                raise ValueError(
+                    f"chunk ids must increase: {meta.chunk_id} after {last.chunk_id}"
+                )
+            if meta.first_ts < last.last_ts:
+                raise ValueError(
+                    f"chunk time ranges must not overlap: {meta.first_ts} < {last.last_ts}"
+                )
+        self._metas.append(meta)
+        self._first_ts.append(meta.first_ts)
+
+    def get(self, position: int) -> ChunkMeta:
+        """Chunk metadata by ordinal position."""
+        return self._metas[position]
+
+    def position_of_chunk(self, chunk_id: int) -> int | None:
+        """Ordinal position of a chunk id, or None."""
+        lo, hi = 0, len(self._metas) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self._metas[mid].chunk_id < chunk_id:
+                lo = mid + 1
+            elif self._metas[mid].chunk_id > chunk_id:
+                hi = mid - 1
+            else:
+                return mid
+        return None
+
+    def first_position_covering(self, timestamp: int) -> int:
+        """Position of the first chunk whose range may include ``timestamp``.
+
+        Returns the first chunk with ``last_ts >= timestamp``; if the
+        timestamp precedes all data, position 0; if it is newer than all
+        persisted chunks, ``len(self)`` (i.e. "look in memory").
+        """
+        # first_ts is sorted; find the last chunk with first_ts <= timestamp.
+        pos = bisect.bisect_right(self._first_ts, timestamp) - 1
+        if pos < 0:
+            return 0
+        # The found chunk covers it unless the timestamp is past its end.
+        if self._metas[pos].last_ts >= timestamp:
+            return pos
+        return pos + 1
+
+    def total_events(self) -> int:
+        """Total persisted events."""
+        return sum(meta.count for meta in self._metas)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole index (checkpoint metadata)."""
+        buf = bytearray()
+        serde.write_varint(buf, len(self._metas))
+        for meta in self._metas:
+            serde.write_bytes(buf, meta.to_bytes())
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ReservoirIndex":
+        """Inverse of :meth:`to_bytes`."""
+        index = cls()
+        count, offset = serde.read_varint(data, 0)
+        for _ in range(count):
+            raw, offset = serde.read_bytes(data, offset)
+            meta, _ = ChunkMeta.from_bytes(raw, 0)
+            index.add(meta)
+        return index

@@ -1,0 +1,127 @@
+"""Reservoir iterators — the window head/tail cursors of Figure 5.
+
+An iterator is a cursor over the reservoir's global event order,
+positioned at ``(chunk_id, index_within_chunk)``. Windows advance their
+head iterator to pull *entering* events and their tail iterator to pull
+*expiring* events; iterators transparently page closed chunks through
+the cache and trigger the eager prefetch of the next chunk the moment
+they enter a new one.
+
+Out-of-order inserts behind a cursor are delivered through a *missed
+queue*: the reservoir shifts the cursor and parks the late event so the
+invariant "every stored event is emitted exactly once per iterator"
+survives late data (see :meth:`EventReservoir._fixup_iterators`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.events.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reservoir.reservoir import EventReservoir
+
+
+class ReservoirIterator:
+    """A shared, forward-only cursor over reservoir events."""
+
+    def __init__(
+        self,
+        reservoir: "EventReservoir",
+        offset_ms: int,
+        chunk_id: int,
+        index: int,
+        name: str = "",
+    ) -> None:
+        self._reservoir = reservoir
+        self.offset_ms = offset_ms
+        self.chunk_id = chunk_id
+        self.index = index
+        self.name = name or f"it@{offset_ms}"
+        self.missed: deque[Event] = deque()
+        self.refcount = 1
+        self.events_emitted = 0
+        self._current_events: list[Event] | None = None
+        self._current_chunk_id = -1
+
+    @property
+    def position(self) -> tuple[int, int]:
+        """Current ``(chunk_id, index)`` cursor."""
+        return (self.chunk_id, self.index)
+
+    def advance_upto(self, limit_ts: int) -> list[Event]:
+        """Emit all unconsumed events with ``timestamp <= limit_ts``.
+
+        Late events parked in the missed queue are emitted first (they
+        are, by construction, already behind the cursor and therefore
+        within any future limit).
+        """
+        batch: list[Event] = []
+        while self.missed:
+            batch.append(self.missed.popleft())
+        reservoir = self._reservoir
+        while True:
+            events = self._events_for(self.chunk_id)
+            if events is None:
+                break  # cursor is at the frontier (no such chunk yet)
+            while self.index < len(events):
+                event = events[self.index]
+                if event.timestamp > limit_ts:
+                    self.events_emitted += len(batch)
+                    return batch
+                batch.append(event)
+                self.index += 1
+            # Exhausted this chunk. The open chunk can still grow, so
+            # park there; otherwise move to the next chunk if it exists.
+            if reservoir.chunk_can_grow(self.chunk_id):
+                break
+            if not reservoir.chunk_exists(self.chunk_id + 1):
+                break
+            self.chunk_id += 1
+            self.index = 0
+            self._current_events = None
+            self._current_chunk_id = -1
+        self.events_emitted += len(batch)
+        return batch
+
+    def _events_for(self, chunk_id: int) -> list[Event] | None:
+        if self._current_chunk_id == chunk_id and self._current_events is not None:
+            return self._current_events
+        events = self._reservoir.chunk_events_for_iterator(chunk_id)
+        if events is None:
+            return None
+        self._current_events = events
+        self._current_chunk_id = chunk_id
+        return events
+
+    def invalidate_cached_chunk(self) -> None:
+        """Drop the local chunk reference (called when its data moved)."""
+        self._current_events = None
+        self._current_chunk_id = -1
+
+    def note_insert(self, chunk_id: int, position: int, event: Event) -> None:
+        """React to a late insert at ``(chunk_id, position)``.
+
+        If the cursor has already passed that slot, shift it so it still
+        points at the same next event, and park the late event in the
+        missed queue.
+        """
+        if chunk_id > self.chunk_id:
+            return
+        if chunk_id == self.chunk_id:
+            if position >= self.index:
+                return
+            self.index += 1
+        # Insert happened strictly behind the cursor.
+        self.missed.append(event)
+        if chunk_id == self._current_chunk_id:
+            # list identity is stable (in-place insert), but be safe.
+            self.invalidate_cached_chunk()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReservoirIterator({self.name}, offset={self.offset_ms}ms, "
+            f"pos=({self.chunk_id},{self.index}), missed={len(self.missed)})"
+        )

@@ -1,0 +1,49 @@
+"""Latency simulation substrate (paper §5).
+
+The paper's evaluation is a set of latency-distribution experiments on
+AWS clusters — queueing phenomena that pure-Python wall-clock runs
+cannot reproduce at rate. This package simulates the end-to-end pipeline
+(injector -> Kafka -> processor unit -> Kafka -> injector) with
+calibrated cost models per engine:
+
+- per-event service time built from the *mechanisms* the real
+  components expose (pane count for hopping windows, state-key accesses
+  for Railgun plans, chunk-cache miss probability for Figure 9b);
+- a JVM GC model driven by allocation rate and heap pressure (the §5.3
+  bottleneck: "at 25 thousand ev/sec, we are creating objects at a rate
+  of about 5GB/sec");
+- a Kafka/network RTT model with heavy-tailed hiccups and a broker-load
+  penalty that grows with the partition count (the §5.3 degradation).
+
+Arrivals are open-loop, so latencies are free of coordinated omission by
+construction (the paper corrects for it explicitly, §5).
+"""
+
+from repro.sim.distributions import LogNormal, Exponential
+from repro.sim.gc import GcModel, GcConfig
+from repro.sim.kafka_model import KafkaModel, KafkaConfig
+from repro.sim.service import (
+    RailgunServiceModel,
+    RailgunServiceConfig,
+    HoppingServiceModel,
+    HoppingServiceConfig,
+    PerEventScanServiceModel,
+)
+from repro.sim.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
+
+__all__ = [
+    "LogNormal",
+    "Exponential",
+    "GcModel",
+    "GcConfig",
+    "KafkaModel",
+    "KafkaConfig",
+    "RailgunServiceModel",
+    "RailgunServiceConfig",
+    "HoppingServiceModel",
+    "HoppingServiceConfig",
+    "PerEventScanServiceModel",
+    "PipelineConfig",
+    "PipelineResult",
+    "simulate_pipeline",
+]

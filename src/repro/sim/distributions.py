@@ -1,0 +1,42 @@
+"""Seeded latency distributions used by the cost models."""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class LogNormal:
+    """Lognormal sampler parameterized by median and tail spread.
+
+    ``median`` is in the same unit as the samples (ms); ``sigma``
+    controls the right tail (0.3 = tight, 1.5 = very heavy). Lognormal
+    is the standard shape for service-time and network-RTT tails.
+    """
+
+    def __init__(self, median: float, sigma: float, rng: random.Random) -> None:
+        if median <= 0:
+            raise ValueError(f"median must be positive: {median}")
+        if sigma < 0:
+            raise ValueError(f"sigma cannot be negative: {sigma}")
+        self._mu = math.log(median)
+        self._sigma = sigma
+        self._rng = rng
+
+    def sample(self) -> float:
+        if self._sigma == 0:
+            return math.exp(self._mu)
+        return self._rng.lognormvariate(self._mu, self._sigma)
+
+
+class Exponential:
+    """Exponential sampler by mean (inter-arrival jitter, rare events)."""
+
+    def __init__(self, mean: float, rng: random.Random) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive: {mean}")
+        self._rate = 1.0 / mean
+        self._rng = rng
+
+    def sample(self) -> float:
+        return self._rng.expovariate(self._rate)

@@ -1,0 +1,88 @@
+"""JVM garbage-collection pause model.
+
+The paper identifies GC as Railgun's main single-node bottleneck (§5.3:
+object creation at ~5 GB/s versus a 32 GB heap; §5.2.1: "we also start
+to see Garbage Collection problems due to memory pressure" at 240
+iterators). The model is allocation-driven:
+
+- every processed event allocates ``alloc_per_event_bytes``;
+- when cumulative allocation fills the young generation, a **minor**
+  stop-the-world pause is charged (a few ms, lognormal);
+- minor pauses promote a fraction of the young gen; when the live set
+  approaches the heap, **major** pauses (hundreds of ms) kick in, with
+  frequency scaling in heap pressure — the Figure 9b cliff.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.distributions import LogNormal
+
+
+@dataclass
+class GcConfig:
+    """Heap geometry and pause shapes."""
+
+    heap_bytes: float = 10e9  # the paper's 10 GB single-node heap
+    young_gen_bytes: float = 1.5e9
+    baseline_live_bytes: float = 2e9
+    alloc_per_event_bytes: float = 200e3  # ~5 GB/s at 25k ev/s (§5.3)
+    promotion_fraction: float = 0.02
+    minor_pause_median_ms: float = 8.0
+    minor_pause_sigma: float = 0.5
+    major_pause_median_ms: float = 280.0
+    major_pause_sigma: float = 0.35
+    # live-set fraction of heap beyond which major collections begin
+    major_threshold: float = 0.80
+
+
+class GcModel:
+    """Stateful pause generator; ask it after every simulated event."""
+
+    def __init__(self, config: GcConfig, rng: random.Random, extra_live_bytes: float = 0.0) -> None:
+        self.config = config
+        self._rng = rng
+        self._young_used = 0.0
+        self._floor = config.baseline_live_bytes + extra_live_bytes
+        self._live = self._floor
+        self._minor = LogNormal(config.minor_pause_median_ms, config.minor_pause_sigma, rng)
+        self._major = LogNormal(config.major_pause_median_ms, config.major_pause_sigma, rng)
+        self.minor_pauses = 0
+        self.major_pauses = 0
+
+    @property
+    def heap_pressure(self) -> float:
+        """Live set as a fraction of the heap."""
+        return self._live / self.config.heap_bytes
+
+    def on_event(self) -> float:
+        """Pause milliseconds charged to the current event (usually 0)."""
+        self._young_used += self.config.alloc_per_event_bytes
+        if self._young_used < self.config.young_gen_bytes:
+            return 0.0
+        # Minor collection: empty the young gen, promote survivors.
+        self._young_used = 0.0
+        self.minor_pauses += 1
+        pause = self._minor.sample()
+        promoted = self.config.young_gen_bytes * self.config.promotion_fraction
+        self._live += promoted
+        pressure = self.heap_pressure
+        if pressure < self.config.major_threshold:
+            # Concurrent (background) collection keeps up with promotion
+            # while pressure is moderate — the live set stays at its
+            # floor (pinned chunks + aggregation state).
+            self._live = max(self._floor, self._live - promoted)
+            return pause
+        # Major collection probability rises steeply with pressure;
+        # near pressure 1 every minor drags a major behind it (thrash).
+        overshoot = (pressure - self.config.major_threshold) / max(
+            1.0 - self.config.major_threshold, 1e-9
+        )
+        if self._rng.random() < min(1.0, overshoot):
+            self.major_pauses += 1
+            pause += self._major.sample()
+            # Compaction reclaims promoted garbage, never pinned data.
+            self._live = max(self._floor, self._live * 0.7)
+        return pause

@@ -1,0 +1,63 @@
+"""Kafka/network round-trip model.
+
+End-to-end latency in the paper "includes the network time, the
+communication overhead using Kafka, and the processing time" (§5). The
+model charges a lognormal RTT per leg with occasional heavy hiccups
+(broker leadership churn, TCP retransmits — the paper attributes its
+99.99%+ variation to "Kafka communication, rather than Railgun",
+§5.2.1), plus a load penalty growing with partitions per broker (the
+§5.3 scaling bottleneck: "we start to see a bottleneck in Kafka,
+probably caused by the increased number of partitions").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.distributions import LogNormal
+
+
+@dataclass
+class KafkaConfig:
+    """RTT shape and load-penalty knobs."""
+
+    leg_median_ms: float = 0.6
+    leg_sigma: float = 0.55
+    hiccup_probability: float = 2e-5
+    hiccup_median_ms: float = 90.0
+    hiccup_sigma: float = 0.5
+    # penalty per (partition / broker) beyond the comfortable ratio
+    partitions_per_broker_comfort: float = 8.0
+    load_penalty_per_ratio: float = 0.06  # ms of extra median per unit
+    acks_all_extra_ms: float = 0.25  # replication wait on the ingest leg
+
+
+class KafkaModel:
+    """Per-leg delay sampler for one cluster configuration."""
+
+    def __init__(
+        self,
+        config: KafkaConfig,
+        rng: random.Random,
+        total_partitions: int = 16,
+        brokers: int = 1,
+        acks_all: bool = False,
+    ) -> None:
+        self.config = config
+        self._rng = rng
+        ratio = total_partitions / max(brokers, 1)
+        overload = max(0.0, ratio - config.partitions_per_broker_comfort)
+        median = config.leg_median_ms + overload * config.load_penalty_per_ratio
+        if acks_all:
+            median += config.acks_all_extra_ms
+        self._leg = LogNormal(median, config.leg_sigma, rng)
+        self._hiccup = LogNormal(config.hiccup_median_ms, config.hiccup_sigma, rng)
+        self.effective_median_ms = median
+
+    def leg_delay(self) -> float:
+        """One produce-to-consume leg (injector->processor or back)."""
+        delay = self._leg.sample()
+        if self._rng.random() < self.config.hiccup_probability:
+            delay += self._hiccup.sample()
+        return delay

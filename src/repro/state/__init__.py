@@ -1,0 +1,12 @@
+"""Metric state store (paper §4.1.3).
+
+Persists aggregation states per (metric, aggregation, entity) key in the
+embedded LSM store, mirroring how Railgun keeps "the latest aggregations
+results and auxiliary data" in RocksDB. ``countDistinct`` counters live
+in a dedicated column family, and checkpoints delegate to the LSM's
+cheap flush-and-snapshot path.
+"""
+
+from repro.state.store import MetricStateStore, LsmAuxStore
+
+__all__ = ["MetricStateStore", "LsmAuxStore"]

@@ -1,0 +1,168 @@
+"""Aggregation-state persistence on top of :class:`~repro.lsm.LsmDb`.
+
+Key layout (column family ``aggstate``)::
+
+    varint(metric_id) | varint(agg_index) | group-key bytes  ->  agg state
+
+``countDistinct`` per-value counters (column family ``distinct``)::
+
+    varint(metric_id) | varint(agg_index) | group-key | value  ->  varint count
+
+"Each key represents a particular metric entity in a plan, and the
+amount of keys accessed per event match the number of DAG's leaves"
+(§4.1.3) — the store counts accesses so tests and the latency model can
+assert exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.common import serde
+from repro.events.event import Event
+from repro.aggregates.base import Aggregator, AuxStore
+from repro.aggregates.registry import create_aggregator
+from repro.lsm.db import Checkpoint, LsmConfig, LsmDb
+
+_CF_STATE = "aggstate"
+_CF_DISTINCT = "distinct"
+
+
+def encode_group_key(values: Sequence[Any]) -> bytes:
+    """Stable byte encoding of a group-by key tuple."""
+    buf = bytearray()
+    serde.write_varint(buf, len(values))
+    for value in values:
+        serde.write_value(buf, value)
+    return bytes(buf)
+
+
+def decode_group_key(data: bytes) -> tuple:
+    """Inverse of :func:`encode_group_key`."""
+    count, offset = serde.read_varint(data, 0)
+    values = []
+    for _ in range(count):
+        value, offset = serde.read_value(data, offset)
+        values.append(value)
+    return tuple(values)
+
+
+class LsmAuxStore(AuxStore):
+    """Aux counters scoped to one (metric, aggregation, entity) prefix."""
+
+    def __init__(self, db: LsmDb, prefix: bytes) -> None:
+        self._db = db
+        self._prefix = prefix
+
+    def _key(self, suffix: bytes) -> bytes:
+        return self._prefix + suffix
+
+    def increment(self, key: bytes, delta: int) -> int:
+        full_key = self._key(key)
+        raw = self._db.get(full_key, cf=_CF_DISTINCT)
+        current = serde.read_varint(raw, 0)[0] if raw is not None else 0
+        value = current + delta
+        if value < 0:
+            raise ValueError(f"distinct counter went negative for {key!r}")
+        if value == 0:
+            self._db.delete(full_key, cf=_CF_DISTINCT)
+        else:
+            buf = bytearray()
+            serde.write_varint(buf, value)
+            self._db.put(full_key, bytes(buf), cf=_CF_DISTINCT)
+        return value
+
+    def get(self, key: bytes) -> int:
+        raw = self._db.get(self._key(key), cf=_CF_DISTINCT)
+        return serde.read_varint(raw, 0)[0] if raw is not None else 0
+
+    def count_keys(self) -> int:
+        return sum(1 for _ in self._db.prefix_scan(self._prefix, cf=_CF_DISTINCT))
+
+
+class MetricStateStore:
+    """Load-modify-store façade over aggregator states."""
+
+    def __init__(self, db: LsmDb | None = None, config: LsmConfig | None = None) -> None:
+        self.db = db if db is not None else LsmDb(config=config)
+        self.db.create_column_family(_CF_STATE)
+        self.db.create_column_family(_CF_DISTINCT)
+        self.key_reads = 0
+        self.key_writes = 0
+
+    # -- key plumbing ------------------------------------------------------------
+
+    @staticmethod
+    def state_key(metric_id: int, agg_index: int, group_key: bytes) -> bytes:
+        """The primary state key for one aggregation entity."""
+        buf = bytearray()
+        serde.write_varint(buf, metric_id)
+        serde.write_varint(buf, agg_index)
+        buf.extend(group_key)
+        return bytes(buf)
+
+    # -- aggregator life-cycle -----------------------------------------------------
+
+    def load(self, metric_id: int, agg_index: int, agg_name: str, group_key: bytes) -> Aggregator:
+        """Materialize the aggregator for a key (fresh when absent)."""
+        aggregator = create_aggregator(agg_name)
+        if aggregator.needs_aux:
+            prefix = self.state_key(metric_id, agg_index, group_key)
+            aggregator.bind_aux(LsmAuxStore(self.db, prefix))
+        raw = self.db.get(self.state_key(metric_id, agg_index, group_key), cf=_CF_STATE)
+        self.key_reads += 1
+        if raw is not None:
+            aggregator.state_from_bytes(raw)
+        return aggregator
+
+    def save(self, metric_id: int, agg_index: int, group_key: bytes, aggregator: Aggregator) -> None:
+        """Persist aggregator state back."""
+        self.db.put(
+            self.state_key(metric_id, agg_index, group_key),
+            aggregator.state_to_bytes(),
+            cf=_CF_STATE,
+        )
+        self.key_writes += 1
+
+    def apply(
+        self,
+        metric_id: int,
+        agg_index: int,
+        agg_name: str,
+        group_key: bytes,
+        enters: Sequence[tuple[Any, Event]],
+        exits: Sequence[tuple[Any, Event]],
+    ) -> Any:
+        """Load, fold in enters/exits, persist, return the new result."""
+        aggregator = self.load(metric_id, agg_index, agg_name, group_key)
+        for value, event in exits:
+            aggregator.evict(value, event)
+        for value, event in enters:
+            aggregator.add(value, event)
+        self.save(metric_id, agg_index, group_key, aggregator)
+        return aggregator.result()
+
+    def peek(self, metric_id: int, agg_index: int, agg_name: str, group_key: bytes) -> Any:
+        """Read the current result without mutating state."""
+        return self.load(metric_id, agg_index, agg_name, group_key).result()
+
+    # -- checkpoints -----------------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the underlying LSM (flush + manifest)."""
+        return self.db.checkpoint()
+
+    def export_checkpoint(self, checkpoint: Checkpoint, exclude: set[str] | None = None) -> dict[str, bytes]:
+        """File payloads for recovery transfer (delta-aware)."""
+        return self.db.export_checkpoint(checkpoint, exclude=exclude)
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint: Checkpoint,
+        files: dict[str, bytes],
+        config: LsmConfig | None = None,
+    ) -> "MetricStateStore":
+        """Materialize a store from a checkpoint + transferred files."""
+        db = LsmDb.import_checkpoint(checkpoint, files, config=config)
+        return cls(db=db)

@@ -1,0 +1,13 @@
+"""Window specifications and semantics (paper §2, §3.4).
+
+Railgun supports **sliding** (evaluated per event, always accurate),
+**tumbling** (non-overlapping buckets) and **infinite** windows, all
+optionally **delayed** by an offset. Hopping windows are deliberately
+unsupported by Railgun ("we see them as an approximation of our sliding
+windows", §3.4) — they live in :mod:`repro.baselines` for the Flink
+comparison.
+"""
+
+from repro.windows.spec import WindowKind, WindowSpec
+
+__all__ = ["WindowKind", "WindowSpec"]

@@ -1,0 +1,212 @@
+"""Figure 7 sticky assignment strategy tests (incl. invariant properties)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import EngineError
+from repro.engine.assignment import (
+    PreviousState,
+    ProcessorInfo,
+    StickyAssignmentStrategy,
+    round_robin_task_strategy,
+)
+from repro.messaging.log import TopicPartition
+
+
+def _tasks(count):
+    return [TopicPartition("t", i) for i in range(count)]
+
+
+def _processors(nodes, per_node):
+    return [
+        ProcessorInfo(f"n{n}/p{p}", f"n{n}")
+        for n in range(nodes)
+        for p in range(per_node)
+    ]
+
+
+def _assert_invariants(assignment, tasks, processors, replication, check_budget=True):
+    node_of = {p.processor_id: p.node_id for p in processors}
+    # Every task has exactly one active owner.
+    for task in tasks:
+        owners = [p for p, tps in assignment.active.items() if task in tps]
+        assert len(owners) == 1, f"{task} has owners {owners}"
+    # Invariant 1: one copy per physical node.
+    per_node_copies = {}
+    for mapping in (assignment.active, assignment.replica):
+        for processor_id, tps in mapping.items():
+            for task in tps:
+                key = (node_of[processor_id], task)
+                assert key not in per_node_copies, f"double copy {key}"
+                per_node_copies[key] = processor_id
+    # Replica counts: full when enough nodes, else tracked as unplaced.
+    for task in tasks:
+        replica_count = sum(
+            1 for tps in assignment.replica.values() if task in tps
+        )
+        missing = assignment.unplaced_replicas.count(task)
+        assert replica_count + missing == replication
+    # Invariant 2: budget (the sticky strategy only; the round-robin
+    # baseline intentionally ignores it).
+    if check_budget:
+        total = len(tasks) * (1 + replication)
+        budget = -(-total // len(processors))
+        for processor_id in (p.processor_id for p in processors):
+            assert assignment.load_of(processor_id) <= budget
+
+
+class TestBasicAssignment:
+    def test_fresh_cluster_balanced(self):
+        tasks = _tasks(8)
+        processors = _processors(4, 2)
+        assignment = StickyAssignmentStrategy(1).assign(tasks, processors)
+        _assert_invariants(assignment, tasks, processors, 1)
+        loads = [assignment.load_of(p.processor_id) for p in processors]
+        assert max(loads) - min(loads) <= 1
+
+    def test_no_processors(self):
+        assignment = StickyAssignmentStrategy(0).assign(_tasks(3), [])
+        assert assignment.active == {}
+        assert assignment.unplaced_replicas == _tasks(3)
+
+    def test_duplicate_processor_ids_rejected(self):
+        duplicated = [ProcessorInfo("p", "n1"), ProcessorInfo("p", "n2")]
+        with pytest.raises(EngineError):
+            StickyAssignmentStrategy(0).assign(_tasks(1), duplicated)
+
+    def test_negative_replication_rejected(self):
+        with pytest.raises(EngineError):
+            StickyAssignmentStrategy(-1)
+
+    def test_single_node_cannot_replicate(self):
+        tasks = _tasks(4)
+        processors = _processors(1, 4)
+        assignment = StickyAssignmentStrategy(1).assign(tasks, processors)
+        # Replicas would violate node exclusivity: all unplaced.
+        assert sorted(assignment.unplaced_replicas, key=str) == sorted(tasks, key=str)
+
+
+class TestStickiness:
+    def test_stable_reassignment_is_identity(self):
+        tasks = _tasks(12)
+        processors = _processors(3, 2)
+        strategy = StickyAssignmentStrategy(1)
+        first = strategy.assign(tasks, processors)
+        previous = PreviousState(active=first.active, replica=first.replica)
+        second = strategy.assign(tasks, processors, previous)
+        assert second.active == first.active
+        assert second.replica == first.replica
+
+    def test_failed_node_tasks_go_to_replicas(self):
+        tasks = _tasks(8)
+        processors = _processors(4, 1)
+        strategy = StickyAssignmentStrategy(1)
+        first = strategy.assign(tasks, processors)
+        dead = "n0/p0"
+        dead_tasks = first.active[dead]
+        survivors = [p for p in processors if p.processor_id != dead]
+        previous = PreviousState(active=dict(first.active), replica=dict(first.replica))
+        second = strategy.assign(tasks, survivors, previous)
+        for task in dead_tasks:
+            new_owner = second.owner_of(task)
+            # The new owner already replicated the task (promotion).
+            assert task in first.replica.get(new_owner, set())
+
+    def test_stale_preferred_over_cold(self):
+        tasks = _tasks(4)
+        processors = _processors(4, 1)
+        strategy = StickyAssignmentStrategy(0)
+        task = tasks[0]
+        previous = PreviousState(stale={"n3/p0": {task}})
+        assignment = strategy.assign(tasks, processors, previous)
+        assert assignment.owner_of(task) == "n3/p0"
+
+    def test_active_preferred_over_replica(self):
+        tasks = _tasks(2)
+        processors = _processors(3, 1)
+        strategy = StickyAssignmentStrategy(0)
+        previous = PreviousState(
+            active={"n1/p0": {tasks[0]}},
+            replica={"n2/p0": {tasks[0]}},
+        )
+        assignment = strategy.assign(tasks, processors, previous)
+        assert assignment.owner_of(tasks[0]) == "n1/p0"
+
+    def test_budget_forces_movement(self):
+        # One processor previously held everything; budget must spread.
+        tasks = _tasks(6)
+        processors = _processors(3, 1)
+        previous = PreviousState(active={"n0/p0": set(tasks)})
+        assignment = StickyAssignmentStrategy(0).assign(tasks, processors, previous)
+        _assert_invariants(assignment, tasks, processors, 0)
+        assert assignment.load_of("n0/p0") == 2
+
+    def test_moved_from_metric(self):
+        tasks = _tasks(4)
+        processors = _processors(2, 2)
+        strategy = StickyAssignmentStrategy(0)
+        first = strategy.assign(tasks, processors)
+        previous = PreviousState(active=first.active)
+        second = strategy.assign(tasks, processors, previous)
+        assert second.moved_from(previous) == 0
+
+
+class TestWeightedBudget:
+    def test_heavy_task_consumes_budget(self):
+        tasks = _tasks(3)
+        weights = {tasks[0]: 4}
+        processors = _processors(2, 1)
+        strategy = StickyAssignmentStrategy(0, task_weights=weights)
+        assignment = strategy.assign(tasks, processors)
+        heavy_owner = assignment.owner_of(tasks[0])
+        # The heavy task fills its owner's budget; both light tasks must
+        # land on the other processor.
+        light_owners = {assignment.owner_of(t) for t in tasks[1:]}
+        assert heavy_owner not in light_owners
+        assert len(light_owners) == 1
+
+
+class TestRoundRobinBaseline:
+    def test_complete_and_node_exclusive(self):
+        tasks = _tasks(10)
+        processors = _processors(3, 2)
+        assignment = round_robin_task_strategy(
+            tasks, processors, replication_factor=1
+        )
+        _assert_invariants(assignment, tasks, processors, 1, check_budget=False)
+
+    def test_ignores_history(self):
+        tasks = _tasks(6)
+        processors = _processors(3, 1)
+        first = round_robin_task_strategy(tasks, processors, replication_factor=0)
+        shuffled_previous = PreviousState(active={"n2/p0": set(tasks)})
+        second = round_robin_task_strategy(
+            tasks, processors, shuffled_previous, replication_factor=0
+        )
+        assert first.active == second.active
+
+
+class TestInvariantProperties:
+    @given(
+        st.integers(min_value=1, max_value=30),  # tasks
+        st.integers(min_value=2, max_value=6),  # nodes
+        st.integers(min_value=1, max_value=3),  # processors per node
+        st.integers(min_value=0, max_value=2),  # replication
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_from_random_previous_state(
+        self, task_count, nodes, per_node, replication, rng
+    ):
+        tasks = _tasks(task_count)
+        processors = _processors(nodes, per_node)
+        ids = [p.processor_id for p in processors]
+        previous = PreviousState(
+            active={rng.choice(ids): set(rng.sample(tasks, min(3, len(tasks))))},
+            replica={rng.choice(ids): set(rng.sample(tasks, min(2, len(tasks))))},
+            stale={rng.choice(ids): set(rng.sample(tasks, min(2, len(tasks))))},
+        )
+        assignment = StickyAssignmentStrategy(replication).assign(
+            tasks, processors, previous
+        )
+        _assert_invariants(assignment, tasks, processors, replication)

@@ -1,0 +1,24 @@
+"""Smoke tests for the cheap experiment runners (fast configurations).
+
+The latency-simulation figures (8, 9a, 9b, 10) are exercised by the
+benchmark suite; here we cover the cheap, real-component experiments so
+``pytest tests/`` alone exercises the harness code paths.
+"""
+
+from repro.bench.experiments import fig1_accuracy
+
+
+class TestFig1Runner:
+    def test_run_and_render(self):
+        result = fig1_accuracy.run(fast=True)
+        report = fig1_accuracy.render(result)
+        assert "Figure 1" in report
+        assert "railgun-sliding" in report
+        failed = [desc for desc, ok in result["checks"] if not ok]
+        assert not failed, failed
+
+    def test_rates_are_probabilities(self):
+        result = fig1_accuracy.run(fast=True)
+        for section in ("general", "figure1"):
+            for rate in result[section].values():
+                assert 0.0 <= rate <= 1.0

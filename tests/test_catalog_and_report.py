@@ -1,0 +1,157 @@
+"""Catalog (DDL log) and bench-report rendering tests."""
+
+import pytest
+
+from repro.bench.report import ascii_chart, check_expectations, format_percentile_table, format_table
+from repro.common.errors import EngineError, QueryError
+from repro.engine.catalog import (
+    AddPartitionerOp,
+    Catalog,
+    CreateMetricOp,
+    CreateStreamOp,
+    DeleteMetricOp,
+    EvolveSchemaOp,
+    GLOBAL_PARTITIONER,
+    MetricDef,
+    StreamDef,
+    topic_name,
+)
+from repro.query import parse_query
+
+
+def _stream():
+    return StreamDef(
+        "payments",
+        (("cardId", "string"), ("merchantId", "string"), ("amount", "float")),
+        ("cardId",),
+        partitions=4,
+    )
+
+
+class TestCatalog:
+    def test_create_stream(self):
+        catalog = Catalog()
+        catalog.apply(CreateStreamOp(_stream()))
+        assert "payments" in catalog.streams
+        assert catalog.streams["payments"].topics() == ["payments.cardId"]
+
+    def test_create_stream_idempotent(self):
+        catalog = Catalog()
+        catalog.apply(CreateStreamOp(_stream()))
+        catalog.apply(CreateStreamOp(_stream()))
+        assert len(catalog.streams) == 1
+
+    def test_metric_lifecycle(self):
+        catalog = Catalog()
+        catalog.apply(CreateStreamOp(_stream()))
+        metric = MetricDef(0, "SELECT count(*) FROM payments GROUP BY cardId OVER infinite",
+                           "payments", "payments.cardId")
+        catalog.apply(CreateMetricOp(metric))
+        assert catalog.metrics_for_topic("payments.cardId") == [metric]
+        assert catalog.next_metric_id == 1
+        catalog.apply(DeleteMetricOp(0))
+        assert catalog.metrics == {}
+
+    def test_evolve_schema_appends(self):
+        catalog = Catalog()
+        catalog.apply(CreateStreamOp(_stream()))
+        catalog.apply(EvolveSchemaOp("payments", (("extra", "int"),)))
+        fields = [name for name, _ in catalog.streams["payments"].fields]
+        assert fields[-1] == "extra"
+
+    def test_add_partitioner(self):
+        catalog = Catalog()
+        catalog.apply(CreateStreamOp(_stream()))
+        catalog.apply(AddPartitionerOp("payments", "merchantId"))
+        assert "payments.merchantId" in catalog.streams["payments"].topics()
+        # idempotent
+        catalog.apply(AddPartitionerOp("payments", "merchantId"))
+        assert len(catalog.streams["payments"].partitioners) == 2
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(EngineError):
+            Catalog().apply("not an op")
+
+    def test_route_metric_picks_subset_partitioner(self):
+        catalog = Catalog()
+        catalog.apply(CreateStreamOp(_stream()))
+        query = parse_query(
+            "SELECT count(*) FROM payments GROUP BY cardId, merchantId OVER infinite"
+        )
+        assert catalog.route_metric(query) == "payments.cardId"
+
+    def test_route_metric_no_matching_partitioner(self):
+        catalog = Catalog()
+        catalog.apply(CreateStreamOp(_stream()))
+        query = parse_query(
+            "SELECT count(*) FROM payments GROUP BY merchantId OVER infinite"
+        )
+        with pytest.raises(QueryError):
+            catalog.route_metric(query)
+
+    def test_route_global_metric(self):
+        catalog = Catalog()
+        stream = StreamDef(
+            "s", (("a", "int"),), ("a", GLOBAL_PARTITIONER), partitions=4
+        )
+        catalog.apply(CreateStreamOp(stream))
+        query = parse_query("SELECT count(*) FROM s OVER infinite")
+        assert catalog.route_metric(query) == topic_name("s", GLOBAL_PARTITIONER)
+
+    def test_stream_of_topic(self):
+        catalog = Catalog()
+        catalog.apply(CreateStreamOp(_stream()))
+        assert catalog.stream_of_topic("payments.cardId").name == "payments"
+        assert catalog.stream_of_topic("__operations") is None
+
+    def test_ops_replay_converges(self):
+        # Two catalogs applying the same op sequence agree.
+        ops = [
+            CreateStreamOp(_stream()),
+            CreateMetricOp(MetricDef(0, "SELECT count(*) FROM payments GROUP BY cardId OVER infinite",
+                                     "payments", "payments.cardId")),
+            EvolveSchemaOp("payments", (("x", "int"),)),
+            DeleteMetricOp(0),
+        ]
+        a, b = Catalog(), Catalog()
+        for op in ops:
+            a.apply(op)
+            b.apply(op)
+        assert a.streams == b.streams
+        assert a.metrics == b.metrics
+
+
+class TestReportRendering:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 123456.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "123,456" in text
+
+    def test_percentile_table(self):
+        text = format_percentile_table(
+            {"railgun": {50.0: 1.0, 99.9: 100.0}}, [50.0, 99.9]
+        )
+        assert "p50" in text
+        assert "p99.9" in text
+        assert "railgun" in text
+
+    def test_ascii_chart_renders_series(self):
+        chart = ascii_chart(
+            {"a": [1.0, 10.0, 100.0], "b": [2.0, 20.0, 200.0]},
+            ["x1", "x2", "x3"],
+        )
+        assert "A" in chart or "R" in chart
+        assert "log scale" in chart
+
+    def test_ascii_chart_handles_empty(self):
+        assert ascii_chart({"a": []}, []) == "(no data)"
+
+    def test_ascii_chart_skips_invalid_points(self):
+        chart = ascii_chart({"a": [1.0, float("nan"), None, 5.0]}, ["1", "2", "3", "4"])
+        assert "log scale" in chart
+
+    def test_check_expectations_format(self):
+        lines = check_expectations([("good", True), ("bad", False)])
+        assert lines[0].startswith("  [PASS]")
+        assert lines[1].startswith("  [FAIL]")

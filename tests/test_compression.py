@@ -1,0 +1,81 @@
+"""Compression codec tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.compression import (
+    NoneCodec,
+    ZlibCodec,
+    codec_by_id,
+    codec_by_name,
+    compress_with_header,
+    decompress_with_header,
+)
+from repro.common.errors import SerdeError
+
+
+class TestCodecs:
+    @given(st.binary(max_size=500))
+    def test_zlib_roundtrip(self, data):
+        codec = ZlibCodec(6)
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(st.binary(max_size=200))
+    def test_none_roundtrip(self, data):
+        codec = NoneCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_zlib_compresses_repetitive_data(self):
+        data = b"abcdef" * 1000
+        assert len(ZlibCodec(6).compress(data)) < len(data) // 4
+
+    def test_higher_level_not_larger(self):
+        data = bytes(range(256)) * 50
+        assert len(ZlibCodec(9).compress(data)) <= len(ZlibCodec(1).compress(data))
+
+    @pytest.mark.parametrize("level", [0, 10, -1])
+    def test_bad_level_rejected(self, level):
+        with pytest.raises(ValueError):
+            ZlibCodec(level)
+
+    def test_corrupt_zlib_raises(self):
+        with pytest.raises(SerdeError):
+            ZlibCodec(6).decompress(b"not zlib data")
+
+
+class TestRegistry:
+    def test_lookup_by_id(self):
+        assert codec_by_id(0).name == "none"
+        assert codec_by_id(6).name == "zlib"
+
+    def test_unknown_id(self):
+        with pytest.raises(SerdeError):
+            codec_by_id(42)
+
+    @pytest.mark.parametrize(
+        "name,wire_id", [("none", 0), ("zlib", 6), ("zlib:1", 1), ("zlib:9", 9)]
+    )
+    def test_lookup_by_name(self, name, wire_id):
+        assert codec_by_name(name).wire_id == wire_id
+
+    @pytest.mark.parametrize("bad", ["gzip", "zlib:abc", "zlib:42"])
+    def test_bad_names(self, bad):
+        with pytest.raises(SerdeError):
+            codec_by_name(bad)
+
+
+class TestHeaderedPayloads:
+    @given(st.binary(max_size=300), st.sampled_from(["none", "zlib:1", "zlib:6"]))
+    def test_self_describing_roundtrip(self, data, codec_name):
+        codec = codec_by_name(codec_name)
+        payload = compress_with_header(codec, data)
+        assert decompress_with_header(payload) == data
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(SerdeError):
+            decompress_with_header(b"")
+
+    def test_reader_needs_no_codec_knowledge(self):
+        # A zlib-9 writer and a reader that never saw the config.
+        payload = compress_with_header(codec_by_name("zlib:9"), b"hello")
+        assert decompress_with_header(payload) == b"hello"

@@ -1,0 +1,195 @@
+"""Event model and schema tests (encoding, validation, evolution)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SchemaError
+from repro.events import Event, FieldType, Schema, SchemaField, SchemaRegistry
+
+
+def _schema(*fields):
+    return Schema([SchemaField(name, ftype) for name, ftype in fields])
+
+
+PAYMENTS = _schema(
+    ("cardId", FieldType.STRING),
+    ("amount", FieldType.FLOAT),
+    ("count", FieldType.INT),
+    ("flag", FieldType.BOOL),
+)
+
+
+class TestEvent:
+    def test_field_access(self):
+        event = Event("e1", 5, {"a": 1, "b": "x"})
+        assert event["a"] == 1
+        assert event.get("b") == "x"
+        assert event.get("missing") is None
+        assert "a" in event
+        assert "z" not in event
+
+    def test_fields_copy_is_isolated(self):
+        event = Event("e1", 5, {"a": 1})
+        copy = event.fields
+        copy["a"] = 2
+        assert event["a"] == 1
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            Event("e1", -1, {})
+
+    def test_with_timestamp(self):
+        event = Event("e1", 5, {"a": 1})
+        moved = event.with_timestamp(9)
+        assert moved.timestamp == 9
+        assert moved.event_id == "e1"
+        assert moved["a"] == 1
+        assert event.timestamp == 5
+
+    def test_equality(self):
+        assert Event("e", 1, {"a": 1}) == Event("e", 1, {"a": 1})
+        assert Event("e", 1, {"a": 1}) != Event("e", 1, {"a": 2})
+        assert Event("e", 1, {}) != Event("f", 1, {})
+
+    def test_repr_previews_fields(self):
+        event = Event("e1", 5, {"a": 1, "b": 2, "c": 3, "d": 4})
+        assert "e1" in repr(event)
+        assert "..." in repr(event)
+
+
+class TestFieldType:
+    @pytest.mark.parametrize(
+        "ftype,good,bad",
+        [
+            (FieldType.BOOL, True, 1),
+            (FieldType.INT, 3, True),
+            (FieldType.INT, 3, 3.0),
+            (FieldType.FLOAT, 3.5, "x"),
+            (FieldType.STRING, "x", 3),
+        ],
+    )
+    def test_validation(self, ftype, good, bad):
+        assert ftype.validate(good)
+        assert not ftype.validate(bad)
+
+    def test_none_always_valid(self):
+        assert all(ftype.validate(None) for ftype in FieldType)
+
+    def test_float_accepts_int(self):
+        assert FieldType.FLOAT.validate(3)
+
+
+class TestSchema:
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            _schema(("a", FieldType.INT), ("a", FieldType.INT))
+
+    def test_validate_event_accepts_partial(self):
+        PAYMENTS.validate_event(Event("e", 1, {"cardId": "c"}))
+
+    def test_validate_event_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            PAYMENTS.validate_event(Event("e", 1, {"amount": "not a number"}))
+
+    def test_validate_event_rejects_undeclared(self):
+        with pytest.raises(SchemaError):
+            PAYMENTS.validate_event(Event("e", 1, {"mystery": 1}))
+
+    def test_encode_decode_roundtrip(self):
+        event = Event("e9", 123, {"cardId": "c1", "amount": 9.5, "flag": True})
+        buf = bytearray()
+        PAYMENTS.encode_event(event, buf)
+        decoded, offset = PAYMENTS.decode_event(bytes(buf), 0)
+        assert decoded == event
+        assert offset == len(buf)
+
+    def test_absent_fields_stay_absent(self):
+        event = Event("e9", 1, {"cardId": "c1"})
+        buf = bytearray()
+        PAYMENTS.encode_event(event, buf)
+        decoded, _ = PAYMENTS.decode_event(bytes(buf), 0)
+        assert "amount" not in decoded
+
+    @given(
+        st.text(max_size=20),
+        st.integers(min_value=0, max_value=2**48),
+        st.floats(allow_nan=False, allow_infinity=False),
+    )
+    def test_roundtrip_property(self, card, timestamp, amount):
+        event = Event("id", timestamp, {"cardId": card, "amount": amount})
+        buf = bytearray()
+        PAYMENTS.encode_event(event, buf)
+        decoded, _ = PAYMENTS.decode_event(bytes(buf), 0)
+        assert decoded == event
+
+    def test_schema_serde_roundtrip(self):
+        restored = Schema.from_bytes(PAYMENTS.to_bytes())
+        assert restored == PAYMENTS
+
+    def test_compatible_upgrade_appends(self):
+        wider = _schema(
+            ("cardId", FieldType.STRING),
+            ("amount", FieldType.FLOAT),
+            ("count", FieldType.INT),
+            ("flag", FieldType.BOOL),
+            ("extra", FieldType.STRING),
+        )
+        assert PAYMENTS.is_compatible_upgrade(wider)
+
+    def test_incompatible_upgrades(self):
+        renamed = _schema(("cardX", FieldType.STRING))
+        retyped = _schema(("cardId", FieldType.INT))
+        shorter = _schema(("cardId", FieldType.STRING))
+        assert not PAYMENTS.is_compatible_upgrade(renamed)
+        assert not PAYMENTS.is_compatible_upgrade(retyped)
+        assert not PAYMENTS.is_compatible_upgrade(shorter)
+
+
+class TestSchemaRegistry:
+    def test_register_assigns_incrementing_ids(self):
+        registry = SchemaRegistry()
+        first = registry.register(_schema(("a", FieldType.INT)))
+        second = registry.register(
+            _schema(("a", FieldType.INT), ("b", FieldType.INT))
+        )
+        assert first.schema_id == 0
+        assert second.schema_id == 1
+        assert registry.current() is second
+
+    def test_identical_reregistration_is_noop(self):
+        registry = SchemaRegistry()
+        first = registry.register(_schema(("a", FieldType.INT)))
+        again = registry.register(_schema(("a", FieldType.INT)))
+        assert again is first
+        assert len(registry) == 1
+
+    def test_incompatible_evolution_rejected(self):
+        registry = SchemaRegistry()
+        registry.register(_schema(("a", FieldType.INT)))
+        with pytest.raises(SchemaError):
+            registry.register(_schema(("a", FieldType.STRING)))
+
+    def test_old_ids_stay_resolvable(self):
+        registry = SchemaRegistry()
+        registry.register(_schema(("a", FieldType.INT)))
+        registry.register(_schema(("a", FieldType.INT), ("b", FieldType.INT)))
+        assert registry.get(0).field_names() == ["a"]
+        assert registry.get(1).field_names() == ["a", "b"]
+
+    def test_unknown_id(self):
+        registry = SchemaRegistry()
+        with pytest.raises(SchemaError):
+            registry.get(5)
+
+    def test_empty_registry_has_no_current(self):
+        with pytest.raises(SchemaError):
+            SchemaRegistry().current()
+
+    def test_registry_serde_roundtrip(self):
+        registry = SchemaRegistry()
+        registry.register(_schema(("a", FieldType.INT)))
+        registry.register(_schema(("a", FieldType.INT), ("b", FieldType.STRING)))
+        restored = SchemaRegistry.from_bytes(registry.to_bytes())
+        assert len(restored) == 2
+        assert restored.current().field_names() == ["a", "b"]
+        assert restored.get(0).field_names() == ["a"]

@@ -1,0 +1,165 @@
+"""Filter expression language tests."""
+
+import pytest
+
+from repro.common.errors import ExpressionError, QueryError
+from repro.events.event import Event
+from repro.query.expressions import parse_expression
+
+
+EVENT = Event(
+    "e1",
+    0,
+    {"amount": 30.0, "channel": "ecom", "count": 3, "flag": True, "name": "bob"},
+)
+
+
+def _eval(text, event=EVENT):
+    return parse_expression(text).evaluate(event)
+
+
+class TestLiterals:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("42", 42),
+            ("3.5", 3.5),
+            ("'hello'", "hello"),
+            ('"double"', "double"),
+            ("true", True),
+            ("false", False),
+            ("null", None),
+            ("TRUE", True),
+        ],
+    )
+    def test_literal(self, text, expected):
+        assert _eval(text) == expected
+
+    def test_escaped_string(self):
+        assert _eval(r"'it\'s'") == "it's"
+
+
+class TestFieldAccess:
+    def test_present_field(self):
+        assert _eval("amount") == 30.0
+
+    def test_absent_field_is_null(self):
+        assert _eval("missing") is None
+
+    def test_referenced_fields(self):
+        expr = parse_expression("amount > 5 && channel == 'x' || other < 2")
+        assert expr.referenced_fields() == {"amount", "channel", "other"}
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2", 3),
+            ("10 - 4", 6),
+            ("3 * 4", 12),
+            ("10 / 4", 2.5),
+            ("10 % 3", 1),
+            ("-amount", -30.0),
+            ("2 + 3 * 4", 14),
+            ("(2 + 3) * 4", 20),
+            ("'a' + 'b'", "ab"),
+        ],
+    )
+    def test_arithmetic(self, text, expected):
+        assert _eval(text) == expected
+
+    def test_division_by_zero_is_null(self):
+        assert _eval("1 / 0") is None
+        assert _eval("1 % 0") is None
+
+    def test_null_propagates(self):
+        assert _eval("missing + 1") is None
+        assert _eval("missing * 2") is None
+        assert _eval("-missing") is None
+
+    def test_type_mismatch_is_null(self):
+        assert _eval("'a' + 1") is None
+        assert _eval("'a' * 2") is None
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("amount > 10", True),
+            ("amount >= 30", True),
+            ("amount < 10", False),
+            ("amount <= 30", True),
+            ("amount == 30", True),
+            ("amount != 30", False),
+            ("channel == 'ecom'", True),
+            ("'a' < 'b'", True),
+        ],
+    )
+    def test_comparison(self, text, expected):
+        assert _eval(text) is expected
+
+    def test_null_comparisons_false(self):
+        assert _eval("missing > 5") is False
+        assert _eval("missing < 5") is False
+        assert _eval("5 > missing") is False
+
+    def test_mixed_type_comparison_false(self):
+        assert _eval("'a' > 5") is False
+
+    def test_null_equality(self):
+        assert _eval("missing == null") is True
+        assert _eval("amount != null") is True
+
+
+class TestLogical:
+    def test_and_or(self):
+        assert _eval("amount > 10 && channel == 'ecom'") is True
+        assert _eval("amount > 100 || flag") is True
+        assert _eval("amount > 100 && flag") is False
+
+    def test_not(self):
+        assert _eval("!flag") is False
+        assert _eval("!(amount > 100)") is True
+
+    def test_not_null_is_null(self):
+        assert _eval("!missing") is None
+
+    def test_short_circuit_and(self):
+        # Right side would be null; && short-circuits on falsy left.
+        assert _eval("false && missing > 1") is False
+
+    def test_precedence_or_lower_than_and(self):
+        assert _eval("true || false && false") is True
+
+
+class TestTernary:
+    def test_ternary(self):
+        assert _eval("amount > 10 ? 'big' : 'small'") == "big"
+        assert _eval("amount > 100 ? 'big' : 'small'") == "small"
+
+    def test_nested_ternary(self):
+        assert _eval("amount > 100 ? 1 : amount > 10 ? 2 : 3") == 2
+
+
+class TestMatches:
+    def test_only_true_passes(self):
+        assert parse_expression("amount > 10").matches(EVENT)
+        assert not parse_expression("missing").matches(EVENT)  # null
+        assert not parse_expression("amount").matches(EVENT)  # 30.0, not True
+        assert parse_expression("flag").matches(EVENT)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1 +", "(1 + 2", "a ? b", "&& 1", "1 @ 2", "'unterminated"],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(QueryError):
+            parse_expression(bad)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("1 + 2 extra junk tokens")

@@ -1,0 +1,183 @@
+"""Front-end and node-level tests (Figure 3 steps 1-2 and 5-6)."""
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import EngineError
+from repro.engine.catalog import (
+    CreateStreamOp,
+    OPERATIONS_TOPIC,
+    REPLY_TOPIC_PREFIX,
+    StreamDef,
+)
+from repro.engine.envelope import EventEnvelope, ReplyEnvelope
+from repro.engine.frontend import FrontEnd
+from repro.engine import RailgunCluster
+from repro.events.event import Event
+from repro.messaging.broker import MessageBus
+from repro.messaging.log import TopicPartition
+from repro.messaging.producer import Producer
+
+
+def _world():
+    clock = ManualClock(1)
+    bus = MessageBus(brokers=1)
+    bus.create_topic(OPERATIONS_TOPIC, 1)
+    bus.create_topic(REPLY_TOPIC_PREFIX + "n1", 1)
+    stream = StreamDef(
+        "payments",
+        (("cardId", "string"), ("merchantId", "string"), ("amount", "float")),
+        ("cardId", "merchantId"),
+        partitions=2,
+    )
+    bus.create_topic("payments.cardId", 2)
+    bus.create_topic("payments.merchantId", 2)
+    ops = Producer(bus, clock)
+    ops.send(OPERATIONS_TOPIC, None, CreateStreamOp(stream))
+    frontend = FrontEnd("n1", bus, clock)
+    return clock, bus, frontend
+
+
+class TestFanOut:
+    def test_event_published_to_every_partitioner_topic(self):
+        _, bus, frontend = _world()
+        frontend.send(
+            "payments",
+            Event("e1", 10, {"cardId": "c1", "merchantId": "m1", "amount": 1.0}),
+        )
+        card_total = sum(
+            bus.end_offset(tp) for tp in bus.topic_partitions("payments.cardId")
+        )
+        merchant_total = sum(
+            bus.end_offset(tp) for tp in bus.topic_partitions("payments.merchantId")
+        )
+        assert card_total == 1
+        assert merchant_total == 1
+
+    def test_envelope_carries_fanout_and_origin(self):
+        _, bus, frontend = _world()
+        frontend.send(
+            "payments",
+            Event("e1", 10, {"cardId": "c1", "merchantId": "m1", "amount": 1.0}),
+        )
+        tp = next(
+            tp for tp in bus.topic_partitions("payments.cardId")
+            if bus.end_offset(tp) > 0
+        )
+        envelope = bus.read(tp, 0, 1)[0].value
+        assert isinstance(envelope, EventEnvelope)
+        assert envelope.fanout == 2
+        assert envelope.origin_node == "n1"
+
+    def test_unknown_stream_rejected(self):
+        _, _, frontend = _world()
+        with pytest.raises(EngineError):
+            frontend.send("ghost", Event("e", 1, {}))
+
+    def test_schema_validated_at_entry(self):
+        from repro.common.errors import SchemaError
+
+        _, _, frontend = _world()
+        with pytest.raises(SchemaError):
+            frontend.send("payments", Event("e", 1, {"bogus": 1}))
+
+
+class TestFanIn:
+    def test_reply_completes_after_all_tasks_answer(self):
+        clock, bus, frontend = _world()
+        correlation = frontend.send(
+            "payments",
+            Event("e1", 10, {"cardId": "c1", "merchantId": "m1", "amount": 1.0}),
+        )
+        reply_producer = Producer(bus, clock)
+        reply_topic = REPLY_TOPIC_PREFIX + "n1"
+        reply_producer.send(
+            reply_topic, None,
+            ReplyEnvelope(correlation, "e1", TopicPartition("payments.cardId", 0),
+                          {0: {"count(*)": 1}}),
+        )
+        assert frontend.poll_replies() == []
+        assert correlation in frontend.pending
+        reply_producer.send(
+            reply_topic, None,
+            ReplyEnvelope(correlation, "e1", TopicPartition("payments.merchantId", 0),
+                          {1: {"avg(amount)": 1.0}}),
+        )
+        completed = frontend.poll_replies()
+        assert len(completed) == 1
+        assert completed[0].results == {0: {"count(*)": 1}, 1: {"avg(amount)": 1.0}}
+        assert frontend.take_completed(correlation) is not None
+        assert frontend.take_completed(correlation) is None  # popped
+
+    def test_duplicate_replies_ignored(self):
+        clock, bus, frontend = _world()
+        correlation = frontend.send(
+            "payments",
+            Event("e1", 10, {"cardId": "c1", "merchantId": "m1", "amount": 1.0}),
+        )
+        producer = Producer(bus, clock)
+        reply = ReplyEnvelope(
+            correlation, "e1", TopicPartition("payments.cardId", 0), {0: {}}
+        )
+        for _ in range(3):
+            producer.send(REPLY_TOPIC_PREFIX + "n1", None, reply)
+        producer.send(
+            REPLY_TOPIC_PREFIX + "n1", None,
+            ReplyEnvelope(correlation, "e1",
+                          TopicPartition("payments.merchantId", 0), {1: {}}),
+        )
+        completed = frontend.poll_replies()
+        assert len(completed) == 1
+
+    def test_latency_measured_from_send(self):
+        clock, bus, frontend = _world()
+        correlation = frontend.send(
+            "payments",
+            Event("e1", 10, {"cardId": "c1", "merchantId": "m1", "amount": 1.0}),
+        )
+        clock.advance(25)
+        producer = Producer(bus, clock)
+        for topic in ("payments.cardId", "payments.merchantId"):
+            producer.send(
+                REPLY_TOPIC_PREFIX + "n1", None,
+                ReplyEnvelope(correlation, "e1", TopicPartition(topic, 0), {}),
+            )
+        completed = frontend.poll_replies()
+        assert completed[0].latency_ms == 25
+
+
+class TestNodeLifecycle:
+    def test_dead_node_does_no_work(self):
+        cluster = RailgunCluster(nodes=2, processor_units=1)
+        cluster.create_stream(
+            "s", partitioners=["k"], partitions=2, schema=[("k", "string")]
+        )
+        cluster.create_metric("SELECT count(*) FROM s GROUP BY k OVER infinite")
+        cluster.kill_node("node-1")
+        node = cluster.nodes["node-1"]
+        assert node.pump() == 0
+
+    def test_reply_struct_helpers(self):
+        cluster = RailgunCluster(nodes=1, processor_units=1)
+        cluster.create_stream(
+            "s", partitioners=["k"], partitions=1, schema=[("k", "string")]
+        )
+        metric = cluster.create_metric("SELECT count(*) FROM s GROUP BY k OVER infinite")
+        reply = cluster.send("s", {"k": "a"}, timestamp=5)
+        assert reply.metric(metric) == {"count(*)": 1}
+        assert reply.value(metric, "count(*)") == 1
+        assert reply.value(99, "missing") is None
+        assert reply.stream == "s"
+
+    def test_send_requires_fields_or_event(self):
+        cluster = RailgunCluster(nodes=1, processor_units=1)
+        with pytest.raises(EngineError):
+            cluster.send_async("s")
+
+    def test_cluster_requires_nodes(self):
+        with pytest.raises(EngineError):
+            RailgunCluster(nodes=0)
+
+    def test_node_requires_units(self):
+        with pytest.raises(ValueError):
+            RailgunCluster(nodes=1, processor_units=0)

@@ -1,0 +1,314 @@
+"""Messaging layer tests: bus, producer/consumer, groups, rebalance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import ManualClock
+from repro.common.errors import MessagingError
+from repro.messaging import (
+    Consumer,
+    GroupCoordinator,
+    MessageBus,
+    Producer,
+    TopicPartition,
+    range_assignor,
+    round_robin_assignor,
+    sticky_assignor,
+)
+
+
+@pytest.fixture()
+def world():
+    clock = ManualClock()
+    bus = MessageBus(brokers=3)
+    bus.create_topic("t", partitions=4)
+    coordinator = GroupCoordinator(bus, session_timeout_ms=5_000)
+    return clock, bus, coordinator
+
+
+class TestBus:
+    def test_keyed_routing_is_sticky(self, world):
+        _, bus, _ = world
+        partitions = {bus.publish("t", "key-A", i, 0)[0] for i in range(20)}
+        assert len(partitions) == 1
+
+    def test_unkeyed_routing_round_robins(self, world):
+        _, bus, _ = world
+        partitions = {bus.publish("t", None, i, 0)[0] for i in range(8)}
+        assert len(partitions) == 4
+
+    def test_offsets_monotonic_per_partition(self, world):
+        _, bus, _ = world
+        tp, first = bus.publish("t", "k", "a", 0)
+        _, second = bus.publish("t", "k", "b", 0)
+        assert second == first + 1
+        messages = bus.read(tp, first, 10)
+        assert [m.value for m in messages] == ["a", "b"]
+
+    def test_topic_growth_allowed_shrink_rejected(self, world):
+        _, bus, _ = world
+        bus.create_topic("t", partitions=6)
+        assert bus.partitions_for("t") == 6
+        with pytest.raises(MessagingError):
+            bus.create_topic("t", partitions=2)
+
+    def test_replication_capped_by_brokers(self, world):
+        _, bus, _ = world
+        with pytest.raises(MessagingError):
+            bus.create_topic("big", partitions=1, replication=4)
+
+    def test_unknown_topic(self, world):
+        _, bus, _ = world
+        with pytest.raises(MessagingError):
+            bus.publish("nope", "k", 1, 0)
+
+    def test_committed_offsets_per_group(self, world):
+        _, bus, _ = world
+        tp = TopicPartition("t", 0)
+        bus.commit_offset("g1", tp, 5)
+        assert bus.committed_offset("g1", tp) == 5
+        assert bus.committed_offset("g2", tp) == 0
+
+    def test_leaders_spread_over_brokers(self, world):
+        _, bus, _ = world
+        bus.create_topic("many", partitions=12)
+        leaders = {bus.leader_of(tp) for tp in bus.topic_partitions("many")}
+        assert len(leaders) > 1
+
+
+class TestConsumerFlow:
+    def test_poll_reads_assigned_partitions(self, world):
+        clock, bus, coordinator = world
+        producer = Producer(bus, clock)
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        for i in range(40):
+            producer.send("t", f"k{i}", i)
+        values = []
+        while True:
+            records = consumer.poll(16)
+            if not records:
+                break
+            values.extend(r.value for r in records)
+        assert sorted(values) == list(range(40))
+
+    def test_seek_rewinds(self, world):
+        clock, bus, coordinator = world
+        producer = Producer(bus, clock)
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        tp, _ = producer.send("t", "k", "v")
+        consumer.poll(10)
+        consumer.seek(tp, 0)
+        assert consumer.poll(10)[0].value == "v"
+
+    def test_commit_and_lag(self, world):
+        clock, bus, coordinator = world
+        producer = Producer(bus, clock)
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        for i in range(10):
+            producer.send("t", "k", i)
+        assert consumer.lag() == 10
+        consumer.poll(100)
+        assert consumer.lag() == 0
+        consumer.commit()
+        # All messages went to key "k"'s partition; its committed offset
+        # (group-scoped) must have advanced.
+        assert any(
+            bus.committed_offset("g", tp) > 0 for tp in consumer.assignment()
+        )
+
+    def test_double_subscribe_rejected(self, world):
+        clock, bus, coordinator = world
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"])
+        with pytest.raises(MessagingError):
+            consumer.subscribe(["t"])
+
+    def test_close_leaves_group(self, world):
+        clock, bus, coordinator = world
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        consumer.close()
+        assert coordinator.members_of("g") == []
+
+
+class TestGroupSemantics:
+    def test_exactly_one_owner_per_partition(self, world):
+        clock, bus, coordinator = world
+        consumers = [Consumer(bus, coordinator, "g", f"m{i}", clock) for i in range(3)]
+        for consumer in consumers:
+            consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        owned = [tp for consumer in consumers for tp in consumer.assignment()]
+        assert sorted(owned, key=str) == sorted(bus.topic_partitions("t"), key=str)
+        assert len(owned) == len(set(owned))
+
+    def test_more_members_than_partitions(self, world):
+        clock, bus, coordinator = world
+        consumers = [Consumer(bus, coordinator, "g", f"m{i}", clock) for i in range(6)]
+        for consumer in consumers:
+            consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        empty = [c for c in consumers if not c.assignment()]
+        assert len(empty) == 2  # 4 partitions, 6 members
+
+    def test_heartbeat_expiry_triggers_rebalance(self, world):
+        clock, bus, coordinator = world
+        alive = Consumer(bus, coordinator, "g", "alive", clock)
+        dead = Consumer(bus, coordinator, "g", "dead", clock)
+        alive.subscribe(["t"])
+        dead.subscribe(["t"])
+        coordinator.tick(clock.now())
+        assert len(alive.assignment()) == 2
+        clock.advance(6_000)
+        alive.heartbeat()
+        coordinator.tick(clock.now())
+        assert len(alive.assignment()) == 4
+        assert not dead.is_member()
+
+    def test_generation_increments_on_rebalance(self, world):
+        clock, bus, coordinator = world
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        first = coordinator.generation_of("g")
+        other = Consumer(bus, coordinator, "g", "m2", clock)
+        other.subscribe(["t"])
+        coordinator.tick(clock.now())
+        assert coordinator.generation_of("g") > first
+
+    def test_fenced_consumer_polls_nothing(self, world):
+        clock, bus, coordinator = world
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        clock.advance(10_000)
+        coordinator.tick(clock.now())  # expired
+        assert consumer.poll(10) == []
+
+    def test_rejoin_after_expiry(self, world):
+        clock, bus, coordinator = world
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        clock.advance(10_000)
+        coordinator.tick(clock.now())
+        consumer.rejoin(["t"])
+        coordinator.tick(clock.now())
+        assert len(consumer.assignment()) == 4
+
+    def test_update_subscription(self, world):
+        clock, bus, coordinator = world
+        bus.create_topic("t2", partitions=2)
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"])
+        coordinator.tick(clock.now())
+        consumer.update_subscription(["t", "t2"])
+        coordinator.tick(clock.now())
+        topics = {tp.topic for tp in consumer.assignment()}
+        assert topics == {"t", "t2"}
+
+    def test_duplicate_join_rejected(self, world):
+        clock, bus, coordinator = world
+        coordinator.join("g", "m1", ["t"], clock.now())
+        with pytest.raises(MessagingError):
+            coordinator.join("g", "m1", ["t"], clock.now())
+
+    def test_rebalance_listener_callbacks(self, world):
+        clock, bus, coordinator = world
+
+        class Listener:
+            def __init__(self):
+                self.revoked, self.assigned = [], []
+
+            def on_partitions_revoked(self, partitions):
+                self.revoked.extend(partitions)
+
+            def on_partitions_assigned(self, partitions):
+                self.assigned.extend(partitions)
+
+        listener = Listener()
+        consumer = Consumer(bus, coordinator, "g", "m1", clock)
+        consumer.subscribe(["t"], listener=listener)
+        coordinator.tick(clock.now())
+        assert len(listener.assigned) == 4
+        other = Consumer(bus, coordinator, "g", "m2", clock)
+        other.subscribe(["t"])
+        coordinator.tick(clock.now())
+        assert len(listener.revoked) == 2
+
+
+def _subscriptions(members, topics=("t",)):
+    return {m: set(topics) for m in members}
+
+
+class TestAssignors:
+    def _partitions(self, count, topic="t"):
+        return [TopicPartition(topic, i) for i in range(count)]
+
+    @pytest.mark.parametrize(
+        "assignor", [range_assignor, round_robin_assignor, sticky_assignor]
+    )
+    def test_complete_and_disjoint(self, assignor):
+        partitions = self._partitions(7)
+        assignment = assignor(_subscriptions(["a", "b", "c"]), partitions, {})
+        owned = [tp for tps in assignment.values() for tp in tps]
+        assert sorted(owned, key=str) == sorted(partitions, key=str)
+
+    @pytest.mark.parametrize(
+        "assignor", [range_assignor, round_robin_assignor, sticky_assignor]
+    )
+    def test_balanced(self, assignor):
+        partitions = self._partitions(9)
+        assignment = assignor(_subscriptions(["a", "b", "c"]), partitions, {})
+        sizes = sorted(len(tps) for tps in assignment.values())
+        assert sizes == [3, 3, 3]
+
+    def test_sticky_preserves_ownership(self):
+        partitions = self._partitions(6)
+        first = sticky_assignor(_subscriptions(["a", "b", "c"]), partitions, {})
+        second = sticky_assignor(_subscriptions(["a", "b", "c"]), partitions, first)
+        assert first == second
+
+    def test_sticky_moves_minimum_on_member_loss(self):
+        partitions = self._partitions(6)
+        first = sticky_assignor(_subscriptions(["a", "b", "c"]), partitions, {})
+        survivors = _subscriptions(["a", "b"])
+        second = sticky_assignor(survivors, partitions, first)
+        for member in ("a", "b"):
+            assert first[member] <= second[member]
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50)
+    def test_sticky_properties(self, partition_count, member_count):
+        partitions = self._partitions(partition_count)
+        members = [f"m{i}" for i in range(member_count)]
+        assignment = sticky_assignor(_subscriptions(members), partitions, {})
+        owned = [tp for tps in assignment.values() for tp in tps]
+        assert len(owned) == partition_count
+        assert len(set(owned)) == partition_count
+        sizes = [len(tps) for tps in assignment.values()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_set_assignment_rejects_duplicates(self, world):
+        clock, bus, coordinator = world
+        coordinator.join("g", "m1", ["t"], clock.now())
+        coordinator.join("g", "m2", ["t"], clock.now())
+        tp = TopicPartition("t", 0)
+        with pytest.raises(MessagingError):
+            coordinator.set_assignment("g", {"m1": {tp}, "m2": {tp}})
+
+    def test_set_assignment_rejects_unknown_member(self, world):
+        clock, bus, coordinator = world
+        coordinator.join("g", "m1", ["t"], clock.now())
+        with pytest.raises(MessagingError):
+            coordinator.set_assignment("g", {"ghost": {TopicPartition("t", 0)}})

@@ -1,0 +1,171 @@
+"""Latency recorder tests: accuracy against exact percentiles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.percentiles import PERCENTILE_GRID, LatencyRecorder
+
+
+def _exact_percentile(samples, pct):
+    ordered = sorted(samples)
+    if pct == 0:
+        return ordered[0]
+    rank = min(len(ordered) - 1, max(0, int(pct / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class TestBasics:
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert recorder.count == 0
+        assert recorder.percentile(50) == 0.0
+        assert recorder.mean == 0.0
+
+    def test_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(5.0)
+        assert recorder.percentile(0) == 5.0
+        assert recorder.percentile(100) == 5.0
+        assert recorder.max_value == 5.0
+        assert recorder.min_value == 5.0
+
+    def test_counted_records(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0, count=10)
+        assert recorder.count == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(1.0, count=0)
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().percentile(101)
+
+    def test_len_is_count(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        recorder.record(2.0)
+        assert len(recorder) == 2
+
+
+class TestAccuracy:
+    def test_relative_error_bound_uniform(self):
+        rng = random.Random(1)
+        recorder = LatencyRecorder(relative_error=0.01)
+        samples = [rng.uniform(0.1, 1000.0) for _ in range(20_000)]
+        for sample in samples:
+            recorder.record(sample)
+        for pct in (50.0, 95.0, 99.0, 99.9):
+            exact = _exact_percentile(samples, pct)
+            estimate = recorder.percentile(pct)
+            assert abs(estimate - exact) / exact < 0.05
+
+    def test_lognormal_tail(self):
+        rng = random.Random(2)
+        recorder = LatencyRecorder()
+        samples = [rng.lognormvariate(1.0, 1.0) for _ in range(50_000)]
+        for sample in samples:
+            recorder.record(sample)
+        exact = _exact_percentile(samples, 99.9)
+        assert abs(recorder.percentile(99.9) - exact) / exact < 0.05
+
+    def test_max_is_exact(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 99.5, 3.0):
+            recorder.record(value)
+        assert recorder.percentile(100) == 99.5
+
+    def test_mean_is_exact(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        assert recorder.mean == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e5), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_percentiles_monotone(self, samples):
+        recorder = LatencyRecorder()
+        for sample in samples:
+            recorder.record(sample)
+        values = [recorder.percentile(p) for p in PERCENTILE_GRID]
+        assert all(values[i] <= values[i + 1] + 1e-9 for i in range(len(values) - 1))
+
+
+class TestCoordinatedOmission:
+    def test_correction_adds_phantom_samples(self):
+        recorder = LatencyRecorder()
+        recorder.record_corrected(100.0, expected_interval_ms=10.0)
+        # 100ms stall at 10ms cadence: 9 phantoms (90, 80, ... 10).
+        assert recorder.count == 10
+
+    def test_no_correction_below_interval(self):
+        recorder = LatencyRecorder()
+        recorder.record_corrected(5.0, expected_interval_ms=10.0)
+        assert recorder.count == 1
+
+    def test_zero_interval_means_no_correction(self):
+        recorder = LatencyRecorder()
+        recorder.record_corrected(100.0, expected_interval_ms=0.0)
+        assert recorder.count == 1
+
+    def test_correction_raises_high_percentiles(self):
+        plain = LatencyRecorder()
+        corrected = LatencyRecorder()
+        for _ in range(1000):
+            plain.record(1.0)
+            corrected.record_corrected(1.0, 10.0)
+        plain.record(1000.0)
+        corrected.record_corrected(1000.0, 10.0)
+        assert corrected.percentile(95.0) > plain.percentile(95.0)
+
+
+class TestMerge:
+    def test_merge_combines_counts(self):
+        a = LatencyRecorder()
+        b = LatencyRecorder()
+        for value in (1.0, 2.0):
+            a.record(value)
+        for value in (3.0, 400.0):
+            b.record(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.max_value == 400.0
+        assert a.percentile(100) == 400.0
+
+    def test_merge_geometry_mismatch(self):
+        a = LatencyRecorder(relative_error=0.01)
+        b = LatencyRecorder(relative_error=0.05)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_equals_combined_recording(self):
+        rng = random.Random(3)
+        combined = LatencyRecorder()
+        parts = [LatencyRecorder() for _ in range(4)]
+        for _ in range(4000):
+            value = rng.lognormvariate(0.5, 0.8)
+            combined.record(value)
+            parts[rng.randrange(4)].record(value)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        # Same buckets -> merged loses only the exact-count split, so
+        # percentiles differ by at most bucket width from full-combined.
+        for pct in (50.0, 99.0):
+            assert merged.count + combined.count == 2 * combined.count
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        recorder = LatencyRecorder()
+        recorder.record(10.0)
+        summary = recorder.summary()
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99", "p99.9", "max"}
+        assert summary["count"] == 1.0

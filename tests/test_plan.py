@@ -1,0 +1,334 @@
+"""Task plan tests: DAG sharing, windowed correctness, backfill."""
+
+import random
+
+import pytest
+
+from repro.common.clock import MINUTES
+from repro.events import Event, FieldType, Schema, SchemaField, SchemaRegistry
+from repro.plan import TaskPlan
+from repro.query import parse_query
+from repro.reservoir import EventReservoir, ReservoirConfig
+from repro.state import MetricStateStore
+
+
+def _setup(chunk_events=16, cache=8):
+    registry = SchemaRegistry()
+    registry.register(
+        Schema(
+            [
+                SchemaField("cardId", FieldType.STRING),
+                SchemaField("merchantId", FieldType.STRING),
+                SchemaField("amount", FieldType.FLOAT),
+                SchemaField("channel", FieldType.STRING),
+            ]
+        )
+    )
+    reservoir = EventReservoir(
+        registry,
+        config=ReservoirConfig(chunk_max_events=chunk_events, cache_capacity=cache),
+    )
+    return reservoir, TaskPlan(reservoir, MetricStateStore())
+
+
+def _event(i, ts, card="c1", merchant="m1", amount=1.0, channel="pos"):
+    return Event(
+        f"e{i}", ts,
+        {"cardId": card, "merchantId": merchant, "amount": amount, "channel": channel},
+    )
+
+
+def _feed(reservoir, plan, event):
+    result = reservoir.append(event)
+    assert result.stored
+    return plan.process_event(result.event)
+
+
+class TestDagSharing:
+    def test_figure6_example(self):
+        # Q1 (card sum+count) and Q2 (merchant avg), same 5-min window:
+        # 1 window + 1 filter + 2 group-bys + 3 aggregators = 7 nodes.
+        _, plan = _setup()
+        plan.add_metric(parse_query(
+            "SELECT sum(amount), count(*) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        plan.add_metric(parse_query(
+            "SELECT avg(amount) FROM p GROUP BY merchantId OVER sliding 5 minutes"
+        ))
+        assert plan.node_count() == 7
+        assert plan.iterator_count == 2  # shared head + shared tail
+
+    def test_same_groupby_shares_everything(self):
+        _, plan = _setup()
+        plan.add_metric(parse_query(
+            "SELECT sum(amount) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        plan.add_metric(parse_query(
+            "SELECT max(amount) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        # window + filter + group-by + 2 aggregators.
+        assert plan.node_count() == 5
+
+    def test_different_filters_fork(self):
+        _, plan = _setup()
+        plan.add_metric(parse_query(
+            "SELECT count(*) FROM p WHERE amount > 10 GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        # 1 window + 2 filters + 2 group-bys + 2 aggs.
+        assert plan.node_count() == 7
+        assert plan.iterator_count == 2  # iterators still shared
+
+    def test_different_windows_fork_iterators(self):
+        _, plan = _setup()
+        plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 1 minute"
+        ))
+        plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        # Heads shared (same delay), tails differ: 1 + 2 = 3.
+        assert plan.iterator_count == 3
+
+    def test_misaligned_delays_fork_heads(self):
+        _, plan = _setup()
+        plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 1 minute"
+        ))
+        plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 1 minute delayed by 10 seconds"
+        ))
+        assert plan.iterator_count == 4
+
+    def test_infinite_window_has_no_tail(self):
+        _, plan = _setup()
+        plan.add_metric(parse_query(
+            "SELECT countDistinct(merchantId) FROM p GROUP BY cardId OVER infinite"
+        ))
+        assert plan.iterator_count == 1
+
+
+class TestWindowedCorrectness:
+    def test_sliding_against_brute_force(self):
+        reservoir, plan = _setup()
+        handle = plan.add_metric(parse_query(
+            "SELECT sum(amount), count(*) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        rng = random.Random(7)
+        history = []
+        ts = 0
+        for i in range(400):
+            ts += rng.randrange(1, 40_000)
+            card = f"c{rng.randrange(4)}"
+            amount = round(rng.uniform(1, 50), 2)
+            event = _event(i, ts, card=card, amount=amount)
+            history.append(event)
+            replies = _feed(reservoir, plan, event)
+            window = [
+                e for e in history
+                if e.timestamp > ts - 5 * MINUTES and e["cardId"] == card
+            ]
+            got = replies[handle.metric_id]
+            assert got["count(*)"] == len(window)
+            assert got["sum(amount)"] == pytest.approx(
+                sum(e["amount"] for e in window)
+            )
+
+    def test_filter_applies_to_enter_and_exit(self):
+        reservoir, plan = _setup()
+        handle = plan.add_metric(parse_query(
+            "SELECT count(*) FROM p WHERE channel == 'ecom' "
+            "GROUP BY cardId OVER sliding 1 minute"
+        ))
+        _feed(reservoir, plan, _event(0, 1_000, channel="ecom"))
+        _feed(reservoir, plan, _event(1, 2_000, channel="pos"))
+        replies = _feed(reservoir, plan, _event(2, 3_000, channel="ecom"))
+        assert replies[handle.metric_id]["count(*)"] == 2
+        # After expiry of the first ecom event.
+        replies = _feed(reservoir, plan, _event(3, 62_000, channel="pos"))
+        assert replies[handle.metric_id]["count(*)"] == 1
+
+    def test_tumbling_window(self):
+        reservoir, plan = _setup()
+        handle = plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER tumbling 1 minute"
+        ))
+        _feed(reservoir, plan, _event(0, 10_000))
+        replies = _feed(reservoir, plan, _event(1, 50_000))
+        assert replies[handle.metric_id]["count(*)"] == 2
+        # New bucket: all previous events evicted at once.
+        replies = _feed(reservoir, plan, _event(2, 61_000))
+        assert replies[handle.metric_id]["count(*)"] == 1
+
+    def test_infinite_window_accumulates_forever(self):
+        reservoir, plan = _setup()
+        handle = plan.add_metric(parse_query(
+            "SELECT countDistinct(merchantId) FROM p GROUP BY cardId OVER infinite"
+        ))
+        for i, merchant in enumerate(("m1", "m2", "m1", "m3")):
+            replies = _feed(
+                reservoir, plan,
+                _event(i, (i + 1) * 10 * MINUTES, merchant=merchant),
+            )
+        assert replies[handle.metric_id]["countDistinct(merchantId)"] == 3
+
+    def test_delayed_window_lags(self):
+        reservoir, plan = _setup()
+        handle = plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 1 minute delayed by 1 minute"
+        ))
+        _feed(reservoir, plan, _event(0, 10_000))
+        replies = _feed(reservoir, plan, _event(1, 30_000))
+        # Both events are newer than now - delay: window still empty.
+        assert replies[handle.metric_id]["count(*)"] == 0
+        replies = _feed(reservoir, plan, _event(2, 80_000))
+        # Now - 60s = 20s: event at 10s entered the delayed window.
+        assert replies[handle.metric_id]["count(*)"] == 1
+
+    def test_multiple_groupby_fields(self):
+        reservoir, plan = _setup()
+        handle = plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId, merchantId OVER sliding 5 minutes"
+        ))
+        _feed(reservoir, plan, _event(0, 1_000, card="c1", merchant="m1"))
+        _feed(reservoir, plan, _event(1, 2_000, card="c1", merchant="m2"))
+        replies = _feed(reservoir, plan, _event(2, 3_000, card="c1", merchant="m1"))
+        assert replies[handle.metric_id]["count(*)"] == 2
+
+    def test_reply_for_untouched_key_peeks(self):
+        reservoir, plan = _setup()
+        handle = plan.add_metric(parse_query(
+            "SELECT count(*) FROM p WHERE channel == 'ecom' "
+            "GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        # A filtered-out event still gets a (read-only) reply.
+        replies = _feed(reservoir, plan, _event(0, 1_000, channel="pos"))
+        assert replies[handle.metric_id]["count(*)"] == 0
+
+
+class TestReadonlyAndRemoval:
+    def test_process_event_readonly_does_not_mutate(self):
+        reservoir, plan = _setup()
+        handle = plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        _feed(reservoir, plan, _event(0, 1_000))
+        replies = plan.process_event_readonly(_event(99, 2_000))
+        assert replies[handle.metric_id]["count(*)"] == 1
+        replies = _feed(reservoir, plan, _event(1, 3_000))
+        assert replies[handle.metric_id]["count(*)"] == 2
+
+    def test_remove_metric_prunes_dag(self):
+        _, plan = _setup()
+        first = plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 1 minute"
+        ))
+        plan.remove_metric(first.metric_id)
+        assert plan.metric_count == 1
+        # 5-minute tail iterator released, head still shared.
+        assert plan.iterator_count == 2
+
+    def test_remove_last_metric_empties_plan(self):
+        _, plan = _setup()
+        handle = plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        plan.remove_metric(handle.metric_id)
+        assert plan.node_count() == 0
+        assert plan.iterator_count == 0
+
+    def test_explicit_metric_ids(self):
+        _, plan = _setup()
+        handle = plan.add_metric(
+            parse_query("SELECT count(*) FROM p GROUP BY cardId OVER infinite"),
+            metric_id=42,
+        )
+        assert handle.metric_id == 42
+        with pytest.raises(ValueError):
+            plan.add_metric(
+                parse_query("SELECT count(*) FROM p GROUP BY cardId OVER infinite"),
+                metric_id=42,
+            )
+
+
+class TestBackfill:
+    def test_backfilled_metric_matches_original(self):
+        reservoir, plan = _setup()
+        original = plan.add_metric(parse_query(
+            "SELECT sum(amount) FROM p GROUP BY cardId OVER sliding 10 minutes"
+        ))
+        for i in range(30):
+            _feed(reservoir, plan, _event(i, (i + 1) * 10_000, amount=float(i)))
+        late = plan.add_metric(
+            parse_query(
+                "SELECT sum(amount) FROM p GROUP BY cardId OVER sliding 10 minutes"
+            ),
+            backfill=True,
+        )
+        replies = _feed(reservoir, plan, _event(99, 310_000, amount=1.0))
+        assert replies[late.metric_id]["sum(amount)"] == pytest.approx(
+            replies[original.metric_id]["sum(amount)"]
+        )
+
+    def test_backfill_respects_filter(self):
+        reservoir, plan = _setup()
+        for i in range(10):
+            channel = "ecom" if i % 2 == 0 else "pos"
+            _feed(reservoir, plan, _event(i, (i + 1) * 1_000, channel=channel))
+        handle = plan.add_metric(
+            parse_query(
+                "SELECT count(*) FROM p WHERE channel == 'ecom' "
+                "GROUP BY cardId OVER sliding 1 hour"
+            ),
+            backfill=True,
+        )
+        replies = _feed(reservoir, plan, _event(99, 11_000, channel="pos"))
+        assert replies[handle.metric_id]["count(*)"] == 5
+
+    def test_cold_metric_starts_empty(self):
+        reservoir, plan = _setup()
+        for i in range(10):
+            _feed(reservoir, plan, _event(i, (i + 1) * 1_000))
+        handle = plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 1 hour"
+        ))
+        replies = _feed(reservoir, plan, _event(99, 11_000))
+        assert replies[handle.metric_id]["count(*)"] == 1
+
+    def test_backfilled_window_expires_correctly(self):
+        reservoir, plan = _setup()
+        for i in range(5):
+            _feed(reservoir, plan, _event(i, (i + 1) * 10_000, amount=10.0))
+        handle = plan.add_metric(
+            parse_query(
+                "SELECT sum(amount) FROM p GROUP BY cardId OVER sliding 1 minute"
+            ),
+            backfill=True,
+        )
+        # All five backfilled events (10s..50s) expire by t = 111s.
+        replies = _feed(reservoir, plan, _event(99, 111_000, amount=1.0))
+        assert replies[handle.metric_id]["sum(amount)"] == pytest.approx(1.0)
+
+
+class TestIteratorPositions:
+    def test_positions_roundtrip(self):
+        reservoir, plan = _setup()
+        plan.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        for i in range(40):
+            _feed(reservoir, plan, _event(i, (i + 1) * 1_000))
+        positions = plan.iterator_positions()
+        assert len(positions) == 2
+        # Restore into a new plan over the same reservoir.
+        other = TaskPlan(reservoir, MetricStateStore())
+        other.add_metric(parse_query(
+            "SELECT count(*) FROM p GROUP BY cardId OVER sliding 5 minutes"
+        ))
+        other.set_iterator_positions(positions)
+        assert other.iterator_positions() == positions

@@ -1,0 +1,199 @@
+"""Chunk, index and cache unit tests (reservoir building blocks)."""
+
+import pytest
+
+from repro.common.compression import codec_by_name
+from repro.common.errors import SerdeError
+from repro.events import Event, FieldType, Schema, SchemaField
+from repro.reservoir import Chunk, ChunkCache, ChunkMeta, ChunkState, ReservoirIndex
+
+SCHEMA = Schema(
+    [SchemaField("v", FieldType.INT), SchemaField("s", FieldType.STRING)],
+    schema_id=0,
+)
+CODEC = codec_by_name("zlib:6")
+
+
+def _event(i, ts=None):
+    return Event(f"e{i}", ts if ts is not None else i * 10, {"v": i, "s": f"x{i}"})
+
+
+class TestChunk:
+    def test_append_in_order(self):
+        chunk = Chunk(0, 0)
+        for i in range(5):
+            assert chunk.append(_event(i)) == i
+        assert chunk.first_ts == 0
+        assert chunk.last_ts == 40
+
+    def test_late_insert_keeps_order(self):
+        chunk = Chunk(0, 0)
+        chunk.append(_event(0, ts=10))
+        chunk.append(_event(1, ts=30))
+        position = chunk.append(_event(2, ts=20))
+        assert position == 1
+        assert [e.timestamp for e in chunk.events] == [10, 20, 30]
+
+    def test_equal_ts_inserts_after(self):
+        chunk = Chunk(0, 0)
+        chunk.append(_event(0, ts=10))
+        chunk.append(_event(1, ts=30))
+        position = chunk.append(_event(2, ts=10))
+        assert position == 1  # after the existing ts=10 event
+
+    def test_lifecycle_transitions(self):
+        chunk = Chunk(0, 0)
+        chunk.append(_event(0))
+        assert chunk.state is ChunkState.OPEN
+        chunk.mark_transition(now_ms=100)
+        assert chunk.state is ChunkState.TRANSITION
+        assert chunk.closed_at_ms == 100
+        chunk.append(_event(1, ts=5))  # transition chunks accept late data
+        chunk.mark_closed()
+        with pytest.raises(ValueError):
+            chunk.append(_event(2))
+
+    def test_double_transition_rejected(self):
+        chunk = Chunk(0, 0)
+        chunk.mark_transition(1)
+        with pytest.raises(ValueError):
+            chunk.mark_transition(2)
+
+    def test_serialize_roundtrip(self):
+        chunk = Chunk(7, 0)
+        for i in range(20):
+            chunk.append(_event(i))
+        payload = chunk.serialize(SCHEMA, CODEC)
+        restored = Chunk.deserialize(payload, lambda sid: SCHEMA)
+        assert restored.chunk_id == 7
+        assert restored.state is ChunkState.CLOSED
+        assert restored.events == chunk.events
+
+    def test_serialize_wrong_schema_rejected(self):
+        chunk = Chunk(0, 3)
+        with pytest.raises(SerdeError):
+            chunk.serialize(SCHEMA, CODEC)  # schema_id 0 != 3
+
+    def test_compression_shrinks(self):
+        chunk = Chunk(0, 0)
+        for i in range(200):
+            chunk.append(Event(f"e{i}", i, {"v": 1, "s": "same-string"}))
+        compressed = chunk.serialize(SCHEMA, codec_by_name("zlib:6"))
+        raw = chunk.serialize(SCHEMA, codec_by_name("none"))
+        assert len(compressed) < len(raw) / 2
+
+
+class TestReservoirIndex:
+    def _meta(self, chunk_id, first, last):
+        return ChunkMeta(chunk_id, f"f{chunk_id}", 0, 10, first, last, 5)
+
+    def test_ordering_enforced(self):
+        index = ReservoirIndex()
+        index.add(self._meta(0, 0, 10))
+        with pytest.raises(ValueError):
+            index.add(self._meta(0, 20, 30))  # duplicate id
+        with pytest.raises(ValueError):
+            index.add(self._meta(1, 5, 30))  # overlapping range
+
+    def test_position_of_chunk(self):
+        index = ReservoirIndex()
+        for i in range(5):
+            index.add(self._meta(i * 2, i * 100, i * 100 + 50))
+        assert index.position_of_chunk(4) == 2
+        assert index.position_of_chunk(5) is None
+
+    def test_first_position_covering(self):
+        index = ReservoirIndex()
+        index.add(self._meta(0, 0, 50))
+        index.add(self._meta(1, 100, 150))
+        assert index.first_position_covering(25) == 0
+        assert index.first_position_covering(75) == 1  # gap -> next chunk
+        assert index.first_position_covering(125) == 1
+        assert index.first_position_covering(500) == 2  # past everything
+
+    def test_covering_before_all_data(self):
+        index = ReservoirIndex()
+        index.add(self._meta(0, 100, 150))
+        assert index.first_position_covering(10) == 0
+
+    def test_total_events(self):
+        index = ReservoirIndex()
+        index.add(self._meta(0, 0, 10))
+        index.add(self._meta(1, 20, 30))
+        assert index.total_events() == 10
+
+    def test_serde_roundtrip(self):
+        index = ReservoirIndex()
+        for i in range(4):
+            index.add(self._meta(i, i * 100, i * 100 + 50))
+        restored = ReservoirIndex.from_bytes(index.to_bytes())
+        assert len(restored) == 4
+        assert restored.get(2).first_ts == 200
+
+
+class TestChunkCache:
+    def test_lru_eviction_order(self):
+        cache = ChunkCache(2)
+        cache.put_demand(1, ["a"])
+        cache.put_demand(2, ["b"])
+        cache.get(1)  # refresh 1
+        cache.put_demand(3, ["c"])  # evicts 2
+        assert 1 in cache
+        assert 2 not in cache
+        assert 3 in cache
+
+    def test_get_miss_counts(self):
+        cache = ChunkCache(2)
+        assert cache.get(9) is None
+        assert cache.stats.demand_misses == 1
+
+    def test_prefetch_accounting(self):
+        cache = ChunkCache(2)
+        cache.put_prefetch(1, ["a"])
+        assert cache.stats.prefetch_loads == 1
+        assert cache.get(1) == ["a"]
+        assert cache.stats.hits == 1
+
+    def test_wasted_prefetch_detected(self):
+        cache = ChunkCache(1)
+        cache.put_prefetch(1, ["a"])
+        cache.put_demand(2, ["b"])  # evicts 1 before any use
+        assert cache.stats.prefetch_wasted == 1
+
+    def test_used_prefetch_not_wasted(self):
+        cache = ChunkCache(1)
+        cache.put_prefetch(1, ["a"])
+        cache.get(1)
+        cache.put_demand(2, ["b"])
+        assert cache.stats.prefetch_wasted == 0
+
+    def test_peek_does_not_touch_stats(self):
+        cache = ChunkCache(2)
+        cache.put_demand(1, ["a"])
+        assert cache.peek(1)
+        assert not cache.peek(9)
+        assert cache.stats.hits == 0
+        assert cache.stats.demand_misses == 0
+
+    def test_invalidate(self):
+        cache = ChunkCache(2)
+        cache.put_demand(1, ["a"])
+        cache.invalidate(1)
+        assert 1 not in cache
+
+    def test_miss_rate(self):
+        cache = ChunkCache(2)
+        cache.get(1)
+        cache.put_demand(1, ["a"])
+        cache.get(1)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChunkCache(0)
+
+    def test_duplicate_prefetch_ignored(self):
+        cache = ChunkCache(2)
+        cache.put_prefetch(1, ["a"])
+        cache.put_prefetch(1, ["a"])
+        assert cache.stats.prefetch_loads == 1

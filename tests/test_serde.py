@@ -1,0 +1,163 @@
+"""Binary serde primitives: round trips and corruption handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import serde
+from repro.common.errors import SerdeError
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63])
+    def test_roundtrip(self, value):
+        buf = bytearray()
+        serde.write_varint(buf, value)
+        decoded, offset = serde.read_varint(bytes(buf), 0)
+        assert decoded == value
+        assert offset == len(buf)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_property(self, value):
+        buf = bytearray()
+        serde.write_varint(buf, value)
+        assert serde.read_varint(bytes(buf), 0)[0] == value
+
+    def test_small_values_encode_in_one_byte(self):
+        buf = bytearray()
+        serde.write_varint(buf, 100)
+        assert len(buf) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerdeError):
+            serde.write_varint(bytearray(), -1)
+
+    def test_truncated_raises(self):
+        buf = bytearray()
+        serde.write_varint(buf, 2**40)
+        with pytest.raises(SerdeError):
+            serde.read_varint(bytes(buf[:-1]), 0)
+
+    def test_overlong_raises(self):
+        with pytest.raises(SerdeError):
+            serde.read_varint(b"\xff" * 11, 0)
+
+
+class TestSignedVarint:
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip_property(self, value):
+        buf = bytearray()
+        serde.write_signed_varint(buf, value)
+        assert serde.read_signed_varint(bytes(buf), 0)[0] == value
+
+    def test_zigzag_mapping(self):
+        assert serde.zigzag_encode(0) == 0
+        assert serde.zigzag_encode(-1) == 1
+        assert serde.zigzag_encode(1) == 2
+        assert serde.zigzag_encode(-2) == 3
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_zigzag_inverse(self, value):
+        assert serde.zigzag_decode(serde.zigzag_encode(value)) == value
+
+
+class TestBytesAndStrings:
+    @given(st.binary(max_size=200))
+    def test_bytes_roundtrip(self, payload):
+        buf = bytearray()
+        serde.write_bytes(buf, payload)
+        decoded, offset = serde.read_bytes(bytes(buf), 0)
+        assert decoded == payload
+        assert offset == len(buf)
+
+    @given(st.text(max_size=100))
+    def test_str_roundtrip(self, text):
+        buf = bytearray()
+        serde.write_str(buf, text)
+        assert serde.read_str(bytes(buf), 0)[0] == text
+
+    def test_truncated_bytes_raise(self):
+        buf = bytearray()
+        serde.write_bytes(buf, b"hello world")
+        with pytest.raises(SerdeError):
+            serde.read_bytes(bytes(buf[:-3]), 0)
+
+
+class TestFixedWidth:
+    @given(st.floats(allow_nan=False))
+    def test_f64_roundtrip(self, value):
+        buf = bytearray()
+        serde.write_f64(buf, value)
+        assert serde.read_f64(bytes(buf), 0)[0] == value
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_u32_roundtrip(self, value):
+        buf = bytearray()
+        serde.write_u32(buf, value)
+        assert serde.read_u32(bytes(buf), 0)[0] == value
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_u64_roundtrip(self, value):
+        buf = bytearray()
+        serde.write_u64(buf, value)
+        assert serde.read_u64(bytes(buf), 0)[0] == value
+
+    def test_truncated_f64(self):
+        with pytest.raises(SerdeError):
+            serde.read_f64(b"\x00" * 7, 0)
+
+
+_scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**60), max_value=2**60),
+    st.floats(allow_nan=False),
+    st.text(max_size=60),
+    st.binary(max_size=60),
+)
+
+
+class TestTaggedValues:
+    @given(_scalar_values)
+    def test_roundtrip_property(self, value):
+        buf = bytearray()
+        serde.write_value(buf, value)
+        decoded, offset = serde.read_value(bytes(buf), 0)
+        assert decoded == value
+        assert type(decoded) is type(value)
+        assert offset == len(buf)
+
+    def test_bool_is_not_int(self):
+        buf = bytearray()
+        serde.write_value(buf, True)
+        decoded, _ = serde.read_value(bytes(buf), 0)
+        assert decoded is True
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SerdeError):
+            serde.write_value(bytearray(), object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerdeError):
+            serde.read_value(b"\x99", 0)
+
+    def test_sequence_of_values(self):
+        buf = bytearray()
+        values = [None, 1, "two", 3.0, False, b"four"]
+        for value in values:
+            serde.write_value(buf, value)
+        offset = 0
+        decoded = []
+        for _ in values:
+            value, offset = serde.read_value(bytes(buf), offset)
+            decoded.append(value)
+        assert decoded == values
+
+
+class TestCrc:
+    def test_crc_detects_change(self):
+        data = b"some payload"
+        crc = serde.crc32_of(data)
+        assert serde.crc32_of(b"some payloae") != crc
+
+    def test_crc_stable(self):
+        assert serde.crc32_of(b"x") == serde.crc32_of(b"x")

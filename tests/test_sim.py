@@ -1,0 +1,211 @@
+"""Simulation substrate tests: distributions, GC, Kafka, pipeline."""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    Exponential,
+    GcConfig,
+    GcModel,
+    HoppingServiceConfig,
+    HoppingServiceModel,
+    KafkaConfig,
+    KafkaModel,
+    LogNormal,
+    PipelineConfig,
+    RailgunServiceConfig,
+    RailgunServiceModel,
+    simulate_pipeline,
+)
+from repro.sim.service import PerEventScanConfig, PerEventScanServiceModel
+
+
+class TestDistributions:
+    def test_lognormal_median(self):
+        sampler = LogNormal(10.0, 0.5, random.Random(1))
+        samples = sorted(sampler.sample() for _ in range(4000))
+        median = samples[2000]
+        assert 8.5 < median < 11.5
+
+    def test_lognormal_zero_sigma_is_constant(self):
+        sampler = LogNormal(5.0, 0.0, random.Random(1))
+        assert sampler.sample() == pytest.approx(5.0)
+
+    def test_exponential_mean(self):
+        sampler = Exponential(4.0, random.Random(2))
+        mean = sum(sampler.sample() for _ in range(4000)) / 4000
+        assert 3.5 < mean < 4.5
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormal(0, 0.5, random.Random(1))
+        with pytest.raises(ValueError):
+            Exponential(0, random.Random(1))
+
+
+class TestGcModel:
+    def test_no_pause_before_young_fills(self):
+        gc = GcModel(GcConfig(young_gen_bytes=1e9, alloc_per_event_bytes=1e6),
+                     random.Random(1))
+        pauses = [gc.on_event() for _ in range(999)]
+        assert all(p == 0.0 for p in pauses)
+        assert gc.on_event() > 0.0
+        assert gc.minor_pauses == 1
+
+    def test_low_pressure_never_majors(self):
+        config = GcConfig(
+            young_gen_bytes=1e8, alloc_per_event_bytes=1e6,
+            baseline_live_bytes=1e9, heap_bytes=10e9,
+        )
+        gc = GcModel(config, random.Random(2))
+        for _ in range(50_000):
+            gc.on_event()
+        assert gc.major_pauses == 0
+        assert gc.heap_pressure < 0.2
+
+    def test_high_pressure_triggers_majors(self):
+        config = GcConfig(
+            young_gen_bytes=1e8, alloc_per_event_bytes=1e6,
+            baseline_live_bytes=1e9, heap_bytes=10e9,
+        )
+        gc = GcModel(config, random.Random(3), extra_live_bytes=8e9)
+        for _ in range(50_000):
+            gc.on_event()
+        assert gc.major_pauses > 0
+
+    def test_major_pauses_are_long(self):
+        config = GcConfig(
+            young_gen_bytes=1e8, alloc_per_event_bytes=1e6,
+            baseline_live_bytes=1e9, heap_bytes=10e9,
+            major_pause_median_ms=280.0,
+        )
+        gc = GcModel(config, random.Random(4), extra_live_bytes=8.5e9)
+        longest = max(gc.on_event() for _ in range(50_000))
+        assert longest > 100.0
+
+
+class TestKafkaModel:
+    def test_leg_delay_positive(self):
+        model = KafkaModel(KafkaConfig(), random.Random(1))
+        assert all(model.leg_delay() > 0 for _ in range(100))
+
+    def test_partition_overload_raises_median(self):
+        light = KafkaModel(KafkaConfig(), random.Random(1), total_partitions=4, brokers=1)
+        heavy = KafkaModel(KafkaConfig(), random.Random(1), total_partitions=400, brokers=1)
+        assert heavy.effective_median_ms > light.effective_median_ms
+
+    def test_acks_all_adds_latency(self):
+        plain = KafkaModel(KafkaConfig(), random.Random(1), acks_all=False)
+        acked = KafkaModel(KafkaConfig(), random.Random(1), acks_all=True)
+        assert acked.effective_median_ms > plain.effective_median_ms
+
+    def test_hiccups_appear_in_tail(self):
+        config = KafkaConfig(hiccup_probability=0.01)
+        model = KafkaModel(config, random.Random(5))
+        longest = max(model.leg_delay() for _ in range(5000))
+        assert longest > 30.0
+
+
+class TestServiceModels:
+    def test_railgun_mean_close_to_samples(self):
+        config = RailgunServiceConfig()
+        model = RailgunServiceModel(config, random.Random(1))
+        samples = [model.service_ms(i, 0) for i in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(model.mean_service_ms, rel=0.5)
+
+    def test_railgun_miss_probability_grows_with_iterators(self):
+        few = RailgunServiceModel(
+            RailgunServiceConfig(iterators=20, cache_capacity=220), random.Random(1)
+        )
+        many = RailgunServiceModel(
+            RailgunServiceConfig(iterators=240, cache_capacity=220), random.Random(1)
+        )
+        assert many._miss_probability > 100 * few._miss_probability
+
+    def test_hopping_cost_grows_with_pane_count(self):
+        coarse = HoppingServiceModel(
+            HoppingServiceConfig(hop_ms=300_000), random.Random(1)
+        )
+        fine = HoppingServiceModel(
+            HoppingServiceConfig(hop_ms=1_000), random.Random(1)
+        )
+        assert fine.mean_service_ms > 10 * coarse.mean_service_ms
+        assert fine.panes_per_event == 3600
+
+    def test_hopping_burst_at_hop_boundary(self):
+        config = HoppingServiceConfig(hop_ms=10_000, active_keys=10_000)
+        model = HoppingServiceModel(config, random.Random(2))
+        inside = model.service_ms(1_000, 0)
+        crossing = model.service_ms(11_000, 0)  # crosses one hop boundary
+        assert crossing > inside + 0.5 * model.rotation_burst_ms
+
+    def test_perevent_scan_is_expensive(self):
+        scan = PerEventScanServiceModel(PerEventScanConfig(), random.Random(1))
+        railgun = RailgunServiceModel(RailgunServiceConfig(), random.Random(1))
+        assert scan.mean_service_ms > 5 * railgun.mean_service_ms
+
+
+class TestPipeline:
+    def _run(self, rate, service_config=None, **kwargs):
+        config = PipelineConfig(
+            rate_ev_s=rate, duration_s=30.0, warmup_s=3.0, processors=1, seed=7,
+            **kwargs,
+        )
+        kafka = KafkaModel(KafkaConfig(), random.Random(9))
+        return simulate_pipeline(
+            config,
+            lambda rng: RailgunServiceModel(
+                service_config or RailgunServiceConfig(), rng
+            ),
+            kafka,
+        )
+
+    def test_stable_load_converges(self):
+        result = self._run(rate=500)
+        assert not result.diverged
+        assert result.utilization < 0.9
+        assert result.percentile(50.0) < 10.0
+        assert result.measured_events > 10_000
+
+    def test_overload_diverges(self):
+        slow = RailgunServiceConfig(base_us=5_000.0)  # 5ms/event @ 500/s
+        result = self._run(rate=500, service_config=slow)
+        assert result.diverged or result.utilization > 0.99
+
+    def test_paced_arrivals_option(self):
+        result = self._run(rate=200, poisson_arrivals=False)
+        assert result.offered_events == pytest.approx(200 * 30, rel=0.02)
+
+    def test_multiple_processors_split_load(self):
+        config = PipelineConfig(
+            rate_ev_s=2_000, duration_s=20.0, warmup_s=2.0, processors=8, seed=3
+        )
+        kafka = KafkaModel(KafkaConfig(), random.Random(4))
+        result = simulate_pipeline(
+            config,
+            lambda rng: RailgunServiceModel(RailgunServiceConfig(), rng),
+            kafka,
+        )
+        assert not result.diverged
+        assert result.utilization < 0.5
+
+    def test_gc_config_produces_pauses(self):
+        config = PipelineConfig(
+            rate_ev_s=1_000, duration_s=30.0, warmup_s=3.0, processors=1, seed=5
+        )
+        kafka = KafkaModel(KafkaConfig(), random.Random(6))
+        result = simulate_pipeline(
+            config,
+            lambda rng: RailgunServiceModel(RailgunServiceConfig(), rng),
+            kafka,
+            gc_config=GcConfig(alloc_per_event_bytes=1e6, young_gen_bytes=1e9),
+        )
+        assert result.gc_minor > 0
+
+    def test_deterministic_given_seed(self):
+        first = self._run(rate=300)
+        second = self._run(rate=300)
+        assert first.percentile(99.0) == second.percentile(99.0)
+        assert first.offered_events == second.offered_events

@@ -1,0 +1,122 @@
+"""Metric state store tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events.event import Event
+from repro.state import MetricStateStore
+from repro.state.store import decode_group_key, encode_group_key
+
+
+def _event(i):
+    return Event(f"e{i}", i, {})
+
+
+class TestGroupKeys:
+    @given(
+        st.lists(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.floats(allow_nan=False),
+                st.text(max_size=30),
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100)
+    def test_roundtrip(self, values):
+        encoded = encode_group_key(values)
+        assert decode_group_key(encoded) == tuple(values)
+
+    def test_distinct_keys_distinct_bytes(self):
+        assert encode_group_key(("a", "b")) != encode_group_key(("ab",))
+        assert encode_group_key((1,)) != encode_group_key(("1",))
+
+    def test_empty_key(self):
+        assert decode_group_key(encode_group_key(())) == ()
+
+
+class TestApplyAndPeek:
+    def test_apply_accumulates(self):
+        store = MetricStateStore()
+        key = encode_group_key(("c1",))
+        result = store.apply(0, 0, "sum", key, [(5.0, _event(0))], [])
+        assert result == 5.0
+        result = store.apply(0, 0, "sum", key, [(3.0, _event(1))], [(5.0, _event(0))])
+        assert result == 3.0
+
+    def test_peek_does_not_mutate(self):
+        store = MetricStateStore()
+        key = encode_group_key(("c1",))
+        store.apply(0, 0, "count", key, [(True, _event(0))], [])
+        assert store.peek(0, 0, "count", key) == 1
+        assert store.peek(0, 0, "count", key) == 1
+
+    def test_namespaces_isolated(self):
+        store = MetricStateStore()
+        key = encode_group_key(("c1",))
+        store.apply(0, 0, "count", key, [(True, _event(0))], [])
+        store.apply(1, 0, "count", key, [(True, _event(1))], [(True, _event(0))])
+        assert store.peek(0, 0, "count", key) == 1
+        assert store.peek(1, 0, "count", key) == 0
+
+    def test_agg_index_isolated(self):
+        store = MetricStateStore()
+        key = encode_group_key(("c1",))
+        store.apply(0, 0, "sum", key, [(1.0, _event(0))], [])
+        store.apply(0, 1, "count", key, [(True, _event(0))], [])
+        assert store.peek(0, 0, "sum", key) == 1.0
+        assert store.peek(0, 1, "count", key) == 1
+
+    def test_access_counters(self):
+        store = MetricStateStore()
+        key = encode_group_key(("c1",))
+        store.apply(0, 0, "sum", key, [(1.0, _event(0))], [])
+        assert store.key_reads == 1
+        assert store.key_writes == 1
+
+
+class TestCountDistinctColumnFamily:
+    def test_distinct_counters_in_aux_cf(self):
+        store = MetricStateStore()
+        key = encode_group_key(("c1",))
+        store.apply(0, 0, "countDistinct", key, [("x", _event(0)), ("y", _event(1))], [])
+        assert store.peek(0, 0, "countDistinct", key) == 2
+        store.apply(0, 0, "countDistinct", key, [], [("x", _event(0))])
+        assert store.peek(0, 0, "countDistinct", key) == 1
+
+    def test_distinct_isolated_per_entity(self):
+        store = MetricStateStore()
+        a = encode_group_key(("a",))
+        b = encode_group_key(("b",))
+        store.apply(0, 0, "countDistinct", a, [("x", _event(0))], [])
+        store.apply(0, 0, "countDistinct", b, [("x", _event(1))], [])
+        store.apply(0, 0, "countDistinct", a, [], [("x", _event(0))])
+        assert store.peek(0, 0, "countDistinct", a) == 0
+        assert store.peek(0, 0, "countDistinct", b) == 1
+
+
+class TestCheckpointRestore:
+    def test_restore_preserves_all_state(self):
+        store = MetricStateStore()
+        key = encode_group_key(("c1",))
+        store.apply(0, 0, "sum", key, [(5.0, _event(0))], [])
+        store.apply(0, 1, "countDistinct", key, [("m1", _event(0))], [])
+        checkpoint = store.checkpoint()
+        files = store.export_checkpoint(checkpoint)
+        restored = MetricStateStore.restore(checkpoint, files)
+        assert restored.peek(0, 0, "sum", key) == 5.0
+        assert restored.peek(0, 1, "countDistinct", key) == 1
+
+    def test_restored_store_continues(self):
+        store = MetricStateStore()
+        key = encode_group_key(("c1",))
+        store.apply(0, 0, "count", key, [(True, _event(0))], [])
+        checkpoint = store.checkpoint()
+        restored = MetricStateStore.restore(
+            checkpoint, store.export_checkpoint(checkpoint)
+        )
+        result = restored.apply(0, 0, "count", key, [(True, _event(1))], [])
+        assert result == 2

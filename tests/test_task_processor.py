@@ -1,0 +1,185 @@
+"""Task processor tests: processing, replay, checkpoint/restore."""
+
+import pytest
+
+from repro.engine.catalog import MetricDef, StreamDef, topic_name
+from repro.engine.task import TaskProcessor
+from repro.events.event import Event
+from repro.messaging.log import TopicPartition
+
+STREAM = StreamDef(
+    "payments",
+    (("cardId", "string"), ("amount", "float")),
+    ("cardId",),
+    partitions=2,
+)
+TP = TopicPartition(topic_name("payments", "cardId"), 0)
+METRIC = MetricDef(
+    0,
+    "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 minutes",
+    "payments",
+    topic_name("payments", "cardId"),
+)
+
+
+def _event(i, ts=None, card="c1", amount=1.0):
+    return Event(f"e{i}", ts if ts is not None else (i + 1) * 1_000,
+                 {"cardId": card, "amount": amount})
+
+
+def _processor():
+    processor = TaskProcessor(TP, STREAM)
+    processor.add_metric(METRIC)
+    return processor
+
+
+class TestProcessing:
+    def test_processes_in_offset_order(self):
+        processor = _processor()
+        for i in range(5):
+            replies = processor.process(i, _event(i))
+        assert replies[0]["count(*)"] == 5
+        assert processor.next_offset == 5
+
+    def test_replay_skips_mutation_but_replies(self):
+        processor = _processor()
+        processor.process(0, _event(0))
+        processor.process(1, _event(1))
+        replayed = processor.process(0, _event(0))
+        assert replayed is not None
+        assert replayed[0]["count(*)"] == 2  # state unchanged
+        assert processor.replays_skipped == 1
+
+    def test_duplicate_event_id_not_double_counted(self):
+        processor = _processor()
+        processor.process(0, _event(0))
+        replies = processor.process(1, _event(0))  # same event id, new offset
+        assert replies[0]["count(*)"] == 1
+
+    def test_add_metric_idempotent(self):
+        processor = _processor()
+        processor.add_metric(METRIC)
+        assert processor.metric_ids() == (0,)
+
+    def test_remove_metric(self):
+        processor = _processor()
+        processor.remove_metric(0)
+        assert processor.metric_ids() == ()
+        replies = processor.process(0, _event(0))
+        assert replies == {}
+
+    def test_schema_evolution(self):
+        processor = _processor()
+        processor.process(0, _event(0))
+        evolved = StreamDef(
+            "payments",
+            (("cardId", "string"), ("amount", "float"), ("extra", "int")),
+            ("cardId",),
+            2,
+        )
+        processor.evolve_schema(evolved)
+        replies = processor.process(
+            1, Event("new", 2_000, {"cardId": "c1", "amount": 1.0, "extra": 7})
+        )
+        assert replies[0]["count(*)"] == 2
+
+
+class TestCheckpointRestore:
+    def test_restore_continues_identically(self):
+        original = _processor()
+        twin = _processor()
+        for i in range(30):
+            original.process(i, _event(i))
+            twin.process(i, _event(i))
+        checkpoint = original.checkpoint()
+        restored = TaskProcessor.restore(checkpoint, STREAM, [METRIC])
+        assert restored.next_offset == 30
+        for i in range(30, 45):
+            expected = twin.process(i, _event(i))
+            got = restored.process(i, _event(i))
+            assert got == expected
+
+    def test_restore_preserves_window_expiry(self):
+        original = _processor()
+        offset = 0
+        for i in range(10):
+            original.process(offset, _event(i, ts=(i + 1) * 10_000))
+            offset += 1
+        checkpoint = original.checkpoint()
+        restored = TaskProcessor.restore(checkpoint, STREAM, [METRIC])
+        # 6 minutes later everything has expired.
+        replies = restored.process(offset, _event(99, ts=460_000))
+        assert replies[0]["count(*)"] == 1
+
+    def test_checkpoint_data_bytes_delta(self):
+        from repro.reservoir.reservoir import ReservoirConfig
+
+        processor = TaskProcessor(
+            TP, STREAM, reservoir_config=ReservoirConfig(chunk_max_events=8)
+        )
+        processor.add_metric(METRIC)
+        for i in range(50):
+            processor.process(i, _event(i))
+        checkpoint = processor.checkpoint()
+        full = checkpoint.data_bytes()
+        delta = checkpoint.data_bytes(exclude_files=set(checkpoint.reservoir_files))
+        assert 0 < delta < full
+
+    def test_restore_with_local_files_delta(self):
+        processor = _processor()
+        for i in range(50):
+            processor.process(i, _event(i))
+        checkpoint = processor.checkpoint()
+        # Receiver already has all sealed reservoir files.
+        local = {
+            name: data
+            for name, data in checkpoint.reservoir_files.items()
+            if name in checkpoint.reservoir_sealed
+        }
+        checkpoint.reservoir_files = {
+            name: data
+            for name, data in checkpoint.reservoir_files.items()
+            if name not in checkpoint.reservoir_sealed
+        }
+        restored = TaskProcessor.restore(
+            checkpoint, STREAM, [METRIC], local_files=local
+        )
+        replies = restored.process(50, _event(50))
+        assert replies[0]["count(*)"] >= 1
+
+    def test_restore_missing_files_raises(self):
+        from repro.common.errors import CheckpointError
+
+        processor = TaskProcessor(TP, STREAM)
+        processor.add_metric(METRIC)
+        # Force at least one sealed file.
+        from repro.reservoir.reservoir import ReservoirConfig
+
+        small = TaskProcessor(
+            TP, STREAM,
+            reservoir_config=ReservoirConfig(chunk_max_events=2, file_max_chunks=1),
+        )
+        small.add_metric(METRIC)
+        for i in range(10):
+            small.process(i, _event(i))
+        checkpoint = small.checkpoint()
+        checkpoint.reservoir_files = {}
+        with pytest.raises(CheckpointError):
+            TaskProcessor.restore(checkpoint, STREAM, [METRIC])
+
+    def test_restored_metrics_use_catalog_ids(self):
+        processor = _processor()
+        processor.process(0, _event(0))
+        checkpoint = processor.checkpoint()
+        second_metric = MetricDef(
+            7,
+            "SELECT max(amount) FROM payments GROUP BY cardId OVER sliding 5 minutes",
+            "payments",
+            topic_name("payments", "cardId"),
+        )
+        restored = TaskProcessor.restore(
+            checkpoint, STREAM, [METRIC, second_metric]
+        )
+        replies = restored.process(1, _event(1, amount=9.0))
+        assert replies[0]["count(*)"] == 2
+        assert replies[7]["max(amount)"] == 9.0
