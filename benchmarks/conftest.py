@@ -4,13 +4,21 @@ from __future__ import annotations
 
 import os
 
-REPORTS_DIR = os.path.join(os.path.dirname(__file__), "..", "reports")
+#: default report location; override with $RAILGUN_REPORTS_DIR (CI
+#: redirects artifacts into the job workspace)
+DEFAULT_REPORTS_DIR = os.path.join(os.path.dirname(__file__), "..", "reports")
+
+
+def reports_dir() -> str:
+    """Where rendered reports go; resolved per call so env changes apply."""
+    return os.environ.get("RAILGUN_REPORTS_DIR") or DEFAULT_REPORTS_DIR
 
 
 def write_report(name: str, text: str) -> None:
-    """Persist a rendered experiment report under ``reports/``."""
-    os.makedirs(REPORTS_DIR, exist_ok=True)
-    path = os.path.join(REPORTS_DIR, f"{name}.txt")
+    """Persist a rendered experiment report under the reports directory."""
+    directory = reports_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
 

@@ -76,6 +76,25 @@ def test_lsm_put_get(benchmark):
     benchmark(one_op)
 
 
+def test_reservoir_append_batch_throughput(benchmark):
+    reservoir = EventReservoir(
+        _schema_registry(), config=ReservoirConfig(chunk_max_events=256)
+    )
+    counter = iter(range(0, 2_000_000_000, 512))
+
+    def one_batch():
+        base = next(counter)
+        reservoir.append_batch(
+            [
+                Event(f"b{base + i}", base + i + 1,
+                      {"cardId": f"c{i % 100}", "amount": 1.0})
+                for i in range(512)
+            ]
+        )
+
+    benchmark(one_batch)
+
+
 def test_aggregator_updates(benchmark):
     aggs = [SumAggregator(), MaxAggregator(), StdDevAggregator()]
     counter = iter(range(10_000_000))
@@ -87,6 +106,22 @@ def test_aggregator_updates(benchmark):
             agg.add(float(i % 1000), event)
 
     benchmark(one_update)
+
+
+def test_aggregator_update_batch(benchmark):
+    aggs = [SumAggregator(), MaxAggregator(), StdDevAggregator()]
+    counter = iter(range(0, 2_000_000_000, 256))
+
+    def one_batch():
+        base = next(counter)
+        pairs = [
+            (float((base + i) % 1000), Event(f"ab{base + i}", base + i, {}))
+            for i in range(256)
+        ]
+        for agg in aggs:
+            agg.update_batch(pairs, ())
+
+    benchmark(one_batch)
 
 
 def test_hopping_engine_event(benchmark):

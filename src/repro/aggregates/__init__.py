@@ -14,16 +14,16 @@ aggregation states in RocksDB (§4.1.3):
 """
 
 from repro.aggregates.base import Aggregator, AuxStore, MemoryAuxStore
-from repro.aggregates.basic import CountAggregator, SumAggregator, AvgAggregator
-from repro.aggregates.minmax import MaxAggregator, MinAggregator
-from repro.aggregates.stddev import StdDevAggregator
-from repro.aggregates.lastprev import LastAggregator, PrevAggregator
+from repro.aggregates.basic import AvgAggregator, CountAggregator, SumAggregator
 from repro.aggregates.distinct import CountDistinctAggregator
+from repro.aggregates.lastprev import LastAggregator, PrevAggregator
+from repro.aggregates.minmax import MaxAggregator, MinAggregator
 from repro.aggregates.registry import (
     AGGREGATOR_NAMES,
-    create_aggregator,
     aggregator_requires_numeric,
+    create_aggregator,
 )
+from repro.aggregates.stddev import StdDevAggregator
 
 __all__ = [
     "Aggregator",

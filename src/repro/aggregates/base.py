@@ -10,7 +10,7 @@ therefore cheap value objects; all persistence policy lives in
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import Any, Sequence
 
 from repro.events.event import Event
 
@@ -89,6 +89,25 @@ class Aggregator(ABC):
     @abstractmethod
     def state_from_bytes(self, data: bytes) -> None:
         """Restore internal state written by :meth:`state_to_bytes`."""
+
+    def update_batch(
+        self,
+        enters: Sequence[tuple[Any, Event]],
+        exits: Sequence[tuple[Any, Event]],
+    ) -> None:
+        """Fold a batch of entering/exiting ``(value, event)`` pairs.
+
+        Evictions are applied before additions, mirroring the state
+        store's per-event fold order, so results are identical to calling
+        :meth:`evict`/:meth:`add` one pair at a time. Scalar aggregators
+        override this to strip the per-event dispatch from the hot loop;
+        overrides must preserve the exact per-event fold order (float
+        accumulation is order-sensitive).
+        """
+        for value, event in exits:
+            self.evict(value, event)
+        for value, event in enters:
+            self.add(value, event)
 
     def bind_aux(self, aux: AuxStore) -> None:
         """Attach the auxiliary store (only for ``needs_aux`` aggregators)."""

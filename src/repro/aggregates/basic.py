@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.common import serde
 from repro.aggregates.base import Aggregator
+from repro.common import serde
 from repro.events.event import Event
 
 
@@ -33,6 +33,10 @@ class CountAggregator(Aggregator):
     def evict(self, value: Any, event: Event) -> None:
         if value is not None:
             self._count -= 1
+
+    def update_batch(self, enters, exits) -> None:
+        self._count -= sum(1 for value, _ in exits if value is not None)
+        self._count += sum(1 for value, _ in enters if value is not None)
 
     def result(self) -> int:
         return self._count
@@ -61,6 +65,17 @@ class SumAggregator(Aggregator):
     def evict(self, value: Any, event: Event) -> None:
         if value is not None:
             self._sum -= float(value)
+
+    def update_batch(self, enters, exits) -> None:
+        # Sequential left-to-right folds keep float results bit-identical
+        # to the per-event path; ``sum(..., start)`` adds left-to-right.
+        total = self._sum
+        for value, _ in exits:
+            if value is not None:
+                total -= float(value)
+        self._sum = sum(
+            (float(value) for value, _ in enters if value is not None), total
+        )
 
     def result(self) -> float:
         return self._sum
@@ -92,6 +107,20 @@ class AvgAggregator(Aggregator):
         if value is not None:
             self._sum -= float(value)
             self._count -= 1
+
+    def update_batch(self, enters, exits) -> None:
+        total = self._sum
+        count = self._count
+        for value, _ in exits:
+            if value is not None:
+                total -= float(value)
+                count -= 1
+        for value, _ in enters:
+            if value is not None:
+                total += float(value)
+                count += 1
+        self._sum = total
+        self._count = count
 
     def result(self) -> float | None:
         if self._count == 0:

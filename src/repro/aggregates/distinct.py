@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.common import serde
 from repro.aggregates.base import Aggregator, AuxStore, MemoryAuxStore
+from repro.common import serde
 from repro.events.event import Event
 
 

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.common import serde
 from repro.aggregates.base import Aggregator
+from repro.common import serde
 from repro.events.event import Event
 
 _Entry = tuple[int, str, object]

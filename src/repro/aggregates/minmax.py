@@ -12,8 +12,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-from repro.common import serde
 from repro.aggregates.base import Aggregator
+from repro.common import serde
 from repro.events.event import Event
 
 
@@ -53,6 +53,25 @@ class _ExtremeAggregator(Aggregator):
             position -= 1
         entries.insert(position, entry)
         self._deque = deque(entries)
+
+    def update_batch(self, enters, exits) -> None:
+        for value, event in exits:
+            self.evict(value, event)
+        dominates = self._dominates
+        candidates = self._deque
+        for value, event in enters:
+            if value is None:
+                continue
+            value = float(value)
+            if not candidates or candidates[-1][0] <= event.timestamp:
+                # In-order arrival: same monotonic pops as add(), with
+                # the dispatch and deque lookups hoisted out of the loop.
+                while candidates and not dominates(candidates[-1][2], value):
+                    candidates.pop()
+                candidates.append((event.timestamp, event.event_id, value))
+            else:
+                self.add(value, event)
+                candidates = self._deque  # add() rebuilds the deque when late
 
     def evict(self, value: Any, event: Event) -> None:
         if value is None or not self._deque:

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from repro.common.errors import QueryError
 from repro.aggregates.base import Aggregator
 from repro.aggregates.basic import AvgAggregator, CountAggregator, SumAggregator
 from repro.aggregates.distinct import CountDistinctAggregator
 from repro.aggregates.lastprev import LastAggregator, PrevAggregator
 from repro.aggregates.minmax import MaxAggregator, MinAggregator
 from repro.aggregates.stddev import StdDevAggregator
+from repro.common.errors import QueryError
 
 _FACTORIES = {
     "count": CountAggregator,

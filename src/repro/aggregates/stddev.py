@@ -13,8 +13,8 @@ from __future__ import annotations
 import math
 from typing import Any
 
-from repro.common import serde
 from repro.aggregates.base import Aggregator
+from repro.common import serde
 from repro.events.event import Event
 
 

@@ -15,8 +15,8 @@
 """
 
 from repro.baselines.hopping import HoppingWindowEngine
-from repro.baselines.perevent_scan import PerEventScanEngine
 from repro.baselines.lambda_arch import LambdaArchitecture
+from repro.baselines.perevent_scan import PerEventScanEngine
 from repro.baselines.reference import TrueSlidingReference
 
 __all__ = [

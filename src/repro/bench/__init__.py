@@ -8,10 +8,6 @@ paper-expected vs measured comparison. The pytest-benchmark targets in
     python -m repro.bench.experiments.fig8_flink_vs_railgun
 """
 
-from repro.bench.report import (
-    ascii_chart,
-    format_percentile_table,
-    format_table,
-)
+from repro.bench.report import ascii_chart, format_percentile_table, format_table
 
 __all__ = ["ascii_chart", "format_percentile_table", "format_table"]

@@ -16,11 +16,16 @@ from __future__ import annotations
 
 import random
 
-from repro.bench.report import ascii_chart, check_expectations, format_percentile_table, format_table
-from repro.common.clock import DAYS, HOURS, MINUTES, format_duration_ms
+from repro.bench.report import (
+    ascii_chart,
+    check_expectations,
+    format_percentile_table,
+    format_table,
+)
+from repro.common.clock import DAYS, HOURS, MINUTES
 from repro.common.percentiles import PERCENTILE_GRID
-from repro.events.schema import FieldType, Schema, SchemaField, SchemaRegistry
 from repro.events.event import Event
+from repro.events.schema import FieldType, Schema, SchemaField, SchemaRegistry
 from repro.plan.dag import TaskPlan
 from repro.query.parser import parse_query
 from repro.reservoir.reservoir import EventReservoir, ReservoirConfig

@@ -1,0 +1,364 @@
+"""Micro-benchmark harness for the ingestion hot path.
+
+Times the per-event vs batched variants of the reservoir append loop,
+the aggregate inner loops, the task-processor ingestion path and the
+frontend fan-out, and emits a machine-readable JSON report so CI and
+future PRs can track the perf trajectory::
+
+    {bench_name: {"events_per_sec": float, "p50_us": float, "p99_us": float}}
+
+Latency percentiles are per-event microseconds derived from per-slice
+wall times (a slice is one batch for the batched variants and an
+equally-sized run of single calls for the per-event variants), so the
+two variants are directly comparable.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.bench.perf --out BENCH_micro.json
+
+CI gating::
+
+    python -m repro.bench.perf --baseline benchmarks/baseline_micro.json \
+        --tolerance 0.2 --min-speedup 1.5
+
+``--baseline`` fails the run when a bench's throughput drops more than
+``--tolerance`` below the checked-in floor; ``--min-speedup`` fails it
+when the batched reservoir append stops beating the per-event append by
+the required factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Sequence
+
+from repro.aggregates.basic import AvgAggregator, CountAggregator, SumAggregator
+from repro.aggregates.minmax import MaxAggregator, MinAggregator
+from repro.engine.catalog import MetricDef, StreamDef
+from repro.engine.cluster import RailgunCluster
+from repro.engine.task import TaskProcessor
+from repro.events.event import Event
+from repro.events.schema import FieldType, Schema, SchemaField, SchemaRegistry
+from repro.messaging.log import TopicPartition
+from repro.reservoir.reservoir import EventReservoir, ReservoirConfig
+
+#: the bench pair the CI speedup gate compares (reservoir append path)
+SPEEDUP_PAIR = ("reservoir_append_batch", "reservoir_append_per_event")
+
+_FIELDS = [
+    SchemaField("cardId", FieldType.STRING),
+    SchemaField("amount", FieldType.FLOAT),
+]
+
+
+def _registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.register(Schema(list(_FIELDS)))
+    return registry
+
+
+def _events(count: int) -> list[Event]:
+    """Fresh, strictly in-order events (the ingestion steady state)."""
+    return [
+        Event(f"e{i}", i + 1, {"cardId": f"c{i % 100}", "amount": float(i % 97)})
+        for i in range(count)
+    ]
+
+
+def _reservoir_config() -> ReservoirConfig:
+    # codec "none" isolates the append-path bookkeeping this harness
+    # tracks from the (shared, chunk-size-amortized) compression cost.
+    return ReservoirConfig(chunk_max_events=256, codec="none")
+
+
+def _percentiles_us(samples_us: Sequence[float]) -> tuple[float, float]:
+    """Exact (p50, p99) of per-event latencies in microseconds."""
+    ordered = sorted(samples_us)
+    if not ordered:
+        return (0.0, 0.0)
+    last = len(ordered) - 1
+    p50 = ordered[min(last, int(0.50 * len(ordered)))]
+    p99 = ordered[min(last, int(0.99 * len(ordered)))]
+    return (p50, p99)
+
+
+def _measure_slices(
+    slices: Sequence[Sequence[Event]],
+    run_slice: Callable[[Sequence[Event]], None],
+) -> dict[str, float]:
+    """Time ``run_slice`` per slice; report throughput + per-event tails."""
+    samples_us: list[float] = []
+    total_events = 0
+    clock = time.perf_counter
+    started = clock()
+    for chunk in slices:
+        slice_start = clock()
+        run_slice(chunk)
+        elapsed = clock() - slice_start
+        total_events += len(chunk)
+        samples_us.append(elapsed * 1e6 / max(1, len(chunk)))
+    total = clock() - started
+    p50, p99 = _percentiles_us(samples_us)
+    return {
+        "events_per_sec": total_events / total if total > 0 else 0.0,
+        "p50_us": p50,
+        "p99_us": p99,
+    }
+
+
+def _slices(events: list[Event], batch_size: int) -> list[list[Event]]:
+    return [events[i:i + batch_size] for i in range(0, len(events), batch_size)]
+
+
+# -- reservoir append ---------------------------------------------------------
+
+
+def bench_reservoir_append_per_event(events: list[Event], batch_size: int) -> dict[str, float]:
+    reservoir = EventReservoir(_registry(), config=_reservoir_config())
+
+    def run_slice(chunk: Sequence[Event]) -> None:
+        append = reservoir.append
+        for event in chunk:
+            append(event)
+
+    return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+def bench_reservoir_append_batch(events: list[Event], batch_size: int) -> dict[str, float]:
+    reservoir = EventReservoir(_registry(), config=_reservoir_config())
+    return _measure_slices(_slices(events, batch_size), reservoir.append_batch)
+
+
+# -- aggregate inner loops ----------------------------------------------------
+
+
+def _aggregators():
+    return [
+        CountAggregator(),
+        SumAggregator(),
+        AvgAggregator(),
+        MaxAggregator(),
+        MinAggregator(),
+    ]
+
+
+def bench_aggregate_update_per_event(events: list[Event], batch_size: int) -> dict[str, float]:
+    aggregators = _aggregators()
+
+    def run_slice(chunk: Sequence[Event]) -> None:
+        pairs = [(event.get("amount"), event) for event in chunk]
+        for aggregator in aggregators:
+            add = aggregator.add
+            for value, event in pairs:
+                add(value, event)
+
+    return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+def bench_aggregate_update_batch(events: list[Event], batch_size: int) -> dict[str, float]:
+    aggregators = _aggregators()
+
+    def run_slice(chunk: Sequence[Event]) -> None:
+        pairs = [(event.get("amount"), event) for event in chunk]
+        for aggregator in aggregators:
+            aggregator.update_batch(pairs, ())
+
+    return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+# -- task-processor ingestion (reservoir + plan + state) ----------------------
+
+
+def _task_processor() -> TaskProcessor:
+    stream = StreamDef(
+        "tx", tuple((f.name, f.field_type.value) for f in _FIELDS), ("cardId",), 1
+    )
+    processor = TaskProcessor(
+        TopicPartition("tx.cardId", 0), stream, reservoir_config=_reservoir_config()
+    )
+    processor.add_metric(
+        MetricDef(
+            0,
+            "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+            "OVER sliding 5 minutes",
+            "tx",
+            "tx.cardId",
+            False,
+        )
+    )
+    return processor
+
+
+def bench_task_ingest_per_event(events: list[Event], batch_size: int) -> dict[str, float]:
+    processor = _task_processor()
+    offsets = iter(range(len(events)))
+
+    def run_slice(chunk: Sequence[Event]) -> None:
+        process = processor.process
+        for event in chunk:
+            process(next(offsets), event)
+
+    return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+def bench_task_ingest_batch(events: list[Event], batch_size: int) -> dict[str, float]:
+    processor = _task_processor()
+    offsets = iter(range(len(events)))
+
+    def run_slice(chunk: Sequence[Event]) -> None:
+        processor.process_batch([(next(offsets), event) for event in chunk])
+
+    return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+# -- frontend fan-out ---------------------------------------------------------
+
+
+def _frontend_cluster() -> RailgunCluster:
+    cluster = RailgunCluster(nodes=1, processor_units=1)
+    cluster.create_stream(
+        "tx", ["cardId"], partitions=2,
+        schema={"cardId": "string", "amount": "float"},
+    )
+    cluster.run_until_quiet(max_rounds=50)
+    return cluster
+
+
+def bench_frontend_send_per_event(events: list[Event], batch_size: int) -> dict[str, float]:
+    frontend = _frontend_cluster().nodes["node-0"].frontend
+
+    def run_slice(chunk: Sequence[Event]) -> None:
+        send = frontend.send
+        for event in chunk:
+            send("tx", event)
+
+    return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+def bench_frontend_send_batch(events: list[Event], batch_size: int) -> dict[str, float]:
+    frontend = _frontend_cluster().nodes["node-0"].frontend
+
+    def run_slice(chunk: Sequence[Event]) -> None:
+        frontend.send_batch("tx", chunk)
+
+    return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
+    "reservoir_append_per_event": bench_reservoir_append_per_event,
+    "reservoir_append_batch": bench_reservoir_append_batch,
+    "aggregate_update_per_event": bench_aggregate_update_per_event,
+    "aggregate_update_batch": bench_aggregate_update_batch,
+    "task_ingest_per_event": bench_task_ingest_per_event,
+    "task_ingest_batch": bench_task_ingest_batch,
+    "frontend_send_per_event": bench_frontend_send_per_event,
+    "frontend_send_batch": bench_frontend_send_batch,
+}
+
+
+def run_benches(
+    event_count: int = 100_000, batch_size: int = 512, warmup: bool = True
+) -> dict[str, dict[str, float]]:
+    """Run every bench on identical inputs; returns the report dict."""
+    events = _events(event_count)
+    results: dict[str, dict[str, float]] = {}
+    for name, bench in BENCHES.items():
+        if warmup:
+            bench(_events(min(event_count, 2 * batch_size)), batch_size)
+        results[name] = bench(events, batch_size)
+    return results
+
+
+def check_baseline(
+    results: dict[str, dict[str, float]],
+    baseline: dict[str, dict[str, float]],
+    tolerance: float,
+) -> list[str]:
+    """Regression messages for benches slower than baseline - tolerance."""
+    failures = []
+    for name, floor in baseline.items():
+        if name.startswith("_"):
+            continue  # annotation keys like "_comment"
+        current = results.get(name)
+        if current is None:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        allowed = floor["events_per_sec"] * (1.0 - tolerance)
+        if current["events_per_sec"] < allowed:
+            failures.append(
+                f"{name}: {current['events_per_sec']:,.0f} events/s is below "
+                f"{allowed:,.0f} (baseline {floor['events_per_sec']:,.0f} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def check_speedup(
+    results: dict[str, dict[str, float]], min_speedup: float
+) -> list[str]:
+    """Failure messages when batched append stops beating per-event."""
+    batched, per_event = SPEEDUP_PAIR
+    ratio = (
+        results[batched]["events_per_sec"] / results[per_event]["events_per_sec"]
+    )
+    if ratio < min_speedup:
+        return [
+            f"{batched} is only {ratio:.2f}x {per_event} "
+            f"(required {min_speedup:.2f}x)"
+        ]
+    return []
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_micro.json", help="output JSON path")
+    parser.add_argument("--events", type=int, default=100_000)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--no-warmup", action="store_true")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON to gate events_per_sec against",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="required reservoir_append_batch / per_event throughput ratio",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benches(
+        event_count=args.events,
+        batch_size=args.batch_size,
+        warmup=not args.no_warmup,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(name) for name in results)
+    for name, stats in sorted(results.items()):
+        print(
+            f"{name.ljust(width)}  {stats['events_per_sec']:>12,.0f} events/s"
+            f"  p50 {stats['p50_us']:>8.2f}us  p99 {stats['p99_us']:>8.2f}us"
+        )
+    batched, per_event = SPEEDUP_PAIR
+    ratio = results[batched]["events_per_sec"] / results[per_event]["events_per_sec"]
+    print(f"{batched} / {per_event} = {ratio:.2f}x")
+
+    failures: list[str] = []
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            failures.extend(check_baseline(results, json.load(handle), args.tolerance))
+    if args.min_speedup is not None:
+        failures.extend(check_speedup(results, args.min_speedup))
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 2 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

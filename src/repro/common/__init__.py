@@ -1,18 +1,18 @@
 """Shared substrate: clock, errors, hashing, serde, compression, stats."""
 
-from repro.common.clock import ManualClock, SystemClock, Clock
+from repro.common.clock import Clock, ManualClock, SystemClock
 from repro.common.errors import (
+    CheckpointError,
+    EngineError,
+    MessagingError,
+    QueryError,
     ReproError,
     SchemaError,
     SerdeError,
     StorageError,
-    QueryError,
-    MessagingError,
-    EngineError,
-    CheckpointError,
 )
 from repro.common.hashing import fnv1a_64, stable_hash
-from repro.common.percentiles import LatencyRecorder, PERCENTILE_GRID
+from repro.common.percentiles import PERCENTILE_GRID, LatencyRecorder
 
 __all__ = [
     "Clock",

@@ -17,10 +17,10 @@ from repro.engine.assignment import (
     round_robin_task_strategy,
 )
 from repro.engine.catalog import Catalog, MetricDef, StreamDef
-from repro.engine.task import TaskProcessor
-from repro.engine.processor import ProcessorUnit
-from repro.engine.node import RailgunNode
 from repro.engine.cluster import RailgunCluster, Reply
+from repro.engine.node import RailgunNode
+from repro.engine.processor import ProcessorUnit
+from repro.engine.task import TaskProcessor
 
 __all__ = [
     "Assignment",

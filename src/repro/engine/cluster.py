@@ -10,11 +10,11 @@ multi-node test deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from repro.common.clock import ManualClock
-from repro.common.errors import EngineError, MessagingError
+from repro.common.errors import EngineError
 from repro.engine.assignment import (
     Assignment,
     PreviousState,
@@ -22,17 +22,17 @@ from repro.engine.assignment import (
     StickyAssignmentStrategy,
 )
 from repro.engine.catalog import (
+    CHECKPOINTS_TOPIC,
+    GLOBAL_PARTITIONER,
+    OPERATIONS_TOPIC,
+    REPLY_TOPIC_PREFIX,
     AddPartitionerOp,
     Catalog,
-    CHECKPOINTS_TOPIC,
     CreateMetricOp,
     CreateStreamOp,
     DeleteMetricOp,
     EvolveSchemaOp,
-    GLOBAL_PARTITIONER,
     MetricDef,
-    OPERATIONS_TOPIC,
-    REPLY_TOPIC_PREFIX,
     StreamDef,
     topic_name,
 )
@@ -341,6 +341,60 @@ class RailgunCluster:
         node = self._pick_node(node_id)
         correlation = node.frontend.send(stream, event)
         return correlation, node.frontend
+
+    def send_batch(
+        self,
+        stream: str,
+        batch: Iterable[Mapping[str, Any] | Event],
+        node_id: str | None = None,
+        max_rounds: int = 2000,
+    ) -> list[Reply]:
+        """Send a batch through one frontend and pump until all replies land.
+
+        ``batch`` items are either :class:`Event` instances or field
+        mappings (timestamped with the current clock). Returns replies in
+        input order. This is the client-side mirror of the engine's
+        batched ingestion path: the fan-out is published in one shot and
+        the cluster then pumps until every fan-in completes.
+        """
+        events: list[Event] = []
+        base_id = self.bus.messages_published
+        for index, item in enumerate(batch):
+            if isinstance(item, Event):
+                events.append(item)
+            else:
+                # Offsetting by the index keeps ids unique within the
+                # batch and ahead of every id a previous send() minted.
+                events.append(
+                    Event(f"client-{base_id + index:012d}", self.clock.now(), item)
+                )
+        node = self._pick_node(node_id)
+        correlations = node.frontend.send_batch(stream, events)
+        outstanding = set(correlations)
+        for _ in range(max_rounds):
+            if not outstanding:
+                break
+            self.pump()
+            for correlation in list(outstanding):
+                if correlation in node.frontend.completed:
+                    outstanding.discard(correlation)
+        if outstanding:
+            raise EngineError(
+                f"{len(outstanding)} of {len(correlations)} batched replies did "
+                f"not complete within {max_rounds} pump rounds"
+            )
+        replies: list[Reply] = []
+        for correlation in correlations:
+            completed = node.frontend.take_completed(correlation)
+            replies.append(
+                Reply(
+                    event=completed.event,
+                    stream=completed.stream,
+                    results=completed.results,
+                    latency_ms=completed.latency_ms,
+                )
+            )
+        return replies
 
     def _pick_node(self, node_id: str | None) -> RailgunNode:
         if node_id is not None:

@@ -9,15 +9,15 @@ assembles the final client response once all expected replies arrived.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.common.errors import EngineError
 from repro.engine.catalog import (
-    Catalog,
+    GLOBAL_PARTITIONER,
     OPERATIONS_TOPIC,
     REPLY_TOPIC_PREFIX,
+    Catalog,
     topic_name,
-    GLOBAL_PARTITIONER,
 )
 from repro.engine.envelope import EventEnvelope, ReplyEnvelope
 from repro.events.event import Event
@@ -113,6 +113,57 @@ class FrontEnd:
         )
         self.events_received += 1
         return correlation_id
+
+    def send_batch(self, stream_name: str, events: Sequence[Event]) -> list[int]:
+        """Publish a batch of events; returns their correlation ids.
+
+        One ops-consume, catalogue lookup, schema fetch and clock read
+        cover the whole batch; the per-event work shrinks to validation
+        plus the keyed fan-out publishes. Reply collection is unchanged —
+        each event still gets its own correlation id and fan-in.
+        """
+        self._consume_ops()
+        stream = self.catalog.streams.get(stream_name)
+        if stream is None:
+            raise EngineError(f"unknown stream {stream_name!r}")
+        schema = stream.schema()
+        topics = stream.topics()
+        fanout = len(topics)
+        now = self.clock.now()
+        partitioner_topics = [
+            (partitioner, topic_name(stream_name, partitioner))
+            for partitioner in stream.partitioners
+        ]
+        send = self.producer.send
+        correlation_ids: list[int] = []
+        for event in events:
+            schema.validate_event(event)
+            correlation_id = self._next_correlation
+            self._next_correlation += 1
+            envelope = EventEnvelope(
+                stream=stream_name,
+                event=event,
+                origin_node=self.node_id,
+                correlation_id=correlation_id,
+                fanout=fanout,
+            )
+            for partitioner, topic in partitioner_topics:
+                key = (
+                    "__global__"
+                    if partitioner == GLOBAL_PARTITIONER
+                    else event.get(partitioner)
+                )
+                send(topic, key=key, value=envelope, timestamp=now)
+            self.pending[correlation_id] = PendingRequest(
+                correlation_id=correlation_id,
+                event=event,
+                stream=stream_name,
+                expected=fanout,
+                sent_at_ms=now,
+            )
+            correlation_ids.append(correlation_id)
+        self.events_received += len(correlation_ids)
+        return correlation_ids
 
     # -- step 5-6: collect + respond ---------------------------------------------------
 

@@ -15,15 +15,15 @@ from typing import TYPE_CHECKING
 
 from repro.common.errors import EngineError
 from repro.engine.catalog import (
+    CHECKPOINTS_TOPIC,
+    OPERATIONS_TOPIC,
+    REPLY_TOPIC_PREFIX,
     AddPartitionerOp,
     Catalog,
     CreateMetricOp,
     CreateStreamOp,
     DeleteMetricOp,
     EvolveSchemaOp,
-    OPERATIONS_TOPIC,
-    REPLY_TOPIC_PREFIX,
-    CHECKPOINTS_TOPIC,
 )
 from repro.engine.envelope import EventEnvelope, ReplyEnvelope
 from repro.engine.task import TaskCheckpoint, TaskProcessor
@@ -116,25 +116,37 @@ class ProcessorUnit:
     # -- Algorithm 1 -----------------------------------------------------------------
 
     def run_once(self) -> int:
-        """One loop iteration; returns the number of messages handled."""
+        """One loop iteration; returns the number of messages handled.
+
+        The consumers are drained in per-partition batches: each batch
+        goes through the task processor's batch-apply entry point (which
+        amortizes the reservoir bookkeeping over in-order runs), then
+        replies stream out in the original per-message order.
+        """
         self._process_operational_requests()
         self._reconcile_assignments()
         handled = 0
         active_tps = set(self.active_consumer.assignment())
-        active_messages = self.active_consumer.poll(self.config.poll_max_records)
-        replica_messages = self.replica_consumer.poll(self.config.poll_max_records)
-        for record in active_messages + replica_messages:
-            envelope = record.value
-            if not isinstance(envelope, EventEnvelope):
+        active_batches = self.active_consumer.poll_batches(self.config.poll_max_records)
+        replica_batches = self.replica_consumer.poll_batches(self.config.poll_max_records)
+        for tp, records in active_batches + replica_batches:
+            event_records = [
+                record for record in records if isinstance(record.value, EventEnvelope)
+            ]
+            if not event_records:
                 continue
-            processor = self._processor_for(record.tp)
-            answer = processor.process(record.offset, envelope.event)
-            handled += 1
-            self.messages_processed += 1
-            self._maybe_checkpoint(record.tp, processor)
-            if record.tp in active_tps and answer is not None:
-                self._send_reply(envelope, record.tp, answer)
-        if active_messages:
+            processor = self._processor_for(tp)
+            answers = processor.process_batch(
+                [(record.offset, record.value.event) for record in event_records]
+            )
+            handled += len(event_records)
+            self.messages_processed += len(event_records)
+            self._note_processed(tp, processor, len(event_records))
+            if tp in active_tps:
+                for record, answer in zip(event_records, answers):
+                    if answer is not None:
+                        self._send_reply(record.value, tp, answer)
+        if active_batches:
             # Advance the group's committed offsets so a future owner
             # knows which messages already got replies.
             self.active_consumer.commit()
@@ -306,10 +318,23 @@ class ProcessorUnit:
         )
         self.replies_sent += 1
 
-    def _maybe_checkpoint(self, tp: TopicPartition, processor: TaskProcessor) -> None:
-        counter = self._checkpoint_counters.get(tp, 0) + 1
-        self._checkpoint_counters[tp] = counter
-        if counter % self.config.checkpoint_interval:
+    def _note_processed(
+        self, tp: TopicPartition, processor: TaskProcessor, count: int
+    ) -> None:
+        """Advance the checkpoint counter by ``count`` processed messages.
+
+        A checkpoint is taken (at a message boundary, so it is still
+        consistent) whenever the counter crosses a multiple of the
+        interval; a batch crossing several multiples checkpoints once —
+        the later checkpoint subsumes the earlier ones.
+        """
+        if count <= 0:
+            return
+        counter = self._checkpoint_counters.get(tp, 0)
+        advanced = counter + count
+        self._checkpoint_counters[tp] = advanced
+        interval = self.config.checkpoint_interval
+        if advanced // interval == counter // interval:
             return
         checkpoint = processor.checkpoint()
         self.checkpoints[tp] = checkpoint

@@ -1,8 +1,8 @@
 """Event model, schemas with evolution, and workload generators."""
 
 from repro.events.event import Event
-from repro.events.schema import FieldType, SchemaField, Schema, SchemaRegistry
 from repro.events.generators import FraudWorkload, fraud_schema
+from repro.events.schema import FieldType, Schema, SchemaField, SchemaRegistry
 
 __all__ = [
     "Event",

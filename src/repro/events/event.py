@@ -55,6 +55,14 @@ class Event:
         """Field names in insertion order."""
         return list(self._fields)
 
+    def field_count(self) -> int:
+        """Number of fields (no list allocation, unlike field_names)."""
+        return len(self._fields)
+
+    def items(self):
+        """A live ``(name, value)`` view (no copy, unlike ``fields``)."""
+        return self._fields.items()
+
     def with_timestamp(self, timestamp: int) -> "Event":
         """A copy with a rewritten timestamp.
 

@@ -31,13 +31,33 @@ class FieldType(enum.Enum):
         """True when ``value`` (or None — all fields are nullable) fits."""
         if value is None:
             return True
-        if self is FieldType.BOOL:
-            return isinstance(value, bool)
-        if self is FieldType.INT:
-            return isinstance(value, int) and not isinstance(value, bool)
-        if self is FieldType.FLOAT:
-            return isinstance(value, (int, float)) and not isinstance(value, bool)
-        return isinstance(value, str)
+        return _TYPE_CHECKERS[self](value)
+
+
+def _check_bool(value: Any) -> bool:
+    return isinstance(value, bool)
+
+
+def _check_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _check_float(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_str(value: Any) -> bool:
+    return isinstance(value, str)
+
+
+#: per-type non-None checkers, precomputed so the validation hot loop
+#: avoids the enum if-chain dispatch
+_TYPE_CHECKERS = {
+    FieldType.BOOL: _check_bool,
+    FieldType.INT: _check_int,
+    FieldType.FLOAT: _check_float,
+    FieldType.STRING: _check_str,
+}
 
 
 @dataclass(frozen=True)
@@ -58,6 +78,10 @@ class Schema:
         if len(set(names)) != len(names):
             raise SchemaError(f"duplicate field names in schema: {names}")
         self._index = {f.name: i for i, f in enumerate(self.fields)}
+        self._validators = {
+            f.name: (f.field_type.value, _TYPE_CHECKERS[f.field_type])
+            for f in self.fields
+        }
 
     def __len__(self) -> int:
         return len(self.fields)
@@ -71,18 +95,41 @@ class Schema:
         return name in self._index
 
     def validate_event(self, event: Event) -> None:
-        """Raise :class:`SchemaError` when an event does not fit."""
-        for field in self.fields:
-            if field.name in event:
-                value = event[field.name]
-                if not field.field_type.validate(value):
+        """Raise :class:`SchemaError` when an event does not fit.
+
+        Single pass over the event's own fields — declared fields the
+        event omits need no check (all fields are nullable), so only
+        present values are typed and probed for declaration.
+        """
+        validators = self._validators
+        for name, value in event.items():
+            spec = validators.get(name)
+            if spec is None:
+                raise SchemaError(f"event carries undeclared field {name!r}")
+            if value is not None and not spec[1](value):
+                raise SchemaError(
+                    f"field {name!r} expects {spec[0]}, "
+                    f"got {type(value).__name__}: {value!r}"
+                )
+
+    def validate_events(self, events: Iterable[Event]) -> None:
+        """Validate many events with the per-event dispatch hoisted.
+
+        Raises at the first offending event, exactly like calling
+        :meth:`validate_event` in sequence.
+        """
+        validators = self._validators
+        get = validators.get
+        for event in events:
+            for name, value in event.items():
+                spec = get(name)
+                if spec is None:
+                    raise SchemaError(f"event carries undeclared field {name!r}")
+                if value is not None and not spec[1](value):
                     raise SchemaError(
-                        f"field {field.name!r} expects {field.field_type.value}, "
+                        f"field {name!r} expects {spec[0]}, "
                         f"got {type(value).__name__}: {value!r}"
                     )
-        for name in event.field_names():
-            if name not in self._index:
-                raise SchemaError(f"event carries undeclared field {name!r}")
 
     def encode_event(self, event: Event, buf: bytearray) -> None:
         """Append a positional binary encoding of ``event`` to ``buf``."""

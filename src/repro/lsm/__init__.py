@@ -14,10 +14,10 @@ LSM-trees"; this package implements that substrate from scratch:
 """
 
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.memtable import MemTable, TOMBSTONE
+from repro.lsm.db import Checkpoint, LsmConfig, LsmDb
+from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import SSTable
 from repro.lsm.wal import WriteAheadLog
-from repro.lsm.db import LsmDb, LsmConfig, Checkpoint
 
 __all__ = [
     "BloomFilter",

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.common import serde
 from repro.common.errors import StorageError
 from repro.common.storage import MemoryStorage, StorageBackend
-from repro.lsm.memtable import MemTable, TOMBSTONE
+from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import SSTable
 from repro.lsm.wal import WriteAheadLog
 

@@ -14,11 +14,16 @@ Railgun leans on a small set of Kafka guarantees, all implemented here:
   strategy across the active group and all replica groups at once.
 """
 
-from repro.messaging.log import Message, PartitionLog, TopicPartition
 from repro.messaging.broker import MessageBus
-from repro.messaging.producer import Producer
 from repro.messaging.consumer import Consumer, ConsumerRecord, RebalanceListener
-from repro.messaging.groups import GroupCoordinator, range_assignor, round_robin_assignor, sticky_assignor
+from repro.messaging.groups import (
+    GroupCoordinator,
+    range_assignor,
+    round_robin_assignor,
+    sticky_assignor,
+)
+from repro.messaging.log import Message, PartitionLog, TopicPartition
+from repro.messaging.producer import Producer
 
 __all__ = [
     "Message",

@@ -172,28 +172,51 @@ class Consumer:
         A consumer expelled by the coordinator (missed heartbeats) polls
         nothing until it rejoins — mirroring a fenced Kafka consumer.
         """
+        records: list[ConsumerRecord] = []
+        for _tp, batch in self.poll_batches(max_records):
+            records.extend(batch)
+        return records
+
+    def poll_batches(
+        self, max_records: int = 100
+    ) -> list[tuple[TopicPartition, list[ConsumerRecord]]]:
+        """Like :meth:`poll`, but grouped per partition.
+
+        Each group is a contiguous offset run from one partition, in the
+        same order :meth:`poll` would interleave them — the batched
+        engine hot path hands whole runs to a task processor without
+        re-bucketing. Empty partitions produce no group.
+        """
         if not self.is_member():
             return []
         self.heartbeat()
-        records: list[ConsumerRecord] = []
+        batches: list[tuple[TopicPartition, list[ConsumerRecord]]] = []
         assigned = self.assignment()
         if not assigned:
-            return records
+            return batches
         per_partition = max(1, max_records // len(assigned))
+        total = 0
         for tp in assigned:
             position = self.position(tp)
             messages = self._bus.read(tp, position, per_partition)
-            for message in messages:
-                records.append(
-                    ConsumerRecord(
-                        tp, message.offset, message.key, message.value,
-                        message.timestamp,
-                    )
+            if not messages:
+                continue
+            batches.append(
+                (
+                    tp,
+                    [
+                        ConsumerRecord(
+                            tp, message.offset, message.key, message.value,
+                            message.timestamp,
+                        )
+                        for message in messages
+                    ],
                 )
-            if messages:
-                self._positions[tp] = messages[-1].offset + 1
-        self.records_polled += len(records)
-        return records
+            )
+            self._positions[tp] = messages[-1].offset + 1
+            total += len(messages)
+        self.records_polled += total
+        return batches
 
     def lag(self) -> int:
         """Total unread messages across the assignment."""

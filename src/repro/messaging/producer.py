@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable
 
 from repro.common.clock import Clock, SystemClock
 from repro.messaging.broker import MessageBus
@@ -34,3 +34,17 @@ class Producer:
             timestamp = self._clock.now()
         self.sent += 1
         return self._bus.publish(topic, key, value, timestamp)
+
+    def send_batch(
+        self,
+        topic: str,
+        entries: Iterable[tuple[Any, Any]],
+        timestamp: int | None = None,
+    ) -> list[tuple[TopicPartition, int]]:
+        """Publish ``(key, value)`` pairs with one clock read for the batch."""
+        if timestamp is None:
+            timestamp = self._clock.now()
+        publish = self._bus.publish
+        placements = [publish(topic, key, value, timestamp) for key, value in entries]
+        self.sent += len(placements)
+        return placements

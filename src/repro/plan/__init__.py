@@ -7,7 +7,7 @@ the corresponding DAG nodes, so shared work — especially window
 iteration — happens once.
 """
 
-from repro.plan.dag import TaskPlan, MetricHandle
+from repro.plan.dag import MetricHandle, TaskPlan
 from repro.plan.operators import AggregatorNode, FilterNode, GroupByNode, WindowNode
 
 __all__ = [

@@ -242,15 +242,25 @@ class TaskPlan:
 
     # -- event processing -----------------------------------------------------------
 
-    def process_event(self, event: Event) -> dict[int, dict[str, Any]]:
+    def process_event(
+        self, event: Event, eval_ts: int | None = None
+    ) -> dict[int, dict[str, Any]]:
         """Advance time to ``event`` and return per-metric replies.
 
         The reply for each metric is the aggregation values for *this
         event's* group key — "all the aggregations computed for that
         particular event" (§3.1).
+
+        ``eval_ts`` pins the evaluation time explicitly. The batched
+        ingestion path appends a whole run to the reservoir before the
+        plan advances, which pushes ``reservoir.max_seen_ts`` past the
+        events still awaiting their plan turn — the caller passes each
+        event's own in-order timestamp to keep replies identical to the
+        per-event interleaving.
         """
         self.events_processed += 1
-        eval_ts = max(event.timestamp, self.reservoir.max_seen_ts)
+        if eval_ts is None:
+            eval_ts = max(event.timestamp, self.reservoir.max_seen_ts)
 
         # 1. Advance each distinct iterator exactly once.
         batches: dict[tuple, list[Event]] = {}

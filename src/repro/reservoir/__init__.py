@@ -9,9 +9,9 @@ cache, so window size does not affect memory usage — the paper's central
 claim ("windows of years are equivalent to windows of seconds").
 """
 
+from repro.reservoir.cache import ChunkCache
 from repro.reservoir.chunk import Chunk, ChunkState
 from repro.reservoir.index import ChunkMeta, ReservoirIndex
-from repro.reservoir.cache import ChunkCache
 from repro.reservoir.iterator import ReservoirIterator
 from repro.reservoir.reservoir import (
     AppendResult,

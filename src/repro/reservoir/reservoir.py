@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import bisect
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.common import serde
 from repro.common.compression import Codec, codec_by_name
-from repro.common.errors import StorageError
+from repro.common.errors import SchemaError, StorageError
 from repro.common.storage import MemoryStorage, StorageBackend
 from repro.events.event import Event
 from repro.events.schema import SchemaRegistry
@@ -49,17 +50,34 @@ class AppendStatus(enum.Enum):
     REWRITTEN = "rewritten"
 
 
-@dataclass(frozen=True)
 class AppendResult:
-    """The stored event (possibly rewritten) and what happened to it."""
+    """The stored event (possibly rewritten) and what happened to it.
 
-    status: AppendStatus
-    event: Event | None
+    A plain slotted class rather than a dataclass: one instance is built
+    per appended event, so construction cost is hot-path cost.
+    """
+
+    __slots__ = ("status", "event")
+
+    def __init__(self, status: AppendStatus, event: Event | None) -> None:
+        self.status = status
+        self.event = event
 
     @property
     def stored(self) -> bool:
         """True when the event (possibly rewritten) entered the reservoir."""
         return self.status in (AppendStatus.APPENDED, AppendStatus.REWRITTEN)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AppendResult):
+            return NotImplemented
+        return self.status is other.status and self.event == other.event
+
+    def __hash__(self) -> int:
+        return hash((self.status, self.event))
+
+    def __repr__(self) -> str:
+        return f"AppendResult(status={self.status!r}, event={self.event!r})"
 
 
 @dataclass
@@ -150,6 +168,118 @@ class EventReservoir:
         if chunk is self._open and len(chunk) >= self.config.chunk_max_events:
             self._close_open_chunk()
         return AppendResult(status, event)
+
+    def append_batch(self, events: Sequence[Event]) -> list[AppendResult]:
+        """Store a batch; equivalent to ``[self.append(e) for e in events]``.
+
+        The per-event bookkeeping is amortized across the batch: the
+        schema-roll check runs once (the registry cannot change
+        mid-batch), and runs of fresh in-order events — timestamp
+        strictly above ``max_seen_ts``, id unseen — skip the horizon/
+        out-of-order/chunk-targeting probes entirely and bulk-extend the
+        open chunk's tail, with one expiry/flush decision per batch.
+        Events that are late, duplicated, or tie an earlier timestamp
+        fall back to :meth:`append`, so results stay byte-identical to
+        the per-event path for every input. With an out-of-order grace
+        period the per-event expiry cadence is kept (transition chunks
+        must persist mid-batch exactly when the per-event path would
+        persist them), amortizing only the schema and targeting checks.
+        """
+        results: list[AppendResult] = []
+        if not events:
+            return results
+        self._roll_open_chunk_on_schema_change()
+        if self.config.transition_grace_ms == 0 and not self._transitions:
+            self._append_batch_bulk(events, results)
+        else:
+            self._append_batch_graced(events, results)
+        return results
+
+    def _append_batch_bulk(
+        self, events: Sequence[Event], results: list[AppendResult]
+    ) -> None:
+        """Batch append when no transition chunks can exist (grace 0)."""
+        schema = self.registry.current()
+        chunk_max = self.config.chunk_max_events
+        dedup = self._dedup
+        stats = self.stats
+        appended_status = AppendStatus.APPENDED
+        index, count = 0, len(events)
+        while index < count:
+            event = events[index]
+            if event.timestamp <= self._max_seen_ts or event.event_id in dedup:
+                results.append(self.append(event))
+                index += 1
+                continue
+            # Scan ahead: the longest run of fresh, strictly-increasing,
+            # unique events starting here.
+            run_end = index + 1
+            last_ts = event.timestamp
+            run_ids = {event.event_id}
+            while run_end < count:
+                candidate = events[run_end]
+                next_ts = candidate.timestamp
+                next_id = candidate.event_id
+                if next_ts <= last_ts or next_id in dedup or next_id in run_ids:
+                    break
+                last_ts = next_ts
+                run_ids.add(next_id)
+                run_end += 1
+            run = events[index:run_end] if (index, run_end) != (0, count) else events
+            index = run_end
+            # Apply the run in open-chunk-sized slabs: bulk validate,
+            # bulk extend, one close decision per slab.
+            start, run_len = 0, len(run)
+            while start < run_len:
+                open_chunk = self._open
+                open_events = open_chunk.events
+                space = chunk_max - len(open_events)
+                stop = min(start + space, run_len) if space > 0 else start + 1
+                slab = run[start:stop] if (start, stop) != (0, run_len) else run
+                try:
+                    schema.validate_events(slab)
+                except SchemaError:
+                    # Mirror per-event state on failure: append() stores
+                    # the valid prefix, then raises at the bad event.
+                    for unchecked in slab:
+                        results.append(self.append(unchecked))
+                    raise  # pragma: no cover — append() raised above
+                open_chunk.extend_tail(slab)
+                chunk_id = open_chunk.chunk_id
+                dedup.update((e.event_id, chunk_id) for e in slab)
+                self._max_seen_ts = slab[-1].timestamp
+                stats.appended += len(slab)
+                results.extend(AppendResult(appended_status, e) for e in slab)
+                if len(open_events) >= chunk_max:
+                    self._close_open_chunk()
+                start = stop
+
+    def _append_batch_graced(
+        self, events: Sequence[Event], results: list[AppendResult]
+    ) -> None:
+        """Batch append preserving the per-event transition-expiry cadence."""
+        schema = self.registry.current()
+        chunk_max = self.config.chunk_max_events
+        dedup = self._dedup
+        stats = self.stats
+        open_chunk = self._open
+        for event in events:
+            timestamp = event.timestamp
+            if timestamp <= self._max_seen_ts or event.event_id in dedup:
+                results.append(self.append(event))
+                open_chunk = self._open
+                continue
+            schema.validate_event(event)
+            self._max_seen_ts = timestamp
+            if self._transitions:
+                self._expire_transitions()
+            open_chunk.append_tail(event)
+            dedup[event.event_id] = open_chunk.chunk_id
+            stats.appended += 1
+            if len(open_chunk.events) >= chunk_max:
+                self._close_open_chunk()
+                open_chunk = self._open
+            results.append(AppendResult(AppendStatus.APPENDED, event))
 
     def _roll_open_chunk_on_schema_change(self) -> None:
         current = self.registry.current()
@@ -267,6 +397,10 @@ class EventReservoir:
         return self._current_file
 
     # -- chunk access (iterator support) ----------------------------------------
+
+    def has_event_id(self, event_id: str) -> bool:
+        """True when ``event_id`` is a known (in-memory) duplicate."""
+        return event_id in self._dedup
 
     def chunk_can_grow(self, chunk_id: int) -> bool:
         """True for the open chunk (it still receives in-order appends)."""

@@ -19,17 +19,17 @@ Arrivals are open-loop, so latencies are free of coordinated omission by
 construction (the paper corrects for it explicitly, §5).
 """
 
-from repro.sim.distributions import LogNormal, Exponential
-from repro.sim.gc import GcModel, GcConfig
-from repro.sim.kafka_model import KafkaModel, KafkaConfig
-from repro.sim.service import (
-    RailgunServiceModel,
-    RailgunServiceConfig,
-    HoppingServiceModel,
-    HoppingServiceConfig,
-    PerEventScanServiceModel,
-)
+from repro.sim.distributions import Exponential, LogNormal
+from repro.sim.gc import GcConfig, GcModel
+from repro.sim.kafka_model import KafkaConfig, KafkaModel
 from repro.sim.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
+from repro.sim.service import (
+    HoppingServiceConfig,
+    HoppingServiceModel,
+    PerEventScanServiceModel,
+    RailgunServiceConfig,
+    RailgunServiceModel,
+)
 
 __all__ = [
     "LogNormal",

@@ -14,7 +14,7 @@ construction (the paper corrects for the same effect, §5).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.percentiles import LatencyRecorder

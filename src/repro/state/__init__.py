@@ -7,6 +7,6 @@ in a dedicated column family, and checkpoints delegate to the LSM's
 cheap flush-and-snapshot path.
 """
 
-from repro.state.store import MetricStateStore, LsmAuxStore
+from repro.state.store import LsmAuxStore, MetricStateStore
 
 __all__ = ["MetricStateStore", "LsmAuxStore"]

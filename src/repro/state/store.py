@@ -18,10 +18,10 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-from repro.common import serde
-from repro.events.event import Event
 from repro.aggregates.base import Aggregator, AuxStore
 from repro.aggregates.registry import create_aggregator
+from repro.common import serde
+from repro.events.event import Event
 from repro.lsm.db import Checkpoint, LsmConfig, LsmDb
 
 _CF_STATE = "aggstate"
@@ -135,10 +135,7 @@ class MetricStateStore:
     ) -> Any:
         """Load, fold in enters/exits, persist, return the new result."""
         aggregator = self.load(metric_id, agg_index, agg_name, group_key)
-        for value, event in exits:
-            aggregator.evict(value, event)
-        for value, event in enters:
-            aggregator.add(value, event)
+        aggregator.update_batch(enters, exits)
         self.save(metric_id, agg_index, group_key, aggregator)
         return aggregator.result()
 

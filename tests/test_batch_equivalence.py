@@ -1,0 +1,368 @@
+"""Batch vs per-event equivalence.
+
+The batched ingestion fast paths (``Frontend.send_batch``,
+``EventReservoir.append_batch``, ``TaskProcessor.process_batch``,
+``Aggregator.update_batch``) must be observably identical to the
+per-event paths: same replies, same aggregate outputs, same chunk
+layouts (byte-for-byte storage files and checkpoint metadata), same
+iterator positions — including mid-batch chunk rolls, schema-change
+rolls, duplicates, replays and out-of-order arrivals.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aggregates.base import MemoryAuxStore
+from repro.aggregates.registry import AGGREGATOR_NAMES, create_aggregator
+from repro.engine.catalog import MetricDef, StreamDef
+from repro.engine.cluster import RailgunCluster
+from repro.engine.task import TaskProcessor
+from repro.events.event import Event
+from repro.events.schema import FieldType, Schema, SchemaField, SchemaRegistry
+from repro.messaging.log import TopicPartition
+from repro.reservoir.reservoir import (
+    EventReservoir,
+    OutOfOrderPolicy,
+    ReservoirConfig,
+)
+
+FIELDS = [
+    SchemaField("cardId", FieldType.STRING),
+    SchemaField("amount", FieldType.FLOAT),
+]
+
+
+def make_registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.register(Schema(list(FIELDS)))
+    return registry
+
+
+def clean_events(count: int, start_ts: int = 1) -> list[Event]:
+    return [
+        Event(
+            f"e{i}", start_ts + i, {"cardId": f"c{i % 7}", "amount": float(i % 13)}
+        )
+        for i in range(count)
+    ]
+
+
+def messy_events(count: int, seed: int) -> list[Event]:
+    """In-order runs spiked with duplicates, ties and late arrivals."""
+    rng = random.Random(seed)
+    events = []
+    ts = 0
+    for i in range(count):
+        ts += rng.choice([0, 1, 2, 5, 40])
+        event_ts = max(0, ts - rng.choice([0, 0, 0, 0, 3, 500]))
+        if i and rng.random() < 0.03:
+            event_id = f"e{rng.randrange(i)}"  # duplicate of an earlier id
+        else:
+            event_id = f"e{i}"
+        events.append(
+            Event(event_id, event_ts,
+                  {"cardId": f"c{i % 5}", "amount": float(i % 11)})
+        )
+    return events
+
+
+def assert_reservoirs_identical(a: EventReservoir, b: EventReservoir) -> None:
+    """Byte-identical persisted layout, metadata and counters."""
+    assert a.checkpoint_metadata() == b.checkpoint_metadata()
+    assert sorted(a.storage.list()) == sorted(b.storage.list())
+    for name in a.storage.list():
+        assert a.storage.read_all(name) == b.storage.read_all(name), name
+        assert a.storage.is_sealed(name) == b.storage.is_sealed(name), name
+    assert vars(a.stats) == vars(b.stats)
+
+
+def append_in_slices(reservoir: EventReservoir, events, seed: int):
+    """Drive append_batch with randomly-sized slices; returns all results."""
+    rng = random.Random(seed)
+    results = []
+    index = 0
+    while index < len(events):
+        size = rng.randrange(1, 128)
+        results.extend(reservoir.append_batch(events[index:index + size]))
+        index += size
+    return results
+
+
+class TestReservoirEquivalence:
+    def config(self, **overrides) -> ReservoirConfig:
+        defaults = dict(chunk_max_events=32, file_max_chunks=4)
+        defaults.update(overrides)
+        return ReservoirConfig(**defaults)
+
+    def run_both(self, events, seed=1, **config_overrides):
+        per_event = EventReservoir(make_registry(), config=self.config(**config_overrides))
+        batched = EventReservoir(make_registry(), config=self.config(**config_overrides))
+        results_a = [per_event.append(event) for event in events]
+        results_b = append_in_slices(batched, events, seed)
+        assert results_a == results_b
+        assert_reservoirs_identical(per_event, batched)
+        return per_event, batched
+
+    def test_clean_in_order_stream(self):
+        self.run_both(clean_events(3000))
+
+    def test_mid_batch_chunk_roll_and_file_seal(self):
+        # 3000 events / 32-event chunks / 4-chunk files: every batch
+        # rolls chunks and seals segment files mid-run.
+        per_event, _ = self.run_both(clean_events(3000))
+        assert per_event.stats.chunks_closed > 50
+        assert per_event.stats.files_sealed > 10
+
+    def test_messy_stream_rewrite_policy(self):
+        self.run_both(messy_events(4000, seed=3))
+
+    def test_messy_stream_discard_policy(self):
+        self.run_both(
+            messy_events(4000, seed=4), ooo_policy=OutOfOrderPolicy.DISCARD
+        )
+
+    def test_transition_grace_period(self):
+        self.run_both(messy_events(4000, seed=5), transition_grace_ms=64)
+
+    def test_schema_change_rolls_open_chunk(self):
+        events_v1 = clean_events(50)
+        events_v2 = [
+            Event(f"n{i}", 1000 + i,
+                  {"cardId": "c", "amount": 1.0, "country": "PT"})
+            for i in range(50)
+        ]
+        evolved = Schema(list(FIELDS) + [SchemaField("country", FieldType.STRING)])
+
+        per_event = EventReservoir(make_registry(), config=self.config())
+        batched = EventReservoir(make_registry(), config=self.config())
+        results_a = [per_event.append(event) for event in events_v1]
+        results_b = batched.append_batch(events_v1)
+        per_event.registry.register(evolved)
+        batched.registry.register(evolved)
+        results_a += [per_event.append(event) for event in events_v2]
+        results_b += batched.append_batch(events_v2)
+        assert results_a == results_b
+        assert_reservoirs_identical(per_event, batched)
+
+    def test_iterator_emissions_and_positions(self):
+        events = clean_events(500)
+        per_event = EventReservoir(make_registry(), config=self.config())
+        batched = EventReservoir(make_registry(), config=self.config())
+        cursor_a = per_event.new_iterator()
+        cursor_b = batched.new_iterator()
+        emitted_a, emitted_b = [], []
+        for i in range(0, len(events), 100):
+            chunk = events[i:i + 100]
+            for event in chunk:
+                per_event.append(event)
+                emitted_a.extend(cursor_a.advance_upto(event.timestamp))
+            batched.append_batch(chunk)
+            for event in chunk:
+                emitted_b.extend(cursor_b.advance_upto(event.timestamp))
+        assert emitted_a == emitted_b == events
+        assert cursor_a.position == cursor_b.position
+
+    def test_empty_batch_is_noop(self):
+        reservoir = EventReservoir(make_registry(), config=self.config())
+        assert reservoir.append_batch([]) == []
+        assert reservoir.total_events == 0
+
+
+def aggregator_pairs(count: int, seed: int, with_strings: bool):
+    """(value, event) pairs with Nones and mixed magnitudes."""
+    rng = random.Random(seed)
+    pairs = []
+    for i in range(count):
+        if rng.random() < 0.15:
+            value = None
+        elif with_strings:
+            value = f"v{rng.randrange(9)}"
+        else:
+            value = rng.choice([rng.uniform(-1e6, 1e6), rng.randrange(1000), 0.5])
+        pairs.append((value, Event(f"a{i}", i + 1, {"amount": 0.0})))
+    return pairs
+
+
+class TestAggregatorEquivalence:
+    @pytest.mark.parametrize("name", AGGREGATOR_NAMES)
+    def test_update_batch_matches_per_event(self, name):
+        with_strings = name in ("count", "last", "prev", "countDistinct")
+        pairs = aggregator_pairs(600, seed=hash(name) % 1000, with_strings=with_strings)
+        enters = pairs
+        exits = pairs[:250]  # every evicted pair was previously added
+
+        loop = create_aggregator(name.lower())
+        batch = create_aggregator(name.lower())
+        for aggregator in (loop, batch):
+            if aggregator.needs_aux:
+                aggregator.bind_aux(MemoryAuxStore())
+
+        for value, event in enters:
+            loop.add(value, event)
+        for value, event in exits:
+            loop.evict(value, event)
+        batch.update_batch(enters, ())
+        batch.update_batch((), exits)
+        assert loop.state_to_bytes() == batch.state_to_bytes()
+        assert loop.result() == batch.result()
+
+    @pytest.mark.parametrize("name", ["sum", "avg", "count", "max", "min"])
+    def test_interleaved_folds_bit_identical(self, name):
+        """exits-then-enters per call, in call order — float-exact."""
+        pairs = aggregator_pairs(400, seed=11, with_strings=False)
+        loop = create_aggregator(name)
+        batch = create_aggregator(name)
+        window: list = []
+        position = 0
+        while position < len(pairs):
+            enters = pairs[position:position + 37]
+            exits = window[:13]
+            window = window[13:] + enters
+            for value, event in exits:
+                loop.evict(value, event)
+            for value, event in enters:
+                loop.add(value, event)
+            batch.update_batch(enters, exits)
+            assert loop.state_to_bytes() == batch.state_to_bytes()
+            position += 37
+
+    def test_minmax_late_arrivals(self):
+        rng = random.Random(23)
+        entries = [
+            (float(rng.randrange(100)), Event(f"m{i}", rng.randrange(1, 50), {}))
+            for i in range(200)
+        ]
+        loop = create_aggregator("max")
+        batch = create_aggregator("max")
+        for value, event in entries:
+            loop.add(value, event)
+        batch.update_batch(entries, ())
+        assert loop.state_to_bytes() == batch.state_to_bytes()
+
+
+def make_task_processor(chunk_max=32) -> TaskProcessor:
+    stream = StreamDef(
+        "tx", tuple((f.name, f.field_type.value) for f in FIELDS), ("cardId",), 1
+    )
+    processor = TaskProcessor(
+        TopicPartition("tx.cardId", 0),
+        stream,
+        reservoir_config=ReservoirConfig(chunk_max_events=chunk_max, file_max_chunks=4),
+    )
+    processor.add_metric(
+        MetricDef(
+            0,
+            "SELECT sum(amount), count(*), avg(amount) FROM tx "
+            "GROUP BY cardId OVER sliding 1 minutes",
+            "tx", "tx.cardId", False,
+        )
+    )
+    processor.add_metric(
+        MetricDef(
+            1,
+            "SELECT max(amount), min(amount) FROM tx OVER sliding 30 seconds",
+            "tx", "tx.cardId", False,
+        )
+    )
+    return processor
+
+
+def assert_task_processors_identical(a: TaskProcessor, b: TaskProcessor) -> None:
+    assert a.next_offset == b.next_offset
+    assert a.messages_processed == b.messages_processed
+    assert a.replays_skipped == b.replays_skipped
+    assert a.plan.iterator_positions() == b.plan.iterator_positions()
+    assert_reservoirs_identical(a.reservoir, b.reservoir)
+
+
+class TestTaskProcessorEquivalence:
+    def run_both(self, records, seed=1, chunk_max=32):
+        per_event = make_task_processor(chunk_max)
+        batched = make_task_processor(chunk_max)
+        replies_a = [per_event.process(offset, event) for offset, event in records]
+        rng = random.Random(seed)
+        replies_b = []
+        index = 0
+        while index < len(records):
+            size = rng.randrange(1, 80)
+            replies_b.extend(batched.process_batch(records[index:index + size]))
+            index += size
+        assert replies_a == replies_b
+        assert_task_processors_identical(per_event, batched)
+        return per_event, batched
+
+    def test_clean_stream_with_chunk_rolls(self):
+        records = list(enumerate(clean_events(2000)))
+        per_event, _ = self.run_both(records, chunk_max=16)
+        assert per_event.reservoir.stats.chunks_closed > 100
+
+    def test_messy_stream_with_replays(self):
+        records = list(enumerate(messy_events(2000, seed=7)))
+        # Replays: repeat earlier offsets mid-stream (recovery overlap).
+        records.insert(500, records[490])
+        records.insert(1200, records[1100])
+        self.run_both(records, seed=8)
+
+    def test_timestamp_ties_fall_back(self):
+        # Consecutive identical timestamps must not share a fast run —
+        # the per-event path folds event k into event k+1's reply window.
+        events = [
+            Event(f"t{i}", 10 + i // 3, {"cardId": "c0", "amount": 1.0})
+            for i in range(300)
+        ]
+        self.run_both(list(enumerate(events)))
+
+    def test_schema_evolution_mid_stream(self):
+        per_event = make_task_processor()
+        batched = make_task_processor()
+        first = list(enumerate(clean_events(100)))
+        evolved = StreamDef(
+            "tx",
+            tuple((f.name, f.field_type.value) for f in FIELDS)
+            + (("country", "string"),),
+            ("cardId",), 1,
+        )
+        second = [
+            (100 + i,
+             Event(f"s{i}", 2000 + i,
+                   {"cardId": "c1", "amount": 2.0, "country": "PT"}))
+            for i in range(100)
+        ]
+        replies_a = [per_event.process(o, e) for o, e in first]
+        replies_b = batched.process_batch(first)
+        per_event.evolve_schema(evolved)
+        batched.evolve_schema(evolved)
+        replies_a += [per_event.process(o, e) for o, e in second]
+        replies_b += batched.process_batch(second)
+        assert replies_a == replies_b
+        assert_task_processors_identical(per_event, batched)
+
+
+class TestClusterSendBatchEquivalence:
+    def build_cluster(self) -> RailgunCluster:
+        cluster = RailgunCluster(nodes=2, processor_units=2)
+        cluster.create_stream(
+            "tx", ["cardId"], partitions=2,
+            schema={"cardId": "string", "amount": "float"},
+        )
+        cluster.create_metric(
+            "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+            "OVER sliding 5 minutes"
+        )
+        cluster.run_until_quiet()
+        return cluster
+
+    def test_batch_replies_match_per_event_replies(self):
+        events = [
+            Event(f"b{i}", 1000 + i, {"cardId": f"c{i % 3}", "amount": float(i)})
+            for i in range(30)
+        ]
+        one_by_one = self.build_cluster()
+        batched = self.build_cluster()
+        replies_a = [one_by_one.send("tx", event=event) for event in events]
+        replies_b = batched.send_batch("tx", events, node_id="node-0")
+        assert [r.results for r in replies_a] == [r.results for r in replies_b]
+        assert [r.event for r in replies_a] == [r.event for r in replies_b]

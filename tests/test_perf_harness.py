@@ -1,0 +1,83 @@
+"""The machine-readable micro-benchmark harness (repro.bench.perf)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import perf
+
+
+REQUIRED_KEYS = {"events_per_sec", "p50_us", "p99_us"}
+
+
+class TestRunBenches:
+    def test_schema_and_coverage(self):
+        results = perf.run_benches(event_count=1500, batch_size=128, warmup=False)
+        assert set(results) == set(perf.BENCHES)
+        for name, stats in results.items():
+            assert set(stats) == REQUIRED_KEYS, name
+            assert stats["events_per_sec"] > 0, name
+            assert 0 < stats["p50_us"] <= stats["p99_us"], name
+
+    def test_speedup_pair_names_are_real_benches(self):
+        batched, per_event = perf.SPEEDUP_PAIR
+        assert batched in perf.BENCHES
+        assert per_event in perf.BENCHES
+
+
+class TestGates:
+    def sample(self, rate: float) -> dict:
+        return {"events_per_sec": rate, "p50_us": 1.0, "p99_us": 2.0}
+
+    def test_baseline_pass_and_fail(self):
+        results = {"bench": self.sample(1000.0)}
+        assert perf.check_baseline(results, {"bench": self.sample(1100.0)}, 0.2) == []
+        failures = perf.check_baseline(results, {"bench": self.sample(2000.0)}, 0.2)
+        assert len(failures) == 1 and "bench" in failures[0]
+
+    def test_baseline_skips_annotations_and_flags_missing(self):
+        results = {"bench": self.sample(1000.0)}
+        baseline = {"_comment": {"events_per_sec": 1}, "gone": self.sample(1.0)}
+        failures = perf.check_baseline(results, baseline, 0.2)
+        assert failures == ["gone: present in baseline but not measured"]
+
+    def test_speedup_gate(self):
+        batched, per_event = perf.SPEEDUP_PAIR
+        results = {batched: self.sample(300.0), per_event: self.sample(100.0)}
+        assert perf.check_speedup(results, 1.5) == []
+        assert len(perf.check_speedup(results, 4.0)) == 1
+
+
+class TestMain:
+    def test_writes_report_and_gates(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_micro.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "reservoir_append_batch": {
+                "events_per_sec": 1.0, "p50_us": 0.0, "p99_us": 0.0,
+            }
+        }))
+        code = perf.main([
+            "--out", str(out), "--events", "1200", "--batch-size", "128",
+            "--no-warmup", "--baseline", str(baseline),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert set(report) == set(perf.BENCHES)
+        for stats in report.values():
+            assert set(stats) == REQUIRED_KEYS
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_micro.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "reservoir_append_batch": {
+                "events_per_sec": 1e15, "p50_us": 0.0, "p99_us": 0.0,
+            }
+        }))
+        code = perf.main([
+            "--out", str(out), "--events", "1200", "--batch-size", "128",
+            "--no-warmup", "--baseline", str(baseline),
+        ])
+        assert code == 2
+        assert "PERF REGRESSION" in capsys.readouterr().err
