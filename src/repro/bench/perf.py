@@ -2,8 +2,9 @@
 
 Times the per-event vs batched variants of the reservoir append loop,
 the aggregate inner loops, the task-processor ingestion path and the
-frontend fan-out, and emits a machine-readable JSON report so CI and
-future PRs can track the perf trajectory::
+frontend fan-out, plus the end-to-end engine ingest in single-process
+and process-parallel execution, and emits a machine-readable JSON report
+so CI and future PRs can track the perf trajectory::
 
     {bench_name: {"events_per_sec": float, "p50_us": float, "p99_us": float}}
 
@@ -24,13 +25,20 @@ CI gating::
 ``--baseline`` fails the run when a bench's throughput drops more than
 ``--tolerance`` below the checked-in floor; ``--min-speedup`` fails it
 when the batched reservoir append stops beating the per-event append by
-the required factor.
+the required factor. A baseline may also declare ``_speedup_floors`` —
+required throughput ratios between measured benches, each with a
+``min_cpus`` guard: the multi-process floors only assert on hosts with
+enough cores for the workers to actually run in parallel (a 1-core
+container time-slices them, which measures scheduling, not scaling).
+``--select SUBSTR`` runs the matching subset (the CI parallel-engine
+smoke uses it); baseline floors for unmeasured benches are then skipped.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable, Sequence
@@ -44,6 +52,7 @@ from repro.events.event import Event
 from repro.events.schema import FieldType, Schema, SchemaField, SchemaRegistry
 from repro.messaging.log import TopicPartition
 from repro.reservoir.reservoir import EventReservoir, ReservoirConfig
+from repro.shard.parallel import ParallelCluster
 
 #: the bench pair the CI speedup gate compares (reservoir append path)
 SPEEDUP_PAIR = ("reservoir_append_batch", "reservoir_append_per_event")
@@ -247,6 +256,54 @@ def bench_frontend_send_batch(events: list[Event], batch_size: int) -> dict[str,
     return _measure_slices(_slices(events, batch_size), run_slice)
 
 
+# -- end-to-end engine ingest (single-process vs process-parallel) ------------
+
+#: mirrored stream/metric used by every engine e2e bench
+_ENGINE_STREAM = dict(
+    partitions=4, schema={"cardId": "string", "amount": "float"}
+)
+_ENGINE_METRIC = (
+    "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+    "OVER sliding 5 minutes"
+)
+
+
+def bench_engine_ingest_single_process(
+    events: list[Event], batch_size: int
+) -> dict[str, float]:
+    """Batched client→reply ingest through the cooperative cluster."""
+    cluster = RailgunCluster(nodes=1, processor_units=2)
+    cluster.create_stream("tx", ["cardId"], **_ENGINE_STREAM)
+    cluster.create_metric(_ENGINE_METRIC)
+    cluster.run_until_quiet(max_rounds=50)
+
+    def run_slice(chunk: Sequence[Event]) -> None:
+        cluster.send_batch("tx", chunk, max_rounds=200_000)
+
+    return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+def _bench_engine_ingest_process(
+    events: list[Event], batch_size: int, workers: int
+) -> dict[str, float]:
+    with ParallelCluster(workers=workers) as cluster:
+        cluster.create_stream("tx", ["cardId"], **_ENGINE_STREAM)
+        cluster.create_metric(_ENGINE_METRIC)
+
+        def run_slice(chunk: Sequence[Event]) -> None:
+            cluster.send_batch("tx", chunk)
+
+        return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+def bench_engine_ingest_process_1w(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_engine_ingest_process(events, batch_size, workers=1)
+
+
+def bench_engine_ingest_process_4w(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_engine_ingest_process(events, batch_size, workers=4)
+
+
 BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
     "reservoir_append_per_event": bench_reservoir_append_per_event,
     "reservoir_append_batch": bench_reservoir_append_batch,
@@ -256,16 +313,35 @@ BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
     "task_ingest_batch": bench_task_ingest_batch,
     "frontend_send_per_event": bench_frontend_send_per_event,
     "frontend_send_batch": bench_frontend_send_batch,
+    "engine_ingest_single_process": bench_engine_ingest_single_process,
+    "engine_ingest_process_1w": bench_engine_ingest_process_1w,
+    "engine_ingest_process_4w": bench_engine_ingest_process_4w,
 }
+
+#: e2e benches: heavier per event (whole cluster per run), so they get a
+#: capped event budget and skip the generic warmup pass.
+ENGINE_BENCHES = frozenset(
+    name for name in BENCHES if name.startswith("engine_ingest")
+)
 
 
 def run_benches(
-    event_count: int = 100_000, batch_size: int = 512, warmup: bool = True
+    event_count: int = 100_000,
+    batch_size: int = 512,
+    warmup: bool = True,
+    engine_event_count: int = 20_000,
+    select: str | None = None,
 ) -> dict[str, dict[str, float]]:
-    """Run every bench on identical inputs; returns the report dict."""
+    """Run every (or the selected subset of) bench; returns the report."""
     events = _events(event_count)
+    engine_events = events[:engine_event_count]
     results: dict[str, dict[str, float]] = {}
     for name, bench in BENCHES.items():
+        if select is not None and select not in name:
+            continue
+        if name in ENGINE_BENCHES:
+            results[name] = bench(engine_events, batch_size)
+            continue
         if warmup:
             bench(_events(min(event_count, 2 * batch_size)), batch_size)
         results[name] = bench(events, batch_size)
@@ -276,15 +352,17 @@ def check_baseline(
     results: dict[str, dict[str, float]],
     baseline: dict[str, dict[str, float]],
     tolerance: float,
+    require_all: bool = True,
 ) -> list[str]:
     """Regression messages for benches slower than baseline - tolerance."""
     failures = []
     for name, floor in baseline.items():
         if name.startswith("_"):
-            continue  # annotation keys like "_comment"
+            continue  # annotation keys like "_comment", "_speedup_floors"
         current = results.get(name)
         if current is None:
-            failures.append(f"{name}: present in baseline but not measured")
+            if require_all:
+                failures.append(f"{name}: present in baseline but not measured")
             continue
         allowed = floor["events_per_sec"] * (1.0 - tolerance)
         if current["events_per_sec"] < allowed:
@@ -294,6 +372,46 @@ def check_baseline(
                 f"- {tolerance:.0%} tolerance)"
             )
     return failures
+
+
+def check_speedup_floors(
+    results: dict[str, dict[str, float]],
+    floors: Sequence[dict],
+    cpu_count: int | None = None,
+) -> tuple[list[str], list[str]]:
+    """Enforce baseline ``_speedup_floors``; returns (failures, skips).
+
+    Each floor requires ``results[bench] >= min_ratio * results[over]``.
+    A floor with ``min_cpus`` only asserts when the host has that many
+    cores — a multi-process engine cannot out-run a single process on a
+    single core, where the workers merely time-slice it. Skipped floors
+    are reported, never silently dropped.
+    """
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    failures: list[str] = []
+    skips: list[str] = []
+    for floor in floors:
+        bench, over = floor["bench"], floor["over"]
+        min_ratio = float(floor["min_ratio"])
+        min_cpus = int(floor.get("min_cpus", 1))
+        if bench not in results or over not in results:
+            skips.append(f"{bench}/{over}: not measured in this run")
+            continue
+        ratio = results[bench]["events_per_sec"] / results[over]["events_per_sec"]
+        if cpu_count < min_cpus:
+            skips.append(
+                f"{bench}/{over}: measured {ratio:.2f}x but host has "
+                f"{cpu_count} cpu(s) < required {min_cpus}; floor of "
+                f"{min_ratio:.2f}x only asserts on parallel hardware"
+            )
+            continue
+        if ratio < min_ratio:
+            failures.append(
+                f"{bench} is only {ratio:.2f}x {over} "
+                f"(required {min_ratio:.2f}x at >= {min_cpus} cpus)"
+            )
+    return failures, skips
 
 
 def check_speedup(
@@ -317,7 +435,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_micro.json", help="output JSON path")
     parser.add_argument("--events", type=int, default=100_000)
     parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument(
+        "--engine-events", type=int, default=20_000,
+        help="event budget for the end-to-end engine ingest benches",
+    )
     parser.add_argument("--no-warmup", action="store_true")
+    parser.add_argument(
+        "--select", default=None,
+        help="only run benches whose name contains this substring",
+    )
     parser.add_argument(
         "--baseline", default=None,
         help="baseline JSON to gate events_per_sec against",
@@ -333,9 +459,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         event_count=args.events,
         batch_size=args.batch_size,
         warmup=not args.no_warmup,
+        engine_event_count=args.engine_events,
+        select=args.select,
     )
+    if not results:
+        print(
+            f"no benches matched --select {args.select!r}; known benches: "
+            + ", ".join(sorted(BENCHES)),
+            file=sys.stderr,
+        )
+        return 1
+    cpu_count = os.cpu_count() or 1
+    report: dict[str, object] = dict(results)
+    report["_host"] = {"cpu_count": cpu_count}
     with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
+        json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
     width = max(len(name) for name in results)
@@ -345,14 +483,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"  p50 {stats['p50_us']:>8.2f}us  p99 {stats['p99_us']:>8.2f}us"
         )
     batched, per_event = SPEEDUP_PAIR
-    ratio = results[batched]["events_per_sec"] / results[per_event]["events_per_sec"]
-    print(f"{batched} / {per_event} = {ratio:.2f}x")
+    if batched in results and per_event in results:
+        ratio = (
+            results[batched]["events_per_sec"] / results[per_event]["events_per_sec"]
+        )
+        print(f"{batched} / {per_event} = {ratio:.2f}x")
 
     failures: list[str] = []
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:
-            failures.extend(check_baseline(results, json.load(handle), args.tolerance))
-    if args.min_speedup is not None:
+            baseline = json.load(handle)
+        failures.extend(
+            check_baseline(
+                results, baseline, args.tolerance,
+                require_all=args.select is None,
+            )
+        )
+        floor_failures, floor_skips = check_speedup_floors(
+            results, baseline.get("_speedup_floors", []), cpu_count
+        )
+        failures.extend(floor_failures)
+        for skip in floor_skips:
+            print(f"SPEEDUP FLOOR SKIPPED: {skip}", file=sys.stderr)
+    if args.min_speedup is not None and batched in results and per_event in results:
         failures.extend(check_speedup(results, args.min_speedup))
     for failure in failures:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)

@@ -15,6 +15,7 @@ All functions either append to a ``bytearray`` (writers) or read from a
 from __future__ import annotations
 
 import struct
+from typing import Sequence
 
 from repro.common.errors import SerdeError
 
@@ -99,6 +100,27 @@ def read_str(data: bytes | memoryview, offset: int) -> tuple[str, int]:
     """Read a length-prefixed UTF-8 string."""
     raw, offset = read_bytes(data, offset)
     return raw.decode("utf-8"), offset
+
+
+def write_str_list(buf: bytearray, values: Sequence[str]) -> None:
+    """Append a count-prefixed list of UTF-8 strings.
+
+    Used by the shard wire layer for string tables (field and column
+    names are interned once per message instead of once per event).
+    """
+    write_varint(buf, len(values))
+    for value in values:
+        write_str(buf, value)
+
+
+def read_str_list(data: bytes | memoryview, offset: int) -> tuple[list[str], int]:
+    """Read a count-prefixed list of strings written by :func:`write_str_list`."""
+    count, offset = read_varint(data, offset)
+    values = []
+    for _ in range(count):
+        value, offset = read_str(data, offset)
+        values.append(value)
+    return values, offset
 
 
 def write_f64(buf: bytearray, value: float) -> None:

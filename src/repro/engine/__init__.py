@@ -17,7 +17,7 @@ from repro.engine.assignment import (
     round_robin_task_strategy,
 )
 from repro.engine.catalog import Catalog, MetricDef, StreamDef
-from repro.engine.cluster import RailgunCluster, Reply
+from repro.engine.cluster import RailgunCluster, Reply, create_cluster
 from repro.engine.node import RailgunNode
 from repro.engine.processor import ProcessorUnit
 from repro.engine.task import TaskProcessor
@@ -35,4 +35,5 @@ __all__ = [
     "RailgunNode",
     "RailgunCluster",
     "Reply",
+    "create_cluster",
 ]

@@ -75,6 +75,73 @@ def _normalize_fields(schema: object) -> tuple[tuple[str, str], ...]:
     return tuple((name, str(type_name)) for name, type_name in schema)
 
 
+def build_stream_def(
+    catalog: Catalog,
+    name: str,
+    partitioners: Iterable[str],
+    partitions: int,
+    schema: object,
+    with_global_partitioner: bool,
+) -> StreamDef:
+    """Validate and build a stream definition against a catalogue.
+
+    Shared by the cooperative single-process cluster and the
+    process-parallel cluster so both enforce identical DDL rules.
+    """
+    if name in catalog.streams:
+        raise EngineError(f"stream {name!r} already exists")
+    partitioner_list = list(partitioners)
+    if with_global_partitioner:
+        partitioner_list.append(GLOBAL_PARTITIONER)
+    if not partitioner_list:
+        raise EngineError("a stream needs at least one partitioner")
+    fields = _normalize_fields(schema)
+    declared = {field_name for field_name, _ in fields}
+    for partitioner in partitioner_list:
+        if partitioner != GLOBAL_PARTITIONER and partitioner not in declared:
+            raise EngineError(f"partitioner {partitioner!r} is not a schema field")
+    return StreamDef(name, fields, tuple(partitioner_list), partitions)
+
+
+def validate_metric_fields(catalog: Catalog, query) -> None:
+    """Reject metrics referencing fields their stream does not declare."""
+    stream = catalog.streams[query.stream]
+    declared = {name for name, _ in stream.fields}
+    for agg in query.aggregations:
+        if agg.field is not None and agg.field not in declared:
+            raise EngineError(
+                f"aggregation field {agg.field!r} not in stream {query.stream!r}"
+            )
+    for field_name in query.group_by:
+        if field_name not in declared:
+            raise EngineError(
+                f"group-by field {field_name!r} not in stream {query.stream!r}"
+            )
+    if query.where is not None:
+        for field_name in query.where.referenced_fields():
+            if field_name not in declared:
+                raise EngineError(
+                    f"filter field {field_name!r} not in stream {query.stream!r}"
+                )
+
+
+def create_cluster(execution: str = "single", **kwargs):
+    """Cluster factory: ``single`` (cooperative) or ``process`` (parallel).
+
+    ``single`` returns the step-driven :class:`RailgunCluster`;
+    ``process`` returns a :class:`~repro.shard.parallel.ParallelCluster`
+    running shard workers in separate OS processes over the same bus
+    abstraction, with byte-identical reply semantics.
+    """
+    if execution == "single":
+        return RailgunCluster(**kwargs)
+    if execution == "process":
+        from repro.shard.parallel import ParallelCluster
+
+        return ParallelCluster(**kwargs)
+    raise EngineError(f"unknown execution mode {execution!r}")
+
+
 class RailgunCluster:
     """N equal Railgun nodes over one message bus (Figure 3)."""
 
@@ -123,6 +190,10 @@ class RailgunCluster:
 
     def add_node(self, processor_units: int = 2) -> str:
         """Add (and start) a node; returns its id."""
+        if processor_units <= 0:
+            # Frontend-only nodes exist only in the process-parallel
+            # engine; a cooperative node must do back-end work.
+            raise ValueError(f"need at least one processor unit: {processor_units}")
         node_id = f"node-{self._next_node}"
         self._next_node += 1
         self.bus.create_topic(REPLY_TOPIC_PREFIX + node_id, partitions=1)
@@ -177,22 +248,11 @@ class RailgunCluster:
         with_global_partitioner: bool = False,
     ) -> None:
         """Register a stream: schema + partitioners + topic creation."""
-        if name in self.catalog.streams:
-            raise EngineError(f"stream {name!r} already exists")
-        partitioner_list = list(partitioners)
-        if with_global_partitioner:
-            partitioner_list.append(GLOBAL_PARTITIONER)
-        if not partitioner_list:
-            raise EngineError("a stream needs at least one partitioner")
-        fields = _normalize_fields(schema)
-        declared = {field_name for field_name, _ in fields}
-        for partitioner in partitioner_list:
-            if partitioner != GLOBAL_PARTITIONER and partitioner not in declared:
-                raise EngineError(
-                    f"partitioner {partitioner!r} is not a schema field"
-                )
-        stream = StreamDef(name, fields, tuple(partitioner_list), partitions)
-        for partitioner in partitioner_list:
+        stream = build_stream_def(
+            self.catalog, name, partitioners, partitions, schema,
+            with_global_partitioner,
+        )
+        for partitioner in stream.partitioners:
             count = 1 if partitioner == GLOBAL_PARTITIONER else partitions
             self.bus.create_topic(
                 topic_name(name, partitioner), partitions=count,
@@ -207,7 +267,7 @@ class RailgunCluster:
         query = parse_query(query_text)
         if query.stream not in self.catalog.streams:
             raise EngineError(f"unknown stream {query.stream!r}")
-        self._validate_metric_fields(query)
+        validate_metric_fields(self.catalog, query)
         topic = self.catalog.route_metric(query)
         metric_id = self.catalog.next_metric_id
         metric = MetricDef(
@@ -219,26 +279,6 @@ class RailgunCluster:
         )
         self._publish_op(CreateMetricOp(metric))
         return metric_id
-
-    def _validate_metric_fields(self, query) -> None:
-        stream = self.catalog.streams[query.stream]
-        declared = {name for name, _ in stream.fields}
-        for agg in query.aggregations:
-            if agg.field is not None and agg.field not in declared:
-                raise EngineError(
-                    f"aggregation field {agg.field!r} not in stream {query.stream!r}"
-                )
-        for field_name in query.group_by:
-            if field_name not in declared:
-                raise EngineError(
-                    f"group-by field {field_name!r} not in stream {query.stream!r}"
-                )
-        if query.where is not None:
-            for field_name in query.where.referenced_fields():
-                if field_name not in declared:
-                    raise EngineError(
-                        f"filter field {field_name!r} not in stream {query.stream!r}"
-                    )
 
     def delete_metric(self, metric_id: int) -> None:
         """Remove a metric cluster-wide."""

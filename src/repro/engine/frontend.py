@@ -177,24 +177,39 @@ class FrontEnd:
             reply = message.value
             if not isinstance(reply, ReplyEnvelope):
                 continue
-            request = self.pending.get(reply.correlation_id)
-            if request is None:
-                continue  # duplicate reply after completion
-            for metric_id, values in reply.results.items():
-                request.results[metric_id] = values
-            request.received += 1
-            if request.complete:
-                del self.pending[request.correlation_id]
-                completed = CompletedReply(
-                    correlation_id=request.correlation_id,
-                    event=request.event,
-                    stream=request.stream,
-                    results=request.results,
-                    latency_ms=self.clock.now() - request.sent_at_ms,
-                )
-                self.completed[completed.correlation_id] = completed
+            completed = self.deliver_reply(reply)
+            if completed is not None:
                 finished.append(completed)
         return finished
+
+    def deliver_reply(self, reply: ReplyEnvelope) -> CompletedReply | None:
+        """Fan one task reply into its pending request.
+
+        The reply-topic poll loop funnels through here; the
+        process-parallel engine also calls it directly — the coordinator
+        process hosts both the shard supervisor and the frontend, so a
+        locally-merged reply can skip the bus hop without changing any
+        observable fan-in behavior. Returns the completed response when
+        this reply was the last one expected.
+        """
+        request = self.pending.get(reply.correlation_id)
+        if request is None:
+            return None  # duplicate reply after completion
+        for metric_id, values in reply.results.items():
+            request.results[metric_id] = values
+        request.received += 1
+        if not request.complete:
+            return None
+        del self.pending[request.correlation_id]
+        completed = CompletedReply(
+            correlation_id=request.correlation_id,
+            event=request.event,
+            stream=request.stream,
+            results=request.results,
+            latency_ms=self.clock.now() - request.sent_at_ms,
+        )
+        self.completed[completed.correlation_id] = completed
+        return completed
 
     def take_completed(self, correlation_id: int) -> CompletedReply | None:
         """Pop a completed response (step 6: reply to the client)."""

@@ -248,14 +248,13 @@ class ProcessorUnit:
             else:
                 consumer.seek(tp, processor.next_offset)
         else:
-            processor = TaskProcessor(
+            processor = TaskProcessor.build(
                 tp,
                 stream,
+                metrics,
                 reservoir_config=self.config.reservoir,
                 lsm_config=self.config.lsm,
             )
-            for metric in metrics:
-                processor.add_metric(metric)
             self.stats.fresh_starts += 1
             consumer.seek(tp, 0)
         self.stale.pop(tp, None)

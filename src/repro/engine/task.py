@@ -82,6 +82,27 @@ class TaskProcessor:
         self.messages_processed = 0
         self.replays_skipped = 0
 
+    @classmethod
+    def build(
+        cls,
+        tp: TopicPartition,
+        stream: StreamDef,
+        metrics: Sequence[MetricDef],
+        reservoir_config: ReservoirConfig | None = None,
+        lsm_config: LsmConfig | None = None,
+    ) -> "TaskProcessor":
+        """A fresh task processor with ``metrics`` registered in id order.
+
+        Shared by the in-process engine's fresh-start path and the shard
+        workers, so both runtimes build byte-identical processors.
+        """
+        processor = cls(
+            tp, stream, reservoir_config=reservoir_config, lsm_config=lsm_config
+        )
+        for metric in sorted(metrics, key=lambda m: m.metric_id):
+            processor.add_metric(metric)
+        return processor
+
     # -- metric management -----------------------------------------------------------
 
     def add_metric(self, metric: MetricDef) -> None:
@@ -138,12 +159,24 @@ class TaskProcessor:
 
         Equivalent to calling :meth:`process` per record — same replies,
         same reservoir bytes, same iterator positions — but runs of
-        *fresh* messages (non-replay offsets, strictly increasing
-        timestamps ahead of the reservoir frontier, unseen event ids)
-        are appended through the reservoir's amortized batch path before
-        the plan advances once per event. Replays, duplicates and
-        out-of-order or timestamp-tied events fall back to the per-event
-        path, which handles them bit-for-bit as before.
+        *fresh* messages (non-replay offsets, non-decreasing timestamps
+        ahead of the reservoir frontier, unseen event ids) are appended
+        through the reservoir's amortized batch path before the plan
+        advances once per event. Replays, duplicates and out-of-order
+        events fall back to the per-event path, which handles them
+        bit-for-bit as before.
+
+        Timestamp-tie semantics (pinned here, mirrored from the
+        per-event path): within a tie group the *k*-th event's reply
+        window contains tie members ``0..k`` and excludes members
+        ``k+1..`` — each event sees everything appended before it plus
+        itself, never later arrivals. Tie runs therefore batch through
+        the reservoir like strict runs, while the plan advance passes
+        ``tie_cap=1`` so each turn consumes exactly its own event at
+        the evaluation timestamp. A tie that lands exactly on a sealed
+        chunk boundary follows the out-of-order policy (rewrite or
+        discard), again matching :meth:`process` byte-for-byte via the
+        reservoir's per-event append results.
         """
         replies: list[dict[int, dict[str, Any]] | None] = []
         reservoir = self.reservoir
@@ -155,7 +188,8 @@ class TaskProcessor:
                 replies.append(self.process(offset, event))
                 index += 1
                 continue
-            # Grow the run while each message stays fresh and in-order.
+            # Grow the run while each message stays fresh and in-order
+            # (ties allowed: equal timestamps keep the run alive).
             run_end = index + 1
             last_offset, last_ts = offset, event.timestamp
             run_ids = {event.event_id}
@@ -163,7 +197,7 @@ class TaskProcessor:
                 next_offset, next_event = records[run_end]
                 if (
                     next_offset <= last_offset
-                    or next_event.timestamp <= last_ts
+                    or next_event.timestamp < last_ts
                     or next_event.event_id in run_ids
                     or reservoir.has_event_id(next_event.event_id)
                 ):
@@ -172,16 +206,26 @@ class TaskProcessor:
                 last_offset, last_ts = next_offset, next_event.timestamp
                 run_end += 1
             run = records[index:run_end]
-            reservoir.append_batch([e for _, e in run])
-            for run_offset, run_event in run:
+            results = reservoir.append_batch([e for _, e in run])
+            for (run_offset, run_event), result in zip(run, results):
                 self.next_offset = run_offset + 1
                 self.messages_processed += 1
-                # In-order events see eval_ts == their own timestamp on
-                # the per-event path; pin it because the batch append
-                # already advanced the reservoir frontier.
-                replies.append(
-                    plan.process_event(run_event, eval_ts=run_event.timestamp)
-                )
+                if result.stored:
+                    # In-order events see eval_ts == the stored event's
+                    # timestamp on the per-event path (its own, or the
+                    # rewrite target for a sealed-boundary tie); pin it
+                    # because the batch append already advanced the
+                    # reservoir frontier.
+                    stored = result.event
+                    replies.append(
+                        plan.process_event(
+                            stored, eval_ts=stored.timestamp, tie_cap=1
+                        )
+                    )
+                else:
+                    # Discarded sealed-boundary tie: reply read-only,
+                    # exactly like the per-event path.
+                    replies.append(plan.process_event_readonly(run_event))
             index = run_end
         return replies
 

@@ -15,7 +15,12 @@ Railgun leans on a small set of Kafka guarantees, all implemented here:
 """
 
 from repro.messaging.broker import MessageBus
-from repro.messaging.consumer import Consumer, ConsumerRecord, RebalanceListener
+from repro.messaging.consumer import (
+    Consumer,
+    ConsumerRecord,
+    PartitionView,
+    RebalanceListener,
+)
 from repro.messaging.groups import (
     GroupCoordinator,
     range_assignor,
@@ -33,6 +38,7 @@ __all__ = [
     "Producer",
     "Consumer",
     "ConsumerRecord",
+    "PartitionView",
     "RebalanceListener",
     "GroupCoordinator",
     "range_assignor",

@@ -243,7 +243,7 @@ class TaskPlan:
     # -- event processing -----------------------------------------------------------
 
     def process_event(
-        self, event: Event, eval_ts: int | None = None
+        self, event: Event, eval_ts: int | None = None, tie_cap: int | None = None
     ) -> dict[int, dict[str, Any]]:
         """Advance time to ``event`` and return per-metric replies.
 
@@ -257,6 +257,16 @@ class TaskPlan:
         events still awaiting their plan turn — the caller passes each
         event's own in-order timestamp to keep replies identical to the
         per-event interleaving.
+
+        ``tie_cap`` bounds, for iterators whose limit is exactly
+        ``eval_ts`` (delay-0 window heads), how many events *at* that
+        timestamp one advance may consume. The batched path passes 1:
+        a timestamp-tied run is fully in the reservoir before any plan
+        turn, and on the per-event path each tie member's reply sees
+        only the members appended before it — the cap reproduces that
+        cut-off exactly. Iterators whose limit falls below ``eval_ts``
+        are unaffected: every event at or below their limit is already
+        visible on both paths.
         """
         self.events_processed += 1
         if eval_ts is None:
@@ -268,6 +278,8 @@ class TaskPlan:
             limit = entry.limit(eval_ts)
             if limit is None:
                 batches[key] = []
+            elif tie_cap is not None and limit == eval_ts:
+                batches[key] = entry.iterator.advance_upto(limit, tie_cap)
             else:
                 batches[key] = entry.iterator.advance_upto(limit)
 

@@ -51,17 +51,29 @@ class ReservoirIterator:
         """Current ``(chunk_id, index)`` cursor."""
         return (self.chunk_id, self.index)
 
-    def advance_upto(self, limit_ts: int) -> list[Event]:
+    def advance_upto(
+        self, limit_ts: int, max_at_limit: int | None = None
+    ) -> list[Event]:
         """Emit all unconsumed events with ``timestamp <= limit_ts``.
 
         Late events parked in the missed queue are emitted first (they
         are, by construction, already behind the cursor and therefore
         within any future limit).
+
+        ``max_at_limit`` bounds how many scanned events with timestamp
+        *exactly* ``limit_ts`` are emitted before the cursor stops (just
+        past the last emitted one). The batched ingestion path uses this
+        to process timestamp-tied runs one event at a time: a tie group
+        is fully appended before the plan advances, so each advance must
+        stop at its own event instead of consuming the whole group.
+        Missed-queue events do not count against the bound.
         """
         batch: list[Event] = []
         while self.missed:
             batch.append(self.missed.popleft())
         reservoir = self._reservoir
+        at_limit = 0
+        capped = False
         while True:
             events = self._events_for(self.chunk_id)
             if events is None:
@@ -73,8 +85,19 @@ class ReservoirIterator:
                     return batch
                 batch.append(event)
                 self.index += 1
-            # Exhausted this chunk. The open chunk can still grow, so
-            # park there; otherwise move to the next chunk if it exists.
+                if event.timestamp == limit_ts and max_at_limit is not None:
+                    at_limit += 1
+                    if at_limit >= max_at_limit:
+                        capped = True
+                        break
+            # Exhausted this chunk (or capped exactly at its tail). The
+            # open chunk can still grow, so park there; otherwise move
+            # to the next chunk if it exists — the capped exit performs
+            # the same boundary walk so the cursor parks at the position
+            # an uncapped advance over the same consumed events would
+            # reach, but never emits (nor skips) anything past the cap.
+            if capped and self.index < len(events):
+                break
             if reservoir.chunk_can_grow(self.chunk_id):
                 break
             if not reservoir.chunk_exists(self.chunk_id + 1):
@@ -83,6 +106,12 @@ class ReservoirIterator:
             self.index = 0
             self._current_events = None
             self._current_chunk_id = -1
+            if capped:
+                # Re-run the walk on the next chunk: an empty closed
+                # chunk would roll again; a non-empty one parks at 0.
+                events = self._events_for(self.chunk_id)
+                if events is None or len(events) > 0:
+                    break
         self.events_emitted += len(batch)
         return batch
 

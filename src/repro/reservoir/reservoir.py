@@ -207,7 +207,15 @@ class EventReservoir:
         index, count = 0, len(events)
         while index < count:
             event = events[index]
-            if event.timestamp <= self._max_seen_ts or event.event_id in dedup:
+            # A fresh timestamp can still sit at or below the closed
+            # horizon when rewritten events sealed a chunk *ahead* of
+            # ``max_seen_ts``; those must take the per-event path so the
+            # out-of-order policy applies exactly as append() would.
+            if (
+                event.timestamp <= self._max_seen_ts
+                or event.event_id in dedup
+                or event.timestamp <= self._closed_horizon()
+            ):
                 results.append(self.append(event))
                 index += 1
                 continue
@@ -265,7 +273,11 @@ class EventReservoir:
         open_chunk = self._open
         for event in events:
             timestamp = event.timestamp
-            if timestamp <= self._max_seen_ts or event.event_id in dedup:
+            if (
+                timestamp <= self._max_seen_ts
+                or event.event_id in dedup
+                or timestamp <= self._closed_horizon()
+            ):
                 results.append(self.append(event))
                 open_chunk = self._open
                 continue

@@ -1,0 +1,26 @@
+"""The process-parallel shard runtime.
+
+Runs Railgun's back-end work — the batched ``poll_batches`` →
+``process_batch`` path — in separate OS processes so ingestion scales
+past one core, while the coordinator process keeps the bus, the
+frontend, and the assignment authority. Three layers:
+
+- :mod:`repro.shard.wire` — serde-based framing for work units, replies
+  and control messages crossing the process boundary;
+- :mod:`repro.shard.worker` / :mod:`repro.shard.supervisor` — the worker
+  entrypoint and the process that spawns, routes to, monitors and
+  restarts workers;
+- :mod:`repro.shard.parallel` — :class:`ParallelCluster`, the
+  RailgunCluster-compatible facade with byte-identical reply semantics.
+"""
+
+from repro.shard.parallel import ParallelCluster
+from repro.shard.supervisor import ShardSupervisor
+from repro.shard.worker import ShardWorker, shard_worker_main
+
+__all__ = [
+    "ParallelCluster",
+    "ShardSupervisor",
+    "ShardWorker",
+    "shard_worker_main",
+]

@@ -1,0 +1,468 @@
+"""The process-parallel Railgun cluster.
+
+``ParallelCluster`` preserves the single-process :class:`RailgunCluster`
+client API — same DDL calls, same ``send``/``send_batch``, same
+:class:`~repro.engine.cluster.Reply` objects, byte-identical reply
+values — while the back-end work runs in shard worker processes. The
+coordinator process keeps the roles the paper gives a node's front
+layer: it hosts the frontend (fan-out + fan-in), polls the bus through
+one :class:`~repro.messaging.consumer.PartitionView` per worker, ships
+contiguous offset runs across the pipe as the unit of work (the batched
+``poll_batches`` → ``process_batch`` path), publishes the returned
+replies to the reply topic and commits offsets only once their replies
+landed.
+
+Determinism guarantees: partitions are sharded with the Figure 7 sticky
+strategy, each partition's records are processed in log order by exactly
+one worker, and every reply value is produced by the same
+``TaskProcessor.process_batch`` code the single-process engine runs — so
+replies and aggregate stats match the cooperative engine exactly, no
+matter how work interleaves across processes. After a worker crash the
+supervisor restarts it, the control log replays the catalogue, the
+partition log replays from offset zero, and the committed watermark
+suppresses every reply the client already saw.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Iterable, Mapping
+
+from repro.common.clock import ManualClock
+from repro.common.errors import EngineError
+from repro.engine.catalog import (
+    GLOBAL_PARTITIONER,
+    OPERATIONS_TOPIC,
+    REPLY_TOPIC_PREFIX,
+    AddPartitionerOp,
+    Catalog,
+    CreateMetricOp,
+    CreateStreamOp,
+    DeleteMetricOp,
+    EvolveSchemaOp,
+    MetricDef,
+    topic_name,
+)
+from repro.engine.cluster import (
+    Reply,
+    _normalize_fields,
+    build_stream_def,
+    validate_metric_fields,
+)
+from repro.engine.envelope import EventEnvelope, ReplyEnvelope
+from repro.engine.node import RailgunNode
+from repro.engine.processor import ACTIVE_GROUP, UnitConfig
+from repro.events.event import Event
+from repro.messaging.broker import MessageBus
+from repro.messaging.consumer import PartitionView
+from repro.messaging.log import TopicPartition
+from repro.messaging.producer import Producer
+from repro.query.parser import parse_query
+from repro.shard import wire
+from repro.shard.supervisor import ShardSupervisor
+
+#: node id of the coordinator-side frontend (mirrors RailgunCluster).
+FRONTEND_NODE = "node-0"
+
+
+class ParallelCluster:
+    """N shard worker processes behind a RailgunCluster-compatible facade."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        unit_config: UnitConfig | None = None,
+        tick_ms: int = 1,
+        batch_max: int = 256,
+        assignment_strategy: object | None = None,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        self.clock = ManualClock(start_ms=1)
+        self.bus = MessageBus()
+        self.catalog = Catalog()
+        self.tick_ms = tick_ms
+        self.batch_max = batch_max
+        self.bus.create_topic(OPERATIONS_TOPIC, partitions=1)
+        self.bus.create_topic(REPLY_TOPIC_PREFIX + FRONTEND_NODE, partitions=1)
+        self._ops_producer = Producer(self.bus, self.clock)
+        self._reply_producer = Producer(self.bus, self.clock)
+        # The client layer is a frontend-only Railgun node: same fan-out,
+        # same reply fan-in, zero processor units in this process.
+        self.node = RailgunNode(FRONTEND_NODE, self.bus, None, self.clock, 0)
+        self.frontend = self.node.frontend
+        self.supervisor = ShardSupervisor(
+            workers,
+            unit_config=unit_config,
+            strategy=assignment_strategy,
+            mp_context=mp_context,
+        )
+        self.supervisor.on_restart = self._on_worker_restart
+        self._views: dict[str, PartitionView] = {
+            worker_id: PartitionView(self.bus, ACTIVE_GROUP)
+            for worker_id in self.supervisor.worker_ids()
+        }
+        #: replied watermark per task: replies below it already reached
+        #: the client, so replayed work must not repeat them.
+        self._watermarks: dict[TopicPartition, int] = {}
+        #: envelopes shipped but not yet replied, keyed by (task, offset).
+        self._pending: dict[tuple[TopicPartition, int], EventEnvelope] = {}
+        self.rebalance_count = 0
+        self._closed = False
+
+    # -- topology -------------------------------------------------------------
+
+    def add_worker(self) -> str:
+        """Spawn one more shard worker and rebalance onto it."""
+        self._quiesce()
+        worker_id = self.supervisor.add_worker()
+        self._views[worker_id] = PartitionView(self.bus, ACTIVE_GROUP)
+        self._rebalance()
+        return worker_id
+
+    def remove_worker(self, worker_id: str) -> None:
+        """Retire a worker; its tasks move (and replay) elsewhere."""
+        self._quiesce()
+        self.supervisor.remove_worker(worker_id)
+        del self._views[worker_id]
+        self._rebalance()
+
+    def kill_worker(self, worker_id: str) -> None:
+        """SIGKILL a worker process (fault injection for tests)."""
+        self.supervisor.kill_worker(worker_id)
+
+    def worker_ids(self) -> list[str]:
+        """Current shard workers."""
+        return self.supervisor.worker_ids()
+
+    # -- DDL ------------------------------------------------------------------
+
+    def create_stream(
+        self,
+        name: str,
+        partitioners: Iterable[str],
+        partitions: int = 4,
+        schema: object = (),
+        with_global_partitioner: bool = False,
+    ) -> None:
+        """Register a stream: schema + partitioners + topic creation."""
+        stream = build_stream_def(
+            self.catalog, name, partitioners, partitions, schema,
+            with_global_partitioner,
+        )
+        for partitioner in stream.partitioners:
+            count = 1 if partitioner == GLOBAL_PARTITIONER else partitions
+            self.bus.create_topic(topic_name(name, partitioner), partitions=count)
+        self._publish_op(CreateStreamOp(stream))
+        self.supervisor.broadcast_control(wire.CreateStream(stream))
+        self._rebalance()
+
+    def create_metric(self, query_text: str, backfill: bool = False) -> int:
+        """Register a metric from a Figure 4 statement; returns metric id."""
+        query = parse_query(query_text)
+        if query.stream not in self.catalog.streams:
+            raise EngineError(f"unknown stream {query.stream!r}")
+        validate_metric_fields(self.catalog, query)
+        topic = self.catalog.route_metric(query)
+        metric_id = self.catalog.next_metric_id
+        metric = MetricDef(
+            metric_id=metric_id,
+            query_text=query_text,
+            stream=query.stream,
+            topic=topic,
+            backfill=backfill,
+        )
+        self._publish_op(CreateMetricOp(metric))
+        self.supervisor.broadcast_control(wire.CreateMetric(metric))
+        return metric_id
+
+    def delete_metric(self, metric_id: int) -> None:
+        """Remove a metric cluster-wide."""
+        self._publish_op(DeleteMetricOp(metric_id))
+        self.supervisor.broadcast_control(wire.DeleteMetric(metric_id))
+
+    def evolve_schema(self, stream: str, new_fields: object) -> None:
+        """Append fields to a stream schema (old chunks stay readable)."""
+        fields = _normalize_fields(new_fields)
+        self._publish_op(EvolveSchemaOp(stream, fields))
+        self.supervisor.broadcast_control(wire.EvolveSchema(stream, fields))
+
+    def add_partitioner(self, stream: str, partitioner: str) -> None:
+        """Add a top-level partitioner after stream creation (§4)."""
+        stream_def = self.catalog.streams.get(stream)
+        if stream_def is None:
+            raise EngineError(f"unknown stream {stream!r}")
+        if partitioner in stream_def.partitioners:
+            return
+        declared = {name for name, _ in stream_def.fields}
+        if partitioner != GLOBAL_PARTITIONER and partitioner not in declared:
+            raise EngineError(f"partitioner {partitioner!r} is not a schema field")
+        count = 1 if partitioner == GLOBAL_PARTITIONER else stream_def.partitions
+        self.bus.create_topic(topic_name(stream, partitioner), partitions=count)
+        self._publish_op(AddPartitionerOp(stream, partitioner))
+        self.supervisor.broadcast_control(wire.AddPartitioner(stream, partitioner))
+        self._rebalance()
+
+    def _publish_op(self, op: object) -> None:
+        self.catalog.apply(op)
+        self._ops_producer.send(OPERATIONS_TOPIC, key=None, value=op)
+
+    def _event_topics(self) -> list[str]:
+        return sorted(
+            topic
+            for stream in self.catalog.streams.values()
+            for topic in stream.topics()
+        )
+
+    # -- the data path --------------------------------------------------------
+
+    def send(
+        self,
+        stream: str,
+        fields: Mapping[str, Any] | None = None,
+        timestamp: int | None = None,
+        event: Event | None = None,
+        event_id: str | None = None,
+        max_rounds: int = 2000,
+    ) -> Reply:
+        """Send one event and pump until its reply completes."""
+        if event is None:
+            if fields is None:
+                raise EngineError("either fields or event is required")
+            if timestamp is None:
+                timestamp = self.clock.now()
+            if event_id is None:
+                event_id = f"client-{self.bus.messages_published:012d}"
+            event = Event(event_id, timestamp, fields)
+        correlation = self.frontend.send(stream, event)
+        for _ in range(max_rounds):
+            completed = self.frontend.take_completed(correlation)
+            if completed is not None:
+                return Reply(
+                    event=completed.event,
+                    stream=completed.stream,
+                    results=completed.results,
+                    latency_ms=completed.latency_ms,
+                )
+            self.pump()
+        raise EngineError(
+            f"reply for correlation {correlation} did not complete within "
+            f"{max_rounds} pump rounds"
+        )
+
+    def send_batch(
+        self,
+        stream: str,
+        batch: Iterable[Mapping[str, Any] | Event],
+        max_rounds: int = 20000,
+    ) -> list[Reply]:
+        """Send a batch and pump until every reply lands; input order."""
+        events: list[Event] = []
+        base_id = self.bus.messages_published
+        for index, item in enumerate(batch):
+            if isinstance(item, Event):
+                events.append(item)
+            else:
+                events.append(
+                    Event(f"client-{base_id + index:012d}", self.clock.now(), item)
+                )
+        correlations = self.frontend.send_batch(stream, events)
+        outstanding = set(correlations)
+        for _ in range(max_rounds):
+            if not outstanding:
+                break
+            self.pump()
+            completed = self.frontend.completed
+            if completed:
+                outstanding.difference_update(completed)
+        if outstanding:
+            raise EngineError(
+                f"{len(outstanding)} of {len(correlations)} batched replies did "
+                f"not complete within {max_rounds} pump rounds"
+            )
+        replies: list[Reply] = []
+        for correlation in correlations:
+            completed_reply = self.frontend.take_completed(correlation)
+            replies.append(
+                Reply(
+                    event=completed_reply.event,
+                    stream=completed_reply.stream,
+                    results=completed_reply.results,
+                    latency_ms=completed_reply.latency_ms,
+                )
+            )
+        return replies
+
+    # -- the world loop -------------------------------------------------------
+
+    def pump(self) -> int:
+        """One coordinator round: dispatch, collect, assemble replies."""
+        self.clock.advance(self.tick_ms)
+        shipped = self._dispatch()
+        # Nothing new to ship and work in flight: block briefly instead
+        # of spinning — on a loaded host the coordinator must yield the
+        # core to its workers.
+        timeout = 0.0
+        if shipped == 0 and self.supervisor.outstanding() > 0:
+            timeout = 0.01
+        collected = self._collect(timeout)
+        self.frontend.poll_replies()
+        return shipped + collected
+
+    def run_until_quiet(self, max_rounds: int = 20000, quiet_rounds: int = 3) -> int:
+        """Pump until nothing moves for ``quiet_rounds`` consecutive steps."""
+        total = 0
+        quiet = 0
+        for _ in range(max_rounds):
+            handled = self.pump()
+            total += handled
+            busy = (
+                handled
+                or self.frontend.pending
+                or self.supervisor.outstanding()
+                or any(view.lag() for view in self._views.values())
+            )
+            if not busy:
+                quiet += 1
+                if quiet >= quiet_rounds:
+                    return total
+            else:
+                quiet = 0
+        return total
+
+    def _dispatch(self) -> int:
+        """Ship contiguous offset runs to their owning workers."""
+        shipped = 0
+        pending = self._pending
+        watermarks = self._watermarks
+        supervisor = self.supervisor
+        for worker_id, view in self._views.items():
+            for tp in view.assignment():
+                if not supervisor.can_submit(worker_id):
+                    break
+                messages = view.poll_one(tp, self.batch_max)
+                if not messages:
+                    continue
+                watermark = watermarks.get(tp, 0)
+                records = []
+                for message in messages:
+                    value = message.value
+                    if isinstance(value, EventEnvelope):
+                        records.append((message.offset, value.event))
+                        # Offsets below the watermark are replays whose
+                        # replies the worker suppresses — tracking their
+                        # envelopes again would leak them forever.
+                        if message.offset >= watermark:
+                            pending[(tp, message.offset)] = value
+                if records:
+                    supervisor.submit(tp, records, watermark)
+                    shipped += len(records)
+        return shipped
+
+    def _collect(self, timeout: float = 0.0) -> int:
+        """Drain finished batches; deliver replies; commit watermarks."""
+        published = 0
+        deliver = self.frontend.deliver_reply
+        for batch in self.supervisor.poll(timeout):
+            tp = batch.tp
+            for offset, results in batch.replies:
+                envelope = self._pending.pop((tp, offset), None)
+                if envelope is None or results is None:
+                    continue
+                reply = ReplyEnvelope(
+                    correlation_id=envelope.correlation_id,
+                    event_id=envelope.event.event_id,
+                    task=tp,
+                    results=results,
+                )
+                if envelope.origin_node == FRONTEND_NODE:
+                    # Reply fan-in lives in this process: skip the bus
+                    # hop and merge straight into the pending request.
+                    deliver(reply)
+                else:
+                    self._reply_producer.send(
+                        REPLY_TOPIC_PREFIX + envelope.origin_node,
+                        key=None,
+                        value=reply,
+                        timestamp=self.clock.now(),
+                    )
+                published += 1
+            watermark = max(self._watermarks.get(tp, 0), batch.next_offset)
+            self._watermarks[tp] = watermark
+            owner = self.supervisor.owner_of(tp)
+            if owner is not None:
+                self._views[owner].commit(tp, watermark)
+        if self.supervisor.worker_errors:
+            raise EngineError(
+                "shard worker failed:\n" + self.supervisor.worker_errors[-1]
+            )
+        return published
+
+    # -- rebalance / recovery -------------------------------------------------
+
+    def _rebalance(self) -> None:
+        tasks = [
+            tp
+            for topic in self._event_topics()
+            for tp in self.bus.topic_partitions(topic)
+        ]
+        if not tasks:
+            return
+        before = {
+            worker_id: set(view.assignment())
+            for worker_id, view in self._views.items()
+        }
+        mapping = self.supervisor.assign(tasks)
+        for worker_id, owned in mapping.items():
+            view = self._views[worker_id]
+            view.set_assignment(owned)
+            for tp in owned - before.get(worker_id, set()):
+                # New owner: replay the whole partition log to rebuild
+                # task state; the watermark suppresses replayed replies.
+                view.seek(tp, 0)
+        self.rebalance_count += 1
+
+    def _on_worker_restart(
+        self, worker_id: str, tasks: set[TopicPartition]
+    ) -> None:
+        """Crash recovery: replay each owned partition from offset zero.
+
+        The restarted worker lost all task state, so every record
+        replays; ``reply_from`` (the replied watermark) makes the replay
+        silent up to the last reply the client saw, and the uncommitted
+        tail — exactly the records whose replies never landed — replies
+        again.
+        """
+        view = self._views.get(worker_id)
+        if view is None:
+            return
+        for tp in tasks:
+            view.seek(tp, 0)
+
+    def _quiesce(self, timeout_rounds: int = 2000) -> None:
+        for _ in range(timeout_rounds):
+            if not self.supervisor.outstanding():
+                return
+            self._collect(timeout=0.01)
+        raise EngineError("shard workers did not quiesce")
+
+    # -- introspection / shutdown ---------------------------------------------
+
+    def total_messages_processed(self) -> int:
+        """Messages processed across workers (replays included)."""
+        return self.supervisor.total_messages_processed()
+
+    def checkpoint_offsets(self) -> dict[TopicPartition, int]:
+        """Consumed offsets per task, straight from the workers."""
+        return self.supervisor.request_checkpoints()
+
+    def close(self) -> None:
+        """Stop every worker process; idempotent."""
+        if not self._closed:
+            self._closed = True
+            self.supervisor.shutdown()
+
+    def __enter__(self) -> "ParallelCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,383 @@
+"""The shard supervisor: spawn, route, monitor, restart.
+
+The supervisor owns N :mod:`~repro.shard.worker` processes connected by
+duplex pipes. It shards tasks over workers with the engine's
+:class:`~repro.engine.assignment.StickyAssignmentStrategy` (each worker
+modelled as its own single-processor node), routes ``WorkBatch`` frames
+to the owning worker, merges ``BatchDone`` replies and stats back, and
+replays the full control log into any worker it restarts after a crash.
+
+Flow control is a small credit scheme: at most ``max_outstanding``
+un-acked work batches per worker. Combined with the cluster's bounded
+batch size this keeps both pipe directions strictly below OS buffer
+capacity, so neither side can ever block on a full pipe (a blocked
+supervisor plus a blocked worker would be a classic cross-pipe
+deadlock).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import EngineError
+from repro.engine.assignment import (
+    PreviousState,
+    ProcessorInfo,
+    StickyAssignmentStrategy,
+)
+from repro.engine.processor import UnitConfig
+from repro.messaging.log import TopicPartition
+from repro.shard import wire
+from repro.shard.worker import shard_worker_main
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (fast, Linux/CI); spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class WorkerHandle:
+    """One live worker process and its routing state."""
+
+    worker_id: str
+    process: multiprocessing.process.BaseProcess
+    conn: multiprocessing.connection.Connection
+    assigned: set[TopicPartition] = field(default_factory=set)
+    outstanding: int = 0
+    processed: int = 0
+    replies_sent: int = 0
+    restarts: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ShardSupervisor:
+    """Spawns and babysits the shard workers of one parallel cluster."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        unit_config: UnitConfig | None = None,
+        strategy: object | None = None,
+        max_outstanding: int = 2,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        if workers <= 0:
+            raise EngineError(f"need at least one shard worker: {workers}")
+        self._ctx = mp_context if mp_context is not None else _default_context()
+        self.unit_config = unit_config if unit_config is not None else UnitConfig()
+        self.strategy = (
+            strategy if strategy is not None else StickyAssignmentStrategy(0)
+        )
+        self.max_outstanding = max_outstanding
+        self._control_log: list[bytes] = []
+        self._buffered: list[tuple[object, WorkerHandle]] = []
+        self._owners: dict[TopicPartition, str] = {}
+        self._next_worker = 0
+        self._next_checkpoint_request = 0
+        self.handles: dict[str, WorkerHandle] = {}
+        self.restarts = 0
+        self.worker_errors: list[str] = []
+        #: cluster hook invoked after a crashed worker was respawned;
+        #: receives (worker_id, tasks-to-replay).
+        self.on_restart: Callable[[str, set[TopicPartition]], None] | None = None
+        for _ in range(workers):
+            self.add_worker()
+
+    # -- topology -------------------------------------------------------------
+
+    def add_worker(self) -> str:
+        """Spawn one more worker (empty until the next :meth:`assign`).
+
+        A worker added after DDL happened receives the full control log,
+        so its catalogue matches its siblings' before any work arrives.
+        """
+        worker_id = f"shard-{self._next_worker}"
+        self._next_worker += 1
+        handle = self._spawn(worker_id)
+        for frame in self._control_log:
+            handle.conn.send_bytes(frame)
+        self.handles[worker_id] = handle
+        return worker_id
+
+    def remove_worker(self, worker_id: str) -> None:
+        """Gracefully retire a worker (call :meth:`assign` afterwards)."""
+        handle = self._handle(worker_id)
+        self._stop_handle(handle)
+        del self.handles[worker_id]
+
+    def kill_worker(self, worker_id: str) -> None:
+        """SIGKILL a worker (tests: crash without cleanup)."""
+        self._handle(worker_id).process.kill()
+
+    def crash_worker(self, worker_id: str) -> None:
+        """Ask a worker to hard-exit at its next message (fault injection)."""
+        self._handle(worker_id).conn.send_bytes(wire.encode(wire.Crash()))
+
+    def worker_ids(self) -> list[str]:
+        """Current workers, in spawn order."""
+        return list(self.handles)
+
+    def _handle(self, worker_id: str) -> WorkerHandle:
+        try:
+            return self.handles[worker_id]
+        except KeyError:
+            raise EngineError(f"unknown shard worker {worker_id!r}") from None
+
+    def _spawn(self, worker_id: str) -> WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, worker_id, self.unit_config),
+            name=f"railgun-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return WorkerHandle(worker_id, process, parent_conn)
+
+    # -- control plane --------------------------------------------------------
+
+    def broadcast_control(self, msg: object) -> None:
+        """Send a DDL/schema control message to every worker; log it for
+        replay into future restarts."""
+        frame = wire.encode(msg)
+        self._control_log.append(frame)
+        for handle in self.handles.values():
+            if handle.alive:
+                try:
+                    handle.conn.send_bytes(frame)
+                except OSError:
+                    pass  # dead worker; the restart replays the log
+
+    def assign(self, tasks: list[TopicPartition]) -> dict[str, set[TopicPartition]]:
+        """(Re)shard ``tasks`` over the current workers, stickily.
+
+        Only call while quiesced (no outstanding work). Returns the new
+        per-worker task sets; the caller diffs against the old ones to
+        decide which partitions need a replay into their new owner.
+        """
+        processors = [
+            ProcessorInfo(worker_id, worker_id) for worker_id in self.handles
+        ]
+        previous = PreviousState(
+            active={
+                handle.worker_id: set(handle.assigned)
+                for handle in self.handles.values()
+            }
+        )
+        assignment = self.strategy.assign(tasks, processors, previous)
+        result: dict[str, set[TopicPartition]] = {}
+        self._owners.clear()
+        for worker_id, handle in self.handles.items():
+            owned = set(assignment.active.get(worker_id, set()))
+            result[worker_id] = owned
+            handle.assigned = owned
+            for tp in owned:
+                self._owners[tp] = worker_id
+            if handle.alive:
+                try:
+                    handle.conn.send_bytes(
+                        wire.encode(
+                            wire.AssignPartitions(tuple(sorted(owned, key=str)))
+                        )
+                    )
+                except OSError:
+                    pass  # dead worker; the restart resends its assignment
+        return result
+
+    def owner_of(self, tp: TopicPartition) -> str | None:
+        """Worker currently owning a task."""
+        return self._owners.get(tp)
+
+    def request_checkpoints(self, timeout: float = 5.0) -> dict[TopicPartition, int]:
+        """Ask every worker for its consumed offsets; merge the acks.
+
+        Outstanding work is allowed: the pipe is FIFO, so each ack
+        reflects every batch submitted before the request. Any
+        ``BatchDone`` frames drained while waiting are returned to the
+        caller via :meth:`poll` on the next call (they are buffered).
+        """
+        request_id = self._next_checkpoint_request
+        self._next_checkpoint_request += 1
+        frame = wire.encode(wire.CheckpointRequest(request_id))
+        waiting = set()
+        for handle in self.handles.values():
+            if handle.alive:
+                handle.conn.send_bytes(frame)
+                waiting.add(handle.worker_id)
+        offsets: dict[TopicPartition, int] = {}
+        deadline = time.monotonic() + timeout
+        while waiting and time.monotonic() < deadline:
+            for msg, handle in self._drain(timeout=0.05):
+                if (
+                    isinstance(msg, wire.CheckpointAck)
+                    and msg.request_id == request_id
+                ):
+                    offsets.update(msg.offsets)
+                    waiting.discard(handle.worker_id)
+                else:
+                    self._buffered.append((msg, handle))
+        if waiting:
+            raise EngineError(f"no checkpoint ack from workers: {sorted(waiting)}")
+        return offsets
+
+    # -- data plane -----------------------------------------------------------
+
+    def can_submit(self, worker_id: str) -> bool:
+        """True while the worker has spare outstanding-batch credits."""
+        handle = self._handle(worker_id)
+        return handle.alive and handle.outstanding < self.max_outstanding
+
+    def submit(
+        self,
+        tp: TopicPartition,
+        records: list,
+        reply_from: int,
+    ) -> None:
+        """Ship one contiguous offset run to the task's owning worker.
+
+        A send into a worker that just died (``is_alive`` lags the
+        kernel reaping a SIGKILLed process) is swallowed: the next
+        :meth:`poll` restarts the worker and the restart hook replays
+        the partition, which re-covers the dropped records.
+        """
+        worker_id = self.owner_of(tp)
+        if worker_id is None:
+            raise EngineError(f"task {tp} is not assigned to any worker")
+        handle = self._handle(worker_id)
+        try:
+            handle.conn.send_bytes(
+                wire.encode(wire.WorkBatch(tp, reply_from, records))
+            )
+        except OSError:
+            return  # dead worker; _reap_dead restarts + replays
+        handle.outstanding += 1
+
+    def outstanding(self) -> int:
+        """Un-acked work batches across all workers."""
+        return sum(handle.outstanding for handle in self.handles.values())
+
+    def poll(self, timeout: float = 0.0) -> list[wire.BatchDone]:
+        """Collect finished batches; detect and restart dead workers."""
+        done: list[wire.BatchDone] = []
+        for msg, handle in self._drain(timeout):
+            if isinstance(msg, wire.BatchDone):
+                handle.outstanding = max(0, handle.outstanding - 1)
+                handle.processed += msg.processed
+                handle.replies_sent += len(msg.replies)
+                done.append(msg)
+            elif isinstance(msg, wire.WorkerError):
+                self.worker_errors.append(msg.message)
+            # CheckpointAcks outside request_checkpoints are dropped:
+            # they answer a request that already timed out.
+        self._reap_dead()
+        return done
+
+    def _drain(self, timeout: float) -> list[tuple[object, WorkerHandle]]:
+        out = list(self._buffered)
+        self._buffered.clear()
+        by_conn = {
+            handle.conn: handle for handle in self.handles.values()
+        }
+        ready = multiprocessing.connection.wait(list(by_conn), timeout)
+        for conn in ready:
+            handle = by_conn[conn]
+            try:
+                while True:
+                    out.append((wire.decode(conn.recv_bytes()), handle))
+                    # Only keep reading while more frames are buffered;
+                    # otherwise recv would block.
+                    if not conn.poll(0):
+                        break
+            except (EOFError, OSError):
+                continue  # dead worker; _reap_dead restarts it
+        return out
+
+    def _reap_dead(self) -> None:
+        for handle in self.handles.values():
+            if handle.alive:
+                continue
+            self._restart(handle)
+
+    def _restart(self, handle: WorkerHandle) -> None:
+        """Respawn a dead worker and rebuild its world.
+
+        The fresh process gets the full control log (catalogue) plus its
+        previous assignment; the cluster's ``on_restart`` hook then
+        replays each owned partition's log from offset zero so task
+        state is rebuilt deterministically. In-flight batches died with
+        the process — the replay covers them too.
+        """
+        handle.process.join(timeout=1.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        fresh = self._spawn(handle.worker_id)
+        handle.process = fresh.process
+        handle.conn = fresh.conn
+        handle.outstanding = 0
+        handle.restarts += 1
+        self.restarts += 1
+        for frame in self._control_log:
+            handle.conn.send_bytes(frame)
+        handle.conn.send_bytes(
+            wire.encode(
+                wire.AssignPartitions(tuple(sorted(handle.assigned, key=str)))
+            )
+        )
+        if self.on_restart is not None:
+            self.on_restart(handle.worker_id, set(handle.assigned))
+
+    # -- stats / shutdown -----------------------------------------------------
+
+    def total_messages_processed(self) -> int:
+        """Messages processed across workers (replays included)."""
+        return sum(handle.processed for handle in self.handles.values())
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-worker counters for tests and benches."""
+        return {
+            worker_id: {
+                "processed": handle.processed,
+                "replies_sent": handle.replies_sent,
+                "restarts": handle.restarts,
+            }
+            for worker_id, handle in self.handles.items()
+        }
+
+    def shutdown(self) -> None:
+        """Stop every worker; idempotent."""
+        for handle in self.handles.values():
+            self._stop_handle(handle)
+        self.handles.clear()
+
+    def _stop_handle(self, handle: WorkerHandle) -> None:
+        if handle.alive:
+            try:
+                handle.conn.send_bytes(wire.encode(wire.Shutdown()))
+            except (OSError, ValueError):
+                pass
+            handle.process.join(timeout=2.0)
+        if handle.alive:
+            handle.process.kill()
+            handle.process.join(timeout=2.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,416 @@
+"""The shard wire protocol.
+
+Everything that crosses the process boundary between the
+:class:`~repro.shard.supervisor.ShardSupervisor` and its
+:class:`~repro.shard.worker.ShardWorker` processes is a framed binary
+message built from :mod:`repro.common.serde` primitives — batched work
+units, batched replies, and control messages (partition assignment /
+rebalance, DDL, schema evolution, checkpointing, shutdown). No pickling:
+the frames are self-describing, so a worker restarted from a clean
+process reconstructs state purely from the replayed control log plus the
+replayed partition tail.
+
+Hot-path framing amortizes string costs with per-message string tables:
+a :class:`WorkBatch` interns every distinct field name once and events
+reference names by index; a :class:`BatchDone` does the same for reply
+column names (``"sum(amount)"`` travels once per batch, not once per
+event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.common import serde
+from repro.common.errors import SerdeError
+from repro.engine.catalog import MetricDef, StreamDef
+from repro.events.event import Event
+from repro.messaging.log import TopicPartition
+
+# Supervisor -> worker.
+MSG_CREATE_STREAM = 1
+MSG_CREATE_METRIC = 2
+MSG_DELETE_METRIC = 3
+MSG_EVOLVE_SCHEMA = 4
+MSG_ASSIGN = 5
+MSG_WORK_BATCH = 6
+MSG_CHECKPOINT_REQUEST = 7
+MSG_SHUTDOWN = 8
+MSG_CRASH = 9
+MSG_ADD_PARTITIONER = 10
+
+# Worker -> supervisor.
+MSG_BATCH_DONE = 16
+MSG_CHECKPOINT_ACK = 17
+MSG_WORKER_ERROR = 18
+
+
+@dataclass(frozen=True)
+class CreateStream:
+    """Replicate a stream definition into a worker's catalogue."""
+
+    stream: StreamDef
+
+
+@dataclass(frozen=True)
+class CreateMetric:
+    """Register a metric on every task processor of its topic."""
+
+    metric: MetricDef
+
+
+@dataclass(frozen=True)
+class DeleteMetric:
+    """Unregister a metric cluster-wide."""
+
+    metric_id: int
+
+
+@dataclass(frozen=True)
+class EvolveSchema:
+    """Append fields to a stream schema (old chunks stay readable)."""
+
+    stream: str
+    new_fields: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class AddPartitioner:
+    """Add a top-level partitioner to an existing stream (§4)."""
+
+    stream: str
+    partitioner: str
+
+
+@dataclass(frozen=True)
+class AssignPartitions:
+    """Full replacement of a worker's owned partition set (rebalance)."""
+
+    partitions: tuple[TopicPartition, ...]
+
+
+@dataclass
+class WorkBatch:
+    """One contiguous offset run of one partition, shipped for processing.
+
+    ``reply_from`` is the supervisor's replied watermark: the worker
+    processes every record (state must replay deterministically after a
+    restart) but only returns replies for offsets at or above it, so a
+    replayed tail never duplicates a reply the client already saw.
+    """
+
+    tp: TopicPartition
+    reply_from: int
+    records: list[tuple[int, Event]]
+
+
+@dataclass(frozen=True)
+class CheckpointRequest:
+    """Ask a worker to report its per-task consumed offsets."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Graceful worker exit."""
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Fault injection (tests): the worker hard-exits mid-loop."""
+
+
+@dataclass
+class BatchDone:
+    """Replies + progress for one :class:`WorkBatch`."""
+
+    tp: TopicPartition
+    next_offset: int
+    processed: int
+    replies: list[tuple[int, dict[int, dict[str, Any]] | None]]
+
+
+@dataclass
+class CheckpointAck:
+    """Per-task consumed offsets at a consistent message boundary."""
+
+    request_id: int
+    offsets: dict[TopicPartition, int]
+
+
+@dataclass(frozen=True)
+class WorkerError:
+    """A worker-side exception, surfaced before the process dies."""
+
+    message: str
+
+
+# -- topic partitions ---------------------------------------------------------
+
+
+def _write_tp(buf: bytearray, tp: TopicPartition) -> None:
+    serde.write_str(buf, tp.topic)
+    serde.write_varint(buf, tp.partition)
+
+
+def _read_tp(data: memoryview, offset: int) -> tuple[TopicPartition, int]:
+    topic, offset = serde.read_str(data, offset)
+    partition, offset = serde.read_varint(data, offset)
+    return TopicPartition(topic, partition), offset
+
+
+# -- field pairs (schema fields as (name, type-name) tuples) ------------------
+
+
+def _write_field_pairs(buf: bytearray, fields: Sequence[tuple[str, str]]) -> None:
+    serde.write_varint(buf, len(fields))
+    for name, type_name in fields:
+        serde.write_str(buf, name)
+        serde.write_str(buf, type_name)
+
+
+def _read_field_pairs(
+    data: memoryview, offset: int
+) -> tuple[tuple[tuple[str, str], ...], int]:
+    count, offset = serde.read_varint(data, offset)
+    fields = []
+    for _ in range(count):
+        name, offset = serde.read_str(data, offset)
+        type_name, offset = serde.read_str(data, offset)
+        fields.append((name, type_name))
+    return tuple(fields), offset
+
+
+# -- encoders -----------------------------------------------------------------
+
+
+def encode(msg: object) -> bytes:
+    """Frame a message for the pipe: 1 tag byte + typed payload."""
+    buf = bytearray()
+    if isinstance(msg, WorkBatch):
+        _encode_work_batch(buf, msg)
+    elif isinstance(msg, BatchDone):
+        _encode_batch_done(buf, msg)
+    elif isinstance(msg, CreateStream):
+        buf.append(MSG_CREATE_STREAM)
+        stream = msg.stream
+        serde.write_str(buf, stream.name)
+        _write_field_pairs(buf, stream.fields)
+        serde.write_str_list(buf, stream.partitioners)
+        serde.write_varint(buf, stream.partitions)
+    elif isinstance(msg, CreateMetric):
+        buf.append(MSG_CREATE_METRIC)
+        metric = msg.metric
+        serde.write_varint(buf, metric.metric_id)
+        serde.write_str(buf, metric.query_text)
+        serde.write_str(buf, metric.stream)
+        serde.write_str(buf, metric.topic)
+        serde.write_varint(buf, 1 if metric.backfill else 0)
+    elif isinstance(msg, DeleteMetric):
+        buf.append(MSG_DELETE_METRIC)
+        serde.write_varint(buf, msg.metric_id)
+    elif isinstance(msg, EvolveSchema):
+        buf.append(MSG_EVOLVE_SCHEMA)
+        serde.write_str(buf, msg.stream)
+        _write_field_pairs(buf, msg.new_fields)
+    elif isinstance(msg, AddPartitioner):
+        buf.append(MSG_ADD_PARTITIONER)
+        serde.write_str(buf, msg.stream)
+        serde.write_str(buf, msg.partitioner)
+    elif isinstance(msg, AssignPartitions):
+        buf.append(MSG_ASSIGN)
+        serde.write_varint(buf, len(msg.partitions))
+        for tp in msg.partitions:
+            _write_tp(buf, tp)
+    elif isinstance(msg, CheckpointRequest):
+        buf.append(MSG_CHECKPOINT_REQUEST)
+        serde.write_varint(buf, msg.request_id)
+    elif isinstance(msg, Shutdown):
+        buf.append(MSG_SHUTDOWN)
+    elif isinstance(msg, Crash):
+        buf.append(MSG_CRASH)
+    elif isinstance(msg, CheckpointAck):
+        buf.append(MSG_CHECKPOINT_ACK)
+        serde.write_varint(buf, msg.request_id)
+        serde.write_varint(buf, len(msg.offsets))
+        for tp, next_offset in msg.offsets.items():
+            _write_tp(buf, tp)
+            serde.write_varint(buf, next_offset)
+    elif isinstance(msg, WorkerError):
+        buf.append(MSG_WORKER_ERROR)
+        serde.write_str(buf, msg.message)
+    else:
+        raise SerdeError(f"unsupported wire message: {type(msg).__name__}")
+    return bytes(buf)
+
+
+def _encode_work_batch(buf: bytearray, msg: WorkBatch) -> None:
+    buf.append(MSG_WORK_BATCH)
+    _write_tp(buf, msg.tp)
+    serde.write_varint(buf, msg.reply_from)
+    # String table: distinct field names in first-seen order.
+    names: dict[str, int] = {}
+    for _, event in msg.records:
+        for name in event:
+            if name not in names:
+                names[name] = len(names)
+    serde.write_str_list(buf, list(names))
+    serde.write_varint(buf, len(msg.records))
+    for offset, event in msg.records:
+        serde.write_varint(buf, offset)
+        serde.write_str(buf, event.event_id)
+        serde.write_varint(buf, event.timestamp)
+        serde.write_varint(buf, event.field_count())
+        for name, value in event.items():
+            serde.write_varint(buf, names[name])
+            serde.write_value(buf, value)
+
+
+def _encode_batch_done(buf: bytearray, msg: BatchDone) -> None:
+    buf.append(MSG_BATCH_DONE)
+    _write_tp(buf, msg.tp)
+    serde.write_varint(buf, msg.next_offset)
+    serde.write_varint(buf, msg.processed)
+    # String table: distinct reply column names in first-seen order.
+    columns: dict[str, int] = {}
+    for _, results in msg.replies:
+        if results:
+            for values in results.values():
+                for column in values:
+                    if column not in columns:
+                        columns[column] = len(columns)
+    serde.write_str_list(buf, list(columns))
+    serde.write_varint(buf, len(msg.replies))
+    for offset, results in msg.replies:
+        serde.write_varint(buf, offset)
+        if results is None:
+            buf.append(0)
+            continue
+        buf.append(1)
+        serde.write_varint(buf, len(results))
+        for metric_id, values in results.items():
+            serde.write_varint(buf, metric_id)
+            serde.write_varint(buf, len(values))
+            for column, value in values.items():
+                serde.write_varint(buf, columns[column])
+                serde.write_value(buf, value)
+
+
+# -- decoders -----------------------------------------------------------------
+
+
+def decode(data: bytes) -> object:
+    """Decode one frame produced by :func:`encode`."""
+    if not data:
+        raise SerdeError("empty wire frame")
+    view = memoryview(data)
+    tag = view[0]
+    offset = 1
+    if tag == MSG_WORK_BATCH:
+        return _decode_work_batch(view, offset)
+    if tag == MSG_BATCH_DONE:
+        return _decode_batch_done(view, offset)
+    if tag == MSG_CREATE_STREAM:
+        name, offset = serde.read_str(view, offset)
+        fields, offset = _read_field_pairs(view, offset)
+        partitioners, offset = serde.read_str_list(view, offset)
+        partitions, offset = serde.read_varint(view, offset)
+        return CreateStream(StreamDef(name, fields, tuple(partitioners), partitions))
+    if tag == MSG_CREATE_METRIC:
+        metric_id, offset = serde.read_varint(view, offset)
+        query_text, offset = serde.read_str(view, offset)
+        stream, offset = serde.read_str(view, offset)
+        topic, offset = serde.read_str(view, offset)
+        backfill, offset = serde.read_varint(view, offset)
+        return CreateMetric(
+            MetricDef(metric_id, query_text, stream, topic, bool(backfill))
+        )
+    if tag == MSG_DELETE_METRIC:
+        metric_id, offset = serde.read_varint(view, offset)
+        return DeleteMetric(metric_id)
+    if tag == MSG_EVOLVE_SCHEMA:
+        stream, offset = serde.read_str(view, offset)
+        new_fields, offset = _read_field_pairs(view, offset)
+        return EvolveSchema(stream, new_fields)
+    if tag == MSG_ADD_PARTITIONER:
+        stream, offset = serde.read_str(view, offset)
+        partitioner, offset = serde.read_str(view, offset)
+        return AddPartitioner(stream, partitioner)
+    if tag == MSG_ASSIGN:
+        count, offset = serde.read_varint(view, offset)
+        partitions = []
+        for _ in range(count):
+            tp, offset = _read_tp(view, offset)
+            partitions.append(tp)
+        return AssignPartitions(tuple(partitions))
+    if tag == MSG_CHECKPOINT_REQUEST:
+        request_id, offset = serde.read_varint(view, offset)
+        return CheckpointRequest(request_id)
+    if tag == MSG_SHUTDOWN:
+        return Shutdown()
+    if tag == MSG_CRASH:
+        return Crash()
+    if tag == MSG_CHECKPOINT_ACK:
+        request_id, offset = serde.read_varint(view, offset)
+        count, offset = serde.read_varint(view, offset)
+        offsets: dict[TopicPartition, int] = {}
+        for _ in range(count):
+            tp, offset = _read_tp(view, offset)
+            next_offset, offset = serde.read_varint(view, offset)
+            offsets[tp] = next_offset
+        return CheckpointAck(request_id, offsets)
+    if tag == MSG_WORKER_ERROR:
+        message, offset = serde.read_str(view, offset)
+        return WorkerError(message)
+    raise SerdeError(f"unknown wire message tag {tag}")
+
+
+def _decode_work_batch(view: memoryview, offset: int) -> WorkBatch:
+    tp, offset = _read_tp(view, offset)
+    reply_from, offset = serde.read_varint(view, offset)
+    names, offset = serde.read_str_list(view, offset)
+    count, offset = serde.read_varint(view, offset)
+    records: list[tuple[int, Event]] = []
+    for _ in range(count):
+        record_offset, offset = serde.read_varint(view, offset)
+        event_id, offset = serde.read_str(view, offset)
+        timestamp, offset = serde.read_varint(view, offset)
+        field_count, offset = serde.read_varint(view, offset)
+        fields: dict[str, Any] = {}
+        for _ in range(field_count):
+            name_index, offset = serde.read_varint(view, offset)
+            value, offset = serde.read_value(view, offset)
+            fields[names[name_index]] = value
+        records.append((record_offset, Event(event_id, timestamp, fields)))
+    return WorkBatch(tp, reply_from, records)
+
+
+def _decode_batch_done(view: memoryview, offset: int) -> BatchDone:
+    tp, offset = _read_tp(view, offset)
+    next_offset, offset = serde.read_varint(view, offset)
+    processed, offset = serde.read_varint(view, offset)
+    columns, offset = serde.read_str_list(view, offset)
+    count, offset = serde.read_varint(view, offset)
+    replies: list[tuple[int, dict[int, dict[str, Any]] | None]] = []
+    for _ in range(count):
+        reply_offset, offset = serde.read_varint(view, offset)
+        present = view[offset]
+        offset += 1
+        if not present:
+            replies.append((reply_offset, None))
+            continue
+        metric_count, offset = serde.read_varint(view, offset)
+        results: dict[int, dict[str, Any]] = {}
+        for _ in range(metric_count):
+            metric_id, offset = serde.read_varint(view, offset)
+            column_count, offset = serde.read_varint(view, offset)
+            values: dict[str, Any] = {}
+            for _ in range(column_count):
+                column_index, offset = serde.read_varint(view, offset)
+                value, offset = serde.read_value(view, offset)
+                values[columns[column_index]] = value
+            results[metric_id] = values
+        replies.append((reply_offset, results))
+    return BatchDone(tp, next_offset, processed, replies)

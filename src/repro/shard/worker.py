@@ -1,0 +1,170 @@
+"""The shard worker — one OS process owning a set of partitions.
+
+A worker is the process-parallel counterpart of a
+:class:`~repro.engine.processor.ProcessorUnit`: it runs the batched
+consume→process loop (``WorkBatch`` in, ``BatchDone`` out) over its own
+:class:`~repro.engine.task.TaskProcessor` per owned partition. It holds
+no connection to the message bus — the supervisor polls the bus on its
+behalf and ships contiguous offset runs across the pipe — so the whole
+data path of a worker is: decode batch, ``process_batch``, encode
+replies.
+
+Workers are born empty. Catalogue state (streams, metrics, schema
+evolutions) arrives as control messages; after a crash the supervisor
+replays the control log into a fresh process and the cluster replays
+each owned partition from offset zero with ``reply_from`` set to the
+replied watermark, which reconstructs task state deterministically
+without duplicating a single client reply.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from multiprocessing.connection import Connection
+
+from repro.engine.catalog import (
+    AddPartitionerOp,
+    Catalog,
+    CreateMetricOp,
+    CreateStreamOp,
+    DeleteMetricOp,
+    EvolveSchemaOp,
+)
+from repro.engine.processor import UnitConfig
+from repro.engine.task import TaskProcessor
+from repro.messaging.log import TopicPartition
+from repro.shard import wire
+
+
+class ShardWorker:
+    """The in-process brain of one shard worker (testable without fork)."""
+
+    def __init__(self, worker_id: str, config: UnitConfig | None = None) -> None:
+        self.worker_id = worker_id
+        self.config = config if config is not None else UnitConfig()
+        self.catalog = Catalog()
+        self.assigned: set[TopicPartition] = set()
+        self.task_processors: dict[TopicPartition, TaskProcessor] = {}
+        self.messages_processed = 0
+
+    # -- control plane --------------------------------------------------------
+
+    def handle_control(self, msg: object) -> None:
+        """Apply one control message to the local catalogue and tasks."""
+        if isinstance(msg, wire.CreateStream):
+            self.catalog.apply(CreateStreamOp(msg.stream))
+        elif isinstance(msg, wire.CreateMetric):
+            self.catalog.apply(CreateMetricOp(msg.metric))
+            for tp, processor in self.task_processors.items():
+                if tp.topic == msg.metric.topic:
+                    processor.add_metric(msg.metric)
+        elif isinstance(msg, wire.DeleteMetric):
+            self.catalog.apply(DeleteMetricOp(msg.metric_id))
+            for processor in self.task_processors.values():
+                processor.remove_metric(msg.metric_id)
+        elif isinstance(msg, wire.AddPartitioner):
+            self.catalog.apply(AddPartitionerOp(msg.stream, msg.partitioner))
+        elif isinstance(msg, wire.EvolveSchema):
+            self.catalog.apply(EvolveSchemaOp(msg.stream, msg.new_fields))
+            stream = self.catalog.streams[msg.stream]
+            for processor in self.task_processors.values():
+                if processor.stream_name == msg.stream:
+                    processor.evolve_schema(stream)
+        elif isinstance(msg, wire.AssignPartitions):
+            self.assigned = set(msg.partitions)
+            # Revoked tasks are dropped: with a single supervisor the
+            # sticky strategy keeps tasks on their worker, so a revoke
+            # means another worker now owns the task and will rebuild
+            # from the replayed log.
+            for tp in list(self.task_processors):
+                if tp not in self.assigned:
+                    del self.task_processors[tp]
+        else:
+            raise TypeError(f"unexpected control message: {type(msg).__name__}")
+
+    # -- data plane -----------------------------------------------------------
+
+    def handle_work(self, batch: wire.WorkBatch) -> wire.BatchDone:
+        """Process one contiguous offset run; build the reply frame."""
+        processor = self._processor_for(batch.tp)
+        answers = processor.process_batch(batch.records)
+        self.messages_processed += len(batch.records)
+        reply_from = batch.reply_from
+        replies = [
+            (offset, answer)
+            for (offset, _), answer in zip(batch.records, answers)
+            if offset >= reply_from
+        ]
+        return wire.BatchDone(
+            tp=batch.tp,
+            next_offset=processor.next_offset,
+            processed=len(batch.records),
+            replies=replies,
+        )
+
+    def checkpoint_offsets(self) -> dict[TopicPartition, int]:
+        """Consumed offsets per owned task (message-boundary consistent)."""
+        return {
+            tp: processor.next_offset
+            for tp, processor in sorted(
+                self.task_processors.items(), key=lambda item: str(item[0])
+            )
+        }
+
+    def _processor_for(self, tp: TopicPartition) -> TaskProcessor:
+        processor = self.task_processors.get(tp)
+        if processor is not None:
+            return processor
+        stream = self.catalog.stream_of_topic(tp.topic)
+        if stream is None:
+            raise KeyError(
+                f"worker {self.worker_id} got work for unknown topic {tp.topic!r}"
+            )
+        processor = TaskProcessor.build(
+            tp,
+            stream,
+            self.catalog.metrics_for_topic(tp.topic),
+            reservoir_config=self.config.reservoir,
+            lsm_config=self.config.lsm,
+        )
+        self.task_processors[tp] = processor
+        return processor
+
+
+def shard_worker_main(
+    conn: Connection, worker_id: str, config: UnitConfig | None = None
+) -> None:
+    """Worker process entrypoint: decode → dispatch → reply, until told to stop.
+
+    Any exception is reported as a :class:`~repro.shard.wire.WorkerError`
+    frame before the process exits non-zero, so the supervisor can log
+    the cause instead of just observing a dead pipe.
+    """
+    worker = ShardWorker(worker_id, config)
+    send_bytes = conn.send_bytes
+    try:
+        while True:
+            msg = wire.decode(conn.recv_bytes())
+            if isinstance(msg, wire.WorkBatch):
+                send_bytes(wire.encode(worker.handle_work(msg)))
+            elif isinstance(msg, wire.CheckpointRequest):
+                send_bytes(
+                    wire.encode(
+                        wire.CheckpointAck(msg.request_id, worker.checkpoint_offsets())
+                    )
+                )
+            elif isinstance(msg, wire.Shutdown):
+                return
+            elif isinstance(msg, wire.Crash):
+                os._exit(17)  # fault injection: die without cleanup
+            else:
+                worker.handle_control(msg)
+    except EOFError:
+        return  # supervisor went away; nothing left to reply to
+    except BaseException:
+        try:
+            send_bytes(wire.encode(wire.WorkerError(traceback.format_exc(limit=8))))
+        except OSError:
+            pass
+        raise

@@ -165,6 +165,20 @@ class TestReservoirEquivalence:
         assert emitted_a == emitted_b == events
         assert cursor_a.position == cursor_b.position
 
+    def test_horizon_ahead_of_frontier_rewrites(self):
+        # Tie groups wider than a chunk: rewritten events seal chunks
+        # whose last_ts runs AHEAD of max_seen_ts, so later fresh events
+        # can sit below the closed horizon and must be rewritten on the
+        # batched path exactly as append() rewrites them.
+        events = [
+            Event(f"h{i}", 5 + i // 6, {"cardId": "c0", "amount": 1.0})
+            for i in range(200)
+        ]
+        per_event, _ = self.run_both(
+            events, chunk_max_events=4, file_max_chunks=4
+        )
+        assert per_event.stats.ooo_rewritten > 0
+
     def test_empty_batch_is_noop(self):
         reservoir = EventReservoir(make_registry(), config=self.config())
         assert reservoir.append_batch([]) == []
@@ -243,14 +257,16 @@ class TestAggregatorEquivalence:
         assert loop.state_to_bytes() == batch.state_to_bytes()
 
 
-def make_task_processor(chunk_max=32) -> TaskProcessor:
+def make_task_processor(chunk_max=32, **reservoir_overrides) -> TaskProcessor:
     stream = StreamDef(
         "tx", tuple((f.name, f.field_type.value) for f in FIELDS), ("cardId",), 1
     )
     processor = TaskProcessor(
         TopicPartition("tx.cardId", 0),
         stream,
-        reservoir_config=ReservoirConfig(chunk_max_events=chunk_max, file_max_chunks=4),
+        reservoir_config=ReservoirConfig(
+            chunk_max_events=chunk_max, file_max_chunks=4, **reservoir_overrides
+        ),
     )
     processor.add_metric(
         MetricDef(
@@ -279,9 +295,9 @@ def assert_task_processors_identical(a: TaskProcessor, b: TaskProcessor) -> None
 
 
 class TestTaskProcessorEquivalence:
-    def run_both(self, records, seed=1, chunk_max=32):
-        per_event = make_task_processor(chunk_max)
-        batched = make_task_processor(chunk_max)
+    def run_both(self, records, seed=1, chunk_max=32, **reservoir_overrides):
+        per_event = make_task_processor(chunk_max, **reservoir_overrides)
+        batched = make_task_processor(chunk_max, **reservoir_overrides)
         replies_a = [per_event.process(offset, event) for offset, event in records]
         rng = random.Random(seed)
         replies_b = []
@@ -306,14 +322,65 @@ class TestTaskProcessorEquivalence:
         records.insert(1200, records[1100])
         self.run_both(records, seed=8)
 
-    def test_timestamp_ties_fall_back(self):
-        # Consecutive identical timestamps must not share a fast run —
-        # the per-event path folds event k into event k+1's reply window.
+    def test_timestamp_ties_batch_in_runs(self):
+        # Tie semantics: member k's reply window holds members 0..k and
+        # excludes k+1.. — replies must match the per-event interleaving
+        # even though whole tie groups now ride the batched fast path.
         events = [
-            Event(f"t{i}", 10 + i // 3, {"cardId": "c0", "amount": 1.0})
+            Event(f"t{i}", 10 + i // 3, {"cardId": f"c{i % 2}", "amount": 1.0})
             for i in range(300)
         ]
         self.run_both(list(enumerate(events)))
+
+    def test_timestamp_ties_stay_on_fast_path(self):
+        # The point of the tie batching: an all-ties stream must not
+        # fall back to per-event reservoir probing on every message.
+        events = [
+            Event(f"t{i}", 10 + i // 4, {"cardId": "c0", "amount": 1.0})
+            for i in range(200)
+        ]
+        processor = make_task_processor()
+        processor.process_batch(list(enumerate(events)))
+        # Per-event fallback would route every tied message through
+        # Reservoir.append; the batched path hands tie groups to
+        # append_batch which resolves in-run ties internally.
+        assert processor.reservoir.stats.appended == 200
+
+    def test_timestamp_ties_on_sealed_chunk_boundary_rewrite(self):
+        # A tie landing exactly where the previous chunk sealed follows
+        # the out-of-order rewrite policy on both paths (chunk_max=4 with
+        # grace 0 seals mid-tie-group constantly).
+        events = [
+            Event(f"t{i}", 5 + i // 6, {"cardId": "c0", "amount": float(i % 5)})
+            for i in range(400)
+        ]
+        per_event, _ = self.run_both(list(enumerate(events)), chunk_max=4)
+        assert per_event.reservoir.stats.ooo_rewritten > 0
+
+    def test_timestamp_ties_on_sealed_chunk_boundary_discard(self):
+        events = [
+            Event(f"t{i}", 5 + i // 6, {"cardId": "c0", "amount": float(i % 5)})
+            for i in range(400)
+        ]
+        per_event, _ = self.run_both(
+            list(enumerate(events)), chunk_max=4,
+            ooo_policy=OutOfOrderPolicy.DISCARD,
+        )
+        assert per_event.reservoir.stats.ooo_discarded > 0
+
+    def test_timestamp_ties_with_grace_period(self):
+        events = [
+            Event(f"t{i}", 5 + i // 5, {"cardId": f"c{i % 3}", "amount": 2.0})
+            for i in range(400)
+        ]
+        self.run_both(
+            list(enumerate(events)), chunk_max=8, transition_grace_ms=16
+        )
+
+    def test_messy_stream_with_ties_and_replays(self):
+        records = list(enumerate(messy_events(3000, seed=29)))
+        records.insert(700, records[690])
+        self.run_both(records, seed=30)
 
     def test_schema_evolution_mid_stream(self):
         per_event = make_task_processor()
@@ -366,3 +433,31 @@ class TestClusterSendBatchEquivalence:
         replies_b = batched.send_batch("tx", events, node_id="node-0")
         assert [r.results for r in replies_a] == [r.results for r in replies_b]
         assert [r.event for r in replies_a] == [r.event for r in replies_b]
+
+    def test_process_mode_matches_per_event_replies(self):
+        # The process-parallel engine is held to the same bar as the
+        # batched single-process path: byte-identical reply values and
+        # aggregate stats, with ties, duplicates and all.
+        from repro.shard.parallel import ParallelCluster
+
+        events = [
+            Event(f"b{i}", 1000 + i // 2, {"cardId": f"c{i % 3}", "amount": float(i)})
+            for i in range(40)
+        ]
+        events.append(events[7])  # duplicate id: replies read-only
+        one_by_one = self.build_cluster()
+        replies_a = [one_by_one.send("tx", event=event) for event in events]
+        with ParallelCluster(workers=2) as process_mode:
+            process_mode.create_stream(
+                "tx", ["cardId"], partitions=2,
+                schema={"cardId": "string", "amount": "float"},
+            )
+            process_mode.create_metric(
+                "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+                "OVER sliding 5 minutes"
+            )
+            replies_b = process_mode.send_batch("tx", events)
+            processed = process_mode.total_messages_processed()
+        assert [r.results for r in replies_a] == [r.results for r in replies_b]
+        assert [r.event for r in replies_a] == [r.event for r in replies_b]
+        assert processed == len(events) == one_by_one.total_messages_processed()

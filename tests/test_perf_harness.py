@@ -24,6 +24,23 @@ class TestRunBenches:
         assert batched in perf.BENCHES
         assert per_event in perf.BENCHES
 
+    def test_select_runs_matching_subset(self):
+        results = perf.run_benches(
+            event_count=600, batch_size=128, warmup=False,
+            engine_event_count=300, select="reservoir",
+        )
+        assert set(results) == {
+            "reservoir_append_per_event", "reservoir_append_batch",
+        }
+
+    def test_engine_benches_are_registered(self):
+        assert perf.ENGINE_BENCHES == {
+            "engine_ingest_single_process",
+            "engine_ingest_process_1w",
+            "engine_ingest_process_4w",
+        }
+        assert perf.ENGINE_BENCHES < set(perf.BENCHES)
+
 
 class TestGates:
     def sample(self, rate: float) -> dict:
@@ -47,6 +64,42 @@ class TestGates:
         assert perf.check_speedup(results, 1.5) == []
         assert len(perf.check_speedup(results, 4.0)) == 1
 
+    def test_baseline_missing_tolerated_under_select(self):
+        baseline = {"gone": self.sample(1.0)}
+        assert perf.check_baseline({}, baseline, 0.2, require_all=False) == []
+
+    def test_speedup_floors_enforced_with_enough_cpus(self):
+        floors = [{"bench": "b", "over": "a", "min_ratio": 1.5, "min_cpus": 4}]
+        results = {"a": self.sample(100.0), "b": self.sample(200.0)}
+        failures, skips = perf.check_speedup_floors(results, floors, cpu_count=4)
+        assert failures == [] and skips == []
+        results["b"] = self.sample(120.0)
+        failures, skips = perf.check_speedup_floors(results, floors, cpu_count=4)
+        assert len(failures) == 1 and "1.20x" in failures[0]
+
+    def test_speedup_floors_skip_on_small_hosts_and_missing_benches(self):
+        floors = [{"bench": "b", "over": "a", "min_ratio": 1.5, "min_cpus": 4}]
+        results = {"a": self.sample(100.0), "b": self.sample(120.0)}
+        failures, skips = perf.check_speedup_floors(results, floors, cpu_count=1)
+        assert failures == [] and len(skips) == 1 and "1 cpu" in skips[0]
+        failures, skips = perf.check_speedup_floors({}, floors, cpu_count=8)
+        assert failures == [] and len(skips) == 1
+
+    def test_checked_in_baseline_floor_names_are_real(self):
+        import pathlib
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks" / "baseline_micro.json"
+        )
+        baseline = json.loads(baseline_path.read_text())
+        for floor in baseline.get("_speedup_floors", []):
+            assert floor["bench"] in perf.BENCHES
+            assert floor["over"] in perf.BENCHES
+        for name in baseline:
+            if not name.startswith("_"):
+                assert name in perf.BENCHES, name
+
 
 class TestMain:
     def test_writes_report_and_gates(self, tmp_path, capsys):
@@ -59,13 +112,23 @@ class TestMain:
         }))
         code = perf.main([
             "--out", str(out), "--events", "1200", "--batch-size", "128",
-            "--no-warmup", "--baseline", str(baseline),
+            "--engine-events", "600", "--no-warmup", "--baseline", str(baseline),
         ])
         assert code == 0
         report = json.loads(out.read_text())
-        assert set(report) == set(perf.BENCHES)
-        for stats in report.values():
-            assert set(stats) == REQUIRED_KEYS
+        assert set(report) == set(perf.BENCHES) | {"_host"}
+        assert report["_host"]["cpu_count"] >= 1
+        for name, stats in report.items():
+            if not name.startswith("_"):
+                assert set(stats) == REQUIRED_KEYS
+
+    def test_select_matching_nothing_is_a_config_error(self, tmp_path, capsys):
+        code = perf.main([
+            "--out", str(tmp_path / "b.json"), "--events", "600",
+            "--no-warmup", "--select", "engine-ingest",  # typo'd selector
+        ])
+        assert code == 1
+        assert "no benches matched" in capsys.readouterr().err
 
     def test_regression_exits_nonzero(self, tmp_path, capsys):
         out = tmp_path / "BENCH_micro.json"

@@ -1,0 +1,364 @@
+"""Shard runtime tests: wire protocol, worker, supervisor, ParallelCluster.
+
+The process-parallel engine must be observably identical to the
+single-process engine: same reply values for the same events, same
+aggregate stats — through worker crashes (restart + replay of the
+uncommitted tail, no duplicated client reply), rebalances (workers
+added/removed mid-stream), schema evolution across the process boundary,
+and checkpoint reporting.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.engine.catalog import MetricDef, StreamDef
+from repro.engine.cluster import RailgunCluster, create_cluster
+from repro.events.event import Event
+from repro.messaging.broker import MessageBus
+from repro.messaging.consumer import PartitionView
+from repro.messaging.log import TopicPartition
+from repro.shard import wire
+from repro.shard.parallel import ParallelCluster
+from repro.shard.supervisor import ShardSupervisor
+from repro.shard.worker import ShardWorker
+
+STREAM_KW = dict(partitions=4, schema={"cardId": "string", "amount": "float"})
+METRIC = (
+    "SELECT sum(amount), count(*), avg(amount) FROM tx GROUP BY cardId "
+    "OVER sliding 5 minutes"
+)
+
+
+def make_events(count, prefix="e", start_ts=1000):
+    return [
+        Event(
+            f"{prefix}{i}", start_ts + i,
+            {"cardId": f"c{i % 5}", "amount": float(i % 17)},
+        )
+        for i in range(count)
+    ]
+
+
+def single_process_results(events, metrics=(METRIC,), evolve_at=None):
+    """Ground truth: the cooperative engine, one event at a time."""
+    cluster = RailgunCluster(nodes=1, processor_units=2)
+    cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+    for metric in metrics:
+        cluster.create_metric(metric)
+    cluster.run_until_quiet()
+    results = []
+    for index, event in enumerate(events):
+        if evolve_at is not None and index == evolve_at:
+            cluster.evolve_schema("tx", {"country": "string"})
+            cluster.run_until_quiet()
+        results.append(cluster.send("tx", event=event).results)
+    return results
+
+
+# -- wire protocol ------------------------------------------------------------
+
+
+class TestWireProtocol:
+    def roundtrip(self, msg):
+        return wire.decode(wire.encode(msg))
+
+    def test_control_messages_roundtrip(self):
+        stream = StreamDef(
+            "tx", (("cardId", "string"), ("amount", "float")), ("cardId",), 4
+        )
+        metric = MetricDef(3, METRIC, "tx", "tx.cardId", True)
+        for msg in [
+            wire.CreateStream(stream),
+            wire.CreateMetric(metric),
+            wire.DeleteMetric(7),
+            wire.EvolveSchema("tx", (("country", "string"),)),
+            wire.AddPartitioner("tx", "country"),
+            wire.AssignPartitions(
+                (TopicPartition("tx.cardId", 0), TopicPartition("tx.cardId", 3))
+            ),
+            wire.CheckpointRequest(12),
+            wire.Shutdown(),
+            wire.Crash(),
+            wire.WorkerError("boom\n  at line 1"),
+        ]:
+            assert self.roundtrip(msg) == msg
+
+    def test_work_batch_roundtrip_preserves_events(self):
+        records = [
+            (10, Event("a", 5, {"cardId": "c1", "amount": 2.5})),
+            (11, Event("b", 6, {"cardId": None, "amount": -17})),
+            (12, Event("ç🚂", 7, {"amount": 1e-9, "flag": True, "blob": b"\x00\xff"})),
+        ]
+        decoded = self.roundtrip(wire.WorkBatch(TopicPartition("t", 1), 11, records))
+        assert decoded.tp == TopicPartition("t", 1)
+        assert decoded.reply_from == 11
+        assert [(o, e) for o, e in decoded.records] == records
+        # Field insertion order survives the string-table interning.
+        assert decoded.records[2][1].field_names() == ["amount", "flag", "blob"]
+
+    def test_batch_done_roundtrip_preserves_results(self):
+        replies = [
+            (4, {0: {"sum(amount)": 1.5, "count(*)": 2}, 1: {"max(amount)": None}}),
+            (5, None),
+            (6, {0: {"sum(amount)": -3, "count(*)": 0}}),
+        ]
+        msg = wire.BatchDone(TopicPartition("t", 0), 7, 3, replies)
+        decoded = self.roundtrip(msg)
+        assert decoded.next_offset == 7
+        assert decoded.processed == 3
+        assert decoded.replies == replies
+
+    def test_unknown_tag_rejected(self):
+        from repro.common.errors import SerdeError
+
+        with pytest.raises(SerdeError):
+            wire.decode(b"\xee")
+        with pytest.raises(SerdeError):
+            wire.decode(b"")
+
+
+# -- worker (in-process) ------------------------------------------------------
+
+
+class TestShardWorker:
+    def worker_with_stream(self):
+        worker = ShardWorker("w0")
+        stream = StreamDef(
+            "tx", (("cardId", "string"), ("amount", "float")), ("cardId",), 2
+        )
+        worker.handle_control(wire.CreateStream(stream))
+        worker.handle_control(
+            wire.CreateMetric(MetricDef(0, METRIC, "tx", "tx.cardId", False))
+        )
+        tp = TopicPartition("tx.cardId", 0)
+        worker.handle_control(wire.AssignPartitions((tp,)))
+        return worker, tp
+
+    def test_work_produces_replies_above_watermark(self):
+        worker, tp = self.worker_with_stream()
+        records = list(enumerate(make_events(10)))
+        done = worker.handle_work(wire.WorkBatch(tp, 4, records))
+        assert done.next_offset == 10
+        assert done.processed == 10
+        assert [offset for offset, _ in done.replies] == [4, 5, 6, 7, 8, 9]
+        assert all(results is not None for _, results in done.replies)
+
+    def test_unknown_topic_raises(self):
+        worker = ShardWorker("w0")
+        with pytest.raises(KeyError):
+            worker.handle_work(
+                wire.WorkBatch(TopicPartition("nope", 0), 0, [(0, Event("x", 1, {}))])
+            )
+
+    def test_revoked_tasks_dropped(self):
+        worker, tp = self.worker_with_stream()
+        worker.handle_work(wire.WorkBatch(tp, 0, list(enumerate(make_events(5)))))
+        assert tp in worker.task_processors
+        worker.handle_control(wire.AssignPartitions(()))
+        assert not worker.task_processors
+
+    def test_checkpoint_offsets(self):
+        worker, tp = self.worker_with_stream()
+        worker.handle_work(wire.WorkBatch(tp, 0, list(enumerate(make_events(7)))))
+        assert worker.checkpoint_offsets() == {tp: 7}
+
+
+# -- supervisor ---------------------------------------------------------------
+
+
+class TestShardSupervisor:
+    def test_sticky_assignment_across_worker_changes(self):
+        with ShardSupervisor(workers=2) as supervisor:
+            tasks = [TopicPartition("t", i) for i in range(8)]
+            first = supervisor.assign(tasks)
+            assert sorted(len(owned) for owned in first.values()) == [4, 4]
+            supervisor.add_worker()
+            second = supervisor.assign(tasks)
+            # Sticky: at most the rebalanced-away tasks moved.
+            for worker_id, owned in first.items():
+                assert len(owned & second[worker_id]) >= 2
+            assert set().union(*second.values()) == set(tasks)
+
+    def test_worker_error_is_captured_and_worker_restarted(self):
+        with ShardSupervisor(workers=1) as supervisor:
+            tp = TopicPartition("ghost", 0)
+            supervisor.assign([tp])
+            supervisor.submit(tp, [(0, Event("x", 1, {}))], 0)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not supervisor.restarts:
+                supervisor.poll(timeout=0.05)
+            assert supervisor.restarts == 1
+            assert any("ghost" in err for err in supervisor.worker_errors)
+
+
+# -- PartitionView ------------------------------------------------------------
+
+
+class TestPartitionView:
+    def test_poll_commit_seek(self):
+        bus = MessageBus()
+        bus.create_topic("t", partitions=1)
+        tp = TopicPartition("t", 0)
+        for i in range(5):
+            bus.publish("t", key=None, value=i, timestamp=i)
+        view = PartitionView(bus, "g")
+        view.set_assignment([tp])
+        messages = view.poll_one(tp, 3)
+        assert [m.value for m in messages] == [0, 1, 2]
+        assert view.position(tp) == 3
+        view.commit(tp, 3)
+        assert view.committed(tp) == 3
+        assert view.lag() == 2
+        view.seek(tp, 0)
+        assert [m.value for m in view.poll_one(tp, 10)] == [0, 1, 2, 3, 4]
+        # A fresh view starts at the committed offset (cross-restart).
+        fresh = PartitionView(bus, "g")
+        fresh.set_assignment([tp])
+        assert fresh.position(tp) == 3
+
+
+# -- ParallelCluster ----------------------------------------------------------
+
+
+class TestParallelClusterEquivalence:
+    def test_replies_and_stats_match_single_process(self):
+        events = make_events(120)
+        expected = single_process_results(events)
+        with ParallelCluster(workers=2) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            cluster.create_metric(METRIC)
+            replies = cluster.send_batch("tx", events)
+            assert [r.results for r in replies] == expected
+            assert [r.event for r in replies] == events
+            # Same aggregate stats: every event processed exactly once.
+            assert cluster.total_messages_processed() == len(events)
+            assert sum(
+                stats["replies_sent"]
+                for stats in cluster.supervisor.stats().values()
+            ) == len(events)
+
+    def test_single_event_send_and_field_mapping(self):
+        with ParallelCluster(workers=1) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            cluster.create_metric("SELECT count(*) FROM tx GROUP BY cardId "
+                                  "OVER sliding 1 minutes")
+            first = cluster.send("tx", fields={"cardId": "c1", "amount": 1.0})
+            second = cluster.send("tx", fields={"cardId": "c1", "amount": 2.0})
+            assert first.value(0, "count(*)") == 1
+            assert second.value(0, "count(*)") == 2
+
+    def test_delete_metric_applies_to_workers(self):
+        with ParallelCluster(workers=2) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            metric_id = cluster.create_metric(METRIC)
+            keep = cluster.create_metric(
+                "SELECT count(*) FROM tx GROUP BY cardId OVER sliding 1 minutes"
+            )
+            cluster.send_batch("tx", make_events(20))
+            cluster.delete_metric(metric_id)
+            reply = cluster.send(
+                "tx", event=Event("after", 5000, {"cardId": "c0", "amount": 1.0})
+            )
+            assert metric_id not in reply.results
+            assert keep in reply.results
+
+    def test_factory_modes(self):
+        single = create_cluster("single", nodes=1, processor_units=1)
+        assert isinstance(single, RailgunCluster)
+        with create_cluster("process", workers=1) as parallel:
+            assert isinstance(parallel, ParallelCluster)
+        with pytest.raises(EngineError):
+            create_cluster("threads")
+
+
+class TestParallelClusterFailures:
+    def test_worker_crash_mid_batch_replays_uncommitted(self):
+        events = make_events(300)
+        expected = single_process_results(events)
+        with ParallelCluster(workers=2) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            cluster.create_metric(METRIC)
+            # Publish everything up front, then crash a worker while its
+            # batches are in flight: the fan-out is on the bus, half the
+            # replies are not.
+            correlations = cluster.frontend.send_batch("tx", events)
+            while len(cluster.frontend.completed) < 80:
+                cluster.pump()
+            victim = cluster.worker_ids()[0]
+            cluster.kill_worker(victim)
+            deadline = time.monotonic() + 30.0
+            while (
+                len(cluster.frontend.completed) < len(events)
+                and time.monotonic() < deadline
+            ):
+                cluster.pump()
+            results = [
+                cluster.frontend.take_completed(c).results for c in correlations
+            ]
+            assert results == expected
+            assert cluster.supervisor.restarts == 1
+            # The uncommitted tail replayed: the restarted worker
+            # reprocessed its partitions from offset zero.
+            assert cluster.total_messages_processed() > len(events)
+            # ... but no client reply was duplicated.
+            assert not cluster.frontend.completed
+            # Replayed sub-watermark offsets never re-enter the pending
+            # map (their replies are suppressed, so they'd leak).
+            cluster.run_until_quiet()
+            assert not cluster._pending
+
+    def test_fault_injected_crash_is_equivalent(self):
+        events = make_events(150)
+        expected = single_process_results(events)
+        with ParallelCluster(workers=2) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            cluster.create_metric(METRIC)
+            results = [r.results for r in cluster.send_batch("tx", events[:70])]
+            cluster.supervisor.crash_worker(cluster.worker_ids()[1])
+            results += [r.results for r in cluster.send_batch("tx", events[70:])]
+            assert results == expected
+            assert cluster.supervisor.restarts == 1
+
+    def test_rebalance_mid_stream_grow_and_shrink(self):
+        events = make_events(200)
+        expected = single_process_results(events)
+        with ParallelCluster(workers=1) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            cluster.create_metric(METRIC)
+            results = [r.results for r in cluster.send_batch("tx", events[:80])]
+            grown = cluster.add_worker()
+            results += [r.results for r in cluster.send_batch("tx", events[80:150])]
+            cluster.remove_worker(grown)
+            results += [r.results for r in cluster.send_batch("tx", events[150:])]
+            assert results == expected
+            assert cluster.rebalance_count >= 3
+
+    def test_schema_evolution_across_process_boundary(self):
+        plain = make_events(40)
+        evolved = [
+            Event(f"n{i}", 5000 + i,
+                  {"cardId": f"c{i % 5}", "amount": 2.0, "country": "PT"})
+            for i in range(40)
+        ]
+        expected = single_process_results(plain + evolved, evolve_at=40)
+        with ParallelCluster(workers=2) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            cluster.create_metric(METRIC)
+            results = [r.results for r in cluster.send_batch("tx", plain)]
+            cluster.evolve_schema("tx", {"country": "string"})
+            results += [r.results for r in cluster.send_batch("tx", evolved)]
+            assert results == expected
+
+    def test_checkpoint_offsets_cover_every_event(self):
+        events = make_events(90)
+        with ParallelCluster(workers=3) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            cluster.create_metric(METRIC)
+            cluster.send_batch("tx", events)
+            offsets = cluster.checkpoint_offsets()
+            assert sum(offsets.values()) == len(events)
+            assert {tp.topic for tp in offsets} == {"tx.cardId"}

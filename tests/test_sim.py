@@ -147,6 +147,97 @@ class TestServiceModels:
         assert scan.mean_service_ms > 5 * railgun.mean_service_ms
 
 
+class TestBatchedCostModel:
+    """The per-batch vs per-event amortization split (batched ingest)."""
+
+    def test_batch_size_one_is_bit_identical_to_legacy(self):
+        # With poll_batch_events=1 the amortized distribution never
+        # draws, so the split is inert: samples must not depend on the
+        # dispatch share at all.
+        a = RailgunServiceModel(
+            RailgunServiceConfig(dispatch_us=0.0), random.Random(11)
+        )
+        b = RailgunServiceModel(
+            RailgunServiceConfig(dispatch_us=110.0), random.Random(11)
+        )
+        assert [a.service_ms(i, 0) for i in range(2000)] == [
+            b.service_ms(i, 0) for i in range(2000)
+        ]
+
+    def test_follower_events_skip_dispatch(self):
+        config = RailgunServiceConfig(poll_batch_events=64, jitter_sigma=0.0)
+        model = RailgunServiceModel(config, random.Random(1))
+        leader = model.service_ms(0, 0, first_of_batch=True)
+        follower = model.service_ms(1, 0, first_of_batch=False)
+        assert leader - follower == pytest.approx(
+            config.dispatch_us / 1000.0, rel=1e-6
+        )
+
+    def test_batched_mean_interpolates_dispatch(self):
+        config = RailgunServiceConfig(poll_batch_events=64)
+        model = RailgunServiceModel(config, random.Random(1))
+        saved_ms = (
+            config.dispatch_us * (1 - 1 / config.poll_batch_events)
+        ) / 1000.0
+        assert model.mean_service_ms - model.mean_service_ms_batched == (
+            pytest.approx(saved_ms, rel=1e-6)
+        )
+
+    def test_dispatch_share_clamped_to_base(self):
+        # Legacy configs tune base_us below the default dispatch share;
+        # the amortizable part is then simply all of base_us.
+        model = RailgunServiceModel(
+            RailgunServiceConfig(
+                base_us=50.0, dispatch_us=60.0, poll_batch_events=64,
+                jitter_sigma=0.0,
+            ),
+            random.Random(1),
+        )
+        leader = model.service_ms(0, 0, first_of_batch=True)
+        follower = model.service_ms(1, 0, first_of_batch=False)
+        assert leader - follower == pytest.approx(50.0 / 1000.0, rel=1e-6)
+        with pytest.raises(ValueError):
+            RailgunServiceModel(
+                RailgunServiceConfig(dispatch_us=-1.0), random.Random(1)
+            )
+
+    def test_pipeline_batched_engine_sustains_higher_rate(self):
+        # A rate the per-event engine cannot sustain but the batched
+        # engine can: dispatch dominates, and under backlog the batched
+        # unit amortizes it across whole poll batches (Figure 8/9
+        # projections use exactly this split).
+        per_event = RailgunServiceConfig(
+            base_us=2000.0, dispatch_us=1800.0, poll_batch_events=1
+        )
+        batched = RailgunServiceConfig(
+            base_us=2000.0, dispatch_us=1800.0, poll_batch_events=64
+        )
+        rate = 1000.0 / (
+            RailgunServiceModel(batched, random.Random(0)).mean_service_ms_batched
+            * 1.4
+        )
+        kafka_rng = random.Random(9)
+
+        def run(service_config):
+            config = PipelineConfig(
+                rate_ev_s=rate, duration_s=30.0, warmup_s=3.0, processors=1,
+                seed=7,
+            )
+            kafka = KafkaModel(KafkaConfig(), random.Random(kafka_rng.randrange(1 << 30)))
+            return simulate_pipeline(
+                config,
+                lambda rng: RailgunServiceModel(service_config, rng),
+                kafka,
+            )
+
+        slow = run(per_event)
+        fast = run(batched)
+        assert slow.diverged or slow.utilization > 0.99
+        assert not fast.diverged
+        assert fast.utilization < 0.95
+        assert fast.percentile(99.0) < slow.percentile(99.0)
+
+
 class TestPipeline:
     def _run(self, rate, service_config=None, **kwargs):
         config = PipelineConfig(
