@@ -3,10 +3,17 @@
 Times the per-event vs batched variants of the reservoir append loop,
 the aggregate inner loops, the task-processor ingestion path and the
 frontend fan-out, plus the end-to-end engine ingest in single-process
-and process-parallel execution, and emits a machine-readable JSON report
-so CI and future PRs can track the perf trajectory::
+and process-parallel execution and the crash-recovery family
+(``recovery_from_zero`` vs ``recovery_from_checkpoint``: time-to-recover
+and events replayed after a worker kill), and emits a machine-readable
+JSON report so CI and future PRs can track the perf trajectory::
 
     {bench_name: {"events_per_sec": float, "p50_us": float, "p99_us": float}}
+
+The recovery benches add ``recovery_ms`` and ``events_replayed`` keys;
+a baseline may declare ``_recovery_floors`` requiring the checkpointed
+variant to replay strictly fewer events and recover a minimum factor
+faster than from-zero.
 
 Latency percentiles are per-event microseconds derived from per-slice
 wall times (a slice is one batch for the batched variants and an
@@ -286,7 +293,10 @@ def bench_engine_ingest_single_process(
 def _bench_engine_ingest_process(
     events: list[Event], batch_size: int, workers: int
 ) -> dict[str, float]:
-    with ParallelCluster(workers=workers) as cluster:
+    # Cadence off: these benches gate pure ingest scaling against the
+    # PR-2 floors; periodic checkpoint cost is the recovery family's
+    # axis, not this one's.
+    with ParallelCluster(workers=workers, checkpoint_every=None) as cluster:
         cluster.create_stream("tx", ["cardId"], **_ENGINE_STREAM)
         cluster.create_metric(_ENGINE_METRIC)
 
@@ -304,6 +314,65 @@ def bench_engine_ingest_process_4w(events: list[Event], batch_size: int) -> dict
     return _bench_engine_ingest_process(events, batch_size, workers=4)
 
 
+# -- crash recovery (from-zero vs from-checkpoint) ----------------------------
+
+#: events ingested before the crash in the recovery benches; the
+#: checkpointed variant snapshots after 7/8 of them, so it replays 1/8
+#: of the history while the from-zero variant replays all of it.
+_RECOVERY_EVENTS = 6_000
+
+
+def _bench_recovery(events: list[Event], checkpoint: bool) -> dict[str, float]:
+    """Kill a worker and time restart + replay until the cluster is quiet.
+
+    Reports the harness's standard throughput shape — ``events_per_sec``
+    is history size over time-to-recover, so the from-checkpoint /
+    from-zero ratio is exactly the recovery speedup — plus two extra
+    keys CI tracks: ``recovery_ms`` (wall time) and ``events_replayed``
+    (records reprocessed during recovery; bounded replay means strictly
+    fewer than from-zero).
+    """
+    events = events[:_RECOVERY_EVENTS]
+    split = (len(events) * 7) // 8
+    with ParallelCluster(workers=2, checkpoint_every=None) as cluster:
+        cluster.create_stream("tx", ["cardId"], **_ENGINE_STREAM)
+        cluster.create_metric(_ENGINE_METRIC)
+        cluster.send_batch("tx", events[:split])
+        if checkpoint:
+            cluster.checkpoint_now()
+        cluster.send_batch("tx", events[split:])
+        processed_before = cluster.total_messages_processed()
+        victim = cluster.worker_ids()[0]
+        started = time.perf_counter()
+        cluster.kill_worker(victim)
+        deadline = started + 120.0
+        while not cluster.supervisor.restarts:
+            if time.perf_counter() > deadline:
+                raise RuntimeError(
+                    "recovery bench: worker restart not detected within 120s"
+                )
+            cluster.pump()
+        cluster.run_until_quiet()
+        recovery_s = time.perf_counter() - started
+        replayed = cluster.total_messages_processed() - processed_before
+    per_event_us = recovery_s * 1e6 / max(1, replayed)
+    return {
+        "events_per_sec": len(events) / recovery_s,
+        "p50_us": per_event_us,
+        "p99_us": per_event_us,
+        "recovery_ms": recovery_s * 1e3,
+        "events_replayed": float(replayed),
+    }
+
+
+def bench_recovery_from_zero(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_recovery(events, checkpoint=False)
+
+
+def bench_recovery_from_checkpoint(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_recovery(events, checkpoint=True)
+
+
 BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
     "reservoir_append_per_event": bench_reservoir_append_per_event,
     "reservoir_append_batch": bench_reservoir_append_batch,
@@ -316,12 +385,16 @@ BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
     "engine_ingest_single_process": bench_engine_ingest_single_process,
     "engine_ingest_process_1w": bench_engine_ingest_process_1w,
     "engine_ingest_process_4w": bench_engine_ingest_process_4w,
+    "recovery_from_zero": bench_recovery_from_zero,
+    "recovery_from_checkpoint": bench_recovery_from_checkpoint,
 }
 
 #: e2e benches: heavier per event (whole cluster per run), so they get a
 #: capped event budget and skip the generic warmup pass.
 ENGINE_BENCHES = frozenset(
-    name for name in BENCHES if name.startswith("engine_ingest")
+    name
+    for name in BENCHES
+    if name.startswith(("engine_ingest", "recovery_"))
 )
 
 
@@ -410,6 +483,53 @@ def check_speedup_floors(
             failures.append(
                 f"{bench} is only {ratio:.2f}x {over} "
                 f"(required {min_ratio:.2f}x at >= {min_cpus} cpus)"
+            )
+    return failures, skips
+
+
+def check_recovery_floors(
+    results: dict[str, dict[str, float]],
+    floors: Sequence[dict],
+) -> tuple[list[str], list[str]]:
+    """Enforce baseline ``_recovery_floors``; returns (failures, skips).
+
+    Each floor compares a checkpointed-recovery bench against its
+    from-zero counterpart: it must replay **strictly fewer** events
+    (that's the whole point of checkpoint shipping — the count is
+    deterministic, so no tolerance) and recover at least
+    ``min_time_ratio`` times faster on wall time.
+    """
+    failures: list[str] = []
+    skips: list[str] = []
+    for floor in floors:
+        bench, over = floor["bench"], floor["over"]
+        min_time_ratio = float(floor.get("min_time_ratio", 1.0))
+        if bench not in results or over not in results:
+            skips.append(f"{bench}/{over}: not measured in this run")
+            continue
+        if (
+            "events_replayed" not in results[bench]
+            or "events_replayed" not in results[over]
+        ):
+            failures.append(
+                f"{bench}/{over}: _recovery_floors entry names a bench "
+                f"without recovery metrics (recovery_ms/events_replayed)"
+            )
+            continue
+        replayed = results[bench]["events_replayed"]
+        replayed_over = results[over]["events_replayed"]
+        if replayed >= replayed_over:
+            failures.append(
+                f"{bench} replayed {replayed:,.0f} events, not strictly fewer "
+                f"than {over}'s {replayed_over:,.0f}"
+            )
+        time_ratio = results[over]["recovery_ms"] / results[bench]["recovery_ms"]
+        if time_ratio < min_time_ratio:
+            failures.append(
+                f"{bench} recovered only {time_ratio:.2f}x faster than {over} "
+                f"({results[bench]['recovery_ms']:,.0f} ms vs "
+                f"{results[over]['recovery_ms']:,.0f} ms; required "
+                f"{min_time_ratio:.2f}x)"
             )
     return failures, skips
 
@@ -505,6 +625,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         failures.extend(floor_failures)
         for skip in floor_skips:
             print(f"SPEEDUP FLOOR SKIPPED: {skip}", file=sys.stderr)
+        recovery_failures, recovery_skips = check_recovery_floors(
+            results, baseline.get("_recovery_floors", [])
+        )
+        failures.extend(recovery_failures)
+        for skip in recovery_skips:
+            print(f"RECOVERY FLOOR SKIPPED: {skip}", file=sys.stderr)
     if args.min_speedup is not None and batched in results and per_event in results:
         failures.extend(check_speedup(results, args.min_speedup))
     for failure in failures:

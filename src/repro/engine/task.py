@@ -239,19 +239,27 @@ class TaskProcessor:
 
     # -- checkpoint / restore --------------------------------------------------------------
 
-    def checkpoint(self) -> TaskCheckpoint:
-        """Snapshot reservoir + state + cursors + offset, atomically."""
+    def checkpoint(self, exclude_files: set[str] | None = None) -> TaskCheckpoint:
+        """Snapshot reservoir + state + cursors + offset, atomically.
+
+        ``exclude_files`` names immutable files the receiver already
+        holds (sealed reservoir segments, LSM tables): they stay
+        referenced by the metadata but their contents are neither read
+        nor copied, so a delta checkpoint costs O(new state), not
+        O(total state). Mutable (unsealed) files always ship.
+        """
+        exclude = exclude_files or set()
         reservoir_meta = self.reservoir.checkpoint_metadata()
         reservoir_storage = self.reservoir.storage
+        names = reservoir_storage.list()
+        sealed = {name for name in names if reservoir_storage.is_sealed(name)}
         reservoir_files = {
             name: reservoir_storage.read_all(name)
-            for name in reservoir_storage.list()
-        }
-        sealed = {
-            name for name in reservoir_files if reservoir_storage.is_sealed(name)
+            for name in names
+            if name not in exclude or name not in sealed
         }
         state_cp = self.state.checkpoint()
-        state_files = self.state.export_checkpoint(state_cp)
+        state_files = self.state.export_checkpoint(state_cp, exclude=exclude)
         return TaskCheckpoint(
             tp=self.tp,
             offset=self.next_offset,

@@ -17,10 +17,19 @@ strategy, each partition's records are processed in log order by exactly
 one worker, and every reply value is produced by the same
 ``TaskProcessor.process_batch`` code the single-process engine runs — so
 replies and aggregate stats match the cooperative engine exactly, no
-matter how work interleaves across processes. After a worker crash the
-supervisor restarts it, the control log replays the catalogue, the
-partition log replays from offset zero, and the committed watermark
-suppresses every reply the client already saw.
+matter how work interleaves across processes.
+
+Recovery is checkpoint-shipped (the paper's MAD contract needs bounded
+replay, not replay-from-genesis): workers ship task checkpoints to the
+supervisor on a configurable cadence (``checkpoint_every`` records),
+and every recovery path starts from the latest stored checkpoint. After
+a worker crash the supervisor restarts it, replays the control log,
+ships each owned task's checkpoint into the fresh process, and the
+cluster seeks the partition to the **checkpointed offset** — only the
+uncheckpointed tail replays, with the committed watermark suppressing
+every reply the client already saw. Rebalances get worker-to-worker
+state handoff the same way: the new owner restores from the
+supervisor's store and replays only the tail.
 """
 
 from __future__ import annotations
@@ -74,6 +83,7 @@ class ParallelCluster:
         unit_config: UnitConfig | None = None,
         tick_ms: int = 1,
         batch_max: int = 256,
+        checkpoint_every: int | None = 2048,
         assignment_strategy: object | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
     ) -> None:
@@ -94,6 +104,7 @@ class ParallelCluster:
             workers,
             unit_config=unit_config,
             strategy=assignment_strategy,
+            checkpoint_interval=checkpoint_every,
             mp_context=mp_context,
         )
         self.supervisor.on_restart = self._on_worker_restart
@@ -112,19 +123,36 @@ class ParallelCluster:
     # -- topology -------------------------------------------------------------
 
     def add_worker(self) -> str:
-        """Spawn one more shard worker and rebalance onto it."""
+        """Spawn one more shard worker and rebalance onto it.
+
+        Checkpoints are refreshed first, so tasks that move restore on
+        the new worker from up-to-date state and replay nothing.
+        """
         self._quiesce()
+        self._refresh_checkpoints()
         worker_id = self.supervisor.add_worker()
         self._views[worker_id] = PartitionView(self.bus, ACTIVE_GROUP)
         self._rebalance()
         return worker_id
 
     def remove_worker(self, worker_id: str) -> None:
-        """Retire a worker; its tasks move (and replay) elsewhere."""
+        """Retire a worker; its tasks hand their state off via the
+        checkpoint store and replay only the (empty, post-quiesce) tail
+        on their new owner."""
         self._quiesce()
+        self._refresh_checkpoints()
         self.supervisor.remove_worker(worker_id)
         del self._views[worker_id]
         self._rebalance()
+
+    def _refresh_checkpoints(self) -> None:
+        """Pull fresh with-state checkpoints before a planned topology
+        change; best effort — a crash here falls back to the last stored
+        checkpoint plus tail replay."""
+        try:
+            self.supervisor.request_checkpoints(with_state=True)
+        except EngineError:
+            pass
 
     def kill_worker(self, worker_id: str) -> None:
         """SIGKILL a worker process (fault injection for tests)."""
@@ -416,27 +444,34 @@ class ParallelCluster:
             view = self._views[worker_id]
             view.set_assignment(owned)
             for tp in owned - before.get(worker_id, set()):
-                # New owner: replay the whole partition log to rebuild
-                # task state; the watermark suppresses replayed replies.
-                view.seek(tp, 0)
+                # New owner: restore from the supervisor's stored
+                # checkpoint (worker-to-worker state handoff) and replay
+                # only the tail past its offset; without a checkpoint
+                # the whole partition log replays. The watermark
+                # suppresses replayed replies either way.
+                if self.supervisor.ship_checkpoint(worker_id, tp):
+                    view.seek(tp, self.supervisor.checkpoints.offset(tp))
+                else:
+                    view.seek(tp, 0)
         self.rebalance_count += 1
 
     def _on_worker_restart(
         self, worker_id: str, tasks: set[TopicPartition]
     ) -> None:
-        """Crash recovery: replay each owned partition from offset zero.
+        """Crash recovery: replay each partition's uncheckpointed tail.
 
-        The restarted worker lost all task state, so every record
-        replays; ``reply_from`` (the replied watermark) makes the replay
-        silent up to the last reply the client saw, and the uncommitted
-        tail — exactly the records whose replies never landed — replies
-        again.
+        The supervisor already shipped each owned task's stored
+        checkpoint into the fresh process, so the view seeks to the
+        checkpointed offset (zero when no checkpoint exists yet) and
+        only the tail replays. ``reply_from`` (the replied watermark)
+        keeps the replay silent up to the last reply the client saw; the
+        records whose replies never landed reply again, byte-identical.
         """
         view = self._views.get(worker_id)
         if view is None:
             return
         for tp in tasks:
-            view.seek(tp, 0)
+            view.seek(tp, self.supervisor.checkpoints.offset(tp))
 
     def _quiesce(self, timeout_rounds: int = 2000) -> None:
         for _ in range(timeout_rounds):
@@ -454,6 +489,15 @@ class ParallelCluster:
     def checkpoint_offsets(self) -> dict[TopicPartition, int]:
         """Consumed offsets per task, straight from the workers."""
         return self.supervisor.request_checkpoints()
+
+    def checkpoint_now(self) -> dict[TopicPartition, int]:
+        """Take a full checkpoint of every task, synchronously.
+
+        Blocks until each worker's state frames land in the supervisor's
+        checkpoint store; returns the checkpointed offsets. Subsequent
+        crash recovery or rebalance replays only records past them.
+        """
+        return self.supervisor.request_checkpoints(with_state=True)
 
     def close(self) -> None:
         """Stop every worker process; idempotent."""

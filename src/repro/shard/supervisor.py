@@ -7,12 +7,26 @@ modelled as its own single-processor node), routes ``WorkBatch`` frames
 to the owning worker, merges ``BatchDone`` replies and stats back, and
 replays the full control log into any worker it restarts after a crash.
 
+It is also the cluster's checkpoint authority: a
+:class:`CheckpointStore` keeps the latest materialized
+:class:`~repro.engine.task.TaskCheckpoint` per task, fed by
+``CheckpointAck`` frames — solicited by :meth:`request_checkpoints`,
+fired periodically by the ``checkpoint_interval`` cadence, or arriving
+late after their request timed out (never dropped: a stored checkpoint
+is a stored checkpoint, whoever asked for it). A restarted worker gets
+the control log, its assignment, and then one ``RestoreTask`` per owned
+task, so recovery replays only the tail past the checkpointed offset.
+
 Flow control is a small credit scheme: at most ``max_outstanding``
 un-acked work batches per worker. Combined with the cluster's bounded
-batch size this keeps both pipe directions strictly below OS buffer
-capacity, so neither side can ever block on a full pipe (a blocked
+batch size this keeps the hot-path pipe traffic strictly below OS
+buffer capacity, so neither side blocks on a full pipe (a blocked
 supervisor plus a blocked worker would be a classic cross-pipe
-deadlock).
+deadlock). Checkpoint frames can exceed the buffer, but they only flow
+when the peer is guaranteed to be reading: ``RestoreTask`` goes to a
+freshly spawned worker draining its setup messages, or after a quiesce
+plus checkpoint refresh has emptied both directions; large acks are
+absorbed by the supervisor's regular :meth:`poll` drain.
 """
 
 from __future__ import annotations
@@ -30,9 +44,81 @@ from repro.engine.assignment import (
     StickyAssignmentStrategy,
 )
 from repro.engine.processor import UnitConfig
+from repro.engine.task import TaskCheckpoint
 from repro.messaging.log import TopicPartition
 from repro.shard import wire
 from repro.shard.worker import shard_worker_main
+
+
+class CheckpointStore:
+    """Latest materialized checkpoint per task.
+
+    Incoming :class:`~repro.shard.wire.TaskCheckpointFrame` payloads may
+    be deltas (immutable files the worker knew we already hold are
+    omitted); :meth:`ingest` merges them with the previously stored
+    files into a fully materialized :class:`TaskCheckpoint`, so restore
+    shipping never depends on history. A frame that references a file
+    we neither received nor hold is rejected — the previous checkpoint
+    stays authoritative, which is exactly the fallback a crash between
+    checkpoint request and ack needs.
+    """
+
+    def __init__(self) -> None:
+        self._checkpoints: dict[TopicPartition, TaskCheckpoint] = {}
+        self.stored = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def get(self, tp: TopicPartition) -> TaskCheckpoint | None:
+        """The latest materialized checkpoint of a task, if any."""
+        return self._checkpoints.get(tp)
+
+    def offset(self, tp: TopicPartition) -> int:
+        """Replay start for a task: checkpointed offset, or 0."""
+        checkpoint = self._checkpoints.get(tp)
+        return checkpoint.offset if checkpoint is not None else 0
+
+    def known_files(self, tp: TopicPartition) -> tuple[str, ...]:
+        """Immutable file names held for a task (delta advertisement)."""
+        checkpoint = self._checkpoints.get(tp)
+        if checkpoint is None:
+            return ()
+        return tuple(sorted(checkpoint.transferable_files()))
+
+    def ingest(self, frame: wire.TaskCheckpointFrame) -> bool:
+        """Materialize and store one frame; False when rejected."""
+        checkpoint = frame.checkpoint
+        stored = self._checkpoints.get(checkpoint.tp)
+        if stored is not None and checkpoint.offset < stored.offset:
+            self.rejected += 1  # late frame older than what we hold
+            return False
+        reservoir_cache = stored.reservoir_files if stored is not None else {}
+        state_cache = stored.state_files if stored is not None else {}
+        reservoir_files = dict(checkpoint.reservoir_files)
+        for name in checkpoint.reservoir_sealed:
+            if name in reservoir_files:
+                continue
+            cached = reservoir_cache.get(name)
+            if cached is None:
+                self.rejected += 1
+                return False
+            reservoir_files[name] = cached
+        state_files = dict(checkpoint.state_files)
+        for name in checkpoint.state_checkpoint.all_files():
+            if name in state_files:
+                continue
+            cached = state_cache.get(name)
+            if cached is None:
+                self.rejected += 1
+                return False
+            state_files[name] = cached
+        checkpoint.reservoir_files = reservoir_files
+        checkpoint.state_files = state_files
+        self._checkpoints[checkpoint.tp] = checkpoint
+        self.stored += 1
+        return True
 
 
 def _default_context() -> multiprocessing.context.BaseContext:
@@ -53,6 +139,8 @@ class WorkerHandle:
     processed: int = 0
     replies_sent: int = 0
     restarts: int = 0
+    checkpoint_acks: int = 0
+    late_checkpoint_acks: int = 0
 
     @property
     def alive(self) -> bool:
@@ -68,6 +156,7 @@ class ShardSupervisor:
         unit_config: UnitConfig | None = None,
         strategy: object | None = None,
         max_outstanding: int = 2,
+        checkpoint_interval: int | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
     ) -> None:
         if workers <= 0:
@@ -78,13 +167,25 @@ class ShardSupervisor:
             strategy if strategy is not None else StickyAssignmentStrategy(0)
         )
         self.max_outstanding = max_outstanding
+        #: records processed between automatic with-state checkpoint
+        #: requests; None disables the cadence (explicit requests only).
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoints = CheckpointStore()
         self._control_log: list[bytes] = []
         self._buffered: list[tuple[object, WorkerHandle]] = []
         self._owners: dict[TopicPartition, str] = {}
         self._next_worker = 0
         self._next_checkpoint_request = 0
+        #: fire-and-forget checkpoint requests: request id -> worker ids
+        #: whose ack is still expected; acks answering anything else
+        #: count as late. Entries are pruned when a worker dies or is
+        #: removed, so an interrupted request cannot leak.
+        self._inflight_checkpoints: dict[int, set[str]] = {}
+        self._records_since_checkpoint = 0
         self.handles: dict[str, WorkerHandle] = {}
+        self._processed_retired = 0
         self.restarts = 0
+        self.late_checkpoint_acks = 0
         self.worker_errors: list[str] = []
         #: cluster hook invoked after a crashed worker was respawned;
         #: receives (worker_id, tasks-to-replay).
@@ -109,10 +210,26 @@ class ShardSupervisor:
         return worker_id
 
     def remove_worker(self, worker_id: str) -> None:
-        """Gracefully retire a worker (call :meth:`assign` afterwards)."""
+        """Gracefully retire a worker (call :meth:`assign` afterwards).
+
+        All trace of the handle goes with it: frames parked in the
+        internal buffer (e.g. a ``BatchDone`` set aside while a
+        checkpoint request drained the pipes) would otherwise be
+        delivered by a later :meth:`poll` and mutate a dead handle's
+        counters, and stale ``_owners`` entries would keep routing
+        :meth:`submit` at a worker that no longer exists.
+        """
         handle = self._handle(worker_id)
         self._stop_handle(handle)
         del self.handles[worker_id]
+        self._processed_retired += handle.processed
+        self._forget_expected_acks(worker_id)
+        self._buffered = [
+            (msg, owner) for msg, owner in self._buffered if owner is not handle
+        ]
+        self._owners = {
+            tp: owner for tp, owner in self._owners.items() if owner != worker_id
+        }
 
     def kill_worker(self, worker_id: str) -> None:
         """SIGKILL a worker (tests: crash without cleanup)."""
@@ -198,37 +315,128 @@ class ShardSupervisor:
         """Worker currently owning a task."""
         return self._owners.get(tp)
 
-    def request_checkpoints(self, timeout: float = 5.0) -> dict[TopicPartition, int]:
-        """Ask every worker for its consumed offsets; merge the acks.
+    def _checkpoint_request_for(
+        self, request_id: int, handle: WorkerHandle, with_state: bool
+    ) -> bytes:
+        """Encode one worker's request, advertising files we hold."""
+        known: tuple[tuple[TopicPartition, tuple[str, ...]], ...] = ()
+        if with_state:
+            known = tuple(
+                (tp, names)
+                for tp in sorted(handle.assigned, key=str)
+                if (names := self.checkpoints.known_files(tp))
+            )
+        return wire.encode(wire.CheckpointRequest(request_id, with_state, known))
 
-        Outstanding work is allowed: the pipe is FIFO, so each ack
-        reflects every batch submitted before the request. Any
-        ``BatchDone`` frames drained while waiting are returned to the
-        caller via :meth:`poll` on the next call (they are buffered).
+    def begin_checkpoint(self) -> int:
+        """Fire-and-forget a with-state checkpoint request to every worker.
+
+        The acks arrive through :meth:`poll`, which routes their frames
+        into the checkpoint store — no waiting, no quiesce. Returns the
+        request id (or -1 when no worker was reachable).
         """
         request_id = self._next_checkpoint_request
         self._next_checkpoint_request += 1
-        frame = wire.encode(wire.CheckpointRequest(request_id))
+        sent: set[str] = set()
+        for handle in self.handles.values():
+            if not handle.alive:
+                continue
+            try:
+                handle.conn.send_bytes(
+                    self._checkpoint_request_for(request_id, handle, True)
+                )
+            except OSError:
+                continue  # dead worker; the restart reships its state
+            sent.add(handle.worker_id)
+        if not sent:
+            return -1
+        self._inflight_checkpoints[request_id] = sent
+        return request_id
+
+    def request_checkpoints(
+        self, timeout: float = 5.0, with_state: bool = False
+    ) -> dict[TopicPartition, int]:
+        """Ask every worker for its consumed offsets; merge the acks.
+
+        With ``with_state`` the acks also carry full (delta) checkpoint
+        frames, which land in the checkpoint store. Outstanding work is
+        allowed: the pipe is FIFO, so each ack reflects every batch
+        submitted before the request. ``BatchDone`` frames drained while
+        waiting are parked and returned by the next :meth:`poll`.
+
+        A worker that dies during the wait is reaped and restarted
+        inside the loop and its ack is no longer waited for — restart +
+        checkpointed replay will satisfy whatever the caller needed —
+        so a crash costs one reap, not the whole timeout.
+        """
+        request_id = self._next_checkpoint_request
+        self._next_checkpoint_request += 1
         waiting = set()
         for handle in self.handles.values():
-            if handle.alive:
-                handle.conn.send_bytes(frame)
-                waiting.add(handle.worker_id)
+            if not handle.alive:
+                continue
+            try:
+                handle.conn.send_bytes(
+                    self._checkpoint_request_for(request_id, handle, with_state)
+                )
+            except OSError:
+                continue  # already dead: reaped below, never waited for
+            waiting.add(handle.worker_id)
         offsets: dict[TopicPartition, int] = {}
+        parked: list[tuple[object, WorkerHandle]] = []
         deadline = time.monotonic() + timeout
         while waiting and time.monotonic() < deadline:
             for msg, handle in self._drain(timeout=0.05):
-                if (
-                    isinstance(msg, wire.CheckpointAck)
-                    and msg.request_id == request_id
-                ):
-                    offsets.update(msg.offsets)
-                    waiting.discard(handle.worker_id)
+                if isinstance(msg, wire.CheckpointAck):
+                    self._ingest_ack(msg, handle, expected_id=request_id)
+                    if msg.request_id == request_id:
+                        offsets.update(msg.offsets)
+                        waiting.discard(handle.worker_id)
                 else:
-                    self._buffered.append((msg, handle))
+                    # Parked once, locally: re-buffering into _drain's
+                    # source would re-deliver the same frames every
+                    # 50 ms iteration.
+                    parked.append((msg, handle))
+            waiting.difference_update(self._reap_dead())
+        self._buffered = parked + self._buffered
         if waiting:
             raise EngineError(f"no checkpoint ack from workers: {sorted(waiting)}")
         return offsets
+
+    def _ingest_ack(
+        self,
+        msg: wire.CheckpointAck,
+        handle: WorkerHandle,
+        expected_id: int | None = None,
+    ) -> None:
+        """Store an ack's checkpoint payload, whatever request it answers.
+
+        A dropped frame would be a lost checkpoint, so payloads are
+        routed into the store even when the ack is late; late acks are
+        counted per worker (visible in :meth:`stats`).
+        """
+        for frame in msg.frames:
+            self.checkpoints.ingest(frame)
+        expected = self._inflight_checkpoints.get(msg.request_id)
+        if expected is not None and handle.worker_id in expected:
+            expected.discard(handle.worker_id)
+            if not expected:
+                del self._inflight_checkpoints[msg.request_id]
+            handle.checkpoint_acks += 1
+        elif expected_id is not None and msg.request_id == expected_id:
+            handle.checkpoint_acks += 1
+        else:
+            handle.late_checkpoint_acks += 1
+            self.late_checkpoint_acks += 1
+
+    def _forget_expected_acks(self, worker_id: str) -> None:
+        """Stop expecting checkpoint acks from a dead/removed worker —
+        its request entries would otherwise never drain."""
+        for request_id in list(self._inflight_checkpoints):
+            expected = self._inflight_checkpoints[request_id]
+            expected.discard(worker_id)
+            if not expected:
+                del self._inflight_checkpoints[request_id]
 
     # -- data plane -----------------------------------------------------------
 
@@ -267,19 +475,35 @@ class ShardSupervisor:
         return sum(handle.outstanding for handle in self.handles.values())
 
     def poll(self, timeout: float = 0.0) -> list[wire.BatchDone]:
-        """Collect finished batches; detect and restart dead workers."""
+        """Collect finished batches; detect and restart dead workers.
+
+        ``CheckpointAck`` frames arriving here — periodic cadence acks
+        and stragglers from a timed-out :meth:`request_checkpoints` —
+        have their checkpoint payloads routed into the store (a dropped
+        frame would be a lost checkpoint); late ones are counted in
+        :meth:`stats`. The poll also drives the checkpoint cadence:
+        once ``checkpoint_interval`` records have been processed since
+        the last request, a fire-and-forget with-state request goes out.
+        """
         done: list[wire.BatchDone] = []
         for msg, handle in self._drain(timeout):
             if isinstance(msg, wire.BatchDone):
                 handle.outstanding = max(0, handle.outstanding - 1)
                 handle.processed += msg.processed
                 handle.replies_sent += len(msg.replies)
+                self._records_since_checkpoint += msg.processed
                 done.append(msg)
+            elif isinstance(msg, wire.CheckpointAck):
+                self._ingest_ack(msg, handle)
             elif isinstance(msg, wire.WorkerError):
                 self.worker_errors.append(msg.message)
-            # CheckpointAcks outside request_checkpoints are dropped:
-            # they answer a request that already timed out.
         self._reap_dead()
+        if (
+            self.checkpoint_interval is not None
+            and self._records_since_checkpoint >= self.checkpoint_interval
+        ):
+            self._records_since_checkpoint = 0
+            self.begin_checkpoint()
         return done
 
     def _drain(self, timeout: float) -> list[tuple[object, WorkerHandle]]:
@@ -302,26 +526,55 @@ class ShardSupervisor:
                 continue  # dead worker; _reap_dead restarts it
         return out
 
-    def _reap_dead(self) -> None:
+    def _reap_dead(self) -> list[str]:
+        """Restart dead workers; returns the restarted worker ids."""
+        restarted: list[str] = []
         for handle in self.handles.values():
             if handle.alive:
                 continue
             self._restart(handle)
+            restarted.append(handle.worker_id)
+        return restarted
+
+    def ship_checkpoint(self, worker_id: str, tp: TopicPartition) -> bool:
+        """Send a task's stored checkpoint into a worker, if we hold one.
+
+        Pipe FIFO guarantees the ``RestoreTask`` lands before any
+        subsequent ``WorkBatch``, so the worker seeds the task processor
+        from the checkpoint and the tail replay starts from its offset.
+        """
+        checkpoint = self.checkpoints.get(tp)
+        if checkpoint is None:
+            return False
+        handle = self._handle(worker_id)
+        if not handle.alive:
+            return False
+        try:
+            handle.conn.send_bytes(
+                wire.encode(wire.RestoreTask(wire.TaskCheckpointFrame(checkpoint)))
+            )
+        except OSError:
+            return False  # dead worker; the restart reships its state
+        return True
 
     def _restart(self, handle: WorkerHandle) -> None:
         """Respawn a dead worker and rebuild its world.
 
-        The fresh process gets the full control log (catalogue) plus its
-        previous assignment; the cluster's ``on_restart`` hook then
-        replays each owned partition's log from offset zero so task
-        state is rebuilt deterministically. In-flight batches died with
-        the process — the replay covers them too.
+        The fresh process gets the full control log (catalogue), its
+        previous assignment, and one ``RestoreTask`` per owned task the
+        checkpoint store holds; the cluster's ``on_restart`` hook then
+        replays each owned partition's tail — from the checkpointed
+        offset where a checkpoint was shipped, from offset zero where
+        none exists — so task state is rebuilt deterministically.
+        In-flight batches died with the process; the replay covers them
+        too.
         """
         handle.process.join(timeout=1.0)
         try:
             handle.conn.close()
         except OSError:
             pass
+        self._forget_expected_acks(handle.worker_id)
         fresh = self._spawn(handle.worker_id)
         handle.process = fresh.process
         handle.conn = fresh.conn
@@ -335,14 +588,19 @@ class ShardSupervisor:
                 wire.AssignPartitions(tuple(sorted(handle.assigned, key=str)))
             )
         )
+        for tp in sorted(handle.assigned, key=str):
+            self.ship_checkpoint(handle.worker_id, tp)
         if self.on_restart is not None:
             self.on_restart(handle.worker_id, set(handle.assigned))
 
     # -- stats / shutdown -----------------------------------------------------
 
     def total_messages_processed(self) -> int:
-        """Messages processed across workers (replays included)."""
-        return sum(handle.processed for handle in self.handles.values())
+        """Messages processed across workers, retired ones included
+        (replays count too)."""
+        return self._processed_retired + sum(
+            handle.processed for handle in self.handles.values()
+        )
 
     def stats(self) -> dict[str, dict[str, int]]:
         """Per-worker counters for tests and benches."""
@@ -351,6 +609,8 @@ class ShardSupervisor:
                 "processed": handle.processed,
                 "replies_sent": handle.replies_sent,
                 "restarts": handle.restarts,
+                "checkpoint_acks": handle.checkpoint_acks,
+                "late_checkpoint_acks": handle.late_checkpoint_acks,
             }
             for worker_id, handle in self.handles.items()
         }

@@ -15,17 +15,29 @@ a :class:`WorkBatch` interns every distinct field name once and events
 reference names by index; a :class:`BatchDone` does the same for reply
 column names (``"sum(amount)"`` travels once per batch, not once per
 event).
+
+Recovery framing ships whole task checkpoints: a
+:class:`TaskCheckpointFrame` wraps the engine's
+:class:`~repro.engine.task.TaskCheckpoint` (reservoir metadata + files +
+sealed set, LSM manifest + files, iterator positions, next offset) so a
+worker's state can cross the process boundary in either direction —
+worker→supervisor inside a :class:`CheckpointAck`, supervisor→worker as
+a :class:`RestoreTask` seeding a fresh process. Frames are delta-aware:
+a :class:`CheckpointRequest` advertises the immutable files the
+supervisor already holds, and the worker omits those from the frame.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
 
 from repro.common import serde
 from repro.common.errors import SerdeError
 from repro.engine.catalog import MetricDef, StreamDef
+from repro.engine.task import TaskCheckpoint
 from repro.events.event import Event
+from repro.lsm.db import Checkpoint
 from repro.messaging.log import TopicPartition
 
 # Supervisor -> worker.
@@ -39,6 +51,7 @@ MSG_CHECKPOINT_REQUEST = 7
 MSG_SHUTDOWN = 8
 MSG_CRASH = 9
 MSG_ADD_PARTITIONER = 10
+MSG_RESTORE_TASK = 11
 
 # Worker -> supervisor.
 MSG_BATCH_DONE = 16
@@ -107,9 +120,53 @@ class WorkBatch:
 
 @dataclass(frozen=True)
 class CheckpointRequest:
-    """Ask a worker to report its per-task consumed offsets."""
+    """Ask a worker for its per-task consumed offsets — and, with
+    ``with_state``, full :class:`TaskCheckpointFrame` payloads.
+
+    ``known_files`` maps each task to the immutable file names the
+    supervisor's checkpoint store already holds; the worker strips those
+    from its frames so steady-state checkpoints ship only new files.
+    """
 
     request_id: int
+    with_state: bool = False
+    known_files: tuple[tuple[TopicPartition, tuple[str, ...]], ...] = ()
+
+    def known_files_map(self) -> dict[TopicPartition, frozenset[str]]:
+        """The delta-exclusion sets, keyed by task."""
+        return {tp: frozenset(names) for tp, names in self.known_files}
+
+
+@dataclass
+class TaskCheckpointFrame:
+    """One task's checkpoint crossing the process boundary.
+
+    Wraps the engine's :class:`~repro.engine.task.TaskCheckpoint`; the
+    file maps may be partial (delta transfer) — the receiver merges them
+    with files it already holds before restoring.
+    """
+
+    checkpoint: TaskCheckpoint
+
+    @property
+    def tp(self) -> TopicPartition:
+        return self.checkpoint.tp
+
+    @property
+    def offset(self) -> int:
+        return self.checkpoint.offset
+
+
+@dataclass
+class RestoreTask:
+    """Seed a worker's task processor from a stored checkpoint.
+
+    Sent before any :class:`WorkBatch` for the task (pipe FIFO), with
+    fully materialized file maps: the fresh process holds nothing, so
+    delta exclusion never applies in this direction.
+    """
+
+    frame: TaskCheckpointFrame
 
 
 @dataclass(frozen=True)
@@ -134,10 +191,15 @@ class BatchDone:
 
 @dataclass
 class CheckpointAck:
-    """Per-task consumed offsets at a consistent message boundary."""
+    """Per-task consumed offsets at a consistent message boundary.
+
+    When the request asked ``with_state``, ``frames`` carries one
+    (possibly delta) :class:`TaskCheckpointFrame` per owned task.
+    """
 
     request_id: int
     offsets: dict[TopicPartition, int]
+    frames: list[TaskCheckpointFrame] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -181,6 +243,81 @@ def _read_field_pairs(
         type_name, offset = serde.read_str(data, offset)
         fields.append((name, type_name))
     return tuple(fields), offset
+
+
+# -- task checkpoints ---------------------------------------------------------
+
+
+def _write_file_map(buf: bytearray, files: Mapping[str, bytes]) -> None:
+    serde.write_varint(buf, len(files))
+    for name in sorted(files):
+        serde.write_str(buf, name)
+        serde.write_bytes(buf, files[name])
+
+
+def _read_file_map(data: memoryview, offset: int) -> tuple[dict[str, bytes], int]:
+    count, offset = serde.read_varint(data, offset)
+    files: dict[str, bytes] = {}
+    for _ in range(count):
+        name, offset = serde.read_str(data, offset)
+        payload, offset = serde.read_bytes(data, offset)
+        files[name] = payload
+    return files, offset
+
+
+def _write_task_checkpoint(buf: bytearray, cp: TaskCheckpoint) -> None:
+    _write_tp(buf, cp.tp)
+    serde.write_varint(buf, cp.offset)
+    serde.write_bytes(buf, cp.reservoir_meta)
+    _write_file_map(buf, cp.reservoir_files)
+    serde.write_str_list(buf, sorted(cp.reservoir_sealed))
+    serde.write_bytes(buf, cp.state_checkpoint.to_bytes())
+    _write_file_map(buf, cp.state_files)
+    serde.write_varint(buf, len(cp.iterator_positions))
+    for key in sorted(cp.iterator_positions):
+        chunk_id, index = cp.iterator_positions[key]
+        serde.write_str(buf, key)
+        serde.write_signed_varint(buf, chunk_id)
+        serde.write_signed_varint(buf, index)
+    serde.write_varint(buf, len(cp.metric_ids))
+    for metric_id in cp.metric_ids:
+        serde.write_varint(buf, metric_id)
+
+
+def _read_task_checkpoint(
+    data: memoryview, offset: int
+) -> tuple[TaskCheckpoint, int]:
+    tp, offset = _read_tp(data, offset)
+    next_offset, offset = serde.read_varint(data, offset)
+    reservoir_meta, offset = serde.read_bytes(data, offset)
+    reservoir_files, offset = _read_file_map(data, offset)
+    sealed_names, offset = serde.read_str_list(data, offset)
+    state_blob, offset = serde.read_bytes(data, offset)
+    state_files, offset = _read_file_map(data, offset)
+    position_count, offset = serde.read_varint(data, offset)
+    positions: dict[str, tuple[int, int]] = {}
+    for _ in range(position_count):
+        key, offset = serde.read_str(data, offset)
+        chunk_id, offset = serde.read_signed_varint(data, offset)
+        index, offset = serde.read_signed_varint(data, offset)
+        positions[key] = (chunk_id, index)
+    metric_count, offset = serde.read_varint(data, offset)
+    metric_ids = []
+    for _ in range(metric_count):
+        metric_id, offset = serde.read_varint(data, offset)
+        metric_ids.append(metric_id)
+    checkpoint = TaskCheckpoint(
+        tp=tp,
+        offset=next_offset,
+        reservoir_meta=reservoir_meta,
+        reservoir_files=reservoir_files,
+        reservoir_sealed=set(sealed_names),
+        state_checkpoint=Checkpoint.from_bytes(state_blob),
+        state_files=state_files,
+        iterator_positions=positions,
+        metric_ids=tuple(metric_ids),
+    )
+    return checkpoint, offset
 
 
 # -- encoders -----------------------------------------------------------------
@@ -227,6 +364,14 @@ def encode(msg: object) -> bytes:
     elif isinstance(msg, CheckpointRequest):
         buf.append(MSG_CHECKPOINT_REQUEST)
         serde.write_varint(buf, msg.request_id)
+        buf.append(1 if msg.with_state else 0)
+        serde.write_varint(buf, len(msg.known_files))
+        for tp, names in msg.known_files:
+            _write_tp(buf, tp)
+            serde.write_str_list(buf, list(names))
+    elif isinstance(msg, RestoreTask):
+        buf.append(MSG_RESTORE_TASK)
+        _write_task_checkpoint(buf, msg.frame.checkpoint)
     elif isinstance(msg, Shutdown):
         buf.append(MSG_SHUTDOWN)
     elif isinstance(msg, Crash):
@@ -238,6 +383,9 @@ def encode(msg: object) -> bytes:
         for tp, next_offset in msg.offsets.items():
             _write_tp(buf, tp)
             serde.write_varint(buf, next_offset)
+        serde.write_varint(buf, len(msg.frames))
+        for frame in msg.frames:
+            _write_task_checkpoint(buf, frame.checkpoint)
     elif isinstance(msg, WorkerError):
         buf.append(MSG_WORKER_ERROR)
         serde.write_str(buf, msg.message)
@@ -347,7 +495,18 @@ def decode(data: bytes) -> object:
         return AssignPartitions(tuple(partitions))
     if tag == MSG_CHECKPOINT_REQUEST:
         request_id, offset = serde.read_varint(view, offset)
-        return CheckpointRequest(request_id)
+        with_state = bool(view[offset])
+        offset += 1
+        known_count, offset = serde.read_varint(view, offset)
+        known: list[tuple[TopicPartition, tuple[str, ...]]] = []
+        for _ in range(known_count):
+            tp, offset = _read_tp(view, offset)
+            names, offset = serde.read_str_list(view, offset)
+            known.append((tp, tuple(names)))
+        return CheckpointRequest(request_id, with_state, tuple(known))
+    if tag == MSG_RESTORE_TASK:
+        checkpoint, offset = _read_task_checkpoint(view, offset)
+        return RestoreTask(TaskCheckpointFrame(checkpoint))
     if tag == MSG_SHUTDOWN:
         return Shutdown()
     if tag == MSG_CRASH:
@@ -360,7 +519,12 @@ def decode(data: bytes) -> object:
             tp, offset = _read_tp(view, offset)
             next_offset, offset = serde.read_varint(view, offset)
             offsets[tp] = next_offset
-        return CheckpointAck(request_id, offsets)
+        frame_count, offset = serde.read_varint(view, offset)
+        frames: list[TaskCheckpointFrame] = []
+        for _ in range(frame_count):
+            checkpoint, offset = _read_task_checkpoint(view, offset)
+            frames.append(TaskCheckpointFrame(checkpoint))
+        return CheckpointAck(request_id, offsets, frames)
     if tag == MSG_WORKER_ERROR:
         message, offset = serde.read_str(view, offset)
         return WorkerError(message)

@@ -10,11 +10,16 @@ data path of a worker is: decode batch, ``process_batch``, encode
 replies.
 
 Workers are born empty. Catalogue state (streams, metrics, schema
-evolutions) arrives as control messages; after a crash the supervisor
-replays the control log into a fresh process and the cluster replays
-each owned partition from offset zero with ``reply_from`` set to the
-replied watermark, which reconstructs task state deterministically
-without duplicating a single client reply.
+evolutions) arrives as control messages; task state either accumulates
+from work batches or arrives wholesale as a
+:class:`~repro.shard.wire.RestoreTask` checkpoint frame. After a crash
+the supervisor replays the control log into a fresh process, ships each
+owned task's latest stored checkpoint, and the cluster replays only the
+partition tail past the checkpointed offset with ``reply_from`` set to
+the replied watermark — bounded-replay recovery that never duplicates a
+client reply. On ``CheckpointRequest(with_state=True)`` the worker
+snapshots every owned task and ships the frames back inside the ack,
+omitting immutable files the supervisor advertised it already holds.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from repro.engine.catalog import (
     EvolveSchemaOp,
 )
 from repro.engine.processor import UnitConfig
-from repro.engine.task import TaskProcessor
+from repro.engine.task import TaskCheckpoint, TaskProcessor
 from repro.messaging.log import TopicPartition
 from repro.shard import wire
 
@@ -46,6 +51,9 @@ class ShardWorker:
         self.catalog = Catalog()
         self.assigned: set[TopicPartition] = set()
         self.task_processors: dict[TopicPartition, TaskProcessor] = {}
+        #: last checkpoint taken per task, so the next one can release
+        #: the LSM files the previous snapshot pinned.
+        self._last_checkpoints: dict[TopicPartition, TaskCheckpoint] = {}
         self.messages_processed = 0
 
     # -- control plane --------------------------------------------------------
@@ -80,6 +88,7 @@ class ShardWorker:
             for tp in list(self.task_processors):
                 if tp not in self.assigned:
                     del self.task_processors[tp]
+                    self._last_checkpoints.pop(tp, None)
         else:
             raise TypeError(f"unexpected control message: {type(msg).__name__}")
 
@@ -111,6 +120,58 @@ class ShardWorker:
                 self.task_processors.items(), key=lambda item: str(item[0])
             )
         }
+
+    # -- checkpoint shipping ---------------------------------------------------
+
+    def build_checkpoints(
+        self, known_files: dict[TopicPartition, frozenset[str]] | None = None
+    ) -> list[wire.TaskCheckpointFrame]:
+        """Snapshot every owned task as (delta) checkpoint frames.
+
+        ``known_files`` lists immutable files the receiver already holds
+        per task; their contents are never read or copied (sealed
+        reservoir segments and LSM tables never change, so the name is
+        enough for the receiver to reuse its copy) — a steady-state
+        snapshot costs O(new state). The previous LSM checkpoint of
+        each task is released so a long-running worker does not pin
+        every historical table file.
+        """
+        known = known_files or {}
+        frames: list[wire.TaskCheckpointFrame] = []
+        for tp, processor in sorted(
+            self.task_processors.items(), key=lambda item: str(item[0])
+        ):
+            checkpoint = processor.checkpoint(
+                exclude_files=set(known.get(tp, ()))
+            )
+            previous = self._last_checkpoints.get(tp)
+            if previous is not None:
+                processor.state.db.release_checkpoint(previous.state_checkpoint)
+            self._last_checkpoints[tp] = checkpoint
+            frames.append(wire.TaskCheckpointFrame(checkpoint))
+        return frames
+
+    def restore_task(self, frame: wire.TaskCheckpointFrame) -> None:
+        """Seed a task processor from a (fully materialized) checkpoint.
+
+        The frame must arrive after the control log, so the catalogue
+        already knows the stream and metrics; replay of the partition
+        tail past ``frame.offset`` then brings the task up to date.
+        """
+        tp = frame.tp
+        stream = self.catalog.stream_of_topic(tp.topic)
+        if stream is None:
+            raise KeyError(
+                f"worker {self.worker_id} got a checkpoint for unknown "
+                f"topic {tp.topic!r}"
+            )
+        self.task_processors[tp] = TaskProcessor.restore(
+            frame.checkpoint,
+            stream,
+            self.catalog.metrics_for_topic(tp.topic),
+            reservoir_config=self.config.reservoir,
+            lsm_config=self.config.lsm,
+        )
 
     def _processor_for(self, tp: TopicPartition) -> TaskProcessor:
         processor = self.task_processors.get(tp)
@@ -149,11 +210,20 @@ def shard_worker_main(
             if isinstance(msg, wire.WorkBatch):
                 send_bytes(wire.encode(worker.handle_work(msg)))
             elif isinstance(msg, wire.CheckpointRequest):
+                frames = (
+                    worker.build_checkpoints(msg.known_files_map())
+                    if msg.with_state
+                    else []
+                )
                 send_bytes(
                     wire.encode(
-                        wire.CheckpointAck(msg.request_id, worker.checkpoint_offsets())
+                        wire.CheckpointAck(
+                            msg.request_id, worker.checkpoint_offsets(), frames
+                        )
                     )
                 )
+            elif isinstance(msg, wire.RestoreTask):
+                worker.restore_task(msg.frame)
             elif isinstance(msg, wire.Shutdown):
                 return
             elif isinstance(msg, wire.Crash):

@@ -8,6 +8,12 @@ from repro.bench import perf
 
 
 REQUIRED_KEYS = {"events_per_sec", "p50_us", "p99_us"}
+#: the crash-recovery benches add wall time and replay count on top.
+RECOVERY_KEYS = REQUIRED_KEYS | {"recovery_ms", "events_replayed"}
+
+
+def expected_keys(name: str) -> set:
+    return RECOVERY_KEYS if name.startswith("recovery_") else REQUIRED_KEYS
 
 
 class TestRunBenches:
@@ -15,7 +21,7 @@ class TestRunBenches:
         results = perf.run_benches(event_count=1500, batch_size=128, warmup=False)
         assert set(results) == set(perf.BENCHES)
         for name, stats in results.items():
-            assert set(stats) == REQUIRED_KEYS, name
+            assert set(stats) == expected_keys(name), name
             assert stats["events_per_sec"] > 0, name
             assert 0 < stats["p50_us"] <= stats["p99_us"], name
 
@@ -38,6 +44,8 @@ class TestRunBenches:
             "engine_ingest_single_process",
             "engine_ingest_process_1w",
             "engine_ingest_process_4w",
+            "recovery_from_zero",
+            "recovery_from_checkpoint",
         }
         assert perf.ENGINE_BENCHES < set(perf.BENCHES)
 
@@ -85,6 +93,52 @@ class TestGates:
         failures, skips = perf.check_speedup_floors({}, floors, cpu_count=8)
         assert failures == [] and len(skips) == 1
 
+    def recovery_sample(self, recovery_ms: float, replayed: float) -> dict:
+        return {
+            "events_per_sec": 1000.0, "p50_us": 1.0, "p99_us": 2.0,
+            "recovery_ms": recovery_ms, "events_replayed": replayed,
+        }
+
+    def test_recovery_floors_pass(self):
+        floors = [{"bench": "cp", "over": "zero", "min_time_ratio": 1.3}]
+        results = {
+            "zero": self.recovery_sample(400.0, 3000.0),
+            "cp": self.recovery_sample(100.0, 375.0),
+        }
+        failures, skips = perf.check_recovery_floors(results, floors)
+        assert failures == [] and skips == []
+
+    def test_recovery_floors_require_strictly_fewer_replays(self):
+        floors = [{"bench": "cp", "over": "zero", "min_time_ratio": 1.3}]
+        results = {
+            "zero": self.recovery_sample(400.0, 3000.0),
+            "cp": self.recovery_sample(100.0, 3000.0),  # not fewer
+        }
+        failures, _ = perf.check_recovery_floors(results, floors)
+        assert len(failures) == 1 and "strictly fewer" in failures[0]
+
+    def test_recovery_floors_require_time_ratio(self):
+        floors = [{"bench": "cp", "over": "zero", "min_time_ratio": 1.3}]
+        results = {
+            "zero": self.recovery_sample(110.0, 3000.0),
+            "cp": self.recovery_sample(100.0, 375.0),  # only 1.1x faster
+        }
+        failures, _ = perf.check_recovery_floors(results, floors)
+        assert len(failures) == 1 and "1.10x" in failures[0]
+
+    def test_recovery_floors_skip_when_unmeasured(self):
+        floors = [{"bench": "cp", "over": "zero", "min_time_ratio": 1.3}]
+        failures, skips = perf.check_recovery_floors({}, floors)
+        assert failures == [] and len(skips) == 1
+
+    def test_recovery_floors_reject_non_recovery_benches(self):
+        """A misconfigured floor fails the gate cleanly, no KeyError."""
+        floors = [{"bench": "b", "over": "a", "min_time_ratio": 1.3}]
+        results = {"a": self.sample(100.0), "b": self.sample(200.0)}
+        failures, skips = perf.check_recovery_floors(results, floors)
+        assert len(failures) == 1 and "recovery metrics" in failures[0]
+        assert skips == []
+
     def test_checked_in_baseline_floor_names_are_real(self):
         import pathlib
 
@@ -94,6 +148,11 @@ class TestGates:
         )
         baseline = json.loads(baseline_path.read_text())
         for floor in baseline.get("_speedup_floors", []):
+            assert floor["bench"] in perf.BENCHES
+            assert floor["over"] in perf.BENCHES
+        recovery_floors = baseline.get("_recovery_floors", [])
+        assert recovery_floors  # checkpointed recovery is gated
+        for floor in recovery_floors:
             assert floor["bench"] in perf.BENCHES
             assert floor["over"] in perf.BENCHES
         for name in baseline:
@@ -120,7 +179,7 @@ class TestMain:
         assert report["_host"]["cpu_count"] >= 1
         for name, stats in report.items():
             if not name.startswith("_"):
-                assert set(stats) == REQUIRED_KEYS
+                assert set(stats) == expected_keys(name)
 
     def test_select_matching_nothing_is_a_config_error(self, tmp_path, capsys):
         code = perf.main([

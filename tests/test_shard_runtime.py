@@ -2,10 +2,10 @@
 
 The process-parallel engine must be observably identical to the
 single-process engine: same reply values for the same events, same
-aggregate stats — through worker crashes (restart + replay of the
-uncommitted tail, no duplicated client reply), rebalances (workers
-added/removed mid-stream), schema evolution across the process boundary,
-and checkpoint reporting.
+aggregate stats — through worker crashes (checkpointed restart + replay
+of only the uncheckpointed tail, no duplicated client reply), rebalances
+(workers added/removed mid-stream, with checkpoint handoff), schema
+evolution across the process boundary, and checkpoint shipping.
 """
 
 from __future__ import annotations
@@ -17,13 +17,15 @@ import pytest
 from repro.common.errors import EngineError
 from repro.engine.catalog import MetricDef, StreamDef
 from repro.engine.cluster import RailgunCluster, create_cluster
+from repro.engine.processor import UnitConfig
 from repro.events.event import Event
 from repro.messaging.broker import MessageBus
 from repro.messaging.consumer import PartitionView
 from repro.messaging.log import TopicPartition
+from repro.reservoir.reservoir import ReservoirConfig
 from repro.shard import wire
 from repro.shard.parallel import ParallelCluster
-from repro.shard.supervisor import ShardSupervisor
+from repro.shard.supervisor import CheckpointStore, ShardSupervisor
 from repro.shard.worker import ShardWorker
 
 STREAM_KW = dict(partitions=4, schema={"cardId": "string", "amount": "float"})
@@ -81,11 +83,41 @@ class TestWireProtocol:
                 (TopicPartition("tx.cardId", 0), TopicPartition("tx.cardId", 3))
             ),
             wire.CheckpointRequest(12),
+            wire.CheckpointRequest(
+                13,
+                with_state=True,
+                known_files=(
+                    (TopicPartition("tx.cardId", 0), ("seg-1", "sst-a")),
+                    (TopicPartition("tx.cardId", 1), ()),
+                ),
+            ),
             wire.Shutdown(),
             wire.Crash(),
             wire.WorkerError("boom\n  at line 1"),
         ]:
             assert self.roundtrip(msg) == msg
+
+    def test_checkpoint_frames_roundtrip(self):
+        """A full TaskCheckpoint survives the wire in both directions."""
+        worker, tp = TestShardWorker().worker_with_stream()
+        worker.handle_work(wire.WorkBatch(tp, 0, list(enumerate(make_events(50)))))
+        frame = worker.build_checkpoints()[0]
+        ack = wire.CheckpointAck(3, {tp: 50}, [frame])
+        decoded = self.roundtrip(ack)
+        assert decoded.request_id == 3
+        assert decoded.offsets == {tp: 50}
+        restored = decoded.frames[0].checkpoint
+        original = frame.checkpoint
+        assert restored.tp == tp and restored.offset == 50
+        assert restored.reservoir_meta == original.reservoir_meta
+        assert restored.reservoir_files == original.reservoir_files
+        assert restored.reservoir_sealed == original.reservoir_sealed
+        assert restored.state_checkpoint == original.state_checkpoint
+        assert restored.state_files == original.state_files
+        assert restored.iterator_positions == original.iterator_positions
+        assert restored.metric_ids == original.metric_ids
+        restore = self.roundtrip(wire.RestoreTask(frame))
+        assert restore.frame.checkpoint == original
 
     def test_work_batch_roundtrip_preserves_events(self):
         records = [
@@ -166,6 +198,104 @@ class TestShardWorker:
         worker.handle_work(wire.WorkBatch(tp, 0, list(enumerate(make_events(7)))))
         assert worker.checkpoint_offsets() == {tp: 7}
 
+    def test_restore_task_resumes_at_checkpoint_offset(self):
+        worker, tp = self.worker_with_stream()
+        events = make_events(80)
+        worker.handle_work(wire.WorkBatch(tp, 0, list(enumerate(events))))
+        frame = worker.build_checkpoints()[0]
+        fresh, _ = self.worker_with_stream()
+        fresh.restore_task(frame)
+        assert fresh.task_processors[tp].next_offset == 80
+        probe = Event("probe", 5000, {"cardId": "c1", "amount": 3.0})
+        original = worker.handle_work(wire.WorkBatch(tp, 0, [(80, probe)]))
+        restored = fresh.handle_work(wire.WorkBatch(tp, 0, [(80, probe)]))
+        assert restored.replies == original.replies
+
+    def test_delta_frames_omit_known_files(self):
+        """Steady-state checkpoints ship only files the store lacks."""
+        config = UnitConfig(
+            reservoir=ReservoirConfig(chunk_max_events=8, file_max_chunks=2)
+        )
+        worker = ShardWorker("w0", config)
+        stream = StreamDef(
+            "tx", (("cardId", "string"), ("amount", "float")), ("cardId",), 2
+        )
+        worker.handle_control(wire.CreateStream(stream))
+        worker.handle_control(
+            wire.CreateMetric(MetricDef(0, METRIC, "tx", "tx.cardId", False))
+        )
+        tp = TopicPartition("tx.cardId", 0)
+        worker.handle_control(wire.AssignPartitions((tp,)))
+        events = make_events(200)
+        worker.handle_work(wire.WorkBatch(tp, 0, list(enumerate(events[:120]))))
+        store = CheckpointStore()
+        first = worker.build_checkpoints()[0]
+        assert first.checkpoint.reservoir_sealed  # tiny chunks force seals
+        first_files = set(first.checkpoint.reservoir_files) | set(
+            first.checkpoint.state_files
+        )
+        assert store.ingest(first)
+        worker.handle_work(
+            wire.WorkBatch(
+                tp, 0, [(120 + i, e) for i, e in enumerate(events[120:])]
+            )
+        )
+        known = {tp: frozenset(store.known_files(tp))}
+        second = worker.build_checkpoints(known)[0]
+        shipped = set(second.checkpoint.reservoir_files) | set(
+            second.checkpoint.state_files
+        )
+        # Immutable files already held by the store were omitted ...
+        held_immutables = set(store.known_files(tp))
+        omitted = (
+            second.checkpoint.reservoir_sealed
+            | second.checkpoint.state_checkpoint.all_files()
+        ) - shipped
+        assert omitted  # the delta actually omitted something
+        assert omitted <= held_immutables
+        assert shipped != first_files
+        # ... and the store still materializes a full, restorable state.
+        assert store.ingest(second)
+        stored = store.get(tp)
+        assert stored.offset == 200
+        assert stored.reservoir_sealed <= set(stored.reservoir_files)
+        assert stored.state_checkpoint.all_files() <= set(stored.state_files)
+        fresh = ShardWorker("w1", config)
+        fresh.handle_control(wire.CreateStream(stream))
+        fresh.handle_control(
+            wire.CreateMetric(MetricDef(0, METRIC, "tx", "tx.cardId", False))
+        )
+        fresh.handle_control(wire.AssignPartitions((tp,)))
+        fresh.restore_task(wire.TaskCheckpointFrame(stored))
+        probe = Event("probe", 9000, {"cardId": "c2", "amount": 1.5})
+        original = worker.handle_work(wire.WorkBatch(tp, 0, [(200, probe)]))
+        restored = fresh.handle_work(wire.WorkBatch(tp, 0, [(200, probe)]))
+        assert restored.replies == original.replies
+
+    def test_checkpoint_store_rejects_unmaterializable_frame(self):
+        """A delta frame whose base files are missing is refused; the
+        previous checkpoint stays authoritative."""
+        worker, tp = self.worker_with_stream()
+        worker.handle_work(wire.WorkBatch(tp, 0, list(enumerate(make_events(30)))))
+        frame = worker.build_checkpoints()[0]
+        store = CheckpointStore()
+        assert store.ingest(frame)
+        worker.handle_work(
+            wire.WorkBatch(
+                tp, 0, [(30 + i, e) for i, e in enumerate(make_events(30, "f"))]
+            )
+        )
+        # Pretend the store held files it does not have: the worker
+        # omits them, and ingest must reject the hole.
+        bogus = {tp: frozenset({"sst-aggstate-L9-99999999.sst"})}
+        broken = worker.build_checkpoints(bogus)[0]
+        broken.checkpoint.state_files = {}
+        broken.checkpoint.state_checkpoint.files.setdefault("aggstate", [[]])[
+            0
+        ].append("sst-aggstate-L9-99999999.sst")
+        assert not store.ingest(broken)
+        assert store.offset(tp) == 30  # previous checkpoint retained
+
 
 # -- supervisor ---------------------------------------------------------------
 
@@ -193,6 +323,102 @@ class TestShardSupervisor:
                 supervisor.poll(timeout=0.05)
             assert supervisor.restarts == 1
             assert any("ghost" in err for err in supervisor.worker_errors)
+
+    def _stream_controls(self, supervisor):
+        stream = StreamDef(
+            "tx", (("cardId", "string"), ("amount", "float")), ("cardId",), 4
+        )
+        supervisor.broadcast_control(wire.CreateStream(stream))
+        supervisor.broadcast_control(
+            wire.CreateMetric(MetricDef(0, METRIC, "tx", "tx.cardId", False))
+        )
+
+    def test_remove_worker_purges_buffered_frames_and_owners(self):
+        """Satellite regression: a retired handle leaves nothing behind.
+
+        A ``BatchDone`` parked in the internal buffer while
+        ``request_checkpoints`` drained the pipes must not be delivered
+        by a later ``poll`` (it would mutate a dead handle's counters),
+        and ``_owners`` must stop routing at the removed worker — an
+        interleaved ``submit`` gets a clean "not assigned" error, not
+        "unknown shard worker".
+        """
+        with ShardSupervisor(workers=1) as supervisor:
+            self._stream_controls(supervisor)
+            tp = TopicPartition("tx.cardId", 0)
+            supervisor.assign([tp])
+            victim = supervisor.worker_ids()[0]
+            supervisor.submit(tp, list(enumerate(make_events(10))), 0)
+            # Pipe FIFO: the BatchDone precedes the ack, so by the time
+            # the ack lands the BatchDone has been drained and parked.
+            supervisor.request_checkpoints()
+            assert any(
+                isinstance(msg, wire.BatchDone) for msg, _ in supervisor._buffered
+            )
+            supervisor.add_worker()
+            supervisor.remove_worker(victim)
+            assert supervisor.poll() == []  # parked frame was purged
+            assert supervisor.owner_of(tp) is None
+            with pytest.raises(EngineError, match="not assigned"):
+                supervisor.submit(tp, [(10, make_events(1, "y")[0])], 0)
+            stats = supervisor.stats()
+            assert victim not in stats
+            assert all(s["processed"] == 0 for s in stats.values())
+
+    def test_request_checkpoints_reaps_dead_worker_without_timeout(self):
+        """Satellite regression: a crash during the wait costs one reap,
+        not the full timeout, and no EngineError."""
+        with ShardSupervisor(workers=2) as supervisor:
+            self._stream_controls(supervisor)
+            tasks = [TopicPartition("tx.cardId", i) for i in range(4)]
+            supervisor.assign(tasks)
+            victim = supervisor.handles[supervisor.worker_ids()[0]]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            started = time.monotonic()
+            offsets = supervisor.request_checkpoints(timeout=30.0)
+            elapsed = time.monotonic() - started
+            assert elapsed < 20.0  # did not burn the timeout
+            assert supervisor.restarts == 1
+            assert offsets == {}  # no worker had processed anything yet
+
+    def test_late_checkpoint_acks_are_counted_and_stored(self):
+        """Satellite regression: a checkpoint ack answering a request
+        nobody waits for still lands in the store, and is counted."""
+        with ShardSupervisor(workers=1) as supervisor:
+            self._stream_controls(supervisor)
+            tp = TopicPartition("tx.cardId", 0)
+            supervisor.assign([tp])
+            supervisor.submit(tp, list(enumerate(make_events(25))), 0)
+            worker_id = supervisor.worker_ids()[0]
+            handle = supervisor.handles[worker_id]
+            # A with-state request with an id the supervisor never
+            # registered: its ack is by definition late.
+            handle.conn.send_bytes(
+                wire.encode(wire.CheckpointRequest(999, with_state=True))
+            )
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not len(supervisor.checkpoints):
+                supervisor.poll(timeout=0.05)
+            assert supervisor.checkpoints.offset(tp) == 25
+            assert supervisor.late_checkpoint_acks == 1
+            assert supervisor.stats()[worker_id]["late_checkpoint_acks"] == 1
+
+    def test_periodic_checkpoint_cadence_fills_the_store(self):
+        """checkpoint_interval drives fire-and-forget with-state
+        requests through poll(); acks are counted as expected, not late."""
+        with ShardSupervisor(workers=1, checkpoint_interval=20) as supervisor:
+            self._stream_controls(supervisor)
+            tp = TopicPartition("tx.cardId", 0)
+            supervisor.assign([tp])
+            supervisor.submit(tp, list(enumerate(make_events(30))), 0)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not len(supervisor.checkpoints):
+                supervisor.poll(timeout=0.05)
+            worker_id = supervisor.worker_ids()[0]
+            assert supervisor.checkpoints.offset(tp) == 30
+            assert supervisor.stats()[worker_id]["checkpoint_acks"] >= 1
+            assert supervisor.late_checkpoint_acks == 0
 
 
 # -- PartitionView ------------------------------------------------------------
@@ -362,3 +588,136 @@ class TestParallelClusterFailures:
             offsets = cluster.checkpoint_offsets()
             assert sum(offsets.values()) == len(events)
             assert {tp.topic for tp in offsets} == {"tx.cardId"}
+
+
+class TestCheckpointedRecovery:
+    """The recovery matrix: every path restarts from a checkpoint."""
+
+    ONE_PARTITION = dict(partitions=1, schema={"cardId": "string", "amount": "float"})
+
+    def ground_truth(self, events):
+        """Single-process engine on a one-partition stream."""
+        cluster = RailgunCluster(nodes=1, processor_units=2)
+        cluster.create_stream("tx", ["cardId"], **self.ONE_PARTITION)
+        cluster.create_metric(METRIC)
+        cluster.run_until_quiet()
+        return [cluster.send("tx", event=event).results for event in events]
+
+    def await_restart(self, cluster, count=1, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while (
+            cluster.supervisor.restarts < count and time.monotonic() < deadline
+        ):
+            cluster.pump()
+        assert cluster.supervisor.restarts == count
+        cluster.run_until_quiet()
+
+    def test_crash_after_checkpoint_replays_exactly_the_tail(self):
+        """Acceptance: N events, checkpoint at C, crash -> exactly N-C
+        records replay, and replies stay byte-identical."""
+        events = make_events(90)
+        probe = Event("probe", 9000, {"cardId": "c1", "amount": 2.0})
+        expected = self.ground_truth(events + [probe])
+        checkpoint_at = 60
+        tp = TopicPartition("tx.cardId", 0)
+        with ParallelCluster(workers=1, checkpoint_every=None) as cluster:
+            cluster.create_stream("tx", ["cardId"], **self.ONE_PARTITION)
+            cluster.create_metric(METRIC)
+            results = [
+                r.results
+                for r in cluster.send_batch("tx", events[:checkpoint_at])
+            ]
+            assert cluster.checkpoint_now() == {tp: checkpoint_at}
+            assert cluster.supervisor.checkpoints.offset(tp) == checkpoint_at
+            results += [
+                r.results
+                for r in cluster.send_batch("tx", events[checkpoint_at:])
+            ]
+            assert cluster.total_messages_processed() == len(events)
+            cluster.kill_worker(cluster.worker_ids()[0])
+            self.await_restart(cluster)
+            # Recovery replayed exactly the uncheckpointed tail.
+            assert cluster.total_messages_processed() == len(events) + (
+                len(events) - checkpoint_at
+            )
+            # ... without duplicating a single client reply.
+            assert not cluster.frontend.completed
+            results.append(cluster.send("tx", event=probe).results)
+            assert results == expected
+
+    def test_crash_mid_checkpoint_falls_back_to_previous_checkpoint(self):
+        """A crash racing an in-flight checkpoint request recovers from
+        whichever checkpoint last made it into the store — never worse
+        than the previous one, never wrong."""
+        events = make_events(100)
+        probe = Event("probe", 9000, {"cardId": "c3", "amount": 1.0})
+        expected = self.ground_truth(events + [probe])
+        tp = TopicPartition("tx.cardId", 0)
+        with ParallelCluster(workers=1, checkpoint_every=None) as cluster:
+            cluster.create_stream("tx", ["cardId"], **self.ONE_PARTITION)
+            cluster.create_metric(METRIC)
+            results = [r.results for r in cluster.send_batch("tx", events[:40])]
+            assert cluster.checkpoint_now() == {tp: 40}
+            results += [r.results for r in cluster.send_batch("tx", events[40:])]
+            cluster.supervisor.begin_checkpoint()  # in flight ...
+            cluster.kill_worker(cluster.worker_ids()[0])  # ... and crash
+            self.await_restart(cluster)
+            # The store holds the old checkpoint (the ack died with the
+            # worker) or the new one (it won the race); recovery works
+            # from either and replay is bounded by the older one.
+            assert cluster.supervisor.checkpoints.offset(tp) in (40, 100)
+            replayed = cluster.total_messages_processed() - len(events)
+            assert 0 <= replayed <= 60
+            # The interrupted request does not leak its in-flight entry:
+            # the restart stopped expecting the dead worker's ack.
+            assert cluster.supervisor._inflight_checkpoints == {}
+            results.append(cluster.send("tx", event=probe).results)
+            assert results == expected
+
+    def test_rebalance_handoff_replays_nothing(self):
+        """Grow/shrink hands task state over through the checkpoint
+        store: byte-identical replies and zero replayed records."""
+        events = make_events(160)
+        expected = single_process_results(events)
+        with ParallelCluster(workers=1) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            cluster.create_metric(METRIC)
+            results = [r.results for r in cluster.send_batch("tx", events[:80])]
+            grown = cluster.add_worker()
+            # Handoff restored from checkpoints: nothing replayed.
+            assert cluster.total_messages_processed() == 80
+            results += [
+                r.results for r in cluster.send_batch("tx", events[80:120])
+            ]
+            cluster.remove_worker(grown)
+            assert cluster.total_messages_processed() == 120
+            results += [r.results for r in cluster.send_batch("tx", events[120:])]
+            assert results == expected
+            assert cluster.total_messages_processed() == len(events)
+
+    def test_periodic_cadence_bounds_crash_replay(self):
+        """With the cadence on, a crash never replays the whole log."""
+        events = make_events(300)
+        expected = single_process_results(events)
+        with ParallelCluster(workers=2, checkpoint_every=64) as cluster:
+            cluster.create_stream("tx", ["cardId"], **STREAM_KW)
+            cluster.create_metric(METRIC)
+            results = [r.results for r in cluster.send_batch("tx", events)]
+            assert results == expected
+            # The cadence fired; pump until its acks filled the store.
+            deadline = time.monotonic() + 10.0
+            while (
+                not len(cluster.supervisor.checkpoints)
+                and time.monotonic() < deadline
+            ):
+                cluster.pump()
+            stored = sum(
+                cluster.supervisor.checkpoints.offset(tp)
+                for tp in cluster._watermarks
+            )
+            assert stored > 0
+            cluster.kill_worker(cluster.worker_ids()[0])
+            self.await_restart(cluster)
+            replayed = cluster.total_messages_processed() - len(events)
+            # Bounded replay: at most the uncheckpointed remainder.
+            assert replayed <= len(events) - stored
