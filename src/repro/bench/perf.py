@@ -2,8 +2,10 @@
 
 Times the per-event vs batched variants of the reservoir append loop,
 the aggregate inner loops, the task-processor ingestion path and the
-frontend fan-out, plus the end-to-end engine ingest in single-process
-and process-parallel execution and the crash-recovery family
+frontend fan-out, plus the end-to-end engine ingest in single-process,
+process-parallel (``engine_ingest_process_{1,4}w``) and
+sharded-frontend (``engine_ingest_process_{1,2,4}f``: N frontend
+processes over 2 workers) execution and the crash-recovery family
 (``recovery_from_zero`` vs ``recovery_from_checkpoint``: time-to-recover
 and events replayed after a worker kill), and emits a machine-readable
 JSON report so CI and future PRs can track the perf trajectory::
@@ -60,6 +62,7 @@ from repro.events.schema import FieldType, Schema, SchemaField, SchemaRegistry
 from repro.messaging.log import TopicPartition
 from repro.reservoir.reservoir import EventReservoir, ReservoirConfig
 from repro.shard.parallel import ParallelCluster
+from repro.shard.router import ClusterRouter
 
 #: the bench pair the CI speedup gate compares (reservoir append path)
 SPEEDUP_PAIR = ("reservoir_append_batch", "reservoir_append_per_event")
@@ -314,6 +317,41 @@ def bench_engine_ingest_process_4w(events: list[Event], batch_size: int) -> dict
     return _bench_engine_ingest_process(events, batch_size, workers=4)
 
 
+def _bench_engine_ingest_frontends(
+    events: list[Event], batch_size: int, frontends: int
+) -> dict[str, float]:
+    """Batched ingest through the sharded-frontend topology.
+
+    Workers are held at 2 across the family so the only variable is the
+    frontend count: the 1f run measures the router architecture with a
+    single frontend process (the coordinator ceiling relocated into one
+    child), and the 2f/4f runs measure how far sharding the coordinator
+    raises it. The CI floor requires 2f >= 1.4x 1f on >=4-core hosts.
+    """
+    with ClusterRouter(
+        workers=2, frontends=frontends, checkpoint_every=None
+    ) as cluster:
+        cluster.create_stream("tx", ["cardId"], **_ENGINE_STREAM)
+        cluster.create_metric(_ENGINE_METRIC)
+
+        def run_slice(chunk: Sequence[Event]) -> None:
+            cluster.send_batch("tx", chunk)
+
+        return _measure_slices(_slices(events, batch_size), run_slice)
+
+
+def bench_engine_ingest_process_1f(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_engine_ingest_frontends(events, batch_size, frontends=1)
+
+
+def bench_engine_ingest_process_2f(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_engine_ingest_frontends(events, batch_size, frontends=2)
+
+
+def bench_engine_ingest_process_4f(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_engine_ingest_frontends(events, batch_size, frontends=4)
+
+
 # -- crash recovery (from-zero vs from-checkpoint) ----------------------------
 
 #: events ingested before the crash in the recovery benches; the
@@ -385,6 +423,9 @@ BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
     "engine_ingest_single_process": bench_engine_ingest_single_process,
     "engine_ingest_process_1w": bench_engine_ingest_process_1w,
     "engine_ingest_process_4w": bench_engine_ingest_process_4w,
+    "engine_ingest_process_1f": bench_engine_ingest_process_1f,
+    "engine_ingest_process_2f": bench_engine_ingest_process_2f,
+    "engine_ingest_process_4f": bench_engine_ingest_process_4f,
     "recovery_from_zero": bench_recovery_from_zero,
     "recovery_from_checkpoint": bench_recovery_from_checkpoint,
 }

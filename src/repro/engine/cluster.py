@@ -103,6 +103,50 @@ def build_stream_def(
     return StreamDef(name, fields, tuple(partitioner_list), partitions)
 
 
+def build_metric_def(
+    catalog: Catalog, query_text: str, backfill: bool = False
+) -> MetricDef:
+    """Parse, validate and route a Figure 4 metric against a catalogue.
+
+    Shared by every cluster facade (cooperative, process-parallel,
+    sharded frontends) so all three enforce identical metric rules and
+    routing; the caller applies the returned definition to its
+    catalogue and replicates it to its back-end.
+    """
+    query = parse_query(query_text)
+    if query.stream not in catalog.streams:
+        raise EngineError(f"unknown stream {query.stream!r}")
+    validate_metric_fields(catalog, query)
+    return MetricDef(
+        metric_id=catalog.next_metric_id,
+        query_text=query_text,
+        stream=query.stream,
+        topic=catalog.route_metric(query),
+        backfill=backfill,
+    )
+
+
+def validate_new_partitioner(
+    catalog: Catalog, stream: str, partitioner: str
+) -> StreamDef | None:
+    """Validate a §4 post-creation partitioner addition.
+
+    Shared by every cluster facade so all three enforce identical DDL
+    rules. Returns the stream definition, or ``None`` when the
+    partitioner is already present (the addition is an idempotent
+    no-op); raises for unknown streams and undeclared fields.
+    """
+    stream_def = catalog.streams.get(stream)
+    if stream_def is None:
+        raise EngineError(f"unknown stream {stream!r}")
+    if partitioner in stream_def.partitioners:
+        return None
+    declared = {name for name, _ in stream_def.fields}
+    if partitioner != GLOBAL_PARTITIONER and partitioner not in declared:
+        raise EngineError(f"partitioner {partitioner!r} is not a schema field")
+    return stream_def
+
+
 def validate_metric_fields(catalog: Catalog, query) -> None:
     """Reject metrics referencing fields their stream does not declare."""
     stream = catalog.streams[query.stream]
@@ -128,14 +172,27 @@ def validate_metric_fields(catalog: Catalog, query) -> None:
 def create_cluster(execution: str = "single", **kwargs):
     """Cluster factory: ``single`` (cooperative) or ``process`` (parallel).
 
-    ``single`` returns the step-driven :class:`RailgunCluster`;
-    ``process`` returns a :class:`~repro.shard.parallel.ParallelCluster`
-    running shard workers in separate OS processes over the same bus
-    abstraction, with byte-identical reply semantics.
+    ``single`` returns the step-driven :class:`RailgunCluster`.
+    ``process`` runs the back-end in shard worker processes with
+    byte-identical reply semantics; the ``frontends`` keyword picks the
+    coordinator topology:
+
+    - ``frontends=1`` (default): one in-process coordinator — a
+      :class:`~repro.shard.parallel.ParallelCluster`.
+    - ``frontends=N >= 2``: the coordinator itself is sharded over N
+      frontend processes behind a
+      :class:`~repro.shard.router.ClusterRouter`, each owning a sticky
+      slice of the partition space and shipping work to the workers
+      over its own data sockets (see ``docs/ARCHITECTURE.md``).
     """
     if execution == "single":
         return RailgunCluster(**kwargs)
     if execution == "process":
+        frontends = kwargs.pop("frontends", 1)
+        if frontends is not None and frontends > 1:
+            from repro.shard.router import ClusterRouter
+
+            return ClusterRouter(frontends=frontends, **kwargs)
         from repro.shard.parallel import ParallelCluster
 
         return ParallelCluster(**kwargs)
@@ -264,21 +321,9 @@ class RailgunCluster:
 
     def create_metric(self, query_text: str, backfill: bool = False) -> int:
         """Register a metric from a Figure 4 statement; returns metric id."""
-        query = parse_query(query_text)
-        if query.stream not in self.catalog.streams:
-            raise EngineError(f"unknown stream {query.stream!r}")
-        validate_metric_fields(self.catalog, query)
-        topic = self.catalog.route_metric(query)
-        metric_id = self.catalog.next_metric_id
-        metric = MetricDef(
-            metric_id=metric_id,
-            query_text=query_text,
-            stream=query.stream,
-            topic=topic,
-            backfill=backfill,
-        )
+        metric = build_metric_def(self.catalog, query_text, backfill)
         self._publish_op(CreateMetricOp(metric))
-        return metric_id
+        return metric.metric_id
 
     def delete_metric(self, metric_id: int) -> None:
         """Remove a metric cluster-wide."""
@@ -294,14 +339,9 @@ class RailgunCluster:
         Creates the new topic and triggers a rebalance; existing topics'
         processing is unaffected thanks to sticky assignment.
         """
-        stream_def = self.catalog.streams.get(stream)
+        stream_def = validate_new_partitioner(self.catalog, stream, partitioner)
         if stream_def is None:
-            raise EngineError(f"unknown stream {stream!r}")
-        if partitioner in stream_def.partitioners:
             return
-        declared = {name for name, _ in stream_def.fields}
-        if partitioner != GLOBAL_PARTITIONER and partitioner not in declared:
-            raise EngineError(f"partitioner {partitioner!r} is not a schema field")
         count = 1 if partitioner == GLOBAL_PARTITIONER else stream_def.partitions
         self.bus.create_topic(topic_name(stream, partitioner), partitions=count)
         self._publish_op(AddPartitionerOp(stream, partitioner))

@@ -1,4 +1,4 @@
-"""The process-parallel Railgun cluster.
+"""The process-parallel Railgun cluster with a single coordinator.
 
 ``ParallelCluster`` preserves the single-process :class:`RailgunCluster`
 client API — same DDL calls, same ``send``/``send_batch``, same
@@ -11,6 +11,13 @@ contiguous offset runs across the pipe as the unit of work (the batched
 ``poll_batches`` → ``process_batch`` path), publishes the returned
 replies to the reply topic and commits offsets only once their replies
 landed.
+
+This is the ``frontends=1`` topology of ``create_cluster("process")``.
+When the coordinator's own fan-out/merge loop becomes the ceiling,
+``frontends=N`` swaps this facade for the sharded-frontend
+:class:`~repro.shard.router.ClusterRouter`, which splits exactly these
+coordinator roles across N frontend processes (see
+``docs/ARCHITECTURE.md``).
 
 Determinism guarantees: partitions are sharded with the Figure 7 sticky
 strategy, each partition's records are processed in log order by exactly
@@ -49,14 +56,13 @@ from repro.engine.catalog import (
     CreateStreamOp,
     DeleteMetricOp,
     EvolveSchemaOp,
-    MetricDef,
     topic_name,
 )
 from repro.engine.cluster import (
     Reply,
     _normalize_fields,
+    build_metric_def,
     build_stream_def,
-    validate_metric_fields,
 )
 from repro.engine.envelope import EventEnvelope, ReplyEnvelope
 from repro.engine.node import RailgunNode
@@ -66,7 +72,6 @@ from repro.messaging.broker import MessageBus
 from repro.messaging.consumer import PartitionView
 from repro.messaging.log import TopicPartition
 from repro.messaging.producer import Producer
-from repro.query.parser import parse_query
 from repro.shard import wire
 from repro.shard.supervisor import ShardSupervisor
 
@@ -186,22 +191,10 @@ class ParallelCluster:
 
     def create_metric(self, query_text: str, backfill: bool = False) -> int:
         """Register a metric from a Figure 4 statement; returns metric id."""
-        query = parse_query(query_text)
-        if query.stream not in self.catalog.streams:
-            raise EngineError(f"unknown stream {query.stream!r}")
-        validate_metric_fields(self.catalog, query)
-        topic = self.catalog.route_metric(query)
-        metric_id = self.catalog.next_metric_id
-        metric = MetricDef(
-            metric_id=metric_id,
-            query_text=query_text,
-            stream=query.stream,
-            topic=topic,
-            backfill=backfill,
-        )
+        metric = build_metric_def(self.catalog, query_text, backfill)
         self._publish_op(CreateMetricOp(metric))
         self.supervisor.broadcast_control(wire.CreateMetric(metric))
-        return metric_id
+        return metric.metric_id
 
     def delete_metric(self, metric_id: int) -> None:
         """Remove a metric cluster-wide."""
@@ -216,14 +209,9 @@ class ParallelCluster:
 
     def add_partitioner(self, stream: str, partitioner: str) -> None:
         """Add a top-level partitioner after stream creation (§4)."""
-        stream_def = self.catalog.streams.get(stream)
+        stream_def = validate_new_partitioner(self.catalog, stream, partitioner)
         if stream_def is None:
-            raise EngineError(f"unknown stream {stream!r}")
-        if partitioner in stream_def.partitioners:
             return
-        declared = {name for name, _ in stream_def.fields}
-        if partitioner != GLOBAL_PARTITIONER and partitioner not in declared:
-            raise EngineError(f"partitioner {partitioner!r} is not a schema field")
         count = 1 if partitioner == GLOBAL_PARTITIONER else stream_def.partitions
         self.bus.create_topic(topic_name(stream, partitioner), partitions=count)
         self._publish_op(AddPartitionerOp(stream, partitioner))

@@ -1,0 +1,1278 @@
+"""Sharded frontends: the coordinator itself, split across processes.
+
+The process-parallel engine's first incarnation funneled every event
+through one coordinator process — fan-out, wire framing and reply merge
+capped throughput at roughly the coordinator's per-event cost no matter
+how many shard workers ran. This module breaks that ceiling by sharding
+the coordinator the same way the engine shards tasks:
+
+- **N frontend processes** (:func:`shard_frontend_main`, brain in
+  :class:`FrontendEngine`) each own a *sticky slice of the partition
+  space* (assigned with the Figure 7 strategy, one frontend modelled as
+  one node). A frontend hosts the partition logs for its slice, computes
+  nothing but routing and framing, and ships ``WorkBatch`` frames
+  *directly* to the owning shard workers over its own AF_UNIX data
+  sockets — the hot path never crosses a shared coordinator loop.
+- **A thin client facade** (:class:`ClusterRouter`) that keeps the
+  ``RailgunCluster`` API: DDL calls, ``send``/``send_batch``, the same
+  :class:`~repro.engine.cluster.Reply` objects. Its per-event work is
+  hashing the partitioner key (the same ``partition_for`` the
+  single-process bus uses, so placement is identical), framing the event
+  to the owning frontend, and merging completed replies.
+
+Determinism: a partition is owned by exactly one frontend and the
+router routes in client order over FIFO channels, so every partition's
+log order equals the single-process engine's — replies are
+byte-identical to ``create_cluster("single")`` (enforced by
+``tests/test_batch_equivalence.py``). Per-key ordering holds because a
+key hashes to one partition, hence one frontend, hence one worker.
+
+Reply fan-in moves with the data: each frontend matches ``BatchDone``
+replies against its own ``(task, offset) → correlation`` map and ships
+``(correlation, topic, results)`` triples; the router only counts each
+correlation's distinct replied topics against the stream's fan-out —
+a merge that is O(replies), not a dispatch loop.
+
+Recovery:
+
+- **Worker crash** — identical contract to ``ParallelCluster``: the
+  supervisor restarts the worker, replays the control log and ships
+  stored checkpoints; the router then announces ``WorkerRestarted`` to
+  every frontend owning one of its tasks, and each frontend seeks those
+  tasks back to the checkpointed offset and replays only the
+  uncheckpointed tail, with ``reply_from`` (the replied watermark)
+  suppressing every reply the client already saw.
+- **Frontend crash** — journal-based: the router keeps each frontend's
+  ordered control+ingest frame journal and its replied watermarks (they
+  ride every ``ReplyBatch``). A respawned frontend gets
+  ``RestoreWatermarks`` then the journal verbatim, rebuilding its
+  partition logs with identical offsets; it re-dispatches only offsets
+  at or past the watermark. Workers treat re-shipped offsets below
+  their frontier as replays (state untouched, read-only replies), so
+  in-flight requests complete and settled ones are never re-answered —
+  at-least-once for the handful of replies that were in flight, with
+  the read-only values reflecting post-crash state. The journal is
+  in-memory and unbounded for now; checkpoint-aware truncation is a
+  named ROADMAP item.
+
+``stats()`` and the checkpoint cadence stay merged at the supervisor:
+frontends report per-worker ``(records, replies)`` deltas inside every
+``ReplyBatch`` and the router credits them via
+:meth:`~repro.shard.supervisor.ShardSupervisor.note_processed`, so
+``checkpoint_every`` fires on cluster-wide progress exactly as in
+single-frontend mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import shutil
+import socket
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.common.clock import ManualClock
+from repro.common.errors import EngineError
+from repro.common.hashing import partition_for
+from repro.engine.assignment import (
+    PreviousState,
+    ProcessorInfo,
+    StickyAssignmentStrategy,
+)
+from repro.engine.catalog import (
+    GLOBAL_PARTITIONER,
+    AddPartitionerOp,
+    Catalog,
+    CreateMetricOp,
+    CreateStreamOp,
+    DeleteMetricOp,
+    EvolveSchemaOp,
+    topic_name,
+)
+from repro.engine.cluster import (
+    Reply,
+    _normalize_fields,
+    build_metric_def,
+    build_stream_def,
+)
+from repro.engine.processor import ACTIVE_GROUP, UnitConfig
+from repro.events.event import Event
+from repro.messaging.broker import MessageBus
+from repro.messaging.consumer import PartitionView
+from repro.messaging.log import TopicPartition
+from repro.shard import wire
+from repro.shard.supervisor import ShardSupervisor, _default_context
+
+#: reply entries per ReplyBatch frame (keeps frames under pipe buffers).
+REPLY_CHUNK = 512
+
+
+def _connect(addr: str, deadline_s: float = 0.25):
+    """Connect a data socket to a worker's listener, with a short grace.
+
+    A restarted worker rebinds its address asynchronously, so the first
+    attempts may hit a missing socket file or a refused connection; the
+    grace window covers that bind latency and nothing more. Returns
+    ``None`` when the worker stays unreachable — the caller retries on
+    a later dispatch round, so the frontend loop never stalls long
+    enough to delay the router control traffic (e.g. the
+    ``WorkerRestarted`` that would resolve the outage) or other
+    workers' batches.
+    """
+    from multiprocessing.connection import Connection
+
+    deadline = time.monotonic() + deadline_s
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(addr)
+            return Connection(sock.detach())
+        except OSError:
+            sock.close()
+            if time.monotonic() > deadline:
+                return None
+            time.sleep(0.005)
+
+
+class FrontendEngine:
+    """The in-process brain of one frontend process (testable without fork).
+
+    Owns the sticky partition slice installed by
+    :class:`~repro.shard.wire.FrontendAssign`: a private
+    :class:`~repro.messaging.broker.MessageBus` holding those
+    partitions' logs, one :class:`~repro.messaging.consumer.PartitionView`
+    over them, the ``(task, offset) → correlation`` pending map, and the
+    per-task replied watermarks. Invariants:
+
+    - **Single writer**: only this frontend appends to its partitions,
+      in ingest order, so log offsets are dense and deterministic — a
+      journal replay after a crash rebuilds byte-identical logs.
+    - **Reply watermark**: ``watermarks[tp]`` is replied-up-to-here;
+      dispatch passes it as ``reply_from`` so workers suppress replayed
+      replies below it, and offsets below it never re-enter ``pending``.
+    - **Credit flow control**: at most ``max_outstanding`` un-acked
+      batches per worker keep socket traffic bounded (no cross-pipe
+      deadlock), mirroring the supervisor's scheme.
+    """
+
+    def __init__(
+        self,
+        frontend_id: str,
+        batch_max: int = 256,
+        max_outstanding: int = 2,
+    ) -> None:
+        self.frontend_id = frontend_id
+        self.batch_max = batch_max
+        self.max_outstanding = max_outstanding
+        self.catalog = Catalog()
+        self.bus = MessageBus()
+        self.view = PartitionView(self.bus, ACTIVE_GROUP)
+        #: task -> owning worker id (installed by FrontendAssign).
+        self.routes: dict[TopicPartition, str] = {}
+        #: worker id -> data-socket address.
+        self.addrs: dict[str, str] = {}
+        #: worker id -> live data connection.
+        self.conns: dict[str, object] = {}
+        #: workers whose link failed: a downed worker was (or is being)
+        #: restarted with state only up to its checkpoint, so this
+        #: frontend must not reconnect — and must not ship it any tail
+        #: records — until the router's ``WorkerRestarted`` authorizes
+        #: it with the matching seek-back. Reconnecting early would feed
+        #: the fresh worker offsets without their history.
+        self.down: set[str] = set()
+        self.outstanding: dict[str, int] = {}
+        #: replied watermark per task (replies below it already reached
+        #: the client; replayed work must not repeat them).
+        self.watermarks: dict[TopicPartition, int] = {}
+        #: shipped-but-unreplied offsets, keyed by (task, offset).
+        self.pending: dict[tuple[TopicPartition, int], int] = {}
+        self.draining: int | None = None
+        self.events_ingested = 0
+        self.replies_collected = 0
+        self._reply_buf: list[tuple[int, str, dict | None]] = []
+        self._processed_buf: dict[str, list[int]] = {}
+        self._wm_dirty = False
+
+    # -- control plane --------------------------------------------------------
+
+    def handle(self, msg: object) -> None:
+        """Apply one router frame (control or ingest)."""
+        if isinstance(msg, wire.IngestBatch):
+            self.ingest(msg)
+        elif isinstance(msg, wire.FrontendAssign):
+            self.apply_assign(msg)
+        elif isinstance(msg, wire.RestoreWatermarks):
+            self.restore_watermarks(msg)
+        elif isinstance(msg, wire.WorkerRestarted):
+            self.worker_restarted(msg)
+        elif isinstance(msg, wire.DrainRequest):
+            self.draining = msg.request_id
+        elif isinstance(msg, wire.CreateStream):
+            self.catalog.apply(CreateStreamOp(msg.stream))
+            self._create_topics(msg.stream.name)
+        elif isinstance(msg, wire.AddPartitioner):
+            self.catalog.apply(AddPartitionerOp(msg.stream, msg.partitioner))
+            self._create_topics(msg.stream)
+        else:
+            raise TypeError(f"unexpected frontend message: {type(msg).__name__}")
+
+    def _create_topics(self, stream_name: str) -> None:
+        stream = self.catalog.streams[stream_name]
+        for partitioner in stream.partitioners:
+            count = 1 if partitioner == GLOBAL_PARTITIONER else stream.partitions
+            self.bus.create_topic(topic_name(stream_name, partitioner), count)
+
+    def apply_assign(self, msg: wire.FrontendAssign) -> None:
+        """Install the owned slice + task→worker routes; apply seeks.
+
+        Seeks rewind *moved* tasks to their checkpoint offset — never
+        forward past the shipped frontier, so a task whose checkpoint
+        ran ahead of this frontend's dispatch position (possible right
+        after a frontend respawn) keeps every unreplied offset.
+        """
+        owned: list[TopicPartition] = []
+        routes: dict[TopicPartition, str] = {}
+        for tp, worker_id, addr in msg.routes:
+            routes[tp] = worker_id
+            self.addrs[worker_id] = addr
+            owned.append(tp)
+        self.routes = routes
+        active = set(routes.values())
+        for worker_id in list(self.conns):
+            if worker_id not in active:
+                # Planned route removal, not a failure: close without
+                # quarantining, so a later rebalance that routes tasks
+                # back to this (live) worker can simply redial it.
+                self._close_conn(worker_id)
+        self.view.set_assignment(owned)
+        for tp, offset in msg.seeks:
+            self.view.seek(tp, min(offset, self.view.position(tp)))
+
+    def restore_watermarks(self, msg: wire.RestoreWatermarks) -> None:
+        """Seed replied watermarks after a respawn (before journal replay).
+
+        The view seeks straight to each watermark: offsets below it were
+        already answered, so the journal replay only re-dispatches the
+        unreplied tail (workers replay-skip anything their state already
+        covers and answer read-only). Explicit ``seeks`` override the
+        start downwards for tasks whose worker restarted and needs its
+        tail re-shipped from the checkpointed offset.
+        """
+        for tp, offset in msg.watermarks:
+            self.watermarks[tp] = offset
+            self.view.seek(tp, offset)
+        for tp, offset in msg.seeks:
+            self.view.seek(tp, min(offset, self.view.position(tp)))
+
+    def worker_restarted(self, msg: wire.WorkerRestarted) -> None:
+        """Re-link a restarted worker and rewind its tasks for replay.
+
+        Complete frames left in the old socket are salvaged first (they
+        are valid pre-crash results and advance the watermark, shrinking
+        the replay's reply window); the link is then dropped, credits
+        reset (in-flight batches died with the process), and every owned
+        task of that worker seeks back to its checkpointed offset.
+        """
+        worker_id = msg.worker_id
+        conn = self.conns.get(worker_id)
+        if conn is not None:
+            try:
+                while conn.poll(0):
+                    self.handle_batch_done(worker_id, wire.decode(conn.recv_bytes()))
+            except (EOFError, OSError):
+                pass
+        self.link_down(worker_id)
+        self.down.discard(worker_id)  # the restart re-authorizes the link
+        self.addrs[worker_id] = msg.addr
+        for tp, offset in msg.seeks:
+            if self.routes.get(tp) == worker_id:
+                self.view.seek(tp, min(offset, self.view.position(tp)))
+
+    def _close_conn(self, worker_id: str) -> None:
+        conn = self.conns.pop(worker_id, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.outstanding[worker_id] = 0
+
+    def link_down(self, worker_id: str) -> None:
+        """Drop a *failed* worker link; its outstanding credits died
+        with it.
+
+        The worker stays quarantined (no reconnect, no dispatch) until
+        the router's ``WorkerRestarted`` arrives with the seek-back; its
+        backlog simply accumulates in the logs meanwhile. Planned route
+        removals go through :meth:`_close_conn` instead and do not
+        quarantine.
+        """
+        self._close_conn(worker_id)
+        self.down.add(worker_id)
+
+    def _link(self, worker_id: str):
+        conn = self.conns.get(worker_id)
+        if conn is not None:
+            return conn
+        if worker_id in self.down:
+            return None
+        addr = self.addrs.get(worker_id)
+        if addr is None:
+            return None
+        conn = _connect(addr)
+        if conn is None:
+            return None
+        self.conns[worker_id] = conn
+        self.outstanding.setdefault(worker_id, 0)
+        return conn
+
+    # -- data plane -----------------------------------------------------------
+
+    def ingest(self, msg: wire.IngestBatch) -> None:
+        """Append routed events to the owned partition logs, in order."""
+        log = self.bus.log
+        for correlation_id, event, targets in msg.entries:
+            for partitioner, partition in targets:
+                tp = TopicPartition(topic_name(msg.stream, partitioner), partition)
+                log(tp).append(correlation_id, event, event.timestamp)
+        self.events_ingested += len(msg.entries)
+
+    def dispatch(self) -> int:
+        """Ship contiguous offset runs to their owning workers."""
+        shipped = 0
+        pending = self.pending
+        for tp in self.view.assignment():
+            worker_id = self.routes.get(tp)
+            if worker_id is None:
+                continue
+            if self.outstanding.get(worker_id, 0) >= self.max_outstanding:
+                continue
+            conn = self._link(worker_id)
+            if conn is None:
+                continue
+            messages = self.view.poll_one(tp, self.batch_max)
+            if not messages:
+                continue
+            watermark = self.watermarks.get(tp, 0)
+            records = []
+            for message in messages:
+                records.append((message.offset, message.value))
+                # Offsets below the watermark are replays whose replies
+                # the worker suppresses — tracking them again would leak.
+                if message.offset >= watermark:
+                    pending[(tp, message.offset)] = message.key
+            try:
+                conn.send_bytes(
+                    wire.encode(wire.WorkBatch(tp, watermark, records))
+                )
+            except OSError:
+                # Dead worker: the restart announcement re-seeks this
+                # task below the lost records, so the replay covers them.
+                self.link_down(worker_id)
+                continue
+            self.outstanding[worker_id] = self.outstanding.get(worker_id, 0) + 1
+            shipped += len(records)
+        return shipped
+
+    def handle_batch_done(self, worker_id: str, msg: wire.BatchDone) -> None:
+        """Merge one finished batch: replies, watermark, progress."""
+        if not isinstance(msg, wire.BatchDone):
+            raise TypeError(f"unexpected data frame: {type(msg).__name__}")
+        self.outstanding[worker_id] = max(0, self.outstanding.get(worker_id, 0) - 1)
+        tp = msg.tp
+        for offset, results in msg.replies:
+            correlation_id = self.pending.pop((tp, offset), None)
+            if correlation_id is None or results is None:
+                continue
+            self._reply_buf.append((correlation_id, tp.topic, results))
+        self.watermarks[tp] = max(self.watermarks.get(tp, 0), msg.next_offset)
+        self._wm_dirty = True
+        bucket = self._processed_buf.setdefault(worker_id, [0, 0])
+        bucket[0] += msg.processed
+        bucket[1] += len(msg.replies)
+        self.replies_collected += len(msg.replies)
+
+    def idle(self) -> bool:
+        """True when nothing is in flight or awaiting dispatch."""
+        return (
+            not any(self.outstanding.values())
+            and self.view.lag() == 0
+            and not self._reply_buf
+        )
+
+    def flush(self, conn) -> None:
+        """Ship buffered replies/progress to the router; ack drains."""
+        if self._reply_buf or self._wm_dirty or self._processed_buf:
+            entries = self._reply_buf
+            self._reply_buf = []
+            processed = tuple(
+                (worker_id, counts[0], counts[1])
+                for worker_id, counts in self._processed_buf.items()
+            )
+            self._processed_buf = {}
+            watermarks = (
+                self._sorted_watermarks() if self._wm_dirty else ()
+            )
+            self._wm_dirty = False
+            chunks = [
+                entries[i:i + REPLY_CHUNK]
+                for i in range(0, len(entries), REPLY_CHUNK)
+            ] or [[]]
+            # Watermarks ride the LAST chunk: the router snapshots them
+            # as replied-up-to-here, so they must never precede reply
+            # entries that could still be lost with this process — a
+            # crash mid-flush must leave the router's snapshot at or
+            # below the replies it actually received.
+            last = len(chunks) - 1
+            for index, chunk in enumerate(chunks):
+                conn.send_bytes(
+                    wire.encode(
+                        wire.ReplyBatch(
+                            chunk,
+                            watermarks if index == last else (),
+                            processed if index == last else (),
+                        )
+                    )
+                )
+        if self.draining is not None and self.idle():
+            conn.send_bytes(
+                wire.encode(
+                    wire.DrainAck(self.draining, self._sorted_watermarks())
+                )
+            )
+            self.draining = None
+
+    def _sorted_watermarks(self) -> tuple[tuple[TopicPartition, int], ...]:
+        return tuple(
+            sorted(self.watermarks.items(), key=lambda pair: str(pair[0]))
+        )
+
+
+def shard_frontend_main(
+    conn,
+    frontend_id: str,
+    batch_max: int = 256,
+    max_outstanding: int = 2,
+) -> None:
+    """Frontend process entrypoint: route, dispatch, merge — until stopped.
+
+    One duplex pipe to the router (ingest + control in, replies out) and
+    one data socket per routed worker. The router pipe is drained fully
+    before worker traffic, so control messages (assignment, worker
+    restarts, drains) are applied before the work they govern. Any
+    exception is reported as a ``WorkerError`` frame before the process
+    exits, mirroring the shard worker contract.
+    """
+    engine = FrontendEngine(frontend_id, batch_max, max_outstanding)
+    try:
+        while True:
+            wait_on = [conn, *engine.conns.values()]
+            ready = set(multiprocessing.connection.wait(wait_on, timeout=1.0))
+            if conn in ready:
+                while True:
+                    msg = wire.decode(conn.recv_bytes())
+                    if isinstance(msg, wire.Shutdown):
+                        return
+                    if isinstance(msg, wire.Crash):
+                        os._exit(23)  # fault injection: die without cleanup
+                    engine.handle(msg)
+                    if not conn.poll(0):
+                        break
+            for worker_id, data_conn in [
+                (worker_id, c)
+                for worker_id, c in list(engine.conns.items())
+                if c in ready
+            ]:
+                try:
+                    while True:
+                        engine.handle_batch_done(
+                            worker_id, wire.decode(data_conn.recv_bytes())
+                        )
+                        if not data_conn.poll(0):
+                            break
+                except (EOFError, OSError):
+                    # Worker died mid-stream; the router announces the
+                    # restart and this frontend re-seeks + replays then.
+                    engine.link_down(worker_id)
+            engine.dispatch()
+            engine.flush(conn)
+    except EOFError:
+        return  # router went away; nothing left to reply to
+    except BaseException:
+        try:
+            conn.send_bytes(
+                wire.encode(wire.WorkerError(traceback.format_exc(limit=8)))
+            )
+        except OSError:
+            pass
+        raise
+
+
+# -- the client-side facade ---------------------------------------------------
+
+
+@dataclass
+class _PendingFanin:
+    """A client request awaiting replies from its fanned-out topics."""
+
+    event: Event
+    stream: str
+    expected: int
+    sent_at_ms: int
+    results: dict[int, dict[str, Any]] = field(default_factory=dict)
+    #: topics that already answered — the de-dup key that makes replayed
+    #: replies (worker or frontend recovery) count at most once each.
+    replied: set[str] = field(default_factory=set)
+
+
+@dataclass
+class FrontendHandle:
+    """One live frontend process and its routing/recovery state."""
+
+    frontend_id: str
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    #: ordered control+ingest frames — replayed verbatim into a respawn
+    #: to rebuild byte-identical partition logs. In-memory, unbounded.
+    journal: list[bytes] = field(default_factory=list)
+    owned: set[TopicPartition] = field(default_factory=set)
+    events_routed: int = 0
+    replies_merged: int = 0
+    restarts: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ClusterRouter:
+    """N frontend processes + W shard workers behind the cluster API.
+
+    ``create_cluster("process", workers=W, frontends=F)`` returns this
+    facade for ``F >= 2`` (and the single-coordinator
+    :class:`~repro.shard.parallel.ParallelCluster` otherwise); the bench
+    harness constructs it directly with ``frontends=1`` to measure the
+    router architecture's single-frontend baseline. The client API —
+    DDL, ``send``/``send_batch``, ``Reply`` objects, ``stats()`` — is
+    shared with ``RailgunCluster``/``ParallelCluster``, and replies are
+    byte-identical to both.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        frontends: int = 2,
+        unit_config: UnitConfig | None = None,
+        tick_ms: int = 1,
+        batch_max: int = 256,
+        ingest_max: int = 256,
+        checkpoint_every: int | None = 2048,
+        assignment_strategy: object | None = None,
+        frontend_strategy: object | None = None,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        if frontends <= 0:
+            raise EngineError(f"need at least one frontend: {frontends}")
+        self.clock = ManualClock(start_ms=1)
+        self.catalog = Catalog()
+        self.tick_ms = tick_ms
+        self.batch_max = batch_max
+        self.ingest_max = ingest_max
+        self._ctx = mp_context if mp_context is not None else _default_context()
+        self._socket_dir = tempfile.mkdtemp(prefix="railgun-shard-")
+        self.supervisor = ShardSupervisor(
+            workers,
+            unit_config=unit_config,
+            strategy=assignment_strategy,
+            checkpoint_interval=checkpoint_every,
+            mp_context=self._ctx,
+            listen_dir=self._socket_dir,
+        )
+        self.supervisor.on_restart = self._on_worker_restart
+        self.frontend_strategy = (
+            frontend_strategy
+            if frontend_strategy is not None
+            else StickyAssignmentStrategy(0)
+        )
+        self._frontends: dict[str, FrontendHandle] = {}
+        for index in range(frontends):
+            frontend_id = f"fe-{index}"
+            self._frontends[frontend_id] = self._spawn_frontend(frontend_id)
+        #: task -> owning frontend (sticky across rebalances).
+        self._fe_owner: dict[TopicPartition, str] = {}
+        #: router-side snapshot of replied watermarks (piggybacked on
+        #: every ReplyBatch) — the seed for frontend respawn suppression.
+        self._watermarks: dict[TopicPartition, int] = {}
+        self.pending: dict[int, _PendingFanin] = {}
+        self.completed: dict[int, Reply] = {}
+        self._next_correlation = 0
+        #: mirror of the other facades' ``bus.messages_published`` (one
+        #: per DDL op + one per event per fanned-out topic): auto-minted
+        #: ``client-...`` event ids must match ``ParallelCluster``'s for
+        #: the same call sequence, or dict-input replies would carry
+        #: different event identities across topologies.
+        self._published = 0
+        self._next_drain = 0
+        self._drain_acks: set[tuple[int, str]] = set()
+        self.frontend_errors: list[str] = []
+        self.rebalance_count = 0
+        self._closed = False
+
+    # -- topology -------------------------------------------------------------
+
+    def _spawn_frontend(self, frontend_id: str) -> FrontendHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=shard_frontend_main,
+            args=(child_conn, frontend_id, self.batch_max),
+            name=f"railgun-{frontend_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return FrontendHandle(frontend_id, process, parent_conn)
+
+    def frontend_ids(self) -> list[str]:
+        """Current frontend processes, in spawn order."""
+        return list(self._frontends)
+
+    def worker_ids(self) -> list[str]:
+        """Current shard workers."""
+        return self.supervisor.worker_ids()
+
+    def kill_worker(self, worker_id: str) -> None:
+        """SIGKILL a shard worker (fault injection for tests)."""
+        self.supervisor.kill_worker(worker_id)
+
+    def kill_frontend(self, frontend_id: str) -> None:
+        """SIGKILL a frontend process (fault injection for tests)."""
+        handle = self._frontend(frontend_id)
+        handle.process.kill()
+
+    def _frontend(self, frontend_id: str) -> FrontendHandle:
+        try:
+            return self._frontends[frontend_id]
+        except KeyError:
+            raise EngineError(f"unknown frontend {frontend_id!r}") from None
+
+    def add_worker(self) -> str:
+        """Spawn one more shard worker and rebalance onto it.
+
+        The data plane is drained and checkpoints refreshed first, so
+        moved tasks restore on the new worker from up-to-date state and
+        replay nothing.
+        """
+        self.drain()
+        self._refresh_checkpoints()
+        worker_id = self.supervisor.add_worker()
+        self._rebalance()
+        return worker_id
+
+    def remove_worker(self, worker_id: str) -> None:
+        """Retire a worker; its tasks hand state off via the checkpoint
+        store and replay only the (empty, post-drain) tail elsewhere."""
+        self.drain()
+        self._refresh_checkpoints()
+        self.supervisor.remove_worker(worker_id)
+        self._rebalance()
+
+    def _refresh_checkpoints(self) -> None:
+        try:
+            self.supervisor.request_checkpoints(with_state=True)
+        except EngineError:
+            pass  # best effort; stored checkpoints plus replay cover it
+
+    # -- DDL ------------------------------------------------------------------
+
+    def create_stream(
+        self,
+        name: str,
+        partitioners: Iterable[str],
+        partitions: int = 4,
+        schema: object = (),
+        with_global_partitioner: bool = False,
+    ) -> None:
+        """Register a stream: schema + partitioners + topic creation."""
+        stream = build_stream_def(
+            self.catalog, name, partitioners, partitions, schema,
+            with_global_partitioner,
+        )
+        self._published += 1
+        self.catalog.apply(CreateStreamOp(stream))
+        self.supervisor.broadcast_control(wire.CreateStream(stream))
+        self._broadcast_frontends(wire.CreateStream(stream))
+        self._rebalance()
+
+    def create_metric(self, query_text: str, backfill: bool = False) -> int:
+        """Register a metric from a Figure 4 statement; returns metric id."""
+        metric = build_metric_def(self.catalog, query_text, backfill)
+        self._published += 1
+        self.catalog.apply(CreateMetricOp(metric))
+        self.supervisor.broadcast_control(wire.CreateMetric(metric))
+        return metric.metric_id
+
+    def delete_metric(self, metric_id: int) -> None:
+        """Remove a metric cluster-wide."""
+        self._published += 1
+        self.catalog.apply(DeleteMetricOp(metric_id))
+        self.supervisor.broadcast_control(wire.DeleteMetric(metric_id))
+
+    def evolve_schema(self, stream: str, new_fields: object) -> None:
+        """Append fields to a stream schema (old chunks stay readable)."""
+        fields = _normalize_fields(new_fields)
+        self._published += 1
+        self.catalog.apply(EvolveSchemaOp(stream, fields))
+        self.supervisor.broadcast_control(wire.EvolveSchema(stream, fields))
+
+    def add_partitioner(self, stream: str, partitioner: str) -> None:
+        """Add a top-level partitioner after stream creation (§4)."""
+        if validate_new_partitioner(self.catalog, stream, partitioner) is None:
+            return
+        self._published += 1
+        self.catalog.apply(AddPartitionerOp(stream, partitioner))
+        self.supervisor.broadcast_control(wire.AddPartitioner(stream, partitioner))
+        self._broadcast_frontends(wire.AddPartitioner(stream, partitioner))
+        self._rebalance()
+
+    def _broadcast_frontends(self, msg: object) -> None:
+        frame = wire.encode(msg)
+        for handle in self._frontends.values():
+            handle.journal.append(frame)
+            try:
+                handle.conn.send_bytes(frame)
+            except OSError:
+                pass  # dead frontend; the respawn replays the journal
+
+    def _event_tasks(self) -> list[TopicPartition]:
+        tasks: list[TopicPartition] = []
+        for stream in self.catalog.streams.values():
+            for partitioner in stream.partitioners:
+                count = 1 if partitioner == GLOBAL_PARTITIONER else stream.partitions
+                topic = topic_name(stream.name, partitioner)
+                tasks.extend(TopicPartition(topic, i) for i in range(count))
+        return sorted(tasks, key=str)
+
+    # -- the data path --------------------------------------------------------
+
+    def send(
+        self,
+        stream: str,
+        fields: Mapping[str, Any] | None = None,
+        timestamp: int | None = None,
+        event: Event | None = None,
+        event_id: str | None = None,
+        max_rounds: int = 2000,
+    ) -> Reply:
+        """Send one event and pump until its reply completes."""
+        if event is None:
+            if fields is None:
+                raise EngineError("either fields or event is required")
+            if timestamp is None:
+                timestamp = self.clock.now()
+            if event_id is None:
+                event_id = f"client-{self._published:012d}"
+            event = Event(event_id, timestamp, fields)
+        correlation = self._route_and_ship(stream, [event])[0]
+        for _ in range(max_rounds):
+            reply = self.completed.pop(correlation, None)
+            if reply is not None:
+                return reply
+            self.pump()
+        raise EngineError(
+            f"reply for correlation {correlation} did not complete within "
+            f"{max_rounds} pump rounds"
+        )
+
+    def send_batch(
+        self,
+        stream: str,
+        batch: Iterable[Mapping[str, Any] | Event],
+        max_rounds: int = 20000,
+    ) -> list[Reply]:
+        """Send a batch and pump until every reply lands; input order."""
+        events: list[Event] = []
+        base_id = self._published
+        for index, item in enumerate(batch):
+            if isinstance(item, Event):
+                events.append(item)
+            else:
+                events.append(
+                    Event(f"client-{base_id + index:012d}", self.clock.now(), item)
+                )
+        correlations = self._route_and_ship(stream, events)
+        outstanding = set(correlations)
+        for _ in range(max_rounds):
+            if not outstanding:
+                break
+            self.pump()
+            if self.completed:
+                outstanding.difference_update(self.completed)
+        if outstanding:
+            raise EngineError(
+                f"{len(outstanding)} of {len(correlations)} batched replies did "
+                f"not complete within {max_rounds} pump rounds"
+            )
+        return [self.completed.pop(correlation) for correlation in correlations]
+
+    def _route_and_ship(self, stream: str, events: list[Event]) -> list[int]:
+        """Hash, bucket per frontend, frame and ship a run of events.
+
+        The per-event hot path of the router: ``partition_for`` on each
+        partitioner key (identical placement to the single-process bus),
+        a pending-fanin entry, and one encoded entry per owning
+        frontend. Frames are journaled before they are sent, so a
+        frontend crash mid-ship loses nothing.
+        """
+        stream_def = self.catalog.streams.get(stream)
+        if stream_def is None:
+            raise EngineError(f"unknown stream {stream!r}")
+        schema = stream_def.schema()
+        expected = len(stream_def.topics())
+        now = self.clock.now()
+        partitioner_meta = [
+            (
+                partitioner,
+                1 if partitioner == GLOBAL_PARTITIONER else stream_def.partitions,
+                topic_name(stream, partitioner),
+            )
+            for partitioner in stream_def.partitioners
+        ]
+        buckets: dict[str, list] = {}
+        correlations: list[int] = []
+        pending = self.pending
+        fe_owner = self._fe_owner
+        for event in events:
+            schema.validate_event(event)
+            correlation = self._next_correlation
+            self._next_correlation += 1
+            per_frontend: dict[str, list[tuple[str, int]]] = {}
+            for partitioner, partitions, topic in partitioner_meta:
+                key = (
+                    "__global__"
+                    if partitioner == GLOBAL_PARTITIONER
+                    else event.get(partitioner)
+                )
+                partition = partition_for(key, partitions)
+                owner = fe_owner.get(TopicPartition(topic, partition))
+                if owner is None:
+                    raise EngineError(
+                        f"partition {topic}-{partition} has no frontend owner"
+                    )
+                per_frontend.setdefault(owner, []).append((partitioner, partition))
+            pending[correlation] = _PendingFanin(event, stream, expected, now)
+            self._published += expected
+            for owner, targets in per_frontend.items():
+                buckets.setdefault(owner, []).append(
+                    (correlation, event, tuple(targets))
+                )
+            correlations.append(correlation)
+        for frontend_id, entries in buckets.items():
+            handle = self._frontends[frontend_id]
+            handle.events_routed += len(entries)
+            for start in range(0, len(entries), self.ingest_max):
+                frame = wire.encode(
+                    wire.IngestBatch(stream, entries[start:start + self.ingest_max])
+                )
+                handle.journal.append(frame)
+                try:
+                    handle.conn.send_bytes(frame)
+                except OSError:
+                    continue  # dead frontend; the respawn replays the journal
+                # Keep the reply direction drained while we flood the
+                # ingest direction — a full reply pipe would wedge the
+                # frontend and, transitively, this send.
+                self._drain_replies()
+        return correlations
+
+    # -- the world loop -------------------------------------------------------
+
+    def pump(self) -> int:
+        """One router round: drain replies, police processes, cadence."""
+        self.clock.advance(self.tick_ms)
+        handled = self._drain_replies()
+        self.supervisor.poll(0.0)
+        self._raise_on_errors()
+        self._respawn_dead_frontends()
+        if handled == 0:
+            # Nothing moved: block briefly on reply traffic instead of
+            # spinning — the router must yield the core to its children.
+            multiprocessing.connection.wait(
+                [handle.conn for handle in self._frontends.values()], 0.01
+            )
+            handled += self._drain_replies()
+        return handled
+
+    def run_until_quiet(self, max_rounds: int = 20000, quiet_rounds: int = 3) -> int:
+        """Pump until no replies move and no request is pending."""
+        total = 0
+        quiet = 0
+        for _ in range(max_rounds):
+            handled = self.pump()
+            total += handled
+            if handled == 0 and not self.pending:
+                quiet += 1
+                if quiet >= quiet_rounds:
+                    return total
+            else:
+                quiet = 0
+        return total
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Quiesce the data plane: every frontend dispatches its backlog
+        and waits out its outstanding batches before acking.
+
+        Recovery-aware: a frontend that is mid-replay after a worker
+        crash acks only once the replay finished, and a frontend that
+        dies while draining is respawned and re-asked.
+        """
+        request_id = self._next_drain
+        self._next_drain += 1
+        asked: dict[str, int] = {}
+        for frontend_id, handle in self._frontends.items():
+            asked[frontend_id] = handle.restarts
+            try:
+                handle.conn.send_bytes(wire.encode(wire.DrainRequest(request_id)))
+            except OSError:
+                pass  # respawn detected below; re-asked then
+        deadline = time.monotonic() + timeout
+        while True:
+            waiting = [
+                frontend_id
+                for frontend_id in self._frontends
+                if (request_id, frontend_id) not in self._drain_acks
+            ]
+            if not waiting:
+                break
+            if time.monotonic() > deadline:
+                raise EngineError(f"frontends did not drain: {sorted(waiting)}")
+            self.pump()
+            for frontend_id in waiting:
+                handle = self._frontends[frontend_id]
+                if handle.restarts != asked[frontend_id]:
+                    asked[frontend_id] = handle.restarts
+                    try:
+                        handle.conn.send_bytes(
+                            wire.encode(wire.DrainRequest(request_id))
+                        )
+                    except OSError:
+                        pass
+        self._drain_acks = {
+            ack for ack in self._drain_acks if ack[0] != request_id
+        }
+
+    def _drain_replies(self) -> int:
+        handled = 0
+        for handle in self._frontends.values():
+            conn = handle.conn
+            try:
+                while conn.poll(0):
+                    handled += self._on_frontend_msg(
+                        handle, wire.decode(conn.recv_bytes())
+                    )
+            except (EOFError, OSError):
+                continue  # dead frontend; respawned by the next pump
+        return handled
+
+    def _on_frontend_msg(self, handle: FrontendHandle, msg: object) -> int:
+        if isinstance(msg, wire.ReplyBatch):
+            for correlation_id, topic, results in msg.replies:
+                self._deliver(correlation_id, topic, results)
+            handle.replies_merged += len(msg.replies)
+            for tp, offset in msg.watermarks:
+                if offset > self._watermarks.get(tp, 0):
+                    self._watermarks[tp] = offset
+            for worker_id, records, replies in msg.processed:
+                self.supervisor.note_processed(worker_id, records, replies)
+            return len(msg.replies)
+        if isinstance(msg, wire.DrainAck):
+            self._drain_acks.add((msg.request_id, handle.frontend_id))
+            for tp, offset in msg.watermarks:
+                if offset > self._watermarks.get(tp, 0):
+                    self._watermarks[tp] = offset
+            return 1
+        if isinstance(msg, wire.WorkerError):
+            self.frontend_errors.append(msg.message)
+            return 0
+        raise EngineError(f"unexpected frontend frame: {type(msg).__name__}")
+
+    def _deliver(
+        self, correlation_id: int, topic: str, results: dict | None
+    ) -> None:
+        """Fan one task reply into its pending request, topic-deduped.
+
+        Replayed replies (worker restarts, frontend journal replays) may
+        repeat a topic that already answered; counting topics — not raw
+        replies — keeps the fan-in exact for multi-partitioner streams.
+        """
+        request = self.pending.get(correlation_id)
+        if request is None or results is None or topic in request.replied:
+            return
+        request.replied.add(topic)
+        for metric_id, values in results.items():
+            request.results[metric_id] = values
+        if len(request.replied) < request.expected:
+            return
+        del self.pending[correlation_id]
+        self.completed[correlation_id] = Reply(
+            event=request.event,
+            stream=request.stream,
+            results=request.results,
+            latency_ms=self.clock.now() - request.sent_at_ms,
+        )
+
+    def _raise_on_errors(self) -> None:
+        if self.supervisor.worker_errors:
+            raise EngineError(
+                "shard worker failed:\n" + self.supervisor.worker_errors[-1]
+            )
+        if self.frontend_errors:
+            raise EngineError(
+                "shard frontend failed:\n" + self.frontend_errors[-1]
+            )
+
+    # -- rebalance / recovery -------------------------------------------------
+
+    def _rebalance(self) -> None:
+        """(Re)shard tasks over workers *and* frontends, stickily.
+
+        Worker-side moves get their checkpoints shipped to the new owner
+        first (control pipes are drained before data sockets, so the
+        restore always lands before the task's next batch); the per-task
+        seek offsets then travel to the owning frontends inside
+        ``FrontendAssign``. Journal copies are seek-stripped: a journal
+        replay must not rewind tasks to offsets that were only ever
+        meaningful at the moment of this rebalance.
+        """
+        tasks = self._event_tasks()
+        if not tasks:
+            return
+        previous_worker = {
+            worker_id: set(handle.assigned)
+            for worker_id, handle in self.supervisor.handles.items()
+        }
+        worker_map = self.supervisor.assign(tasks)
+        owner_of: dict[TopicPartition, str] = {}
+        seeks: dict[TopicPartition, int] = {}
+        for worker_id, owned in worker_map.items():
+            for tp in owned:
+                owner_of[tp] = worker_id
+            for tp in owned - previous_worker.get(worker_id, set()):
+                if self.supervisor.ship_checkpoint(worker_id, tp):
+                    seeks[tp] = self.supervisor.checkpoints.offset(tp)
+                else:
+                    seeks[tp] = 0
+        previous_fe = {
+            frontend_id: set(handle.owned)
+            for frontend_id, handle in self._frontends.items()
+        }
+        assignment = self.frontend_strategy.assign(
+            tasks,
+            [
+                ProcessorInfo(frontend_id, frontend_id)
+                for frontend_id in self._frontends
+            ],
+            PreviousState(active=previous_fe),
+        )
+        # Frontend ownership is append-only: a task, once owned, NEVER
+        # moves — the owner hosts the task's only copy of its partition
+        # log and replied watermark, so a move would strand both (the
+        # new owner's log restarts at offset 0 and the worker would
+        # treat the re-appended tail as replays: silently dropped
+        # events). The strategy only places tasks it has never placed
+        # before; the frontend count is fixed for the cluster's
+        # lifetime, so pinning costs nothing but balance on topic
+        # additions.
+        placed: dict[TopicPartition, str] = {}
+        for frontend_id in self._frontends:
+            for tp in assignment.active.get(frontend_id, set()):
+                placed[tp] = frontend_id
+        for tp in tasks:
+            if tp not in self._fe_owner:
+                self._fe_owner[tp] = placed[tp]
+        for frontend_id, handle in self._frontends.items():
+            owned = {
+                tp for tp, owner in self._fe_owner.items()
+                if owner == frontend_id
+            }
+            handle.owned = owned
+            routes = tuple(
+                (tp, owner_of[tp], self.supervisor.worker_addr(owner_of[tp]))
+                for tp in sorted(owned, key=str)
+            )
+            fe_seeks = tuple(
+                (tp, seeks[tp]) for tp, _, _ in routes if tp in seeks
+            )
+            handle.journal.append(
+                wire.encode(wire.FrontendAssign(routes, ()))
+            )
+            try:
+                handle.conn.send_bytes(
+                    wire.encode(wire.FrontendAssign(routes, fe_seeks))
+                )
+            except OSError:
+                pass  # dead frontend; the respawn replays the journal
+        self.rebalance_count += 1
+
+    def _on_worker_restart(
+        self, worker_id: str, tasks: set[TopicPartition]
+    ) -> None:
+        """Announce a restarted worker to every frontend owning its tasks.
+
+        The supervisor already replayed the control log and shipped the
+        stored checkpoints into the fresh process; each frontend then
+        reconnects to the worker's (stable) address, rewinds the listed
+        tasks to their checkpointed offsets and replays the tail with
+        the replied watermark suppressing duplicates.
+        """
+        addr = self.supervisor.worker_addr(worker_id)
+        if addr is None:
+            return
+        offsets = self.supervisor.checkpoints.offset
+        for handle in self._frontends.values():
+            # Announce to every frontend, even one with no task of the
+            # restarted worker right now: the announcement is what
+            # lifts a crash quarantine, and a later rebalance may route
+            # this worker's address back to any frontend.
+            relevant = sorted(handle.owned & tasks, key=str)
+            msg = wire.WorkerRestarted(
+                worker_id, addr, tuple((tp, offsets(tp)) for tp in relevant)
+            )
+            try:
+                handle.conn.send_bytes(wire.encode(msg))
+            except OSError:
+                pass  # dead frontend; the respawn re-seeks via journal + seeks
+
+    def _respawn_dead_frontends(self) -> None:
+        for handle in self._frontends.values():
+            if not handle.alive:
+                self._respawn_frontend(handle)
+
+    def _respawn_frontend(self, handle: FrontendHandle) -> None:
+        """Crash recovery for a frontend: respawn + journal replay.
+
+        Buffered frames from the dead incarnation are salvaged first
+        (their replies and watermarks are valid). The fresh process gets
+        ``RestoreWatermarks`` (so replayed dispatch suppresses settled
+        replies and skips straight to the unreplied tail) and then the
+        journal verbatim, rebuilding its partition logs with identical
+        offsets. Workers replay-skip everything their state already
+        holds, so the only client-visible effect is that replies which
+        were in flight at the crash complete read-only.
+        """
+        try:
+            while handle.conn.poll(0):
+                self._on_frontend_msg(handle, wire.decode(handle.conn.recv_bytes()))
+        except (EOFError, OSError):
+            pass
+        handle.process.join(timeout=1.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        fresh = self._spawn_frontend(handle.frontend_id)
+        handle.process = fresh.process
+        handle.conn = fresh.conn
+        handle.restarts += 1
+        watermarks = tuple(
+            (tp, self._watermarks.get(tp, 0))
+            for tp in sorted(handle.owned, key=str)
+        )
+        # A task whose worker frontier fell below the replied watermark
+        # (a worker restarted from a stale checkpoint, and this frontend
+        # died before replaying its tail) must re-ship from the frontier
+        # or the gap never reaches the fresh worker's state. Ask the
+        # workers for their actual frontiers so only genuinely-behind
+        # tasks replay. A task absent from the acks has no processor
+        # anywhere — a restarted worker still waiting for its replay —
+        # so its frontier is the checkpoint-store offset (zero when no
+        # checkpoint exists: full re-ship, which is exactly what a
+        # stateless worker needs).
+        try:
+            offsets = self.supervisor.request_checkpoints()
+        except EngineError:
+            offsets = {}
+        store_offset = self.supervisor.checkpoints.offset
+        frontiers = {
+            tp: offsets.get(tp, store_offset(tp)) for tp in handle.owned
+        }
+        seeks = tuple(
+            (tp, frontiers[tp])
+            for tp in sorted(handle.owned, key=str)
+            if frontiers[tp] < self._watermarks.get(tp, 0)
+        )
+        handle.conn.send_bytes(
+            wire.encode(wire.RestoreWatermarks(watermarks, seeks))
+        )
+        for frame in handle.journal:
+            handle.conn.send_bytes(frame)
+            # Keep the reply direction drained mid-replay (same
+            # wedge-avoidance as the ingest path).
+            self._drain_replies()
+
+    # -- introspection / shutdown ---------------------------------------------
+
+    def total_messages_processed(self) -> int:
+        """Messages processed across workers (replays included)."""
+        return self.supervisor.total_messages_processed()
+
+    def checkpoint_offsets(self) -> dict[TopicPartition, int]:
+        """Consumed offsets per task, straight from the workers."""
+        return self.supervisor.request_checkpoints()
+
+    def checkpoint_now(self) -> dict[TopicPartition, int]:
+        """Take a full checkpoint of every task, synchronously."""
+        return self.supervisor.request_checkpoints(with_state=True)
+
+    def stats(self) -> dict[str, dict[str, dict[str, int]]]:
+        """Merged cluster counters: per-worker and per-frontend.
+
+        Worker counters live at the supervisor (fed by
+        ``note_processed`` in this mode); frontend counters live here.
+        The invariants tests assert: summed ``events_routed`` equals
+        events accepted, summed worker ``processed`` equals records
+        processed (replays included).
+        """
+        return {
+            "workers": self.supervisor.stats(),
+            "frontends": {
+                frontend_id: {
+                    "events_routed": handle.events_routed,
+                    "replies_merged": handle.replies_merged,
+                    "restarts": handle.restarts,
+                }
+                for frontend_id, handle in self._frontends.items()
+            },
+        }
+
+    def close(self) -> None:
+        """Stop every frontend and worker process; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._frontends.values():
+            try:
+                handle.conn.send_bytes(wire.encode(wire.Shutdown()))
+            except (OSError, ValueError):
+                pass
+        for handle in self._frontends.values():
+            handle.process.join(timeout=2.0)
+            if handle.alive:
+                handle.process.kill()
+                handle.process.join(timeout=2.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.supervisor.shutdown()
+        shutil.rmtree(self._socket_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,11 +1,17 @@
 """The shard supervisor: spawn, route, monitor, restart.
 
 The supervisor owns N :mod:`~repro.shard.worker` processes connected by
-duplex pipes. It shards tasks over workers with the engine's
+duplex control pipes. It shards tasks over workers with the engine's
 :class:`~repro.engine.assignment.StickyAssignmentStrategy` (each worker
-modelled as its own single-processor node), routes ``WorkBatch`` frames
-to the owning worker, merges ``BatchDone`` replies and stats back, and
-replays the full control log into any worker it restarts after a crash.
+modelled as its own single-processor node) and replays the full control
+log into any worker it restarts after a crash. In single-coordinator
+mode (:class:`~repro.shard.parallel.ParallelCluster`) it also carries
+the data plane: ``WorkBatch`` frames to the owning worker, ``BatchDone``
+replies and stats back. In sharded-frontend mode (``listen_dir`` set)
+the data plane moves to per-frontend AF_UNIX sockets and the pipes
+carry control only; frontends' progress is credited back through
+:meth:`ShardSupervisor.note_processed` so per-worker stats and the
+checkpoint cadence stay merged here either way.
 
 It is also the cluster's checkpoint authority: a
 :class:`CheckpointStore` keeps the latest materialized
@@ -33,6 +39,7 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -158,10 +165,18 @@ class ShardSupervisor:
         max_outstanding: int = 2,
         checkpoint_interval: int | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
+        listen_dir: str | None = None,
     ) -> None:
         if workers <= 0:
             raise EngineError(f"need at least one shard worker: {workers}")
         self._ctx = mp_context if mp_context is not None else _default_context()
+        #: directory for per-worker AF_UNIX data-socket addresses. Set by
+        #: the sharded-frontend router: each worker then listens for
+        #: frontend data connections at :meth:`worker_addr`, and the
+        #: supervisor pipe carries only the control plane. ``None``
+        #: (classic ``ParallelCluster`` mode) keeps work batches on the
+        #: supervisor pipe.
+        self.listen_dir = listen_dir
         self.unit_config = unit_config if unit_config is not None else UnitConfig()
         self.strategy = (
             strategy if strategy is not None else StickyAssignmentStrategy(0)
@@ -249,11 +264,18 @@ class ShardSupervisor:
         except KeyError:
             raise EngineError(f"unknown shard worker {worker_id!r}") from None
 
+    def worker_addr(self, worker_id: str) -> str | None:
+        """Data-socket address of a worker (stable across restarts), or
+        ``None`` when the supervisor runs without ``listen_dir``."""
+        if self.listen_dir is None:
+            return None
+        return os.path.join(self.listen_dir, f"{worker_id}.sock")
+
     def _spawn(self, worker_id: str) -> WorkerHandle:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=shard_worker_main,
-            args=(child_conn, worker_id, self.unit_config),
+            args=(child_conn, worker_id, self.unit_config, self.worker_addr(worker_id)),
             name=f"railgun-{worker_id}",
             daemon=True,
         )
@@ -473,6 +495,29 @@ class ShardSupervisor:
     def outstanding(self) -> int:
         """Un-acked work batches across all workers."""
         return sum(handle.outstanding for handle in self.handles.values())
+
+    def note_processed(self, worker_id: str, records: int, replies: int) -> None:
+        """Credit work that bypassed the supervisor pipe (router mode).
+
+        In sharded-frontend mode ``BatchDone`` frames flow over the
+        frontend↔worker data sockets, so the supervisor never sees them;
+        the router reports the per-worker ``(records, replies)`` deltas
+        it merged instead. This keeps two supervisor responsibilities
+        whole: the per-worker counters behind :meth:`stats` /
+        :meth:`total_messages_processed`, and the checkpoint cadence —
+        the credited records advance ``checkpoint_interval`` exactly as
+        pipe-borne ``BatchDone`` frames do (the next :meth:`poll` fires
+        the with-state request once the interval is crossed). Deltas for
+        a worker that died or was retired meanwhile still count toward
+        the cluster totals.
+        """
+        handle = self.handles.get(worker_id)
+        if handle is not None:
+            handle.processed += records
+            handle.replies_sent += replies
+        else:
+            self._processed_retired += records
+        self._records_since_checkpoint += records
 
     def poll(self, timeout: float = 0.0) -> list[wire.BatchDone]:
         """Collect finished batches; detect and restart dead workers.

@@ -16,6 +16,17 @@ reference names by index; a :class:`BatchDone` does the same for reply
 column names (``"sum(amount)"`` travels once per batch, not once per
 event).
 
+Routing framing shards the coordinator itself: the client-side
+``ClusterRouter`` ships events to N frontend processes as
+:class:`IngestBatch` frames (each frontend owns a sticky slice of the
+partition space, installed by :class:`FrontendAssign`), and frontends
+return merged task replies as :class:`ReplyBatch` frames. Frontend
+recovery is journal-based (:class:`RestoreWatermarks` seeds reply
+suppression before the router replays its journal); worker recovery is
+announced to every frontend with :class:`WorkerRestarted`;
+:class:`DrainRequest`/:class:`DrainAck` quiesce the data plane before a
+topology change.
+
 Recovery framing ships whole task checkpoints: a
 :class:`TaskCheckpointFrame` wraps the engine's
 :class:`~repro.engine.task.TaskCheckpoint` (reservoir metadata + files +
@@ -57,6 +68,17 @@ MSG_RESTORE_TASK = 11
 MSG_BATCH_DONE = 16
 MSG_CHECKPOINT_ACK = 17
 MSG_WORKER_ERROR = 18
+
+# Router -> frontend.
+MSG_INGEST_BATCH = 19
+MSG_FRONTEND_ASSIGN = 20
+MSG_RESTORE_WATERMARKS = 21
+MSG_WORKER_RESTARTED = 22
+MSG_DRAIN_REQUEST = 23
+
+# Frontend -> router.
+MSG_REPLY_BATCH = 24
+MSG_DRAIN_ACK = 25
 
 
 @dataclass(frozen=True)
@@ -204,9 +226,119 @@ class CheckpointAck:
 
 @dataclass(frozen=True)
 class WorkerError:
-    """A worker-side exception, surfaced before the process dies."""
+    """A child-process exception (shard worker *or* frontend), surfaced
+    on the control channel before the process dies."""
 
     message: str
+
+
+# -- sharded-frontend routing messages ----------------------------------------
+
+
+@dataclass
+class IngestBatch:
+    """A run of client events routed to one frontend process.
+
+    Each entry is ``(correlation_id, event, targets)`` where ``targets``
+    lists the ``(partitioner, partition)`` pairs of this event's fan-out
+    that land on partitions the receiving frontend owns. The event is
+    encoded once per frontend, however many of its fan-out targets that
+    frontend owns; the router keys per-key ordering on the fact that a
+    given partition is owned by exactly one frontend (sticky ownership),
+    so the pipe's FIFO order *is* the partition's log order.
+    """
+
+    stream: str
+    entries: list[tuple[int, Event, tuple[tuple[str, int], ...]]]
+
+
+@dataclass(frozen=True)
+class FrontendAssign:
+    """Full replacement of a frontend's routing table.
+
+    ``routes`` holds one ``(task, worker_id, worker_addr)`` triple per
+    partition the frontend owns: the sticky slice of the key space it
+    appends to and dispatches from, plus the data-socket address of the
+    shard worker that owns each task. ``seeks`` rewinds the named tasks
+    to their checkpointed offsets after a rebalance moved them between
+    workers (the frontend replays the tail into the new owner; the reply
+    watermark keeps the replay silent).
+    """
+
+    routes: tuple[tuple[TopicPartition, str, str], ...]
+    seeks: tuple[tuple[TopicPartition, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class RestoreWatermarks:
+    """Seed a respawned frontend's replied watermarks (crash recovery).
+
+    Sent before the journal replay: the watermark is the router's
+    replied-up-to-here record per task, so the fresh frontend skips
+    re-dispatching offsets whose replies the client already saw and
+    suppresses (``reply_from``) replayed replies for the rest.
+    ``seeks`` lowers the replay start below the watermark for tasks
+    whose owning worker has itself restarted — the worker's state may
+    only reach its checkpointed offset, so the journal replay must
+    re-ship from there to rebuild it (replies stay suppressed up to the
+    watermark either way).
+    """
+
+    watermarks: tuple[tuple[TopicPartition, int], ...]
+    seeks: tuple[tuple[TopicPartition, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkerRestarted:
+    """Tell a frontend that a shard worker was restarted.
+
+    The frontend drains any pre-crash frames left in the old data
+    socket, reconnects to ``addr`` (the restarted worker listens on the
+    same address), zeroes its outstanding-batch credits, and seeks each
+    task in ``seeks`` back to its checkpointed offset so only the
+    uncheckpointed tail replays.
+    """
+
+    worker_id: str
+    addr: str
+    seeks: tuple[tuple[TopicPartition, int], ...]
+
+
+@dataclass(frozen=True)
+class DrainRequest:
+    """Ask a frontend to quiesce: dispatch its backlog, wait for every
+    outstanding batch, then answer with a :class:`DrainAck`."""
+
+    request_id: int
+
+
+@dataclass
+class ReplyBatch:
+    """Completed task replies and progress, frontend -> router.
+
+    Each reply is ``(correlation_id, topic, results)`` — the topic lets
+    the router de-duplicate per-task replies exactly (a replayed reply
+    for a topic that already answered must not count toward the fan-in
+    a second time). ``watermarks`` carries the frontend's advanced
+    replied watermarks (the router snapshots them so a frontend respawn
+    can restore suppression), and ``processed`` carries per-worker
+    ``(worker_id, records, replies)`` deltas that feed the supervisor's
+    merged stats and checkpoint cadence.
+    """
+
+    replies: list[tuple[int, str, dict[int, dict[str, Any]] | None]]
+    watermarks: tuple[tuple[TopicPartition, int], ...] = ()
+    processed: tuple[tuple[str, int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class DrainAck:
+    """A frontend's answer to :class:`DrainRequest`: no outstanding
+    batches, no undispatched backlog; ``watermarks`` is the full
+    replied-watermark map at the quiesced point."""
+
+    request_id: int
+    watermarks: tuple[tuple[TopicPartition, int], ...]
 
 
 # -- topic partitions ---------------------------------------------------------
@@ -243,6 +375,30 @@ def _read_field_pairs(
         type_name, offset = serde.read_str(data, offset)
         fields.append((name, type_name))
     return tuple(fields), offset
+
+
+# -- (task, offset) pair lists (watermarks, seeks) ----------------------------
+
+
+def _write_offset_pairs(
+    buf: bytearray, pairs: Sequence[tuple[TopicPartition, int]]
+) -> None:
+    serde.write_varint(buf, len(pairs))
+    for tp, offset in pairs:
+        _write_tp(buf, tp)
+        serde.write_varint(buf, offset)
+
+
+def _read_offset_pairs(
+    data: memoryview, offset: int
+) -> tuple[tuple[tuple[TopicPartition, int], ...], int]:
+    count, offset = serde.read_varint(data, offset)
+    pairs = []
+    for _ in range(count):
+        tp, offset = _read_tp(data, offset)
+        value, offset = serde.read_varint(data, offset)
+        pairs.append((tp, value))
+    return tuple(pairs), offset
 
 
 # -- task checkpoints ---------------------------------------------------------
@@ -389,6 +545,34 @@ def encode(msg: object) -> bytes:
     elif isinstance(msg, WorkerError):
         buf.append(MSG_WORKER_ERROR)
         serde.write_str(buf, msg.message)
+    elif isinstance(msg, IngestBatch):
+        _encode_ingest_batch(buf, msg)
+    elif isinstance(msg, FrontendAssign):
+        buf.append(MSG_FRONTEND_ASSIGN)
+        serde.write_varint(buf, len(msg.routes))
+        for tp, worker_id, addr in msg.routes:
+            _write_tp(buf, tp)
+            serde.write_str(buf, worker_id)
+            serde.write_str(buf, addr)
+        _write_offset_pairs(buf, msg.seeks)
+    elif isinstance(msg, RestoreWatermarks):
+        buf.append(MSG_RESTORE_WATERMARKS)
+        _write_offset_pairs(buf, msg.watermarks)
+        _write_offset_pairs(buf, msg.seeks)
+    elif isinstance(msg, WorkerRestarted):
+        buf.append(MSG_WORKER_RESTARTED)
+        serde.write_str(buf, msg.worker_id)
+        serde.write_str(buf, msg.addr)
+        _write_offset_pairs(buf, msg.seeks)
+    elif isinstance(msg, DrainRequest):
+        buf.append(MSG_DRAIN_REQUEST)
+        serde.write_varint(buf, msg.request_id)
+    elif isinstance(msg, ReplyBatch):
+        _encode_reply_batch(buf, msg)
+    elif isinstance(msg, DrainAck):
+        buf.append(MSG_DRAIN_ACK)
+        serde.write_varint(buf, msg.request_id)
+        _write_offset_pairs(buf, msg.watermarks)
     else:
         raise SerdeError(f"unsupported wire message: {type(msg).__name__}")
     return bytes(buf)
@@ -444,6 +628,76 @@ def _encode_batch_done(buf: bytearray, msg: BatchDone) -> None:
             for column, value in values.items():
                 serde.write_varint(buf, columns[column])
                 serde.write_value(buf, value)
+
+
+def _encode_ingest_batch(buf: bytearray, msg: IngestBatch) -> None:
+    buf.append(MSG_INGEST_BATCH)
+    serde.write_str(buf, msg.stream)
+    # String table: field names + partitioner names, first-seen order.
+    names: dict[str, int] = {}
+    for _, event, targets in msg.entries:
+        for name in event:
+            if name not in names:
+                names[name] = len(names)
+        for partitioner, _ in targets:
+            if partitioner not in names:
+                names[partitioner] = len(names)
+    serde.write_str_list(buf, list(names))
+    serde.write_varint(buf, len(msg.entries))
+    for correlation_id, event, targets in msg.entries:
+        serde.write_varint(buf, correlation_id)
+        serde.write_str(buf, event.event_id)
+        serde.write_varint(buf, event.timestamp)
+        serde.write_varint(buf, event.field_count())
+        for name, value in event.items():
+            serde.write_varint(buf, names[name])
+            serde.write_value(buf, value)
+        serde.write_varint(buf, len(targets))
+        for partitioner, partition in targets:
+            serde.write_varint(buf, names[partitioner])
+            serde.write_varint(buf, partition)
+
+
+def _encode_reply_batch(buf: bytearray, msg: ReplyBatch) -> None:
+    buf.append(MSG_REPLY_BATCH)
+    # String table: topics, reply column names and worker ids.
+    table: dict[str, int] = {}
+
+    def intern(name: str) -> int:
+        if name not in table:
+            table[name] = len(table)
+        return table[name]
+
+    for _, topic, results in msg.replies:
+        intern(topic)
+        if results:
+            for values in results.values():
+                for column in values:
+                    intern(column)
+    for worker_id, _, _ in msg.processed:
+        intern(worker_id)
+    serde.write_str_list(buf, list(table))
+    serde.write_varint(buf, len(msg.replies))
+    for correlation_id, topic, results in msg.replies:
+        serde.write_varint(buf, correlation_id)
+        serde.write_varint(buf, table[topic])
+        if results is None:
+            buf.append(0)
+            continue
+        buf.append(1)
+        serde.write_varint(buf, len(results))
+        for metric_id, values in results.items():
+            serde.write_varint(buf, metric_id)
+            serde.write_varint(buf, len(values))
+            for column, value in values.items():
+                serde.write_varint(buf, table[column])
+                serde.write_value(buf, value)
+    _write_offset_pairs(buf, msg.watermarks)
+    serde.write_varint(buf, len(msg.processed))
+    for worker_id, records, replies in msg.processed:
+        serde.write_varint(buf, table[worker_id])
+        serde.write_varint(buf, records)
+        serde.write_varint(buf, replies)
 
 
 # -- decoders -----------------------------------------------------------------
@@ -528,7 +782,99 @@ def decode(data: bytes) -> object:
     if tag == MSG_WORKER_ERROR:
         message, offset = serde.read_str(view, offset)
         return WorkerError(message)
+    if tag == MSG_INGEST_BATCH:
+        return _decode_ingest_batch(view, offset)
+    if tag == MSG_FRONTEND_ASSIGN:
+        route_count, offset = serde.read_varint(view, offset)
+        routes = []
+        for _ in range(route_count):
+            tp, offset = _read_tp(view, offset)
+            worker_id, offset = serde.read_str(view, offset)
+            addr, offset = serde.read_str(view, offset)
+            routes.append((tp, worker_id, addr))
+        seeks, offset = _read_offset_pairs(view, offset)
+        return FrontendAssign(tuple(routes), seeks)
+    if tag == MSG_RESTORE_WATERMARKS:
+        watermarks, offset = _read_offset_pairs(view, offset)
+        seeks, offset = _read_offset_pairs(view, offset)
+        return RestoreWatermarks(watermarks, seeks)
+    if tag == MSG_WORKER_RESTARTED:
+        worker_id, offset = serde.read_str(view, offset)
+        addr, offset = serde.read_str(view, offset)
+        seeks, offset = _read_offset_pairs(view, offset)
+        return WorkerRestarted(worker_id, addr, seeks)
+    if tag == MSG_DRAIN_REQUEST:
+        request_id, offset = serde.read_varint(view, offset)
+        return DrainRequest(request_id)
+    if tag == MSG_REPLY_BATCH:
+        return _decode_reply_batch(view, offset)
+    if tag == MSG_DRAIN_ACK:
+        request_id, offset = serde.read_varint(view, offset)
+        watermarks, offset = _read_offset_pairs(view, offset)
+        return DrainAck(request_id, watermarks)
     raise SerdeError(f"unknown wire message tag {tag}")
+
+
+def _decode_ingest_batch(view: memoryview, offset: int) -> IngestBatch:
+    stream, offset = serde.read_str(view, offset)
+    names, offset = serde.read_str_list(view, offset)
+    count, offset = serde.read_varint(view, offset)
+    entries: list[tuple[int, Event, tuple[tuple[str, int], ...]]] = []
+    for _ in range(count):
+        correlation_id, offset = serde.read_varint(view, offset)
+        event_id, offset = serde.read_str(view, offset)
+        timestamp, offset = serde.read_varint(view, offset)
+        field_count, offset = serde.read_varint(view, offset)
+        fields: dict[str, Any] = {}
+        for _ in range(field_count):
+            name_index, offset = serde.read_varint(view, offset)
+            value, offset = serde.read_value(view, offset)
+            fields[names[name_index]] = value
+        target_count, offset = serde.read_varint(view, offset)
+        targets = []
+        for _ in range(target_count):
+            name_index, offset = serde.read_varint(view, offset)
+            partition, offset = serde.read_varint(view, offset)
+            targets.append((names[name_index], partition))
+        entries.append(
+            (correlation_id, Event(event_id, timestamp, fields), tuple(targets))
+        )
+    return IngestBatch(stream, entries)
+
+
+def _decode_reply_batch(view: memoryview, offset: int) -> ReplyBatch:
+    table, offset = serde.read_str_list(view, offset)
+    count, offset = serde.read_varint(view, offset)
+    replies: list[tuple[int, str, dict[int, dict[str, Any]] | None]] = []
+    for _ in range(count):
+        correlation_id, offset = serde.read_varint(view, offset)
+        topic_index, offset = serde.read_varint(view, offset)
+        present = view[offset]
+        offset += 1
+        if not present:
+            replies.append((correlation_id, table[topic_index], None))
+            continue
+        metric_count, offset = serde.read_varint(view, offset)
+        results: dict[int, dict[str, Any]] = {}
+        for _ in range(metric_count):
+            metric_id, offset = serde.read_varint(view, offset)
+            column_count, offset = serde.read_varint(view, offset)
+            values: dict[str, Any] = {}
+            for _ in range(column_count):
+                column_index, offset = serde.read_varint(view, offset)
+                value, offset = serde.read_value(view, offset)
+                values[table[column_index]] = value
+            results[metric_id] = values
+        replies.append((correlation_id, table[topic_index], results))
+    watermarks, offset = _read_offset_pairs(view, offset)
+    processed_count, offset = serde.read_varint(view, offset)
+    processed = []
+    for _ in range(processed_count):
+        worker_index, offset = serde.read_varint(view, offset)
+        records, offset = serde.read_varint(view, offset)
+        reply_count, offset = serde.read_varint(view, offset)
+        processed.append((table[worker_index], records, reply_count))
+    return ReplyBatch(replies, watermarks, tuple(processed))
 
 
 def _decode_work_batch(view: memoryview, offset: int) -> WorkBatch:

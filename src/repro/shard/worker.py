@@ -4,10 +4,11 @@ A worker is the process-parallel counterpart of a
 :class:`~repro.engine.processor.ProcessorUnit`: it runs the batched
 consume→process loop (``WorkBatch`` in, ``BatchDone`` out) over its own
 :class:`~repro.engine.task.TaskProcessor` per owned partition. It holds
-no connection to the message bus — the supervisor polls the bus on its
-behalf and ships contiguous offset runs across the pipe — so the whole
-data path of a worker is: decode batch, ``process_batch``, encode
-replies.
+no connection to the message bus — the coordinator side (the
+``ParallelCluster`` dispatcher, or each sharded frontend process) polls
+the log on its behalf and ships contiguous offset runs across a pipe or
+data socket — so the whole data path of a worker is: decode batch,
+``process_batch``, encode replies.
 
 Workers are born empty. Catalogue state (streams, metrics, schema
 evolutions) arrives as control messages; task state either accumulates
@@ -25,7 +26,9 @@ omitting immutable files the supervisor advertised it already holds.
 from __future__ import annotations
 
 import os
+import socket
 import traceback
+from multiprocessing import connection
 from multiprocessing.connection import Connection
 
 from repro.engine.catalog import (
@@ -81,10 +84,10 @@ class ShardWorker:
                     processor.evolve_schema(stream)
         elif isinstance(msg, wire.AssignPartitions):
             self.assigned = set(msg.partitions)
-            # Revoked tasks are dropped: with a single supervisor the
-            # sticky strategy keeps tasks on their worker, so a revoke
-            # means another worker now owns the task and will rebuild
-            # from the replayed log.
+            # Revoked tasks are dropped: the sticky strategy keeps
+            # tasks on their worker, so a revoke means another worker
+            # now owns the task and rebuilds it from the shipped
+            # checkpoint (plus the replayed tail when one exists).
             for tp in list(self.task_processors):
                 if tp not in self.assigned:
                     del self.task_processors[tp]
@@ -193,48 +196,131 @@ class ShardWorker:
         return processor
 
 
+def _bind_listener(addr: str) -> socket.socket:
+    """Bind the worker's data-socket listener (AF_UNIX, stream).
+
+    A restarted worker rebinds the *same* address — frontends reconnect
+    to it after the supervisor announces the restart — so a stale socket
+    file from the previous incarnation is unlinked first.
+    """
+    if os.path.exists(addr):
+        os.unlink(addr)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.bind(addr)
+    sock.listen(16)
+    return sock
+
+
+def _handle_one(
+    worker: ShardWorker, conn: Connection, msg: object
+) -> bool:
+    """Dispatch one frame; replies go back on the conn it arrived on.
+
+    Returns False when the worker should exit (graceful shutdown).
+    """
+    if isinstance(msg, wire.WorkBatch):
+        conn.send_bytes(wire.encode(worker.handle_work(msg)))
+    elif isinstance(msg, wire.CheckpointRequest):
+        frames = (
+            worker.build_checkpoints(msg.known_files_map())
+            if msg.with_state
+            else []
+        )
+        conn.send_bytes(
+            wire.encode(
+                wire.CheckpointAck(
+                    msg.request_id, worker.checkpoint_offsets(), frames
+                )
+            )
+        )
+    elif isinstance(msg, wire.RestoreTask):
+        worker.restore_task(msg.frame)
+    elif isinstance(msg, wire.Shutdown):
+        return False
+    elif isinstance(msg, wire.Crash):
+        os._exit(17)  # fault injection: die without cleanup
+    else:
+        worker.handle_control(msg)
+    return True
+
+
 def shard_worker_main(
-    conn: Connection, worker_id: str, config: UnitConfig | None = None
+    conn: Connection,
+    worker_id: str,
+    config: UnitConfig | None = None,
+    listen_addr: str | None = None,
 ) -> None:
     """Worker process entrypoint: decode → dispatch → reply, until told to stop.
 
+    The supervisor's duplex pipe (``conn``) is the control channel:
+    DDL replay, assignment, checkpoint requests, restore frames,
+    shutdown. With ``listen_addr`` set (sharded-frontend mode) the
+    worker additionally listens on an AF_UNIX socket where frontend
+    processes connect their data channels; ``WorkBatch`` frames then
+    arrive on those sockets and each ``BatchDone`` is answered on the
+    socket its batch came from. Whenever both channels are readable the
+    control channel is drained *completely first* — that ordering is
+    what guarantees a restarted worker applies its replayed control log
+    and ``RestoreTask`` checkpoints before any replayed work batch, and
+    a rebalanced task's checkpoint lands before its new traffic.
+
     Any exception is reported as a :class:`~repro.shard.wire.WorkerError`
-    frame before the process exits non-zero, so the supervisor can log
-    the cause instead of just observing a dead pipe.
+    frame on the control channel before the process exits non-zero, so
+    the supervisor can log the cause instead of just observing a dead
+    pipe.
     """
     worker = ShardWorker(worker_id, config)
-    send_bytes = conn.send_bytes
+    listener = _bind_listener(listen_addr) if listen_addr is not None else None
+    data_conns: list[Connection] = []
     try:
         while True:
-            msg = wire.decode(conn.recv_bytes())
-            if isinstance(msg, wire.WorkBatch):
-                send_bytes(wire.encode(worker.handle_work(msg)))
-            elif isinstance(msg, wire.CheckpointRequest):
-                frames = (
-                    worker.build_checkpoints(msg.known_files_map())
-                    if msg.with_state
-                    else []
-                )
-                send_bytes(
-                    wire.encode(
-                        wire.CheckpointAck(
-                            msg.request_id, worker.checkpoint_offsets(), frames
-                        )
-                    )
-                )
-            elif isinstance(msg, wire.RestoreTask):
-                worker.restore_task(msg.frame)
-            elif isinstance(msg, wire.Shutdown):
-                return
-            elif isinstance(msg, wire.Crash):
-                os._exit(17)  # fault injection: die without cleanup
-            else:
-                worker.handle_control(msg)
+            wait_on: list = [conn, *data_conns]
+            if listener is not None:
+                wait_on.append(listener)
+            ready = set(connection.wait(wait_on))
+            if conn in ready:
+                # Drain the control channel fully before touching data.
+                while True:
+                    if not _handle_one(worker, conn, wire.decode(conn.recv_bytes())):
+                        return
+                    if not conn.poll(0):
+                        break
+            if listener is not None and listener in ready:
+                accepted, _ = listener.accept()
+                data_conns.append(Connection(accepted.detach()))
+            for data_conn in [c for c in data_conns if c in ready]:
+                # Only the socket reads/writes may be treated as "the
+                # frontend went away" — an OSError raised by batch
+                # processing itself (reservoir/LSM I/O) must propagate
+                # to the WorkerError reporter below, not silently close
+                # a healthy frontend's link.
+                while True:
+                    try:
+                        payload = data_conn.recv_bytes()
+                    except (EOFError, OSError):
+                        data_conns.remove(data_conn)
+                        data_conn.close()
+                        break
+                    msg = wire.decode(payload)
+                    if isinstance(msg, wire.WorkBatch):
+                        frame = wire.encode(worker.handle_work(msg))
+                        try:
+                            data_conn.send_bytes(frame)
+                        except OSError:
+                            data_conns.remove(data_conn)
+                            data_conn.close()
+                            break
+                    elif not _handle_one(worker, data_conn, msg):
+                        return
+                    if not data_conn.poll(0):
+                        break
     except EOFError:
         return  # supervisor went away; nothing left to reply to
     except BaseException:
         try:
-            send_bytes(wire.encode(wire.WorkerError(traceback.format_exc(limit=8))))
+            conn.send_bytes(
+                wire.encode(wire.WorkerError(traceback.format_exc(limit=8)))
+            )
         except OSError:
             pass
         raise

@@ -44,6 +44,9 @@ class TestRunBenches:
             "engine_ingest_single_process",
             "engine_ingest_process_1w",
             "engine_ingest_process_4w",
+            "engine_ingest_process_1f",
+            "engine_ingest_process_2f",
+            "engine_ingest_process_4f",
             "recovery_from_zero",
             "recovery_from_checkpoint",
         }

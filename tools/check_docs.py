@@ -1,0 +1,130 @@
+"""Documentation gate: markdown link check + doctest on fenced snippets.
+
+Two failure classes this catches before they rot:
+
+- **Broken relative links** — every ``[text](target)`` in the given
+  markdown files whose target is not an external URL or pure anchor
+  must resolve to an existing file (anchors are stripped; targets are
+  resolved against the markdown file's directory). External http(s)
+  links are deliberately *not* fetched: CI must not flake on the
+  network.
+- **Stale code examples** — every fenced ```python block that contains
+  doctest prompts (``>>>``) is executed with :mod:`doctest`. Quickstart
+  snippets in README/docs are written doctest-style exactly so this
+  gate can run them; an API change that breaks an example fails CI with
+  the snippet's file and line.
+
+Run from the repository root::
+
+    python tools/check_docs.py README.md ROADMAP.md docs/*.md
+
+Exit code 1 on any broken link or failing example; the offending
+file/line is printed per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — excluding images' leading "!" is unnecessary: image
+#: targets must resolve too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check_links(path: Path) -> list[str]:
+    """Relative-link failures in one markdown file."""
+    failures: list[str] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in _LINK.findall(line):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{path}:{lineno}: broken link -> {target}"
+                )
+    return failures
+
+
+def python_fences(path: Path) -> list[tuple[int, str]]:
+    """(start_line, source) of every fenced ```python block."""
+    blocks: list[tuple[int, str]] = []
+    language = None
+    start = 0
+    lines: list[str] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        fence = _FENCE.match(line)
+        if fence is None:
+            if language is not None:
+                lines.append(line)
+            continue
+        if language is None:
+            language = fence.group(1).lower()
+            start = lineno + 1
+            lines = []
+        else:
+            if language == "python":
+                blocks.append((start, "\n".join(lines) + "\n"))
+            language = None
+    return blocks
+
+
+def check_doctests(path: Path) -> list[str]:
+    """Doctest failures in one markdown file's ```python fences.
+
+    Blocks without ``>>>`` prompts are illustrative (they may reference
+    undefined names like a prepared ``events`` list) and are skipped;
+    blocks with prompts are executable documentation and must pass.
+    """
+    failures: list[str] = []
+    runner = doctest.DocTestRunner(verbose=False)
+    parser = doctest.DocTestParser()
+    for start, source in python_fences(path):
+        if ">>>" not in source:
+            continue
+        test = parser.get_doctest(
+            source, {}, f"{path}:{start}", str(path), start
+        )
+        result = runner.run(test, clear_globs=True)
+        if result.failed:
+            failures.append(
+                f"{path}:{start}: {result.failed} of {result.attempted} "
+                f"doctest example(s) failed (run python tools/check_docs.py "
+                f"for the diff above)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    arg_parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    arg_parser.add_argument("files", nargs="+", help="markdown files to check")
+    arg_parser.add_argument(
+        "--no-doctest", action="store_true",
+        help="only check links (skip executing fenced snippets)",
+    )
+    args = arg_parser.parse_args(argv)
+    failures: list[str] = []
+    checked = 0
+    for name in args.files:
+        path = Path(name)
+        if not path.exists():
+            failures.append(f"{path}: file does not exist")
+            continue
+        checked += 1
+        failures.extend(check_links(path))
+        if not args.no_doctest:
+            failures.extend(check_doctests(path))
+    for failure in failures:
+        print(f"DOCS: {failure}", file=sys.stderr)
+    print(f"checked {checked} file(s): {len(failures)} problem(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
