@@ -5,10 +5,14 @@ the aggregate inner loops, the task-processor ingestion path and the
 frontend fan-out, plus the end-to-end engine ingest in single-process,
 process-parallel (``engine_ingest_process_{1,4}w``) and
 sharded-frontend (``engine_ingest_process_{1,2,4}f``: N frontend
-processes over 2 workers) execution and the crash-recovery family
-(``recovery_from_zero`` vs ``recovery_from_checkpoint``: time-to-recover
-and events replayed after a worker kill), and emits a machine-readable
-JSON report so CI and future PRs can track the perf trajectory::
+processes over 2 workers) and durable (``engine_ingest_process_durable``:
+disk-backed bus, batch fsync) execution, the durable-log family
+(``log_append_fsync_{never,batch,always}`` append cost per fsync policy,
+``durable_recovery_reopen`` segment-scan recovery time) and the
+crash-recovery family (``recovery_from_zero`` vs
+``recovery_from_checkpoint``: time-to-recover and events replayed after
+a worker kill), and emits a machine-readable JSON report so CI and
+future PRs can track the perf trajectory::
 
     {bench_name: {"events_per_sec": float, "p50_us": float, "p99_us": float}}
 
@@ -87,6 +91,22 @@ def _events(count: int) -> list[Event]:
     ]
 
 
+def _tie_events(count: int, group: int = 8) -> list[Event]:
+    """In-order events arriving in equal-timestamp tie groups.
+
+    The tie-heavy shape is the worst case the batched reservoir path
+    used to hand back to per-event ``append()``; since the slab path
+    learned ties, this bench tracks the win.
+    """
+    return [
+        Event(
+            f"t{i}", 1 + i // group,
+            {"cardId": f"c{i % 100}", "amount": float(i % 97)},
+        )
+        for i in range(count)
+    ]
+
+
 def _reservoir_config() -> ReservoirConfig:
     # codec "none" isolates the append-path bookkeeping this harness
     # tracks from the (shared, chunk-size-amortized) compression cost.
@@ -149,6 +169,28 @@ def bench_reservoir_append_per_event(events: list[Event], batch_size: int) -> di
 def bench_reservoir_append_batch(events: list[Event], batch_size: int) -> dict[str, float]:
     reservoir = EventReservoir(_registry(), config=_reservoir_config())
     return _measure_slices(_slices(events, batch_size), reservoir.append_batch)
+
+
+def bench_reservoir_append_ties_per_event(
+    events: list[Event], batch_size: int
+) -> dict[str, float]:
+    ties = _tie_events(len(events))
+    reservoir = EventReservoir(_registry(), config=_reservoir_config())
+
+    def run_slice(chunk: Sequence[Event]) -> None:
+        append = reservoir.append
+        for event in chunk:
+            append(event)
+
+    return _measure_slices(_slices(ties, batch_size), run_slice)
+
+
+def bench_reservoir_append_ties_batch(
+    events: list[Event], batch_size: int
+) -> dict[str, float]:
+    ties = _tie_events(len(events))
+    reservoir = EventReservoir(_registry(), config=_reservoir_config())
+    return _measure_slices(_slices(ties, batch_size), reservoir.append_batch)
 
 
 # -- aggregate inner loops ----------------------------------------------------
@@ -352,6 +394,126 @@ def bench_engine_ingest_process_4f(events: list[Event], batch_size: int) -> dict
     return _bench_engine_ingest_frontends(events, batch_size, frontends=4)
 
 
+# -- durable segmented log (fsync policies + recovery reopen) -----------------
+
+
+def _bench_log_append(events: list[Event], batch_size: int, fsync: str) -> dict[str, float]:
+    """Append throughput of one durable partition log under a policy.
+
+    Events flow through the same codec + CRC framing the durable bus
+    uses, so this measures the real per-record durability tax:
+    ``never`` = encode + buffered write, ``batch`` = plus one fsync per
+    flush threshold, ``always`` = one fsync per record (the paper's
+    ack=all analogue; orders of magnitude slower on real disks, so it
+    gets a reduced event budget).
+    """
+    import shutil
+    import tempfile
+
+    from repro.messaging.durable import DurableLog
+    from repro.messaging.segments import SegmentConfig, fsync_policy
+
+    if fsync == "always":
+        events = events[: min(len(events), 2000)]
+    root = tempfile.mkdtemp(prefix="railgun-bench-log-")
+    try:
+        log = DurableLog(
+            TopicPartition("bench", 0),
+            root,
+            config=SegmentConfig(fsync=fsync_policy(fsync)),
+        )
+
+        def run_slice(chunk: Sequence[Event]) -> None:
+            append = log.append
+            for event in chunk:
+                append(event.event_id, event, event.timestamp)
+
+        result = _measure_slices(_slices(events, batch_size), run_slice)
+        log.close()
+        return result
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_log_append_fsync_never(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_log_append(events, batch_size, "never")
+
+
+def bench_log_append_fsync_batch(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_log_append(events, batch_size, "batch")
+
+
+def bench_log_append_fsync_always(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_log_append(events, batch_size, "always")
+
+
+def bench_durable_recovery_reopen(events: list[Event], batch_size: int) -> dict[str, float]:
+    """Time reopening a durable log: the segment scan + decode that a
+    crashed frontend (or reopened coordinator) pays before serving.
+
+    ``events_per_sec`` is records recovered per second of reopen time;
+    ``recovery_ms`` is the wall time of one reopen.
+    """
+    import shutil
+    import tempfile
+    import time as _time
+
+    from repro.messaging.durable import DurableLog
+
+    root = tempfile.mkdtemp(prefix="railgun-bench-reopen-")
+    try:
+        tp = TopicPartition("bench", 0)
+        log = DurableLog(tp, root)
+        for event in events:
+            log.append(event.event_id, event, event.timestamp)
+        log.close()
+        samples: list[float] = []
+        for _ in range(3):
+            started = _time.perf_counter()
+            reopened = DurableLog(tp, root)
+            samples.append(_time.perf_counter() - started)
+            assert reopened.end_offset == len(events)
+            reopened.close()
+        best = min(samples)
+        per_event_us = best * 1e6 / max(1, len(events))
+        return {
+            "events_per_sec": len(events) / best if best > 0 else 0.0,
+            "p50_us": per_event_us,
+            "p99_us": per_event_us,
+            "recovery_ms": best * 1e3,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_engine_ingest_process_durable(
+    events: list[Event], batch_size: int
+) -> dict[str, float]:
+    """End-to-end process-mode ingest over a durable (batch-fsync) bus.
+
+    The comparison partner is ``engine_ingest_process_1w`` (same
+    topology, in-memory bus); the baseline's ``_speedup_floors`` entry
+    requires the durable variant to stay within 1.5x of it.
+    """
+    import shutil
+    import tempfile
+
+    root = tempfile.mkdtemp(prefix="railgun-bench-durable-")
+    try:
+        with ParallelCluster(
+            workers=1, checkpoint_every=None, durable_dir=root
+        ) as cluster:
+            cluster.create_stream("tx", ["cardId"], **_ENGINE_STREAM)
+            cluster.create_metric(_ENGINE_METRIC)
+
+            def run_slice(chunk: Sequence[Event]) -> None:
+                cluster.send_batch("tx", chunk)
+
+            return _measure_slices(_slices(events, batch_size), run_slice)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 # -- crash recovery (from-zero vs from-checkpoint) ----------------------------
 
 #: events ingested before the crash in the recovery benches; the
@@ -414,6 +576,8 @@ def bench_recovery_from_checkpoint(events: list[Event], batch_size: int) -> dict
 BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
     "reservoir_append_per_event": bench_reservoir_append_per_event,
     "reservoir_append_batch": bench_reservoir_append_batch,
+    "reservoir_append_ties_per_event": bench_reservoir_append_ties_per_event,
+    "reservoir_append_ties_batch": bench_reservoir_append_ties_batch,
     "aggregate_update_per_event": bench_aggregate_update_per_event,
     "aggregate_update_batch": bench_aggregate_update_batch,
     "task_ingest_per_event": bench_task_ingest_per_event,
@@ -426,16 +590,22 @@ BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
     "engine_ingest_process_1f": bench_engine_ingest_process_1f,
     "engine_ingest_process_2f": bench_engine_ingest_process_2f,
     "engine_ingest_process_4f": bench_engine_ingest_process_4f,
+    "engine_ingest_process_durable": bench_engine_ingest_process_durable,
+    "log_append_fsync_never": bench_log_append_fsync_never,
+    "log_append_fsync_batch": bench_log_append_fsync_batch,
+    "log_append_fsync_always": bench_log_append_fsync_always,
+    "durable_recovery_reopen": bench_durable_recovery_reopen,
     "recovery_from_zero": bench_recovery_from_zero,
     "recovery_from_checkpoint": bench_recovery_from_checkpoint,
 }
 
-#: e2e benches: heavier per event (whole cluster per run), so they get a
-#: capped event budget and skip the generic warmup pass.
+#: e2e + disk-touching benches: heavier per event (whole cluster, or an
+#: fsync, per run), so they get a capped event budget and skip the
+#: generic warmup pass.
 ENGINE_BENCHES = frozenset(
     name
     for name in BENCHES
-    if name.startswith(("engine_ingest", "recovery_"))
+    if name.startswith(("engine_ingest", "recovery_", "log_append", "durable_"))
 )
 
 

@@ -184,6 +184,20 @@ def create_cluster(execution: str = "single", **kwargs):
       :class:`~repro.shard.router.ClusterRouter`, each owning a sticky
       slice of the partition space and shipping work to the workers
       over its own data sockets (see ``docs/ARCHITECTURE.md``).
+
+    Every topology accepts ``durable_dir=<path>``: partition logs then
+    live in disk-backed segment files
+    (:class:`~repro.messaging.durable.DurableBus`), the shard
+    topologies persist their checkpoint store next to them, and
+    checkpoint-aware truncation deletes segments below every stored
+    checkpoint offset. Reopening a single-coordinator ``process``-mode
+    cluster (``frontends=1``) over the same directory recovers
+    catalogue, logs and checkpoints from disk and replays only each
+    task's uncheckpointed tail; in the sharded-frontend topology the
+    durable recovery unit is the *frontend process* (crashed frontends
+    reopen their on-disk logs), while a full ``ClusterRouter`` reopen
+    still requires re-issuing DDL (see the "Durability" section of
+    ``docs/ARCHITECTURE.md``).
     """
     if execution == "single":
         return RailgunCluster(**kwargs)
@@ -212,11 +226,19 @@ class RailgunCluster:
         unit_config: UnitConfig | None = None,
         tick_ms: int = 1,
         assignment_strategy: object | None = None,
+        durable_dir: str | None = None,
+        durable_fsync: str = "batch",
     ) -> None:
         if nodes <= 0:
             raise EngineError(f"need at least one node: {nodes}")
         self.clock = ManualClock(start_ms=1)
-        self.bus = MessageBus(brokers=brokers)
+        self.durable_dir = durable_dir
+        if durable_dir is not None:
+            from repro.messaging.durable import DurableBus
+
+            self.bus = DurableBus(durable_dir, brokers=brokers, fsync=durable_fsync)
+        else:
+            self.bus = MessageBus(brokers=brokers)
         self.coordinator = GroupCoordinator(self.bus, session_timeout_ms)
         self.coordinator.external_authority = self._on_group_change
         # Any object with .assign(tasks, processors, previous) works —
@@ -635,6 +657,40 @@ class RailgunCluster:
                 "replicas": assignment.replicas_of(tp),
             }
         return snapshot
+
+    # -- durability -----------------------------------------------------------------
+
+    def flush_logs(self) -> None:
+        """Write out the durable bus's buffers (no-op without ``durable_dir``)."""
+        if self.durable_dir is not None:
+            self.bus.flush()
+
+    def truncate_logs_below_committed(self) -> None:
+        """Checkpoint-aware retention for the cooperative topology.
+
+        Deletes whole segments below the active group's committed offset
+        per event task. Deliberately explicit (not wired to a cadence):
+        the cooperative engine's replica consumers may still rewind
+        further than the committed offset, so truncation is a policy the
+        embedder opts into.
+        """
+        if self.durable_dir is None:
+            return
+        self.bus.flush()
+        offsets = {}
+        from repro.engine.processor import ACTIVE_GROUP
+
+        for topic in self._event_topics():
+            for tp in self.bus.topic_partitions(topic):
+                committed = self.bus.committed_offset(ACTIVE_GROUP, tp)
+                if committed:
+                    offsets[tp] = committed
+        self.bus.truncate_below(offsets)
+
+    def close(self) -> None:
+        """Flush and release the durable bus (no-op when in-memory)."""
+        if self.durable_dir is not None:
+            self.bus.close()
 
     def total_messages_processed(self) -> int:
         """Sum over all units (actives + replicas double-count by design)."""

@@ -21,6 +21,7 @@ from repro.messaging.consumer import (
     PartitionView,
     RebalanceListener,
 )
+from repro.messaging.durable import DurableBus, DurableLog
 from repro.messaging.groups import (
     GroupCoordinator,
     range_assignor,
@@ -29,6 +30,7 @@ from repro.messaging.groups import (
 )
 from repro.messaging.log import Message, PartitionLog, TopicPartition
 from repro.messaging.producer import Producer
+from repro.messaging.segments import FsyncPolicy, SegmentConfig, SegmentedLog
 
 __all__ = [
     "Message",
@@ -44,4 +46,9 @@ __all__ = [
     "range_assignor",
     "round_robin_assignor",
     "sticky_assignor",
+    "FsyncPolicy",
+    "SegmentConfig",
+    "SegmentedLog",
+    "DurableBus",
+    "DurableLog",
 ]

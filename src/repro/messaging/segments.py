@@ -1,0 +1,515 @@
+"""Append-only segmented log files — the disk half of the durable bus.
+
+Kafka's durability story (paper §3.3) is offset-addressed partition logs
+on disk: consumers rewind to a committed offset and replay exactly the
+uncommitted tail, and retention deletes whole segments from the front.
+:class:`SegmentedLog` implements that file layout for one partition:
+
+- **Segments**: fixed-size append-only files named by their base offset
+  (``seg-<base>.log``). The highest-base segment is *active* (the only
+  one written); lower segments are complete and immutable.
+- **Records**: CRC-framed via :mod:`repro.common.serde`, so torn tail
+  writes are detected::
+
+      u32 crc | varint length | body          (crc over body)
+      body := varint rel_offset | payload     (payload = caller bytes)
+
+  ``rel_offset`` is the record's offset minus the segment base — it is
+  redundant with the record's ordinal and is verified on read, turning
+  a misplaced frame into a detected corruption instead of silent offset
+  drift.
+- **Sparse index**: every ``index_interval``-th record appends
+  ``varint rel_offset | varint file_pos`` to ``seg-<base>.idx``. The
+  index is advisory — a reader missing (or distrusting) it scans from
+  the segment start; a torn index tail is simply ignored.
+- **Buffered appends + fsync policy**: appends land in an in-process
+  buffer and reach the file according to :class:`FsyncPolicy` — every
+  record (``ALWAYS``), whenever the buffer exceeds ``flush_bytes`` or
+  an explicit :meth:`SegmentedLog.flush` (``BATCH``), or with no fsync
+  at all (``NEVER``: the OS decides, nothing survives power loss by
+  contract).
+- **Torn-tail truncation on open**: recovery scans the active segment
+  frame by frame and truncates the file at the first incomplete or
+  CRC-failing frame — everything before it is durable, everything after
+  is the torn tail of an interrupted write.
+- **Truncation**: :meth:`SegmentedLog.truncate_below` deletes whole
+  segments that lie entirely below an offset (checkpoint-aware
+  retention); :meth:`SegmentedLog.truncate_to` drops the record tail at
+  or above an offset (the consistent-cut rollback a recovering frontend
+  applies before replaying its write-ahead journal).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common import serde
+from repro.common.errors import MessagingError
+
+_SEG_SUFFIX = ".log"
+_IDX_SUFFIX = ".idx"
+_SEG_PREFIX = "seg-"
+
+
+class FsyncPolicy(enum.Enum):
+    """When appended records are fsynced to the segment file."""
+
+    NEVER = "never"
+    BATCH = "batch"
+    ALWAYS = "always"
+
+
+def fsync_policy(name: "FsyncPolicy | str") -> FsyncPolicy:
+    """Coerce a policy name (``"never"|"batch"|"always"``) to the enum."""
+    if isinstance(name, FsyncPolicy):
+        return name
+    try:
+        return FsyncPolicy(name)
+    except ValueError:
+        raise MessagingError(
+            f"unknown fsync policy {name!r}; use never, batch or always"
+        ) from None
+
+
+@dataclass
+class SegmentConfig:
+    """Tuning knobs of one segmented log."""
+
+    segment_bytes: int = 1 << 20  # roll the active segment at this size
+    flush_bytes: int = 1 << 16  # BATCH/NEVER: write out the buffer at this size
+    index_interval: int = 64  # records between sparse index entries
+    fsync: FsyncPolicy = FsyncPolicy.BATCH
+
+
+def _segment_path(root: str, base: int) -> str:
+    return os.path.join(root, f"{_SEG_PREFIX}{base:020d}{_SEG_SUFFIX}")
+
+
+def _base_of(name: str) -> int | None:
+    if not (name.startswith(_SEG_PREFIX) and name.endswith(_SEG_SUFFIX)):
+        return None
+    digits = name[len(_SEG_PREFIX):-len(_SEG_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str) -> None:
+    """Make file creations/renames/deletions in a directory durable.
+
+    fsync on a file covers its *contents*; the directory entry itself
+    needs its own fsync or a rename/create can vanish on power loss.
+    Best effort: some filesystems refuse directory fsync, and the
+    fallback there is the same torn-state recovery the CRC framing
+    already provides.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _frame(rel_offset: int, payload: bytes) -> bytes:
+    body = bytearray()
+    serde.write_varint(body, rel_offset)
+    body.extend(payload)
+    record = bytearray()
+    serde.write_u32(record, serde.crc32_of(body))
+    serde.write_varint(record, len(body))
+    record.extend(body)
+    return bytes(record)
+
+
+def _scan_frames(data: bytes) -> Iterator[tuple[int, int, int, bytes]]:
+    """Yield ``(file_pos, end_pos, rel_offset, payload)`` for intact frames.
+
+    Stops silently at the first truncated or corrupt frame — the torn
+    tail of an interrupted write; everything before it is durable.
+    """
+    position = 0
+    size = len(data)
+    while position < size:
+        try:
+            crc, after_crc = serde.read_u32(data, position)
+            length, body_start = serde.read_varint(data, after_crc)
+        except Exception:
+            return
+        end = body_start + length
+        if end > size:
+            return
+        body = data[body_start:end]
+        if serde.crc32_of(body) != crc:
+            return
+        try:
+            rel_offset, payload_start = serde.read_varint(body, 0)
+        except Exception:
+            return
+        yield position, end, rel_offset, body[payload_start:]
+        position = end
+
+
+class _Segment:
+    """One completed (read-only) segment file."""
+
+    __slots__ = ("base", "end", "path")
+
+    def __init__(self, base: int, end: int, path: str) -> None:
+        self.base = base
+        self.end = end  # first offset past this segment
+        self.path = path
+
+
+class SegmentedLog:
+    """One partition's records on disk, split into offset-named segments."""
+
+    def __init__(self, root: str, config: SegmentConfig | None = None) -> None:
+        self.root = root
+        self.config = config if config is not None else SegmentConfig()
+        os.makedirs(root, exist_ok=True)
+        #: completed segments, ascending base offset.
+        self._segments: list[_Segment] = []
+        self._active_base = 0
+        self._active_size = 0  # durable bytes already in the active file
+        self._active_count = 0  # records in the active segment (incl. buffered)
+        self._buffer = bytearray()
+        self._index_buffer = bytearray()
+        self._records_since_index = 0
+        self.appends = 0
+        self.fsyncs = 0
+        self._recover()
+
+    # -- life-cycle ------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild segment metadata; truncate the active segment's torn tail."""
+        bases = sorted(
+            base
+            for name in os.listdir(self.root)
+            if (base := _base_of(name)) is not None
+        )
+        if not bases:
+            self._create_active(0)
+            return
+        # All but the highest-base segment were completed by a roll (the
+        # roll writes + fsyncs the old file before creating the new one);
+        # their record counts define the chain of end offsets. The active
+        # segment gets the torn-tail scan + truncate.
+        for position, base in enumerate(bases):
+            path = _segment_path(self.root, base)
+            if position < len(bases) - 1:
+                end = bases[position + 1]
+                self._segments.append(_Segment(base, end, path))
+            else:
+                self._active_base = base
+                good_end, count = self._scan_active(path)
+                self._active_size = good_end
+                self._active_count = count
+
+    def _scan_active(self, path: str) -> tuple[int, int]:
+        with open(path, "rb") as handle:
+            data = handle.read()
+        good_end = 0
+        count = 0
+        expected_rel = 0
+        for _pos, end, rel_offset, _payload in _scan_frames(data):
+            if rel_offset != expected_rel:
+                break  # misplaced frame: treat like a torn tail
+            good_end = end
+            count += 1
+            expected_rel += 1
+        if good_end < len(data):
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+            _fsync_file(path)
+            # The index may point past the truncated tail; drop it — it
+            # is advisory and rebuilt as appends resume.
+            idx = path[: -len(_SEG_SUFFIX)] + _IDX_SUFFIX
+            if os.path.exists(idx):
+                os.remove(idx)
+        return good_end, count
+
+    def _create_active(self, base: int) -> None:
+        self._active_base = base
+        self._active_size = 0
+        self._active_count = 0
+        self._records_since_index = 0
+        path = _segment_path(self.root, base)
+        with open(path, "ab"):
+            pass
+        if self.config.fsync is not FsyncPolicy.NEVER:
+            fsync_dir(self.root)
+
+    def _active_path(self) -> str:
+        return _segment_path(self.root, self._active_base)
+
+    def _index_path(self) -> str:
+        return os.path.join(
+            self.root, f"{_SEG_PREFIX}{self._active_base:020d}{_IDX_SUFFIX}"
+        )
+
+    def close(self) -> None:
+        """Write out buffered records (fsynced unless policy NEVER)."""
+        self.flush()
+
+    # -- append path -----------------------------------------------------------
+
+    @property
+    def start_offset(self) -> int:
+        """Lowest offset still retained (advances with truncation)."""
+        if self._segments:
+            return self._segments[0].base
+        return self._active_base
+
+    @property
+    def end_offset(self) -> int:
+        """Offset the next append will receive."""
+        return self._active_base + self._active_count
+
+    def append(self, payload: bytes) -> int:
+        """Frame and buffer one record; returns its assigned offset."""
+        rel = self._active_count
+        if self._records_since_index == 0:
+            entry = bytearray()
+            serde.write_varint(entry, rel)
+            serde.write_varint(entry, self._active_size + len(self._buffer))
+            self._index_buffer.extend(entry)
+        self._records_since_index = (
+            self._records_since_index + 1
+        ) % max(1, self.config.index_interval)
+        offset = self._active_base + rel
+        self._buffer.extend(_frame(rel, payload))
+        self._active_count += 1
+        self.appends += 1
+        policy = self.config.fsync
+        if policy is FsyncPolicy.ALWAYS:
+            self.flush()
+        elif len(self._buffer) >= self.config.flush_bytes:
+            self.flush()
+        if self._active_size + len(self._buffer) >= self.config.segment_bytes:
+            self._roll()
+        return offset
+
+    def flush(self) -> None:
+        """Write buffered records out; fsync unless the policy is NEVER."""
+        wrote = self._write_out()
+        if wrote and self.config.fsync is not FsyncPolicy.NEVER:
+            _fsync_file(self._active_path())
+            self.fsyncs += 1
+
+    def _write_out(self) -> bool:
+        if not self._buffer and not self._index_buffer:
+            return False
+        if self._buffer:
+            with open(self._active_path(), "ab") as handle:
+                handle.write(self._buffer)
+            self._active_size += len(self._buffer)
+            self._buffer.clear()
+        if self._index_buffer:
+            with open(self._index_path(), "ab") as handle:
+                handle.write(self._index_buffer)
+            self._index_buffer.clear()
+        return True
+
+    def _roll(self) -> None:
+        """Seal the active segment and open the next one.
+
+        The old file is written and fsynced (even under BATCH) before
+        the new one exists, so every non-active segment on disk is
+        complete — recovery only ever scans the highest-base file.
+        """
+        self._write_out()
+        if self.config.fsync is not FsyncPolicy.NEVER:
+            _fsync_file(self._active_path())
+            self.fsyncs += 1
+        self._segments.append(
+            _Segment(self._active_base, self.end_offset, self._active_path())
+        )
+        self._create_active(self.end_offset)
+
+    # -- read path -------------------------------------------------------------
+
+    def records(self, from_offset: int, max_records: int | None = None):
+        """Yield ``(offset, payload)`` at ``from_offset`` onwards.
+
+        Reads below :attr:`start_offset` clamp to it (the records were
+        retention-truncated away, exactly like a Kafka earliest reset).
+        """
+        self._write_out()  # make the files authoritative
+        from_offset = max(from_offset, self.start_offset)
+        remaining = max_records if max_records is not None else -1
+        while from_offset < self.end_offset and remaining != 0:
+            base, path, seg_end = self._locate(from_offset)
+            for offset, payload in self._scan_segment(path, base, from_offset):
+                yield offset, payload
+                from_offset = offset + 1
+                if remaining > 0:
+                    remaining -= 1
+                    if remaining == 0:
+                        return
+                if from_offset >= seg_end:
+                    break
+            else:
+                return  # segment exhausted early (shouldn't happen)
+
+    def _locate(self, offset: int) -> tuple[int, str, int]:
+        bases = [segment.base for segment in self._segments]
+        position = bisect_right(bases, offset) - 1
+        if 0 <= position < len(self._segments):
+            segment = self._segments[position]
+            if offset < segment.end:
+                return segment.base, segment.path, segment.end
+        return self._active_base, self._active_path(), self.end_offset
+
+    def _scan_segment(self, path: str, base: int, from_offset: int):
+        target_rel = from_offset - base
+        start_pos = self._index_seek(path, target_rel)
+        with open(path, "rb") as handle:
+            handle.seek(start_pos)
+            data = handle.read()
+        for _pos, _end, rel, payload in _scan_frames(data):
+            offset = base + rel
+            if offset >= self.end_offset:
+                return
+            if offset >= from_offset:
+                yield offset, payload
+
+    def _index_seek(self, path: str, target_rel: int) -> int:
+        """Best index position at or before ``target_rel`` (0 if no index)."""
+        idx_path = path[: -len(_SEG_SUFFIX)] + _IDX_SUFFIX
+        if not os.path.exists(idx_path):
+            return 0
+        with open(idx_path, "rb") as handle:
+            data = handle.read()
+        best = 0
+        position = 0
+        while position < len(data):
+            try:
+                rel, position2 = serde.read_varint(data, position)
+                pos, position2 = serde.read_varint(data, position2)
+            except Exception:
+                break  # torn index tail: advisory, ignore
+            if rel > target_rel:
+                break
+            best = pos
+            position = position2
+        return best
+
+    # -- truncation ------------------------------------------------------------
+
+    def truncate_below(self, offset: int) -> int:
+        """Delete whole segments entirely below ``offset``; returns the
+        new :attr:`start_offset`.
+
+        The active segment is never deleted, so the log always accepts
+        appends at :attr:`end_offset`; a record at ``offset`` itself is
+        always retained.
+        """
+        removed = False
+        while self._segments and self._segments[0].end <= offset:
+            segment = self._segments.pop(0)
+            self._remove_segment_files(segment.path)
+            removed = True
+        if removed and self.config.fsync is not FsyncPolicy.NEVER:
+            fsync_dir(self.root)
+        return self.start_offset
+
+    def truncate_to(self, end_offset: int) -> None:
+        """Drop every record at or above ``end_offset`` (tail rollback).
+
+        This is the consistent-cut recovery primitive: a frontend that
+        crashed mid-flush rolls its log back to the last cut its meta
+        file recorded, then replays its write-ahead journal from there.
+        """
+        if end_offset >= self.end_offset:
+            return
+        if end_offset < self.start_offset:
+            raise MessagingError(
+                f"cannot truncate to {end_offset}: below retained start "
+                f"{self.start_offset}"
+            )
+        self._buffer.clear()
+        self._index_buffer.clear()
+        if end_offset <= self._active_base:
+            # The whole active file is past the cut; so are completed
+            # segments whose base is at or past it.
+            self._remove_segment_files(self._active_path())
+            while self._segments and self._segments[-1].base >= end_offset:
+                self._remove_segment_files(self._segments.pop().path)
+            if self.config.fsync is not FsyncPolicy.NEVER:
+                fsync_dir(self.root)
+            if self._segments and self._segments[-1].end > end_offset:
+                # The cut lands inside this completed segment: it
+                # becomes the active segment again and is trimmed below.
+                segment = self._segments.pop()
+                self._active_base = segment.base
+                self._active_size = os.path.getsize(segment.path)
+                self._active_count = segment.end - segment.base
+            else:
+                # The cut is exactly a segment boundary (or the log is
+                # now empty): fresh, empty active file at the cut.
+                self._create_active(end_offset)
+                return
+        self._truncate_active_at(end_offset)
+
+    def _truncate_active_at(self, end_offset: int) -> None:
+        target_rel = end_offset - self._active_base
+        path = self._active_path()
+        with open(path, "rb") as handle:
+            data = handle.read()
+        cut_pos = len(data)
+        count = 0
+        for pos, _end, rel, _payload in _scan_frames(data):
+            if rel >= target_rel:
+                cut_pos = pos
+                break
+            count = rel + 1
+        with open(path, "r+b") as handle:
+            handle.truncate(cut_pos)
+        _fsync_file(path)
+        self._active_size = cut_pos
+        self._active_count = count
+        self._records_since_index = 0
+        self._remove_index()
+
+    def _remove_index(self) -> None:
+        idx = self._index_path()
+        if os.path.exists(idx):
+            os.remove(idx)
+
+    @staticmethod
+    def _remove_segment_files(path: str) -> None:
+        for target in (path, path[: -len(_SEG_SUFFIX)] + _IDX_SUFFIX):
+            if os.path.exists(target):
+                os.remove(target)
+
+    # -- introspection ---------------------------------------------------------
+
+    def segment_spans(self) -> list[tuple[int, int]]:
+        """``(base, end)`` per on-disk segment, active last."""
+        spans = [(segment.base, segment.end) for segment in self._segments]
+        spans.append((self._active_base, self.end_offset))
+        return spans
+
+    def disk_bytes(self) -> int:
+        """Bytes currently on disk (excluding unwritten buffer)."""
+        total = 0
+        for name in os.listdir(self.root):
+            if name.endswith((_SEG_SUFFIX, _IDX_SUFFIX)):
+                total += os.path.getsize(os.path.join(self.root, name))
+        return total

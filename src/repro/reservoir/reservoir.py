@@ -174,13 +174,14 @@ class EventReservoir:
 
         The per-event bookkeeping is amortized across the batch: the
         schema-roll check runs once (the registry cannot change
-        mid-batch), and runs of fresh in-order events — timestamp
-        strictly above ``max_seen_ts``, id unseen — skip the horizon/
-        out-of-order/chunk-targeting probes entirely and bulk-extend the
-        open chunk's tail, with one expiry/flush decision per batch.
-        Events that are late, duplicated, or tie an earlier timestamp
-        fall back to :meth:`append`, so results stay byte-identical to
-        the per-event path for every input. With an out-of-order grace
+        mid-batch), and runs of fresh in-order events — timestamp at or
+        above ``max_seen_ts`` (equal-timestamp tie groups included), id
+        unseen — skip the horizon/out-of-order/chunk-targeting probes
+        entirely and bulk-extend the open chunk's tail, with one
+        expiry/flush decision per batch. Events that are late,
+        duplicated, or tie a timestamp something already sealed at fall
+        back to :meth:`append`, so results stay byte-identical to the
+        per-event path for every input. With an out-of-order grace
         period the per-event expiry cadence is kept (transition chunks
         must persist mid-batch exactly when the per-event path would
         persist them), amortizing only the schema and targeting checks.
@@ -207,28 +208,37 @@ class EventReservoir:
         index, count = 0, len(events)
         while index < count:
             event = events[index]
+            timestamp = event.timestamp
+            # Equal-timestamp ties ride the slab path too: a tie lands
+            # at the open chunk's tail exactly like a fresh event, as
+            # long as nothing sealed at (or rewrote past) its timestamp.
             # A fresh timestamp can still sit at or below the closed
             # horizon when rewritten events sealed a chunk *ahead* of
-            # ``max_seen_ts``; those must take the per-event path so the
-            # out-of-order policy applies exactly as append() would.
+            # ``max_seen_ts``; those — and ties under a rewritten-ahead
+            # open tail — take the per-event path so the out-of-order
+            # policy applies exactly as append() would.
+            open_events = self._open.events
+            tie_at_tail = timestamp == self._max_seen_ts and (
+                not open_events or open_events[-1].timestamp <= timestamp
+            )
             if (
-                event.timestamp <= self._max_seen_ts
+                (timestamp <= self._max_seen_ts and not tie_at_tail)
                 or event.event_id in dedup
-                or event.timestamp <= self._closed_horizon()
+                or timestamp <= self._closed_horizon()
             ):
                 results.append(self.append(event))
                 index += 1
                 continue
-            # Scan ahead: the longest run of fresh, strictly-increasing,
-            # unique events starting here.
+            # Scan ahead: the longest run of fresh, non-decreasing,
+            # unique events starting here (tie groups stay in the run).
             run_end = index + 1
-            last_ts = event.timestamp
+            last_ts = timestamp
             run_ids = {event.event_id}
             while run_end < count:
                 candidate = events[run_end]
                 next_ts = candidate.timestamp
                 next_id = candidate.event_id
-                if next_ts <= last_ts or next_id in dedup or next_id in run_ids:
+                if next_ts < last_ts or next_id in dedup or next_id in run_ids:
                     break
                 last_ts = next_ts
                 run_ids.add(next_id)
@@ -239,6 +249,13 @@ class EventReservoir:
             # bulk extend, one close decision per slab.
             start, run_len = 0, len(run)
             while start < run_len:
+                if run[start].timestamp <= self._closed_horizon():
+                    # A chunk sealed mid-run exactly at a tie timestamp:
+                    # the remaining tie members are below the horizon
+                    # now and must follow the out-of-order policy.
+                    for late in run[start:]:
+                        results.append(self.append(late))
+                    break
                 open_chunk = self._open
                 open_events = open_chunk.events
                 space = chunk_max - len(open_events)

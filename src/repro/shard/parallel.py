@@ -42,6 +42,7 @@ supervisor's store and replays only the tail.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Any, Iterable, Mapping
 
 from repro.common.clock import ManualClock
@@ -63,6 +64,7 @@ from repro.engine.cluster import (
     _normalize_fields,
     build_metric_def,
     build_stream_def,
+    validate_new_partitioner,
 )
 from repro.engine.envelope import EventEnvelope, ReplyEnvelope
 from repro.engine.node import RailgunNode
@@ -70,10 +72,32 @@ from repro.engine.processor import ACTIVE_GROUP, UnitConfig
 from repro.events.event import Event
 from repro.messaging.broker import MessageBus
 from repro.messaging.consumer import PartitionView
+from repro.messaging.durable import DurableBus, resolve_durable_dir
 from repro.messaging.log import TopicPartition
 from repro.messaging.producer import Producer
 from repro.shard import wire
 from repro.shard.supervisor import ShardSupervisor
+
+
+def op_to_wire(op: object) -> object:
+    """The control-plane frame replicating one catalogue DDL op.
+
+    Shared by the live DDL path (:meth:`ParallelCluster._publish_op`)
+    and the durable reopen path (which replays the operations log into
+    freshly spawned workers), so the two replication routes cannot
+    drift apart.
+    """
+    if isinstance(op, CreateStreamOp):
+        return wire.CreateStream(op.stream)
+    if isinstance(op, CreateMetricOp):
+        return wire.CreateMetric(op.metric)
+    if isinstance(op, DeleteMetricOp):
+        return wire.DeleteMetric(op.metric_id)
+    if isinstance(op, EvolveSchemaOp):
+        return wire.EvolveSchema(op.stream, op.new_fields)
+    if isinstance(op, AddPartitionerOp):
+        return wire.AddPartitioner(op.stream, op.partitioner)
+    raise EngineError(f"unknown operation {op!r}")
 
 #: node id of the coordinator-side frontend (mirrors RailgunCluster).
 FRONTEND_NODE = "node-0"
@@ -91,9 +115,17 @@ class ParallelCluster:
         checkpoint_every: int | None = 2048,
         assignment_strategy: object | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
+        durable_dir: str | None = None,
+        durable_fsync: str = "batch",
     ) -> None:
         self.clock = ManualClock(start_ms=1)
-        self.bus = MessageBus()
+        self.durable_dir = resolve_durable_dir(durable_dir, "parallel")
+        if self.durable_dir is not None:
+            self.bus = DurableBus(
+                os.path.join(self.durable_dir, "bus"), fsync=durable_fsync
+            )
+        else:
+            self.bus = MessageBus()
         self.catalog = Catalog()
         self.tick_ms = tick_ms
         self.batch_max = batch_max
@@ -111,6 +143,11 @@ class ParallelCluster:
             strategy=assignment_strategy,
             checkpoint_interval=checkpoint_every,
             mp_context=mp_context,
+            checkpoint_dir=(
+                os.path.join(self.durable_dir, "checkpoints")
+                if self.durable_dir is not None
+                else None
+            ),
         )
         self.supervisor.on_restart = self._on_worker_restart
         self._views: dict[str, PartitionView] = {
@@ -122,8 +159,34 @@ class ParallelCluster:
         self._watermarks: dict[TopicPartition, int] = {}
         #: envelopes shipped but not yet replied, keyed by (task, offset).
         self._pending: dict[tuple[TopicPartition, int], EventEnvelope] = {}
+        #: checkpoint-store version the logs were last truncated against.
+        self._truncated_at = 0
         self.rebalance_count = 0
         self._closed = False
+        if self.durable_dir is not None and self.bus.recovered:
+            self._recover_from_disk()
+
+    def _recover_from_disk(self) -> None:
+        """Coordinator restart: rebuild the world from the durable state.
+
+        The operations log replays into the catalogue and (as control
+        frames) into every worker; the replied watermarks come back from
+        the bus's committed offsets; the rebalance then ships the
+        persisted checkpoint store into the fresh workers and seeks each
+        task to its checkpointed offset — replay is bounded by the
+        uncheckpointed tail, never the log length.
+        """
+        ops_tp = TopicPartition(OPERATIONS_TOPIC, 0)
+        for message in self.bus.read(ops_tp, 0, self.bus.end_offset(ops_tp)):
+            op = message.value
+            self.catalog.apply(op)
+            self.supervisor.broadcast_control(op_to_wire(op))
+        for topic in self._event_topics():
+            for tp in self.bus.topic_partitions(topic):
+                committed = self.bus.committed_offset(ACTIVE_GROUP, tp)
+                if committed:
+                    self._watermarks[tp] = committed
+        self._rebalance()
 
     # -- topology -------------------------------------------------------------
 
@@ -186,26 +249,21 @@ class ParallelCluster:
             count = 1 if partitioner == GLOBAL_PARTITIONER else partitions
             self.bus.create_topic(topic_name(name, partitioner), partitions=count)
         self._publish_op(CreateStreamOp(stream))
-        self.supervisor.broadcast_control(wire.CreateStream(stream))
         self._rebalance()
 
     def create_metric(self, query_text: str, backfill: bool = False) -> int:
         """Register a metric from a Figure 4 statement; returns metric id."""
         metric = build_metric_def(self.catalog, query_text, backfill)
         self._publish_op(CreateMetricOp(metric))
-        self.supervisor.broadcast_control(wire.CreateMetric(metric))
         return metric.metric_id
 
     def delete_metric(self, metric_id: int) -> None:
         """Remove a metric cluster-wide."""
         self._publish_op(DeleteMetricOp(metric_id))
-        self.supervisor.broadcast_control(wire.DeleteMetric(metric_id))
 
     def evolve_schema(self, stream: str, new_fields: object) -> None:
         """Append fields to a stream schema (old chunks stay readable)."""
-        fields = _normalize_fields(new_fields)
-        self._publish_op(EvolveSchemaOp(stream, fields))
-        self.supervisor.broadcast_control(wire.EvolveSchema(stream, fields))
+        self._publish_op(EvolveSchemaOp(stream, _normalize_fields(new_fields)))
 
     def add_partitioner(self, stream: str, partitioner: str) -> None:
         """Add a top-level partitioner after stream creation (§4)."""
@@ -215,12 +273,18 @@ class ParallelCluster:
         count = 1 if partitioner == GLOBAL_PARTITIONER else stream_def.partitions
         self.bus.create_topic(topic_name(stream, partitioner), partitions=count)
         self._publish_op(AddPartitionerOp(stream, partitioner))
-        self.supervisor.broadcast_control(wire.AddPartitioner(stream, partitioner))
         self._rebalance()
 
     def _publish_op(self, op: object) -> None:
+        """Apply one DDL op locally, log it, replicate it to workers.
+
+        The same :func:`op_to_wire` mapping serves the durable reopen
+        path, so the live broadcast and the operations-log replay can
+        never drift apart.
+        """
         self.catalog.apply(op)
         self._ops_producer.send(OPERATIONS_TOPIC, key=None, value=op)
+        self.supervisor.broadcast_control(op_to_wire(op))
 
     def _event_topics(self) -> list[str]:
         return sorted(
@@ -411,7 +475,22 @@ class ParallelCluster:
             raise EngineError(
                 "shard worker failed:\n" + self.supervisor.worker_errors[-1]
             )
+        self._truncate_durable_logs()
         return published
+
+    def _truncate_durable_logs(self) -> None:
+        """Checkpoint-aware retention: whenever the checkpoint store
+        advanced, flush the bus and delete every segment wholly below
+        each task's stored checkpoint offset (ROADMAP: the logs no
+        longer grow without bound)."""
+        if self.durable_dir is None:
+            return
+        store = self.supervisor.checkpoints
+        if store.stored == self._truncated_at:
+            return
+        self._truncated_at = store.stored
+        self.bus.flush()
+        self.bus.truncate_below(store.offsets())
 
     # -- rebalance / recovery -------------------------------------------------
 
@@ -485,13 +564,17 @@ class ParallelCluster:
         checkpoint store; returns the checkpointed offsets. Subsequent
         crash recovery or rebalance replays only records past them.
         """
-        return self.supervisor.request_checkpoints(with_state=True)
+        offsets = self.supervisor.request_checkpoints(with_state=True)
+        self._truncate_durable_logs()
+        return offsets
 
     def close(self) -> None:
-        """Stop every worker process; idempotent."""
+        """Stop every worker process (and flush the durable bus); idempotent."""
         if not self._closed:
             self._closed = True
             self.supervisor.shutdown()
+            if self.durable_dir is not None:
+                self.bus.close()
 
     def __enter__(self) -> "ParallelCluster":
         return self

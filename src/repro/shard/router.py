@@ -104,6 +104,12 @@ from repro.engine.processor import ACTIVE_GROUP, UnitConfig
 from repro.events.event import Event
 from repro.messaging.broker import MessageBus
 from repro.messaging.consumer import PartitionView
+from repro.messaging.durable import (
+    DurableBus,
+    read_cut,
+    resolve_durable_dir,
+    write_cut,
+)
 from repro.messaging.log import TopicPartition
 from repro.shard import wire
 from repro.shard.supervisor import ShardSupervisor, _default_context
@@ -165,12 +171,41 @@ class FrontendEngine:
         frontend_id: str,
         batch_max: int = 256,
         max_outstanding: int = 2,
+        durable_dir: str | None = None,
+        durable_fsync: str = "batch",
+        durable_segment_bytes: int = 1 << 20,
     ) -> None:
         self.frontend_id = frontend_id
         self.batch_max = batch_max
         self.max_outstanding = max_outstanding
         self.catalog = Catalog()
-        self.bus = MessageBus()
+        self.durable_dir = durable_dir
+        #: ingest frames durably applied behind the consistent cut; on a
+        #: respawn this comes back from disk and makes the router's
+        #: write-ahead journal replay idempotent (frames below it only
+        #: advance the sequence counter — their appends are already in
+        #: the reopened logs).
+        self._durable_applied = 0
+        #: sequence number the next IngestBatch will carry (implicit:
+        #: the router sends ingest frames in order, exactly once each).
+        self._ingest_seq = 0
+        self._ingested_since_sync = 0
+        self._durable_dirty = False
+        if durable_dir is not None:
+            self.bus = DurableBus(
+                durable_dir,
+                fsync=durable_fsync,
+                segment_bytes=durable_segment_bytes,
+            )
+            self._durable_applied, ends = read_cut(durable_dir)
+            self._ingest_seq = self._durable_applied
+            for tp in self.bus.all_partitions():
+                # Roll every log back to the cut: appends past it came
+                # from frames the journal replay will re-deliver.
+                log = self.bus.log(tp)
+                log.truncate_to(max(ends.get(tp, 0), log.start_offset))
+        else:
+            self.bus = MessageBus()
         self.view = PartitionView(self.bus, ACTIVE_GROUP)
         #: task -> owning worker id (installed by FrontendAssign).
         self.routes: dict[TopicPartition, str] = {}
@@ -212,6 +247,8 @@ class FrontendEngine:
             self.worker_restarted(msg)
         elif isinstance(msg, wire.DrainRequest):
             self.draining = msg.request_id
+        elif isinstance(msg, wire.TruncateLogs):
+            self.truncate_logs(msg)
         elif isinstance(msg, wire.CreateStream):
             self.catalog.apply(CreateStreamOp(msg.stream))
             self._create_topics(msg.stream.name)
@@ -261,13 +298,29 @@ class FrontendEngine:
         unreplied tail (workers replay-skip anything their state already
         covers and answer read-only). Explicit ``seeks`` override the
         start downwards for tasks whose worker restarted and needs its
-        tail re-shipped from the checkpointed offset.
+        tail re-shipped from the checkpointed offset. ``ingest_base``
+        aligns the ingest-frame sequence with the router's pruned
+        journal, so the durable skip rule sees the original numbering.
         """
+        self._ingest_seq = msg.ingest_base
         for tp, offset in msg.watermarks:
             self.watermarks[tp] = offset
             self.view.seek(tp, offset)
         for tp, offset in msg.seeks:
             self.view.seek(tp, min(offset, self.view.position(tp)))
+
+    def truncate_logs(self, msg: wire.TruncateLogs) -> None:
+        """Checkpoint-aware retention on this frontend's durable logs.
+
+        The cut is synced *first*: retention may delete completed
+        segments holding records newer than the last recorded cut, and
+        the cut's per-log end offsets must never fall below the
+        retention start or a later recovery could not roll back to it.
+        """
+        if self.durable_dir is None:
+            return
+        self.sync_durable(force=True)
+        self.bus.truncate_below(dict(msg.offsets))
 
     def worker_restarted(self, msg: wire.WorkerRestarted) -> None:
         """Re-link a restarted worker and rewind its tasks for replay.
@@ -334,13 +387,45 @@ class FrontendEngine:
     # -- data plane -----------------------------------------------------------
 
     def ingest(self, msg: wire.IngestBatch) -> None:
-        """Append routed events to the owned partition logs, in order."""
+        """Append routed events to the owned partition logs, in order.
+
+        Each ingest frame consumes one sequence number. A frame whose
+        sequence falls below the recovered durable cut is a write-ahead
+        journal replay of appends the reopened logs already hold — it
+        advances the sequence and nothing else.
+        """
+        seq = self._ingest_seq
+        self._ingest_seq = seq + 1
+        self.events_ingested += len(msg.entries)
+        if seq < self._durable_applied:
+            return
         log = self.bus.log
         for correlation_id, event, targets in msg.entries:
             for partitioner, partition in targets:
                 tp = TopicPartition(topic_name(msg.stream, partitioner), partition)
                 log(tp).append(correlation_id, event, event.timestamp)
-        self.events_ingested += len(msg.entries)
+        self._ingested_since_sync += 1
+
+    def sync_durable(self, force: bool = False) -> None:
+        """Advance the consistent cut: fsync the logs, then the cut file.
+
+        Ordering is the whole contract — data first, cut second — so the
+        cut never describes state the disk does not hold. After the cut
+        lands, every received ingest frame is durably applied; the next
+        :meth:`flush` reports that count so the router can prune its
+        write-ahead journal.
+        """
+        if self.durable_dir is None:
+            return
+        if not force and self._ingested_since_sync == 0:
+            return
+        self._ingested_since_sync = 0
+        self.bus.flush()
+        ends = {tp: self.bus.log(tp).end_offset for tp in self.bus.all_partitions()}
+        write_cut(self.durable_dir, self._ingest_seq, ends)
+        if self._ingest_seq > self._durable_applied:
+            self._durable_applied = self._ingest_seq
+            self._durable_dirty = True
 
     def dispatch(self) -> int:
         """Ship contiguous offset runs to their owning workers."""
@@ -407,7 +492,10 @@ class FrontendEngine:
 
     def flush(self, conn) -> None:
         """Ship buffered replies/progress to the router; ack drains."""
-        if self._reply_buf or self._wm_dirty or self._processed_buf:
+        if (
+            self._reply_buf or self._wm_dirty or self._processed_buf
+            or self._durable_dirty
+        ):
             entries = self._reply_buf
             self._reply_buf = []
             processed = tuple(
@@ -419,15 +507,17 @@ class FrontendEngine:
                 self._sorted_watermarks() if self._wm_dirty else ()
             )
             self._wm_dirty = False
+            self._durable_dirty = False
             chunks = [
                 entries[i:i + REPLY_CHUNK]
                 for i in range(0, len(entries), REPLY_CHUNK)
             ] or [[]]
-            # Watermarks ride the LAST chunk: the router snapshots them
-            # as replied-up-to-here, so they must never precede reply
-            # entries that could still be lost with this process — a
-            # crash mid-flush must leave the router's snapshot at or
-            # below the replies it actually received.
+            # Watermarks (and the durable cut) ride the LAST chunk: the
+            # router snapshots them as replied-up-to-here / prune-up-to-
+            # here, so they must never precede reply entries that could
+            # still be lost with this process — a crash mid-flush must
+            # leave the router's snapshot at or below the replies it
+            # actually received.
             last = len(chunks) - 1
             for index, chunk in enumerate(chunks):
                 conn.send_bytes(
@@ -436,6 +526,7 @@ class FrontendEngine:
                             chunk,
                             watermarks if index == last else (),
                             processed if index == last else (),
+                            self._durable_applied if index == last else 0,
                         )
                     )
                 )
@@ -458,17 +549,28 @@ def shard_frontend_main(
     frontend_id: str,
     batch_max: int = 256,
     max_outstanding: int = 2,
+    durable_dir: str | None = None,
+    durable_fsync: str = "batch",
+    durable_segment_bytes: int = 1 << 20,
 ) -> None:
     """Frontend process entrypoint: route, dispatch, merge — until stopped.
 
     One duplex pipe to the router (ingest + control in, replies out) and
     one data socket per routed worker. The router pipe is drained fully
     before worker traffic, so control messages (assignment, worker
-    restarts, drains) are applied before the work they govern. Any
+    restarts, drains) are applied before the work they govern. With
+    ``durable_dir`` the engine hosts disk-backed logs: each loop
+    iteration that ingested frames ends with a durable sync (log fsync,
+    then the consistent cut), whose applied-frame count rides the next
+    ``ReplyBatch`` so the router can prune its write-ahead journal. Any
     exception is reported as a ``WorkerError`` frame before the process
     exits, mirroring the shard worker contract.
     """
-    engine = FrontendEngine(frontend_id, batch_max, max_outstanding)
+    engine = FrontendEngine(
+        frontend_id, batch_max, max_outstanding, durable_dir,
+        durable_fsync=durable_fsync,
+        durable_segment_bytes=durable_segment_bytes,
+    )
     try:
         while True:
             wait_on = [conn, *engine.conns.values()]
@@ -477,6 +579,7 @@ def shard_frontend_main(
                 while True:
                     msg = wire.decode(conn.recv_bytes())
                     if isinstance(msg, wire.Shutdown):
+                        engine.sync_durable()
                         return
                     if isinstance(msg, wire.Crash):
                         os._exit(23)  # fault injection: die without cleanup
@@ -500,6 +603,7 @@ def shard_frontend_main(
                     # restart and this frontend re-seeks + replays then.
                     engine.link_down(worker_id)
             engine.dispatch()
+            engine.sync_durable()
             engine.flush(conn)
     except EOFError:
         return  # router went away; nothing left to reply to
@@ -537,10 +641,18 @@ class FrontendHandle:
     frontend_id: str
     process: multiprocessing.process.BaseProcess
     conn: object
-    #: ordered control+ingest frames — replayed verbatim into a respawn
-    #: to rebuild byte-identical partition logs. In-memory, unbounded.
-    journal: list[bytes] = field(default_factory=list)
+    #: ordered ``(ingest_seq, frame)`` entries (-1 for control frames) —
+    #: replayed into a respawn to rebuild byte-identical partition logs.
+    #: In-memory mode keeps every frame (the journal IS the durability
+    #: story); durable mode prunes ingest frames below the frontend's
+    #: reported cut, turning the journal into a bounded write-ahead
+    #: buffer (control frames stay: catalogue and routes are in-memory).
+    journal: list[tuple[int, bytes]] = field(default_factory=list)
     owned: set[TopicPartition] = field(default_factory=set)
+    #: sequence the next IngestBatch frame will carry.
+    ingest_seq: int = 0
+    #: ingest frames the frontend reported durably applied (prune base).
+    durable_seq: int = 0
     events_routed: int = 0
     replies_merged: int = 0
     restarts: int = 0
@@ -575,6 +687,9 @@ class ClusterRouter:
         assignment_strategy: object | None = None,
         frontend_strategy: object | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
+        durable_dir: str | None = None,
+        durable_fsync: str = "batch",
+        durable_segment_bytes: int = 1 << 20,
     ) -> None:
         if frontends <= 0:
             raise EngineError(f"need at least one frontend: {frontends}")
@@ -583,6 +698,9 @@ class ClusterRouter:
         self.tick_ms = tick_ms
         self.batch_max = batch_max
         self.ingest_max = ingest_max
+        self.durable_dir = resolve_durable_dir(durable_dir, "router")
+        self.durable_fsync = durable_fsync
+        self.durable_segment_bytes = durable_segment_bytes
         self._ctx = mp_context if mp_context is not None else _default_context()
         self._socket_dir = tempfile.mkdtemp(prefix="railgun-shard-")
         self.supervisor = ShardSupervisor(
@@ -592,6 +710,11 @@ class ClusterRouter:
             checkpoint_interval=checkpoint_every,
             mp_context=self._ctx,
             listen_dir=self._socket_dir,
+            checkpoint_dir=(
+                os.path.join(self.durable_dir, "checkpoints")
+                if self.durable_dir is not None
+                else None
+            ),
         )
         self.supervisor.on_restart = self._on_worker_restart
         self.frontend_strategy = (
@@ -621,15 +744,24 @@ class ClusterRouter:
         self._drain_acks: set[tuple[int, str]] = set()
         self.frontend_errors: list[str] = []
         self.rebalance_count = 0
+        #: checkpoint-store version the logs were last truncated against.
+        self._truncated_at = 0
         self._closed = False
 
     # -- topology -------------------------------------------------------------
 
     def _spawn_frontend(self, frontend_id: str) -> FrontendHandle:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        frontend_dir = None
+        if self.durable_dir is not None:
+            frontend_dir = os.path.join(self.durable_dir, "frontends", frontend_id)
+            os.makedirs(frontend_dir, exist_ok=True)
         process = self._ctx.Process(
             target=shard_frontend_main,
-            args=(child_conn, frontend_id, self.batch_max),
+            args=(
+                child_conn, frontend_id, self.batch_max, 2, frontend_dir,
+                self.durable_fsync, self.durable_segment_bytes,
+            ),
             name=f"railgun-{frontend_id}",
             daemon=True,
         )
@@ -742,7 +874,7 @@ class ClusterRouter:
     def _broadcast_frontends(self, msg: object) -> None:
         frame = wire.encode(msg)
         for handle in self._frontends.values():
-            handle.journal.append(frame)
+            handle.journal.append((-1, frame))
             try:
                 handle.conn.send_bytes(frame)
             except OSError:
@@ -878,7 +1010,8 @@ class ClusterRouter:
                 frame = wire.encode(
                     wire.IngestBatch(stream, entries[start:start + self.ingest_max])
                 )
-                handle.journal.append(frame)
+                handle.journal.append((handle.ingest_seq, frame))
+                handle.ingest_seq += 1
                 try:
                     handle.conn.send_bytes(frame)
                 except OSError:
@@ -896,6 +1029,7 @@ class ClusterRouter:
         self.clock.advance(self.tick_ms)
         handled = self._drain_replies()
         self.supervisor.poll(0.0)
+        self._truncate_durable_logs()
         self._raise_on_errors()
         self._respawn_dead_frontends()
         if handled == 0:
@@ -965,6 +1099,34 @@ class ClusterRouter:
             ack for ack in self._drain_acks if ack[0] != request_id
         }
 
+    def _truncate_durable_logs(self) -> None:
+        """Checkpoint-aware retention, fanned out to the log owners.
+
+        Whenever the (persistent) checkpoint store advanced, each
+        frontend is told the stored offsets of its owned tasks and
+        deletes every segment wholly below them — the on-disk footprint
+        stays bounded by the segments above the minimum checkpoint.
+        """
+        if self.durable_dir is None:
+            return
+        store = self.supervisor.checkpoints
+        if store.stored == self._truncated_at:
+            return
+        self._truncated_at = store.stored
+        offsets = store.offsets()
+        for handle in self._frontends.values():
+            owned = tuple(
+                (tp, offsets[tp])
+                for tp in sorted(handle.owned, key=str)
+                if offsets.get(tp, 0) > 0
+            )
+            if not owned:
+                continue
+            try:
+                handle.conn.send_bytes(wire.encode(wire.TruncateLogs(owned)))
+            except OSError:
+                pass  # dead frontend; its respawn reopens truncated logs
+
     def _drain_replies(self) -> int:
         handled = 0
         for handle in self._frontends.values():
@@ -988,6 +1150,17 @@ class ClusterRouter:
                     self._watermarks[tp] = offset
             for worker_id, records, replies in msg.processed:
                 self.supervisor.note_processed(worker_id, records, replies)
+            if msg.durable_seq > handle.durable_seq:
+                # The frontend's consistent cut covers these frames:
+                # their appends are fsynced, so the journal's write-
+                # ahead copies are dead weight. Control frames stay —
+                # catalogue and routes live only in frontend memory.
+                handle.durable_seq = msg.durable_seq
+                handle.journal = [
+                    entry
+                    for entry in handle.journal
+                    if entry[0] < 0 or entry[0] >= msg.durable_seq
+                ]
             return len(msg.replies)
         if isinstance(msg, wire.DrainAck):
             self._drain_acks.add((msg.request_id, handle.frontend_id))
@@ -1108,7 +1281,7 @@ class ClusterRouter:
                 (tp, seeks[tp]) for tp, _, _ in routes if tp in seeks
             )
             handle.journal.append(
-                wire.encode(wire.FrontendAssign(routes, ()))
+                (-1, wire.encode(wire.FrontendAssign(routes, ())))
             )
             try:
                 handle.conn.send_bytes(
@@ -1205,10 +1378,15 @@ class ClusterRouter:
             for tp in sorted(handle.owned, key=str)
             if frontiers[tp] < self._watermarks.get(tp, 0)
         )
+        # ingest_base aligns the fresh engine's frame numbering with the
+        # pruned journal: retained ingest frames start exactly at the
+        # durable cut the frontend last reported (0 when in-memory).
         handle.conn.send_bytes(
-            wire.encode(wire.RestoreWatermarks(watermarks, seeks))
+            wire.encode(
+                wire.RestoreWatermarks(watermarks, seeks, handle.durable_seq)
+            )
         )
-        for frame in handle.journal:
+        for _seq, frame in handle.journal:
             handle.conn.send_bytes(frame)
             # Keep the reply direction drained mid-replay (same
             # wedge-avoidance as the ingest path).

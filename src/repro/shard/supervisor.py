@@ -68,12 +68,66 @@ class CheckpointStore:
     we neither received nor hold is rejected — the previous checkpoint
     stays authoritative, which is exactly the fallback a crash between
     checkpoint request and ack needs.
+
+    With ``durable_dir`` set, every stored checkpoint is also persisted
+    to ``<durable_dir>/<task>.ckpt`` (CRC-guarded, written via tmp +
+    atomic rename, always fully materialized) and loaded back on
+    construction — a restarted coordinator recovers its whole store from
+    disk and ships checkpoints into fresh workers without replaying any
+    history. A checkpoint that fails its CRC on load is skipped: the
+    task simply replays from offset zero, which is correct, just slower.
     """
 
-    def __init__(self) -> None:
+    _SUFFIX = ".ckpt"
+
+    def __init__(self, durable_dir: str | None = None) -> None:
         self._checkpoints: dict[TopicPartition, TaskCheckpoint] = {}
+        self.durable_dir = durable_dir
         self.stored = 0
         self.rejected = 0
+        self.loaded = 0
+        if durable_dir is not None:
+            os.makedirs(durable_dir, exist_ok=True)
+            self._load()
+
+    def _load(self) -> None:
+        from repro.common import serde
+
+        for name in sorted(os.listdir(self.durable_dir)):
+            if not name.endswith(self._SUFFIX):
+                continue
+            path = os.path.join(self.durable_dir, name)
+            with open(path, "rb") as handle:
+                data = handle.read()
+            try:
+                crc, offset = serde.read_u32(data, 0)
+                payload, _ = serde.read_bytes(data, offset)
+                if serde.crc32_of(payload) != crc:
+                    continue  # torn write: replay-from-zero covers the task
+                checkpoint, _ = wire._read_task_checkpoint(memoryview(payload), 0)
+            except Exception:
+                continue
+            self._checkpoints[checkpoint.tp] = checkpoint
+            self.loaded += 1
+
+    def _persist(self, checkpoint: TaskCheckpoint) -> None:
+        from repro.common import serde
+
+        payload = bytearray()
+        wire._write_task_checkpoint(payload, checkpoint)
+        framed = bytearray()
+        serde.write_u32(framed, serde.crc32_of(payload))
+        serde.write_bytes(framed, bytes(payload))
+        path = os.path.join(self.durable_dir, f"{checkpoint.tp}{self._SUFFIX}")
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(framed)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        from repro.messaging.segments import fsync_dir
+
+        fsync_dir(self.durable_dir)  # make the rename itself durable
 
     def __len__(self) -> int:
         return len(self._checkpoints)
@@ -86,6 +140,13 @@ class CheckpointStore:
         """Replay start for a task: checkpointed offset, or 0."""
         checkpoint = self._checkpoints.get(tp)
         return checkpoint.offset if checkpoint is not None else 0
+
+    def offsets(self) -> dict[TopicPartition, int]:
+        """Stored checkpoint offsets per task (truncation authority)."""
+        return {
+            tp: checkpoint.offset
+            for tp, checkpoint in self._checkpoints.items()
+        }
 
     def known_files(self, tp: TopicPartition) -> tuple[str, ...]:
         """Immutable file names held for a task (delta advertisement)."""
@@ -125,6 +186,8 @@ class CheckpointStore:
         checkpoint.state_files = state_files
         self._checkpoints[checkpoint.tp] = checkpoint
         self.stored += 1
+        if self.durable_dir is not None:
+            self._persist(checkpoint)
         return True
 
 
@@ -166,6 +229,7 @@ class ShardSupervisor:
         checkpoint_interval: int | None = None,
         mp_context: multiprocessing.context.BaseContext | None = None,
         listen_dir: str | None = None,
+        checkpoint_dir: str | None = None,
     ) -> None:
         if workers <= 0:
             raise EngineError(f"need at least one shard worker: {workers}")
@@ -185,7 +249,10 @@ class ShardSupervisor:
         #: records processed between automatic with-state checkpoint
         #: requests; None disables the cadence (explicit requests only).
         self.checkpoint_interval = checkpoint_interval
-        self.checkpoints = CheckpointStore()
+        #: with ``checkpoint_dir``, checkpoints survive this process: the
+        #: store persists every frame and reloads them on construction,
+        #: so a restarted coordinator recovers without replay-from-zero.
+        self.checkpoints = CheckpointStore(checkpoint_dir)
         self._control_log: list[bytes] = []
         self._buffered: list[tuple[object, WorkerHandle]] = []
         self._owners: dict[TopicPartition, str] = {}

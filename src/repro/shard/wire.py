@@ -75,6 +75,7 @@ MSG_FRONTEND_ASSIGN = 20
 MSG_RESTORE_WATERMARKS = 21
 MSG_WORKER_RESTARTED = 22
 MSG_DRAIN_REQUEST = 23
+MSG_TRUNCATE_LOGS = 26
 
 # Frontend -> router.
 MSG_REPLY_BATCH = 24
@@ -282,10 +283,30 @@ class RestoreWatermarks:
     only reach its checkpointed offset, so the journal replay must
     re-ship from there to rebuild it (replies stay suppressed up to the
     watermark either way).
+
+    ``ingest_base`` is the sequence number of the first ``IngestBatch``
+    the replay will carry (durable frontends only): the router prunes
+    ingest frames below the frontend's reported durable cut, so the
+    respawned engine numbers replayed frames from the prune point and
+    skips re-appending any frame its recovered cut already covers.
     """
 
     watermarks: tuple[tuple[TopicPartition, int], ...]
     seeks: tuple[tuple[TopicPartition, int], ...] = ()
+    ingest_base: int = 0
+
+
+@dataclass(frozen=True)
+class TruncateLogs:
+    """Checkpoint-aware retention order, router → durable frontend.
+
+    ``offsets`` carries each owned task's stored checkpoint offset; the
+    frontend syncs its durable cut, then deletes every log segment
+    wholly below the offset. Never journaled — the deletion already
+    happened on disk when a respawned frontend reopens its logs.
+    """
+
+    offsets: tuple[tuple[TopicPartition, int], ...]
 
 
 @dataclass(frozen=True)
@@ -329,6 +350,9 @@ class ReplyBatch:
     replies: list[tuple[int, str, dict[int, dict[str, Any]] | None]]
     watermarks: tuple[tuple[TopicPartition, int], ...] = ()
     processed: tuple[tuple[str, int, int], ...] = ()
+    #: durable frontends: ingest frames fsynced behind a consistent cut
+    #: — the router's authority to prune its write-ahead journal.
+    durable_seq: int = 0
 
 
 @dataclass(frozen=True)
@@ -559,6 +583,10 @@ def encode(msg: object) -> bytes:
         buf.append(MSG_RESTORE_WATERMARKS)
         _write_offset_pairs(buf, msg.watermarks)
         _write_offset_pairs(buf, msg.seeks)
+        serde.write_varint(buf, msg.ingest_base)
+    elif isinstance(msg, TruncateLogs):
+        buf.append(MSG_TRUNCATE_LOGS)
+        _write_offset_pairs(buf, msg.offsets)
     elif isinstance(msg, WorkerRestarted):
         buf.append(MSG_WORKER_RESTARTED)
         serde.write_str(buf, msg.worker_id)
@@ -698,6 +726,7 @@ def _encode_reply_batch(buf: bytearray, msg: ReplyBatch) -> None:
         serde.write_varint(buf, table[worker_id])
         serde.write_varint(buf, records)
         serde.write_varint(buf, replies)
+    serde.write_varint(buf, msg.durable_seq)
 
 
 # -- decoders -----------------------------------------------------------------
@@ -797,7 +826,11 @@ def decode(data: bytes) -> object:
     if tag == MSG_RESTORE_WATERMARKS:
         watermarks, offset = _read_offset_pairs(view, offset)
         seeks, offset = _read_offset_pairs(view, offset)
-        return RestoreWatermarks(watermarks, seeks)
+        ingest_base, offset = serde.read_varint(view, offset)
+        return RestoreWatermarks(watermarks, seeks, ingest_base)
+    if tag == MSG_TRUNCATE_LOGS:
+        offsets, offset = _read_offset_pairs(view, offset)
+        return TruncateLogs(offsets)
     if tag == MSG_WORKER_RESTARTED:
         worker_id, offset = serde.read_str(view, offset)
         addr, offset = serde.read_str(view, offset)
@@ -874,7 +907,8 @@ def _decode_reply_batch(view: memoryview, offset: int) -> ReplyBatch:
         records, offset = serde.read_varint(view, offset)
         reply_count, offset = serde.read_varint(view, offset)
         processed.append((table[worker_index], records, reply_count))
-    return ReplyBatch(replies, watermarks, tuple(processed))
+    durable_seq, offset = serde.read_varint(view, offset)
+    return ReplyBatch(replies, watermarks, tuple(processed), durable_seq)
 
 
 def _decode_work_batch(view: memoryview, offset: int) -> WorkBatch:

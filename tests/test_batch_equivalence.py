@@ -500,3 +500,48 @@ class TestClusterSendBatchEquivalence:
         assert [r.results for r in replies_a] == [r.results for r in replies_b]
         assert [r.event for r in replies_a] == [r.event for r in replies_b]
         assert processed == len(events) == single.total_messages_processed()
+
+    def test_durable_sharded_frontend_mode_matches_per_event_replies(
+        self, tmp_path
+    ):
+        # The durability acceptance bar: the sharded topology over a
+        # disk-backed bus (frontends host durable segment logs, the
+        # supervisor persists its checkpoint store) must still produce
+        # byte-identical replies to create_cluster("single") — the
+        # codec, the segment framing and the consistent-cut sync are
+        # invisible to reply values.
+        from repro.engine.cluster import create_cluster
+
+        events = [
+            Event(f"b{i}", 1000 + i // 2, {"cardId": f"c{i % 3}", "amount": float(i)})
+            for i in range(40)
+        ]
+        events.append(events[7])  # duplicate id: replies read-only
+        single = create_cluster("single", nodes=2, processor_units=2)
+        single.create_stream(
+            "tx", ["cardId"], partitions=2,
+            schema={"cardId": "string", "amount": "float"},
+        )
+        single.create_metric(
+            "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+            "OVER sliding 5 minutes"
+        )
+        single.run_until_quiet()
+        replies_a = [single.send("tx", event=event) for event in events]
+        with create_cluster(
+            "process", workers=2, frontends=2,
+            durable_dir=str(tmp_path / "cluster"),
+        ) as durable:
+            durable.create_stream(
+                "tx", ["cardId"], partitions=2,
+                schema={"cardId": "string", "amount": "float"},
+            )
+            durable.create_metric(
+                "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+                "OVER sliding 5 minutes"
+            )
+            replies_b = durable.send_batch("tx", events)
+            processed = durable.total_messages_processed()
+        assert [r.results for r in replies_a] == [r.results for r in replies_b]
+        assert [r.event for r in replies_a] == [r.event for r in replies_b]
+        assert processed == len(events) == single.total_messages_processed()

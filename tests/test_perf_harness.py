@@ -10,10 +10,16 @@ from repro.bench import perf
 REQUIRED_KEYS = {"events_per_sec", "p50_us", "p99_us"}
 #: the crash-recovery benches add wall time and replay count on top.
 RECOVERY_KEYS = REQUIRED_KEYS | {"recovery_ms", "events_replayed"}
+#: the durable reopen bench reports wall time (but replays nothing).
+REOPEN_KEYS = REQUIRED_KEYS | {"recovery_ms"}
 
 
 def expected_keys(name: str) -> set:
-    return RECOVERY_KEYS if name.startswith("recovery_") else REQUIRED_KEYS
+    if name.startswith("recovery_"):
+        return RECOVERY_KEYS
+    if name == "durable_recovery_reopen":
+        return REOPEN_KEYS
+    return REQUIRED_KEYS
 
 
 class TestRunBenches:
@@ -37,6 +43,7 @@ class TestRunBenches:
         )
         assert set(results) == {
             "reservoir_append_per_event", "reservoir_append_batch",
+            "reservoir_append_ties_per_event", "reservoir_append_ties_batch",
         }
 
     def test_engine_benches_are_registered(self):
@@ -47,6 +54,11 @@ class TestRunBenches:
             "engine_ingest_process_1f",
             "engine_ingest_process_2f",
             "engine_ingest_process_4f",
+            "engine_ingest_process_durable",
+            "log_append_fsync_never",
+            "log_append_fsync_batch",
+            "log_append_fsync_always",
+            "durable_recovery_reopen",
             "recovery_from_zero",
             "recovery_from_checkpoint",
         }

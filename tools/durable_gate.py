@@ -1,0 +1,129 @@
+"""CI gate: checkpoint-aware truncation keeps durable logs bounded.
+
+Drives a durable ``create_cluster("process")`` through several ingest
+rounds with a tight checkpoint cadence and tiny segments, then asserts
+the truncation contract on the bytes actually left on disk:
+
+1. **Deletion happened**: every event partition's first surviving
+   segment starts above offset zero (whole segments below the stored
+   checkpoint offsets were removed).
+2. **Nothing above the checkpoint was deleted**: each surviving
+   completed segment reaches past its task's stored offset, and the
+   record *at* the offset is still readable.
+3. **Bounded footprint**: per partition, on-disk bytes are at most the
+   bytes of the segments above the minimum checkpoint offset — measured
+   as ``ceil(retained_records / records_per_segment) + 1`` segments'
+   worth (the "+1" is the open active segment).
+
+Run from the repository root (CI's ``durable-bus`` job)::
+
+    PYTHONPATH=src python tools/durable_gate.py
+
+Exit code 1 on any violated bound, with the offending partition named.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+
+from repro.engine.cluster import create_cluster
+from repro.events.event import Event
+
+SEGMENT_BYTES = 2048
+ROUNDS = 4
+EVENTS_PER_ROUND = 300
+
+
+def run_gate() -> list[str]:
+    failures: list[str] = []
+    root = tempfile.mkdtemp(prefix="railgun-durable-gate-")
+    try:
+        with create_cluster(
+            "process", workers=2, durable_dir=root, checkpoint_every=256
+        ) as cluster:
+            cluster.bus.config.segment_bytes = SEGMENT_BYTES
+            cluster.create_stream(
+                "tx", ["cardId"], partitions=2,
+                schema={"cardId": "string", "amount": "float"},
+            )
+            cluster.create_metric(
+                "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+                "OVER sliding 500 minutes"
+            )
+            for round_index in range(ROUNDS):
+                cluster.send_batch(
+                    "tx",
+                    [
+                        Event(
+                            f"r{round_index}-{i}",
+                            round_index * EVENTS_PER_ROUND + i + 1,
+                            {"cardId": f"c{i % 5}", "amount": float(i)},
+                        )
+                        for i in range(EVENTS_PER_ROUND)
+                    ],
+                )
+            offsets = cluster.checkpoint_now()
+            spans = cluster.bus.segment_spans()
+            tasks = cluster.bus.topic_partitions("tx.cardId")
+            for tp in tasks:
+                checkpoint = offsets.get(tp, 0)
+                task_spans = spans[tp]
+                end = cluster.bus.end_offset(tp)
+                first_base = task_spans[0][0]
+                if checkpoint <= 0:
+                    failures.append(f"{tp}: no checkpoint stored")
+                    continue
+                if first_base == 0:
+                    failures.append(
+                        f"{tp}: no segment deleted below checkpoint {checkpoint}"
+                    )
+                completed = task_spans[:-1]
+                for base, seg_end in completed:
+                    if seg_end <= checkpoint:
+                        failures.append(
+                            f"{tp}: segment [{base},{seg_end}) survives wholly "
+                            f"below checkpoint {checkpoint}"
+                        )
+                if not cluster.bus.read(tp, checkpoint, 1) and checkpoint < end:
+                    failures.append(
+                        f"{tp}: record at checkpoint offset {checkpoint} "
+                        f"is unreadable after truncation"
+                    )
+                # Bounded footprint: retained records fit the segments
+                # above the checkpoint plus the active one.
+                records_per_segment = max(
+                    seg_end - base for base, seg_end in task_spans
+                )
+                retained = end - checkpoint
+                allowed_segments = (
+                    retained + records_per_segment - 1
+                ) // records_per_segment + 1
+                if len(task_spans) > allowed_segments:
+                    failures.append(
+                        f"{tp}: {len(task_spans)} segments on disk for "
+                        f"{retained} retained records "
+                        f"(allowed {allowed_segments})"
+                    )
+                print(
+                    f"{tp}: end={end} checkpoint={checkpoint} "
+                    f"segments={task_spans} disk_ok={not failures}"
+                )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return failures
+
+
+def main() -> int:
+    failures = run_gate()
+    for failure in failures:
+        print(f"TRUNCATION GATE: {failure}", file=sys.stderr)
+    if not failures:
+        print("truncation gate: on-disk bytes bounded by segments above "
+              "the checkpoint offsets")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
