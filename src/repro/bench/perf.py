@@ -52,6 +52,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 import time
 from typing import Callable, Sequence
@@ -336,12 +337,15 @@ def bench_engine_ingest_single_process(
 
 
 def _bench_engine_ingest_process(
-    events: list[Event], batch_size: int, workers: int
+    events: list[Event], batch_size: int, workers: int,
+    transport: str = "socket",
 ) -> dict[str, float]:
     # Cadence off: these benches gate pure ingest scaling against the
     # PR-2 floors; periodic checkpoint cost is the recovery family's
     # axis, not this one's.
-    with ParallelCluster(workers=workers, checkpoint_every=None) as cluster:
+    with ParallelCluster(
+        workers=workers, checkpoint_every=None, transport=transport
+    ) as cluster:
         cluster.create_stream("tx", ["cardId"], **_ENGINE_STREAM)
         cluster.create_metric(_ENGINE_METRIC)
 
@@ -359,8 +363,30 @@ def bench_engine_ingest_process_4w(events: list[Event], batch_size: int) -> dict
     return _bench_engine_ingest_process(events, batch_size, workers=4)
 
 
+def bench_engine_ingest_process_shm_1w(events: list[Event], batch_size: int) -> dict[str, float]:
+    """``engine_ingest_process_1w`` over shared-memory rings."""
+    return _bench_engine_ingest_process(events, batch_size, workers=1, transport="shm")
+
+
+def bench_engine_ingest_process_shm_4w(events: list[Event], batch_size: int) -> dict[str, float]:
+    """``engine_ingest_process_4w`` over shared-memory rings.
+
+    The tentpole comparison of the shm data plane: same topology, same
+    events, the pipe-serde hot path swapped for columnar frames in
+    SPSC rings (pipe reduced to doorbells). The CI floor requires
+    shm_4w >= 3x the socket 4w on >=4-core hosts.
+    """
+    return _bench_engine_ingest_process(events, batch_size, workers=4, transport="shm")
+
+
+def bench_engine_ingest_process_shm_2f(events: list[Event], batch_size: int) -> dict[str, float]:
+    """``engine_ingest_process_2f`` over shared-memory rings."""
+    return _bench_engine_ingest_frontends(events, batch_size, frontends=2, transport="shm")
+
+
 def _bench_engine_ingest_frontends(
-    events: list[Event], batch_size: int, frontends: int
+    events: list[Event], batch_size: int, frontends: int,
+    transport: str = "socket",
 ) -> dict[str, float]:
     """Batched ingest through the sharded-frontend topology.
 
@@ -371,7 +397,8 @@ def _bench_engine_ingest_frontends(
     raises it. The CI floor requires 2f >= 1.4x 1f on >=4-core hosts.
     """
     with ClusterRouter(
-        workers=2, frontends=frontends, checkpoint_every=None
+        workers=2, frontends=frontends, checkpoint_every=None,
+        transport=transport,
     ) as cluster:
         cluster.create_stream("tx", ["cardId"], **_ENGINE_STREAM)
         cluster.create_metric(_ENGINE_METRIC)
@@ -587,6 +614,9 @@ BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
     "engine_ingest_single_process": bench_engine_ingest_single_process,
     "engine_ingest_process_1w": bench_engine_ingest_process_1w,
     "engine_ingest_process_4w": bench_engine_ingest_process_4w,
+    "engine_ingest_process_shm_1w": bench_engine_ingest_process_shm_1w,
+    "engine_ingest_process_shm_4w": bench_engine_ingest_process_shm_4w,
+    "engine_ingest_process_shm_2f": bench_engine_ingest_process_shm_2f,
     "engine_ingest_process_1f": bench_engine_ingest_process_1f,
     "engine_ingest_process_2f": bench_engine_ingest_process_2f,
     "engine_ingest_process_4f": bench_engine_ingest_process_4f,
@@ -802,7 +832,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 1
     cpu_count = os.cpu_count() or 1
     report: dict[str, object] = dict(results)
-    report["_host"] = {"cpu_count": cpu_count}
+    # platform.node() can legitimately return "" (some containers);
+    # fall back so a floor-gating skip in CI logs is always
+    # attributable to a concrete host + core count.
+    hostname = platform.node() or f"unknown-host-{cpu_count}cpu"
+    report["_host"] = {"cpu_count": cpu_count, "hostname": hostname}
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

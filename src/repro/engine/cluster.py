@@ -185,6 +185,18 @@ def create_cluster(execution: str = "single", **kwargs):
       slice of the partition space and shipping work to the workers
       over its own data sockets (see ``docs/ARCHITECTURE.md``).
 
+    Both ``process`` topologies accept ``transport="shm"``: work
+    batches and replies then flow columnar-packed through fixed-slot
+    shared-memory ring buffers (one SPSC ring per direction per link)
+    instead of serde-framed pipe/socket messages, with the pipe or
+    socket reduced to a control channel plus per-publish doorbells —
+    see ``docs/PERFORMANCE.md`` for the layout and when to pick which.
+    The default ``transport="socket"`` remains the portable fallback
+    (and the only option for cross-host links). Crash semantics are
+    identical: a dead peer's ring is detected via heartbeats or the
+    closed flag and quarantined exactly like a dead socket, then
+    replayed from the durable log/checkpoint watermarks.
+
     Every topology accepts ``durable_dir=<path>``: partition logs then
     live in disk-backed segment files
     (:class:`~repro.messaging.durable.DurableBus`), the shard

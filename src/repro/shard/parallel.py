@@ -76,6 +76,7 @@ from repro.messaging.durable import DurableBus, resolve_durable_dir
 from repro.messaging.log import TopicPartition
 from repro.messaging.producer import Producer
 from repro.shard import wire
+from repro.shard.shm import resolve_transport
 from repro.shard.supervisor import ShardSupervisor
 
 
@@ -117,6 +118,7 @@ class ParallelCluster:
         mp_context: multiprocessing.context.BaseContext | None = None,
         durable_dir: str | None = None,
         durable_fsync: str = "batch",
+        transport: str | None = None,
     ) -> None:
         self.clock = ManualClock(start_ms=1)
         self.durable_dir = resolve_durable_dir(durable_dir, "parallel")
@@ -148,6 +150,7 @@ class ParallelCluster:
                 if self.durable_dir is not None
                 else None
             ),
+            transport=resolve_transport(transport),
         )
         self.supervisor.on_restart = self._on_worker_restart
         self._views: dict[str, PartitionView] = {

@@ -73,6 +73,7 @@ import socket
 import tempfile
 import time
 import traceback
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
@@ -99,6 +100,7 @@ from repro.engine.cluster import (
     _normalize_fields,
     build_metric_def,
     build_stream_def,
+    validate_new_partitioner,
 )
 from repro.engine.processor import ACTIVE_GROUP, UnitConfig
 from repro.events.event import Event
@@ -111,11 +113,15 @@ from repro.messaging.durable import (
     write_cut,
 )
 from repro.messaging.log import TopicPartition
-from repro.shard import wire
+from repro.shard import columnar, shm, wire
+from repro.shard.shm import ShmError, ShmRing
 from repro.shard.supervisor import ShardSupervisor, _default_context
 
 #: reply entries per ReplyBatch frame (keeps frames under pipe buffers).
 REPLY_CHUNK = 512
+
+#: Pre-encoded readiness ping for the shm transport; see shard.shm.
+DOORBELL = wire.encode(wire.ShmDoorbell())
 
 
 def _connect(addr: str, deadline_s: float = 0.25):
@@ -174,10 +180,26 @@ class FrontendEngine:
         durable_dir: str | None = None,
         durable_fsync: str = "batch",
         durable_segment_bytes: int = 1 << 20,
+        transport: str = "socket",
+        shm_prefix: str | None = None,
     ) -> None:
+        if transport not in ("socket", "shm"):
+            raise EngineError(f"unknown transport {transport!r}")
         self.frontend_id = frontend_id
         self.batch_max = batch_max
         self.max_outstanding = max_outstanding
+        self.transport = transport
+        #: ring-name prefix; the router sweeps it on close as the
+        #: backstop for rings a SIGKILLed frontend left behind.
+        self._shm_prefix = (
+            shm_prefix
+            if shm_prefix is not None
+            else f"rgshm-{uuid.uuid4().hex[:8]}"
+        )
+        self._link_seq = 0
+        #: worker id -> (work ring we produce into, reply ring we
+        #: consume from); this frontend owns both segments of a link.
+        self.rings: dict[str, tuple[ShmRing, ShmRing]] = {}
         self.catalog = Catalog()
         self.durable_dir = durable_dir
         #: ingest frames durably applied behind the consistent cut; on a
@@ -336,8 +358,19 @@ class FrontendEngine:
         if conn is not None:
             try:
                 while conn.poll(0):
-                    self.handle_batch_done(worker_id, wire.decode(conn.recv_bytes()))
+                    frame = wire.decode(conn.recv_bytes())
+                    if not isinstance(frame, wire.ShmDoorbell):
+                        self.handle_batch_done(worker_id, frame)
             except (EOFError, OSError):
+                pass
+        rings = self.rings.get(worker_id)
+        if rings is not None:
+            # Completed reply-ring frames are salvage too: the dead
+            # worker published them before it died.
+            try:
+                for payload in rings[1].drain():
+                    self.handle_batch_done(worker_id, columnar.decode(payload))
+            except ShmError:
                 pass
         self.link_down(worker_id)
         self.down.discard(worker_id)  # the restart re-authorizes the link
@@ -353,6 +386,8 @@ class FrontendEngine:
                 conn.close()
             except OSError:
                 pass
+        for ring in self.rings.pop(worker_id, ()):
+            ring.close(unlink=True)
         self.outstanding[worker_id] = 0
 
     def link_down(self, worker_id: str) -> None:
@@ -380,6 +415,24 @@ class FrontendEngine:
         conn = _connect(addr)
         if conn is None:
             return None
+        if self.transport == "shm":
+            # Fresh rings per link incarnation; the hello on the (FIFO)
+            # socket lands before any doorbell, so the worker attaches
+            # before the first ring frame is announced.
+            tag = f"{self._shm_prefix}-{self.frontend_id}-{self._link_seq}"
+            self._link_seq += 1
+            work = ShmRing.create("producer", name=f"{tag}-work")
+            reply = ShmRing.create("consumer", name=f"{tag}-reply")
+            try:
+                conn.send_bytes(
+                    wire.encode(wire.ShmHello(work.name, reply.name))
+                )
+            except OSError:
+                work.close(unlink=True)
+                reply.close(unlink=True)
+                conn.close()
+                return None  # worker died post-accept; retried later
+            self.rings[worker_id] = (work, reply)
         self.conns[worker_id] = conn
         self.outstanding.setdefault(worker_id, 0)
         return conn
@@ -451,11 +504,18 @@ class FrontendEngine:
                 # the worker suppresses — tracking them again would leak.
                 if message.offset >= watermark:
                     pending[(tp, message.offset)] = message.key
+            rings = self.rings.get(worker_id)
             try:
-                conn.send_bytes(
-                    wire.encode(wire.WorkBatch(tp, watermark, records))
-                )
-            except OSError:
+                if rings is not None:
+                    rings[0].send(
+                        columnar.encode(wire.WorkBatch(tp, watermark, records))
+                    )
+                    conn.send_bytes(DOORBELL)
+                else:
+                    conn.send_bytes(
+                        wire.encode(wire.WorkBatch(tp, watermark, records))
+                    )
+            except (OSError, ShmError):
                 # Dead worker: the restart announcement re-seeks this
                 # task below the lost records, so the replay covers them.
                 self.link_down(worker_id)
@@ -463,6 +523,37 @@ class FrontendEngine:
             self.outstanding[worker_id] = self.outstanding.get(worker_id, 0) + 1
             shipped += len(records)
         return shipped
+
+    def drain_rings(
+        self, stale_after: float = shm.DEFAULT_STALE_AFTER
+    ) -> None:
+        """Beat own heartbeats, merge reply-ring frames, police peers.
+
+        A link whose worker stopped beating (or marked its side closed)
+        is quarantined exactly like a dead socket: :meth:`link_down`
+        drops the rings and credits, and dispatch stays suspended until
+        the router's ``WorkerRestarted`` re-authorizes the link with the
+        matching seek-back. No-op on socket links.
+        """
+        for worker_id in list(self.rings):
+            work, reply = self.rings[worker_id]
+            work.beat()
+            reply.beat()
+            try:
+                for payload in reply.drain():
+                    self.handle_batch_done(worker_id, columnar.decode(payload))
+            except ShmError:
+                self.link_down(worker_id)
+                continue
+            if work.peer_closed() or work.peer_stale(stale_after):
+                self.link_down(worker_id)
+
+    def close_links(self) -> None:
+        """Drop every worker link; owned ring segments are unlinked."""
+        for worker_id in list(self.conns):
+            self._close_conn(worker_id)
+        for worker_id in list(self.rings):
+            self._close_conn(worker_id)
 
     def handle_batch_done(self, worker_id: str, msg: wire.BatchDone) -> None:
         """Merge one finished batch: replies, watermark, progress."""
@@ -552,6 +643,8 @@ def shard_frontend_main(
     durable_dir: str | None = None,
     durable_fsync: str = "batch",
     durable_segment_bytes: int = 1 << 20,
+    transport: str = "socket",
+    shm_prefix: str | None = None,
 ) -> None:
     """Frontend process entrypoint: route, dispatch, merge — until stopped.
 
@@ -559,22 +652,30 @@ def shard_frontend_main(
     one data socket per routed worker. The router pipe is drained fully
     before worker traffic, so control messages (assignment, worker
     restarts, drains) are applied before the work they govern. With
-    ``durable_dir`` the engine hosts disk-backed logs: each loop
-    iteration that ingested frames ends with a durable sync (log fsync,
-    then the consistent cut), whose applied-frame count rides the next
-    ``ReplyBatch`` so the router can prune its write-ahead journal. Any
-    exception is reported as a ``WorkerError`` frame before the process
-    exits, mirroring the shard worker contract.
+    ``transport="shm"`` each worker link upgrades to a shared-memory
+    ring pair (``ShmHello`` on the freshly dialed socket); batches and
+    replies then flow columnar-packed through the rings and the socket
+    carries only doorbells, with stale-heartbeat policing quarantining
+    a silent worker like a dead socket. With ``durable_dir`` the engine
+    hosts disk-backed logs: each loop iteration that ingested frames
+    ends with a durable sync (log fsync, then the consistent cut),
+    whose applied-frame count rides the next ``ReplyBatch`` so the
+    router can prune its write-ahead journal. Any exception is reported
+    as a ``WorkerError`` frame before the process exits, mirroring the
+    shard worker contract.
     """
     engine = FrontendEngine(
         frontend_id, batch_max, max_outstanding, durable_dir,
         durable_fsync=durable_fsync,
         durable_segment_bytes=durable_segment_bytes,
+        transport=transport,
+        shm_prefix=shm_prefix,
     )
     try:
         while True:
             wait_on = [conn, *engine.conns.values()]
-            ready = set(multiprocessing.connection.wait(wait_on, timeout=1.0))
+            timeout = 0.5 if engine.rings else 1.0
+            ready = set(multiprocessing.connection.wait(wait_on, timeout))
             if conn in ready:
                 while True:
                     msg = wire.decode(conn.recv_bytes())
@@ -593,15 +694,18 @@ def shard_frontend_main(
             ]:
                 try:
                     while True:
-                        engine.handle_batch_done(
-                            worker_id, wire.decode(data_conn.recv_bytes())
-                        )
+                        msg = wire.decode(data_conn.recv_bytes())
+                        # Doorbells only wake the loop; drain_rings
+                        # below picks up the frames they announce.
+                        if not isinstance(msg, wire.ShmDoorbell):
+                            engine.handle_batch_done(worker_id, msg)
                         if not data_conn.poll(0):
                             break
                 except (EOFError, OSError):
                     # Worker died mid-stream; the router announces the
                     # restart and this frontend re-seeks + replays then.
                     engine.link_down(worker_id)
+            engine.drain_rings()
             engine.dispatch()
             engine.sync_durable()
             engine.flush(conn)
@@ -615,6 +719,10 @@ def shard_frontend_main(
         except OSError:
             pass
         raise
+    finally:
+        # Unlink owned rings on every exit path short of SIGKILL (the
+        # worker's EOF backstop and the router's sweep cover that one).
+        engine.close_links()
 
 
 # -- the client-side facade ---------------------------------------------------
@@ -690,9 +798,17 @@ class ClusterRouter:
         durable_dir: str | None = None,
         durable_fsync: str = "batch",
         durable_segment_bytes: int = 1 << 20,
+        transport: str | None = None,
     ) -> None:
         if frontends <= 0:
             raise EngineError(f"need at least one frontend: {frontends}")
+        transport = shm.resolve_transport(transport)
+        if transport not in ("socket", "shm"):
+            raise EngineError(f"unknown transport {transport!r}")
+        self.transport = transport
+        #: shared ring-name prefix across all frontends; swept on close
+        #: as the backstop for rings a SIGKILLed frontend left behind.
+        self._shm_prefix = f"rgshm-{uuid.uuid4().hex[:8]}"
         self.clock = ManualClock(start_ms=1)
         self.catalog = Catalog()
         self.tick_ms = tick_ms
@@ -761,6 +877,7 @@ class ClusterRouter:
             args=(
                 child_conn, frontend_id, self.batch_max, 2, frontend_dir,
                 self.durable_fsync, self.durable_segment_bytes,
+                self.transport, self._shm_prefix,
             ),
             name=f"railgun-{frontend_id}",
             daemon=True,
@@ -1448,6 +1565,8 @@ class ClusterRouter:
                 pass
         self.supervisor.shutdown()
         shutil.rmtree(self._socket_dir, ignore_errors=True)
+        if self.transport == "shm":
+            shm.sweep(self._shm_prefix)
 
     def __enter__(self) -> "ClusterRouter":
         return self

@@ -1,0 +1,404 @@
+"""Shared-memory ring buffers — the zero-syscall shard data plane.
+
+The AF_UNIX / pipe transport pays four taxes per ``WorkBatch``: a
+length-prefixed frame copy into the kernel, a wakeup, a copy back out,
+and the per-event serde on both sides. This module removes the first
+three: payload bytes move through a fixed-slot single-producer /
+single-consumer ring living in a :mod:`multiprocessing.shared_memory`
+segment, and the existing socket/pipe carries only a one-byte
+*doorbell* per publish round (eventfd-style readiness signalling — the
+consumer sleeps in ``connection.wait`` exactly as before and never
+polls the ring).
+
+Layout (one segment per direction per link)::
+
+    header (64 bytes, little-endian)
+      0   u32  magic          "RGSM"
+      4   u32  slot_count
+      8   u32  slot_bytes
+      16  u64  tail           slots published   (producer-owned)
+      24  u64  head           slots consumed    (consumer-owned)
+      32  u64  producer_hb    monotonic-ns heartbeat
+      40  u64  consumer_hb    monotonic-ns heartbeat
+      48  u8   producer_closed
+      49  u8   consumer_closed
+    data  (slot_count * slot_bytes)
+      frame := slot-aligned [ u64 seq | u32 len | u32 crc | payload ]
+      a frame spans ceil((16+len)/slot_bytes) consecutive slots and
+      wraps at the byte level past the end of the data region
+
+``seq`` is the slot cursor the frame was published at and ``crc`` is a
+CRC-32 over the payload — together they make a torn or misaligned read
+loud instead of silent. The producer *blocks* (bounded backpressure,
+never drops) while the ring lacks room, aborting only when the consumer
+marked itself closed or its heartbeat went stale — the shm analogue of
+``ECONNRESET``, surfaced as :class:`ShmPeerDead` so callers quarantine
+the link exactly like a dead socket.
+
+Lifecycle is explicitly managed: both ``create`` and ``attach``
+deregister the segment from the ``multiprocessing`` resource tracker
+(which would otherwise race our unlinks and warn at exit), the creating
+side unlinks in ``close(unlink=True)``, and :func:`sweep` removes any
+segment a SIGKILL'd process left behind (``tools/shm_gate.py`` is the
+CI gate asserting nothing survives).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import uuid
+import zlib
+from multiprocessing import resource_tracker, shared_memory
+
+try:  # CPython's POSIX shm primitive (Linux/macOS)
+    import _posixshmem
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _posixshmem = None
+
+MAGIC = 0x5247534D  # "RGSM"
+HEADER_BYTES = 64
+FRAME_HEADER = struct.Struct("<QII")  # seq, payload length, payload crc32
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_OFF_MAGIC = 0
+_OFF_SLOT_COUNT = 4
+_OFF_SLOT_BYTES = 8
+_OFF_TAIL = 16
+_OFF_HEAD = 24
+_OFF_PRODUCER_HB = 32
+_OFF_CONSUMER_HB = 40
+_OFF_PRODUCER_CLOSED = 48
+_OFF_CONSUMER_CLOSED = 49
+
+#: Default geometry: 256 x 4 KiB = 1 MiB of in-flight payload per
+#: direction — an order of magnitude above what the dispatcher credit
+#: scheme (max_outstanding batches) ever keeps in flight.
+DEFAULT_SLOT_COUNT = 256
+DEFAULT_SLOT_BYTES = 4096
+
+#: How long a peer's heartbeat may lag before a *blocked producer*
+#: declares it dead. Generous: heartbeats advance on every ring
+#: operation and every event-loop wakeup, so a healthy-but-busy peer
+#: beats orders of magnitude faster than this.
+DEFAULT_STALE_AFTER = 10.0
+
+
+#: Environment override for the default shard transport; mirrors
+#: ``RAILGUN_DURABLE_DIR``.
+TRANSPORT_ENV = "RAILGUN_TRANSPORT"
+
+
+def resolve_transport(explicit: str | None) -> str:
+    """The cluster's data-plane transport: the explicit argument, or
+    ``$RAILGUN_TRANSPORT`` when set, or ``"socket"``.
+
+    The environment hook is how CI runs the whole shard suite over
+    shared memory without touching each test (mirroring how
+    ``RAILGUN_DURABLE_DIR`` runs it durably); an explicit argument —
+    including an explicit ``"socket"`` — always wins.
+    """
+    if explicit is not None:
+        return explicit
+    return os.environ.get(TRANSPORT_ENV) or "socket"
+
+
+class ShmError(RuntimeError):
+    """Ring invariant violated (corrupt frame, oversized frame, timeout)."""
+
+
+class ShmPeerDead(ShmError):
+    """The other side of the ring closed or stopped heartbeating."""
+
+
+def ring_name(prefix: str) -> str:
+    """A fresh collision-free segment name under ``prefix``."""
+    return f"{prefix}-{uuid.uuid4().hex[:12]}"
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Deregister from the resource tracker: this module owns lifecycle.
+
+    POSIX ``SharedMemory`` registers unconditionally — attachers too —
+    so without this, every exiting process would race to unlink rings
+    still in use and warn about "leaked" segments we deleted on purpose.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker may already be gone
+        pass
+
+
+def _unlink_quiet(shm: shared_memory.SharedMemory) -> None:
+    """Remove the segment name without another tracker round-trip.
+
+    ``SharedMemory.unlink`` sends its own unregister message; combined
+    with :func:`_untrack` that would double-unregister and make the
+    tracker print ``KeyError`` tracebacks at exit.
+    """
+    try:
+        if _posixshmem is not None:
+            _posixshmem.shm_unlink(shm._name)
+        else:  # pragma: no cover - non-POSIX fallback
+            shm.unlink()
+    except FileNotFoundError:
+        pass  # the peer's teardown (or a sweep) got there first
+
+
+class ShmRing:
+    """One direction of one link: a fixed-slot SPSC byte ring.
+
+    ``side`` names which end *this process* is (``"producer"`` or
+    ``"consumer"``); it selects which heartbeat/closed fields are ours
+    to write. Exactly one process creates the segment (and later
+    unlinks it); the peer attaches by name.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, side: str, owner: bool
+    ) -> None:
+        if side not in ("producer", "consumer"):
+            raise ValueError(f"bad ring side: {side!r}")
+        self._shm = shm
+        self._buf = shm.buf
+        self.side = side
+        self.owner = owner
+        self.name = shm.name
+        magic = _U32.unpack_from(self._buf, _OFF_MAGIC)[0]
+        if magic != MAGIC:
+            raise ShmError(f"segment {shm.name!r} is not a railgun ring")
+        self.slot_count = _U32.unpack_from(self._buf, _OFF_SLOT_COUNT)[0]
+        self.slot_bytes = _U32.unpack_from(self._buf, _OFF_SLOT_BYTES)[0]
+        self._size = self.slot_count * self.slot_bytes
+        self._closed = False
+        self.beat()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        side: str,
+        *,
+        slot_count: int = DEFAULT_SLOT_COUNT,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        name: str | None = None,
+    ) -> "ShmRing":
+        if slot_bytes < FRAME_HEADER.size:
+            raise ValueError("slot_bytes must hold at least a frame header")
+        if slot_count < 2:
+            raise ValueError("ring needs at least two slots")
+        shm = shared_memory.SharedMemory(
+            name=name if name is not None else ring_name("rgshm"),
+            create=True,
+            size=HEADER_BYTES + slot_count * slot_bytes,
+        )
+        _untrack(shm)
+        _U32.pack_into(shm.buf, _OFF_MAGIC, MAGIC)
+        _U32.pack_into(shm.buf, _OFF_SLOT_COUNT, slot_count)
+        _U32.pack_into(shm.buf, _OFF_SLOT_BYTES, slot_bytes)
+        return cls(shm, side, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, side: str) -> "ShmRing":
+        shm = shared_memory.SharedMemory(name=name, create=False)
+        _untrack(shm)
+        return cls(shm, side, owner=False)
+
+    # -- heartbeat / liveness --------------------------------------------------
+
+    def beat(self) -> None:
+        """Stamp this side's heartbeat with the (system-wide) monotonic clock."""
+        offset = (
+            _OFF_PRODUCER_HB if self.side == "producer" else _OFF_CONSUMER_HB
+        )
+        _U64.pack_into(self._buf, offset, time.monotonic_ns())
+
+    def peer_heartbeat_ns(self) -> int:
+        offset = (
+            _OFF_CONSUMER_HB if self.side == "producer" else _OFF_PRODUCER_HB
+        )
+        return _U64.unpack_from(self._buf, offset)[0]
+
+    def peer_closed(self) -> bool:
+        offset = (
+            _OFF_CONSUMER_CLOSED
+            if self.side == "producer"
+            else _OFF_PRODUCER_CLOSED
+        )
+        return self._buf[offset] != 0
+
+    def peer_stale(self, stale_after: float, now_ns: int | None = None) -> bool:
+        """True when the peer attached but stopped beating for ``stale_after``s.
+
+        A peer that never attached (heartbeat still zero) is *not* stale
+        — link setup has its own timeout; staleness is about an attached
+        peer that silently died (SIGKILL skips the closed flag).
+        """
+        hb = self.peer_heartbeat_ns()
+        if hb == 0:
+            return False
+        if now_ns is None:
+            now_ns = time.monotonic_ns()
+        return now_ns - hb > int(stale_after * 1e9)
+
+    # -- producer side ---------------------------------------------------------
+
+    def send(
+        self,
+        payload: bytes,
+        *,
+        timeout: float | None = None,
+        stale_after: float = DEFAULT_STALE_AFTER,
+    ) -> None:
+        """Publish one frame; **block** (never drop) while the ring is full.
+
+        Raises :class:`ShmPeerDead` when the consumer closed its side or
+        its heartbeat went stale mid-wait, and :class:`ShmError` on
+        ``timeout`` — both mean "treat this link like a dead socket".
+        """
+        need = (FRAME_HEADER.size + len(payload) + self.slot_bytes - 1) // (
+            self.slot_bytes
+        )
+        if need > self.slot_count:
+            raise ShmError(
+                f"frame of {len(payload)} bytes exceeds ring capacity "
+                f"({self.slot_count}x{self.slot_bytes})"
+            )
+        buf = self._buf
+        tail = _U64.unpack_from(buf, _OFF_TAIL)[0]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pause = 20e-6
+        while True:
+            if self.peer_closed():
+                raise ShmPeerDead(f"consumer of ring {self.name} is closed")
+            head = _U64.unpack_from(buf, _OFF_HEAD)[0]
+            if self.slot_count - (tail - head) >= need:
+                break
+            if self.peer_stale(stale_after):
+                raise ShmPeerDead(
+                    f"consumer of ring {self.name} stopped heartbeating"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise ShmError(f"ring {self.name} full for {timeout}s")
+            self.beat()
+            time.sleep(pause)
+            pause = min(pause * 2, 1e-3)
+        frame = FRAME_HEADER.pack(
+            tail, len(payload), zlib.crc32(payload)
+        ) + payload
+        pos = (tail % self.slot_count) * self.slot_bytes
+        end = pos + len(frame)
+        if end <= self._size:
+            buf[HEADER_BYTES + pos : HEADER_BYTES + end] = frame
+        else:
+            split = self._size - pos
+            buf[HEADER_BYTES + pos : HEADER_BYTES + self._size] = frame[:split]
+            buf[HEADER_BYTES : HEADER_BYTES + len(frame) - split] = frame[split:]
+        # Publish *after* the payload bytes: the consumer only looks past
+        # its head once tail moves, and the CRC catches reordering on
+        # weakly-ordered hosts.
+        _U64.pack_into(buf, _OFF_TAIL, tail + need)
+        _U64.pack_into(buf, _OFF_PRODUCER_HB, time.monotonic_ns())
+
+    # -- consumer side ---------------------------------------------------------
+
+    def try_recv(self) -> bytes | None:
+        """One frame, or ``None`` when the ring is empty. Never blocks."""
+        buf = self._buf
+        head = _U64.unpack_from(buf, _OFF_HEAD)[0]
+        tail = _U64.unpack_from(buf, _OFF_TAIL)[0]
+        if head == tail:
+            return None
+        pos = (head % self.slot_count) * self.slot_bytes
+        seq, length, crc = FRAME_HEADER.unpack_from(buf, HEADER_BYTES + pos)
+        if seq != head:
+            raise ShmError(
+                f"ring {self.name}: frame seq {seq} at slot cursor {head}"
+            )
+        start = pos + FRAME_HEADER.size
+        end = start + length
+        if end <= self._size:
+            payload = bytes(buf[HEADER_BYTES + start : HEADER_BYTES + end])
+        else:
+            split = self._size - start
+            payload = bytes(
+                buf[HEADER_BYTES + start : HEADER_BYTES + self._size]
+            ) + bytes(buf[HEADER_BYTES : HEADER_BYTES + end - self._size])
+        if zlib.crc32(payload) != crc:
+            raise ShmError(f"ring {self.name}: CRC mismatch at cursor {head}")
+        need = (FRAME_HEADER.size + length + self.slot_bytes - 1) // (
+            self.slot_bytes
+        )
+        _U64.pack_into(buf, _OFF_HEAD, head + need)
+        _U64.pack_into(buf, _OFF_CONSUMER_HB, time.monotonic_ns())
+        return payload
+
+    def drain(self) -> list[bytes]:
+        """Every complete frame currently published."""
+        frames: list[bytes] = []
+        while True:
+            payload = self.try_recv()
+            if payload is None:
+                return frames
+            frames.append(payload)
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self, *, unlink: bool | None = None) -> None:
+        """Mark this side closed and detach; the owner also unlinks.
+
+        Idempotent: links get torn down from both the engine loop and
+        crash/restart paths.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if unlink is None:
+            unlink = self.owner
+        offset = (
+            _OFF_PRODUCER_CLOSED
+            if self.side == "producer"
+            else _OFF_CONSUMER_CLOSED
+        )
+        try:
+            self._buf[offset] = 1
+        except (TypeError, ValueError):  # pragma: no cover - buffer gone
+            pass
+        self._buf = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported view still live
+            pass
+        if unlink:
+            _unlink_quiet(self._shm)
+
+
+def sweep(prefix: str) -> list[str]:
+    """Best-effort unlink of every segment named ``prefix``*.
+
+    The backstop for processes that died too hard to run teardown
+    (``Crash`` fault injection, SIGKILL): cluster ``close()`` sweeps its
+    own name prefix so no orphan outlives the cluster.
+    """
+    removed: list[str] = []
+    shm_dir = "/dev/shm"
+    if os.path.isdir(shm_dir):
+        for entry in os.listdir(shm_dir):
+            if entry.startswith(prefix):
+                try:
+                    os.unlink(os.path.join(shm_dir, entry))
+                except OSError:
+                    continue
+                removed.append(entry)
+    return removed
+
+
+def orphans(prefix: str = "rgshm") -> list[str]:
+    """Segments currently on ``/dev/shm`` under ``prefix`` (for the CI gate)."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return sorted(e for e in os.listdir(shm_dir) if e.startswith(prefix))

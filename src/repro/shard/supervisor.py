@@ -41,6 +41,7 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -53,8 +54,13 @@ from repro.engine.assignment import (
 from repro.engine.processor import UnitConfig
 from repro.engine.task import TaskCheckpoint
 from repro.messaging.log import TopicPartition
-from repro.shard import wire
+from repro.shard import columnar, shm, wire
+from repro.shard.shm import ShmError, ShmRing
 from repro.shard.worker import shard_worker_main
+
+#: pre-encoded doorbell frame: wakes a peer's ``connection.wait`` after
+#: frames were published to its ring (see :mod:`repro.shard.shm`).
+DOORBELL = wire.encode(wire.ShmDoorbell())
 
 
 class CheckpointStore:
@@ -211,6 +217,11 @@ class WorkerHandle:
     restarts: int = 0
     checkpoint_acks: int = 0
     late_checkpoint_acks: int = 0
+    #: shm transport only: WorkBatch frames out / BatchDone frames back.
+    #: The supervisor owns both segments (creates, unlinks); the pipe
+    #: stays the control plane and the doorbell channel.
+    work_ring: ShmRing | None = None
+    reply_ring: ShmRing | None = None
 
     @property
     def alive(self) -> bool:
@@ -230,9 +241,19 @@ class ShardSupervisor:
         mp_context: multiprocessing.context.BaseContext | None = None,
         listen_dir: str | None = None,
         checkpoint_dir: str | None = None,
+        transport: str = "socket",
     ) -> None:
         if workers <= 0:
             raise EngineError(f"need at least one shard worker: {workers}")
+        if transport not in ("socket", "shm"):
+            raise EngineError(f"unknown shard transport: {transport!r}")
+        #: ``"shm"`` moves WorkBatch/BatchDone payloads onto per-worker
+        #: shared-memory rings (columnar-encoded); the pipe then carries
+        #: control frames plus one-byte doorbells. ``"socket"`` keeps
+        #: everything on the pipe (the portable / cross-host path).
+        self.transport = transport
+        self._shm_prefix = f"rgshm-{uuid.uuid4().hex[:8]}"
+        self._spawn_seq = 0
         self._ctx = mp_context if mp_context is not None else _default_context()
         #: directory for per-worker AF_UNIX data-socket addresses. Set by
         #: the sharded-frontend router: each worker then listens for
@@ -340,15 +361,38 @@ class ShardSupervisor:
 
     def _spawn(self, worker_id: str) -> WorkerHandle:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        work_ring = reply_ring = None
+        shm_names = None
+        if self.transport == "shm":
+            # Fresh segments per incarnation (the names travel in the
+            # spawn args, so no handshake): a restarted worker never
+            # sees its predecessor's half-consumed frames.
+            tag = f"{self._shm_prefix}-{worker_id}-{self._spawn_seq}"
+            self._spawn_seq += 1
+            work_ring = ShmRing.create("producer", name=f"{tag}-work")
+            reply_ring = ShmRing.create("consumer", name=f"{tag}-reply")
+            shm_names = (work_ring.name, reply_ring.name)
         process = self._ctx.Process(
             target=shard_worker_main,
-            args=(child_conn, worker_id, self.unit_config, self.worker_addr(worker_id)),
+            args=(
+                child_conn,
+                worker_id,
+                self.unit_config,
+                self.worker_addr(worker_id),
+                shm_names,
+            ),
             name=f"railgun-{worker_id}",
             daemon=True,
         )
         process.start()
         child_conn.close()
-        return WorkerHandle(worker_id, process, parent_conn)
+        return WorkerHandle(
+            worker_id,
+            process,
+            parent_conn,
+            work_ring=work_ring,
+            reply_ring=reply_ring,
+        )
 
     # -- control plane --------------------------------------------------------
 
@@ -552,10 +596,20 @@ class ShardSupervisor:
             raise EngineError(f"task {tp} is not assigned to any worker")
         handle = self._handle(worker_id)
         try:
-            handle.conn.send_bytes(
-                wire.encode(wire.WorkBatch(tp, reply_from, records))
-            )
-        except OSError:
+            if handle.work_ring is not None:
+                # Payload travels the ring (columnar-packed); the pipe
+                # carries only a doorbell so the worker's blocking wait
+                # wakes. Publish-then-ring ordering means a consumed
+                # doorbell always finds the frame already visible.
+                handle.work_ring.send(
+                    columnar.encode(wire.WorkBatch(tp, reply_from, records))
+                )
+                handle.conn.send_bytes(DOORBELL)
+            else:
+                handle.conn.send_bytes(
+                    wire.encode(wire.WorkBatch(tp, reply_from, records))
+                )
+        except (OSError, ShmError):
             return  # dead worker; _reap_dead restarts + replays
         handle.outstanding += 1
 
@@ -629,13 +683,25 @@ class ShardSupervisor:
             handle = by_conn[conn]
             try:
                 while True:
-                    out.append((wire.decode(conn.recv_bytes()), handle))
+                    msg = wire.decode(conn.recv_bytes())
+                    # Doorbells only signal readiness; the payload is
+                    # picked up from the reply ring below.
+                    if not isinstance(msg, wire.ShmDoorbell):
+                        out.append((msg, handle))
                     # Only keep reading while more frames are buffered;
                     # otherwise recv would block.
                     if not conn.poll(0):
                         break
             except (EOFError, OSError):
                 continue  # dead worker; _reap_dead restarts it
+        for handle in self.handles.values():
+            if handle.reply_ring is None:
+                continue
+            try:
+                for payload in handle.reply_ring.drain():
+                    out.append((columnar.decode(payload), handle))
+            except ShmError:
+                continue  # torn frame from a dying worker; restart replays
         return out
 
     def _reap_dead(self) -> list[str]:
@@ -686,10 +752,16 @@ class ShardSupervisor:
             handle.conn.close()
         except OSError:
             pass
+        if handle.work_ring is not None:
+            handle.work_ring.close(unlink=True)
+        if handle.reply_ring is not None:
+            handle.reply_ring.close(unlink=True)
         self._forget_expected_acks(handle.worker_id)
         fresh = self._spawn(handle.worker_id)
         handle.process = fresh.process
         handle.conn = fresh.conn
+        handle.work_ring = fresh.work_ring
+        handle.reply_ring = fresh.reply_ring
         handle.outstanding = 0
         handle.restarts += 1
         self.restarts += 1
@@ -732,6 +804,9 @@ class ShardSupervisor:
         for handle in self.handles.values():
             self._stop_handle(handle)
         self.handles.clear()
+        if self.transport == "shm":
+            # Backstop for segments a SIGKILLed worker left behind.
+            shm.sweep(self._shm_prefix)
 
     def _stop_handle(self, handle: WorkerHandle) -> None:
         if handle.alive:
@@ -747,6 +822,12 @@ class ShardSupervisor:
             handle.conn.close()
         except OSError:
             pass
+        if handle.work_ring is not None:
+            handle.work_ring.close(unlink=True)
+            handle.work_ring = None
+        if handle.reply_ring is not None:
+            handle.reply_ring.close(unlink=True)
+            handle.reply_ring = None
 
     def __enter__(self) -> "ShardSupervisor":
         return self

@@ -81,6 +81,10 @@ MSG_TRUNCATE_LOGS = 26
 MSG_REPLY_BATCH = 24
 MSG_DRAIN_ACK = 25
 
+# shm data plane (tags 29/30 are the columnar frames in repro.shard.columnar)
+MSG_SHM_HELLO = 27
+MSG_SHM_DOORBELL = 28
+
 
 @dataclass(frozen=True)
 class CreateStream:
@@ -365,6 +369,28 @@ class DrainAck:
     watermarks: tuple[tuple[TopicPartition, int], ...]
 
 
+# -- shm data plane -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShmHello:
+    """Link handshake (``transport="shm"``): the dispatcher side created
+    a ring pair for this data channel and names them here; the worker
+    attaches both. All further traffic on the channel is doorbells."""
+
+    work_ring: str  #: carries WorkBatch frames toward the worker
+    reply_ring: str  #: carries BatchDone frames back
+
+
+@dataclass(frozen=True)
+class ShmDoorbell:
+    """Readiness signal: frames were published to the paired ring.
+
+    The payload is the signal — it wakes the peer's ``connection.wait``
+    so ring consumers never poll. Doorbells are coalesced per publish
+    round, not per frame."""
+
+
 # -- topic partitions ---------------------------------------------------------
 
 
@@ -601,6 +627,12 @@ def encode(msg: object) -> bytes:
         buf.append(MSG_DRAIN_ACK)
         serde.write_varint(buf, msg.request_id)
         _write_offset_pairs(buf, msg.watermarks)
+    elif isinstance(msg, ShmHello):
+        buf.append(MSG_SHM_HELLO)
+        serde.write_str(buf, msg.work_ring)
+        serde.write_str(buf, msg.reply_ring)
+    elif isinstance(msg, ShmDoorbell):
+        buf.append(MSG_SHM_DOORBELL)
     else:
         raise SerdeError(f"unsupported wire message: {type(msg).__name__}")
     return bytes(buf)
@@ -845,6 +877,12 @@ def decode(data: bytes) -> object:
         request_id, offset = serde.read_varint(view, offset)
         watermarks, offset = _read_offset_pairs(view, offset)
         return DrainAck(request_id, watermarks)
+    if tag == MSG_SHM_HELLO:
+        work_ring, offset = serde.read_str(view, offset)
+        reply_ring, offset = serde.read_str(view, offset)
+        return ShmHello(work_ring, reply_ring)
+    if tag == MSG_SHM_DOORBELL:
+        return ShmDoorbell()
     raise SerdeError(f"unknown wire message tag {tag}")
 
 

@@ -42,7 +42,11 @@ from repro.engine.catalog import (
 from repro.engine.processor import UnitConfig
 from repro.engine.task import TaskCheckpoint, TaskProcessor
 from repro.messaging.log import TopicPartition
-from repro.shard import wire
+from repro.shard import columnar, wire
+from repro.shard.shm import ShmError, ShmRing
+
+#: Pre-encoded readiness ping for the shm transport; see shard.shm.
+DOORBELL = wire.encode(wire.ShmDoorbell())
 
 
 class ShardWorker:
@@ -239,8 +243,44 @@ def _handle_one(
         return False
     elif isinstance(msg, wire.Crash):
         os._exit(17)  # fault injection: die without cleanup
+    elif isinstance(msg, wire.ShmDoorbell):
+        pass  # pure wakeup; the main loop drains the rings
     else:
         worker.handle_control(msg)
+    return True
+
+
+def _drain_data_ring(
+    worker: ShardWorker,
+    data_conn: Connection,
+    rings: tuple[ShmRing, ShmRing],
+) -> bool:
+    """Drain one frontend link's work ring; False when the link is dead.
+
+    Mirrors the socket loop's error discipline: only ring/socket I/O
+    counts as "the frontend went away" — ``handle_work`` exceptions
+    (reservoir/LSM I/O) propagate to the ``WorkerError`` reporter.
+    """
+    work, reply = rings
+    replied = False
+    while True:
+        try:
+            payload = work.try_recv()
+        except ShmError:
+            return False
+        if payload is None:
+            break
+        done = columnar.encode(worker.handle_work(columnar.decode(payload)))
+        try:
+            reply.send(done)
+        except (OSError, ShmError):
+            return False
+        replied = True
+    if replied:
+        try:
+            data_conn.send_bytes(DOORBELL)
+        except OSError:
+            return False
     return True
 
 
@@ -249,6 +289,7 @@ def shard_worker_main(
     worker_id: str,
     config: UnitConfig | None = None,
     listen_addr: str | None = None,
+    shm_names: tuple[str, str] | None = None,
 ) -> None:
     """Worker process entrypoint: decode → dispatch → reply, until told to stop.
 
@@ -264,6 +305,16 @@ def shard_worker_main(
     and ``RestoreTask`` checkpoints before any replayed work batch, and
     a rebalanced task's checkpoint lands before its new traffic.
 
+    With ``shm_names`` set (``transport="shm"``) the supervisor's work
+    batches instead arrive columnar-packed through a shared-memory ring
+    attached at ``shm_names[0]`` and replies return through the ring at
+    ``shm_names[1]``; the pipe carries only control frames and
+    doorbells. Frontend links upgrade the same way per connection via a
+    ``ShmHello`` on their data socket. The cross-channel ordering
+    guarantee holds because a ring frame is published strictly after
+    any control frame that precedes it was written to the pipe, and the
+    ring drain re-polls the pipe before processing each frame.
+
     Any exception is reported as a :class:`~repro.shard.wire.WorkerError`
     frame on the control channel before the process exits non-zero, so
     the supervisor can log the cause instead of just observing a dead
@@ -272,12 +323,37 @@ def shard_worker_main(
     worker = ShardWorker(worker_id, config)
     listener = _bind_listener(listen_addr) if listen_addr is not None else None
     data_conns: list[Connection] = []
+    sup_work = sup_reply = None
+    if shm_names is not None:
+        sup_work = ShmRing.attach(shm_names[0], "consumer")
+        sup_reply = ShmRing.attach(shm_names[1], "producer")
+    #: per-frontend-link ring pair ``(work, reply)``, announced by
+    #: ``ShmHello`` on that link's data socket.
+    data_rings: dict[Connection, tuple[ShmRing, ShmRing]] = {}
+
+    def all_rings() -> list[ShmRing]:
+        rings = [] if sup_work is None else [sup_work, sup_reply]
+        for pair in data_rings.values():
+            rings.extend(pair)
+        return rings
+
+    def drop_data_conn(data_conn: Connection, *, unlink: bool) -> None:
+        data_conns.remove(data_conn)
+        data_conn.close()
+        for ring in data_rings.pop(data_conn, ()):
+            ring.close(unlink=unlink)
+
     try:
         while True:
             wait_on: list = [conn, *data_conns]
             if listener is not None:
                 wait_on.append(listener)
-            ready = set(connection.wait(wait_on))
+            # With rings attached the wait must time out so heartbeats
+            # keep advancing even on an idle link.
+            timeout = 0.5 if (sup_work is not None or data_rings) else None
+            ready = set(connection.wait(wait_on, timeout))
+            for ring in all_rings():
+                ring.beat()
             if conn in ready:
                 # Drain the control channel fully before touching data.
                 while True:
@@ -285,6 +361,26 @@ def shard_worker_main(
                         return
                     if not conn.poll(0):
                         break
+            if sup_work is not None:
+                replied = False
+                while True:
+                    payload = sup_work.try_recv()
+                    if payload is None:
+                        break
+                    # A visible ring frame was published strictly after
+                    # any control frame sent before it, so that control
+                    # frame is already readable — apply it first
+                    # (restore-before-work across the two channels).
+                    while conn.poll(0):
+                        if not _handle_one(
+                            worker, conn, wire.decode(conn.recv_bytes())
+                        ):
+                            return
+                    batch = columnar.decode(payload)
+                    sup_reply.send(columnar.encode(worker.handle_work(batch)))
+                    replied = True
+                if replied:
+                    conn.send_bytes(DOORBELL)
             if listener is not None and listener in ready:
                 accepted, _ = listener.accept()
                 data_conns.append(Connection(accepted.detach()))
@@ -298,8 +394,9 @@ def shard_worker_main(
                     try:
                         payload = data_conn.recv_bytes()
                     except (EOFError, OSError):
-                        data_conns.remove(data_conn)
-                        data_conn.close()
+                        # A SIGKILLed frontend cannot unlink its rings;
+                        # this worker is the last process holding them.
+                        drop_data_conn(data_conn, unlink=True)
                         break
                     msg = wire.decode(payload)
                     if isinstance(msg, wire.WorkBatch):
@@ -307,13 +404,27 @@ def shard_worker_main(
                         try:
                             data_conn.send_bytes(frame)
                         except OSError:
-                            data_conns.remove(data_conn)
-                            data_conn.close()
+                            drop_data_conn(data_conn, unlink=True)
                             break
+                    elif isinstance(msg, wire.ShmHello):
+                        data_rings[data_conn] = (
+                            ShmRing.attach(msg.work_ring, "consumer"),
+                            ShmRing.attach(msg.reply_ring, "producer"),
+                        )
                     elif not _handle_one(worker, data_conn, msg):
                         return
                     if not data_conn.poll(0):
                         break
+            # Doorbells only wake the loop; every upgraded link's work
+            # ring is drained each pass (cheap: a head==tail load when
+            # idle), so a doorbell coalesced with the frame it announced
+            # is never lost.
+            for data_conn in list(data_conns):
+                rings = data_rings.get(data_conn)
+                if rings is not None and not _drain_data_ring(
+                    worker, data_conn, rings
+                ):
+                    drop_data_conn(data_conn, unlink=True)
     except EOFError:
         return  # supervisor went away; nothing left to reply to
     except BaseException:
@@ -324,3 +435,9 @@ def shard_worker_main(
         except OSError:
             pass
         raise
+    finally:
+        # Attached rings are closed (not unlinked — their owners clean
+        # up) so a blocked peer fails fast on the closed flag instead of
+        # waiting out the staleness window.
+        for ring in all_rings():
+            ring.close()

@@ -434,10 +434,12 @@ class TestClusterSendBatchEquivalence:
         assert [r.results for r in replies_a] == [r.results for r in replies_b]
         assert [r.event for r in replies_a] == [r.event for r in replies_b]
 
-    def test_process_mode_matches_per_event_replies(self):
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
+    def test_process_mode_matches_per_event_replies(self, transport):
         # The process-parallel engine is held to the same bar as the
         # batched single-process path: byte-identical reply values and
-        # aggregate stats, with ties, duplicates and all.
+        # aggregate stats, with ties, duplicates and all — over the
+        # serde-framed pipe and the shared-memory ring transport alike.
         from repro.shard.parallel import ParallelCluster
 
         events = [
@@ -447,7 +449,7 @@ class TestClusterSendBatchEquivalence:
         events.append(events[7])  # duplicate id: replies read-only
         one_by_one = self.build_cluster()
         replies_a = [one_by_one.send("tx", event=event) for event in events]
-        with ParallelCluster(workers=2) as process_mode:
+        with ParallelCluster(workers=2, transport=transport) as process_mode:
             process_mode.create_stream(
                 "tx", ["cardId"], partitions=2,
                 schema={"cardId": "string", "amount": "float"},
@@ -462,7 +464,8 @@ class TestClusterSendBatchEquivalence:
         assert [r.event for r in replies_a] == [r.event for r in replies_b]
         assert processed == len(events) == one_by_one.total_messages_processed()
 
-    def test_sharded_frontend_mode_matches_per_event_replies(self):
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
+    def test_sharded_frontend_mode_matches_per_event_replies(self, transport):
         # Acceptance bar for the sharded-frontend topology: replies from
         # create_cluster("process", frontends=2) are byte-identical to
         # create_cluster("single"), including ties and duplicate ids —
@@ -486,7 +489,9 @@ class TestClusterSendBatchEquivalence:
         )
         single.run_until_quiet()
         replies_a = [single.send("tx", event=event) for event in events]
-        with create_cluster("process", workers=2, frontends=2) as sharded:
+        with create_cluster(
+            "process", workers=2, frontends=2, transport=transport
+        ) as sharded:
             sharded.create_stream(
                 "tx", ["cardId"], partitions=2,
                 schema={"cardId": "string", "amount": "float"},
@@ -501,8 +506,9 @@ class TestClusterSendBatchEquivalence:
         assert [r.event for r in replies_a] == [r.event for r in replies_b]
         assert processed == len(events) == single.total_messages_processed()
 
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
     def test_durable_sharded_frontend_mode_matches_per_event_replies(
-        self, tmp_path
+        self, tmp_path, transport
     ):
         # The durability acceptance bar: the sharded topology over a
         # disk-backed bus (frontends host durable segment logs, the
@@ -531,6 +537,7 @@ class TestClusterSendBatchEquivalence:
         with create_cluster(
             "process", workers=2, frontends=2,
             durable_dir=str(tmp_path / "cluster"),
+            transport=transport,
         ) as durable:
             durable.create_stream(
                 "tx", ["cardId"], partitions=2,

@@ -55,6 +55,9 @@ class TestRunBenches:
             "engine_ingest_process_2f",
             "engine_ingest_process_4f",
             "engine_ingest_process_durable",
+            "engine_ingest_process_shm_1w",
+            "engine_ingest_process_shm_4w",
+            "engine_ingest_process_shm_2f",
             "log_append_fsync_never",
             "log_append_fsync_batch",
             "log_append_fsync_always",

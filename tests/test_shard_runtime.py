@@ -451,10 +451,11 @@ class TestPartitionView:
 
 
 class TestParallelClusterEquivalence:
-    def test_replies_and_stats_match_single_process(self):
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
+    def test_replies_and_stats_match_single_process(self, transport):
         events = make_events(120)
         expected = single_process_results(events)
-        with ParallelCluster(workers=2) as cluster:
+        with ParallelCluster(workers=2, transport=transport) as cluster:
             cluster.create_stream("tx", ["cardId"], **STREAM_KW)
             cluster.create_metric(METRIC)
             replies = cluster.send_batch("tx", events)
@@ -502,10 +503,11 @@ class TestParallelClusterEquivalence:
 
 
 class TestParallelClusterFailures:
-    def test_worker_crash_mid_batch_replays_uncommitted(self):
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
+    def test_worker_crash_mid_batch_replays_uncommitted(self, transport):
         events = make_events(300)
         expected = single_process_results(events)
-        with ParallelCluster(workers=2) as cluster:
+        with ParallelCluster(workers=2, transport=transport) as cluster:
             cluster.create_stream("tx", ["cardId"], **STREAM_KW)
             cluster.create_metric(METRIC)
             # Publish everything up front, then crash a worker while its
@@ -612,7 +614,8 @@ class TestCheckpointedRecovery:
         assert cluster.supervisor.restarts == count
         cluster.run_until_quiet()
 
-    def test_crash_after_checkpoint_replays_exactly_the_tail(self):
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
+    def test_crash_after_checkpoint_replays_exactly_the_tail(self, transport):
         """Acceptance: N events, checkpoint at C, crash -> exactly N-C
         records replay, and replies stay byte-identical."""
         events = make_events(90)
@@ -620,7 +623,9 @@ class TestCheckpointedRecovery:
         expected = self.ground_truth(events + [probe])
         checkpoint_at = 60
         tp = TopicPartition("tx.cardId", 0)
-        with ParallelCluster(workers=1, checkpoint_every=None) as cluster:
+        with ParallelCluster(
+            workers=1, checkpoint_every=None, transport=transport
+        ) as cluster:
             cluster.create_stream("tx", ["cardId"], **self.ONE_PARTITION)
             cluster.create_metric(METRIC)
             results = [

@@ -205,10 +205,11 @@ class TestFrontendEngine:
 
 
 class TestClusterRouterEquivalence:
-    def test_replies_and_merged_stats_match_single_process(self):
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
+    def test_replies_and_merged_stats_match_single_process(self, transport):
         events = make_events(120)
         expected = single_process_results(events)
-        with make_router(workers=2, frontends=2) as cluster:
+        with make_router(workers=2, frontends=2, transport=transport) as cluster:
             replies = cluster.send_batch("tx", events)
             assert [r.results for r in replies] == expected
             assert [r.event for r in replies] == events
@@ -369,12 +370,13 @@ class TestClusterRouterFailures:
             cluster.pump()
         assert cluster.supervisor.restarts == count
 
-    def test_worker_crash_mid_batch_replays_uncommitted(self):
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
+    def test_worker_crash_mid_batch_replays_uncommitted(self, transport):
         """Kill a worker with batches in flight: replies stay
         byte-identical across both frontends and none is duplicated."""
         events = make_events(300)
         expected = single_process_results(events)
-        with make_router(workers=2, frontends=2) as cluster:
+        with make_router(workers=2, frontends=2, transport=transport) as cluster:
             correlations = cluster._route_and_ship("tx", events)
             while len(cluster.completed) < 80:
                 cluster.pump()
@@ -388,18 +390,25 @@ class TestClusterRouterFailures:
             results = [cluster.completed.pop(c).results for c in correlations]
             assert results == expected
             assert cluster.supervisor.restarts == 1
-            # The uncheckpointed tail replayed ...
-            assert cluster.total_messages_processed() > len(events)
+            # The uncheckpointed tail replayed. Over shm the frontend
+            # salvages already-published replies from the victim's reply
+            # ring before quarantining the link, so the replay set may
+            # be empty there — at-least-once is the invariant.
+            if transport == "socket":
+                assert cluster.total_messages_processed() > len(events)
+            else:
+                assert cluster.total_messages_processed() >= len(events)
             # ... but no client reply was duplicated.
             assert not cluster.completed
             assert not cluster.pending
 
-    def test_frontend_crash_recovers_from_journal(self):
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
+    def test_frontend_crash_recovers_from_journal(self, transport):
         """Kill one frontend mid-stream: its journal replay completes
         every in-flight request; settled replies are not re-answered."""
         events = make_events(240)
         expected = single_process_results(events)
-        with make_router(workers=2, frontends=2) as cluster:
+        with make_router(workers=2, frontends=2, transport=transport) as cluster:
             results = [r.results for r in cluster.send_batch("tx", events[:120])]
             victim = cluster.frontend_ids()[0]
             cluster.kill_frontend(victim)
