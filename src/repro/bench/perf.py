@@ -6,7 +6,10 @@ frontend fan-out, plus the end-to-end engine ingest in single-process,
 process-parallel (``engine_ingest_process_{1,4}w``) and
 sharded-frontend (``engine_ingest_process_{1,2,4}f``: N frontend
 processes over 2 workers) and durable (``engine_ingest_process_durable``:
-disk-backed bus, batch fsync) execution, the durable-log family
+disk-backed bus, batch fsync) execution, the TCP front door
+(``server_ingest_async_{1,64}c``: closed-loop clients through the
+asyncio ingest server over a served sharded cluster), the durable-log
+family
 (``log_append_fsync_{never,batch,always}`` append cost per fsync policy,
 ``durable_recovery_reopen`` segment-scan recovery time) and the
 crash-recovery family (``recovery_from_zero`` vs
@@ -421,6 +424,99 @@ def bench_engine_ingest_process_4f(events: list[Event], batch_size: int) -> dict
     return _bench_engine_ingest_frontends(events, batch_size, frontends=4)
 
 
+# -- TCP front door (asyncio server, N concurrent connections) ----------------
+
+
+#: Events per closed-loop round trip in the server benches. Small on
+#: purpose: the family's axis is round-trip *latency* vs connection
+#: *pipelining*, so the per-trip batch must not amortize the trip away.
+_SERVER_CHUNK = 16
+
+#: Event budget for the serialized 1c run (~1k events/s when
+#: latency-bound; throughput stabilizes within a few hundred trips).
+_SERVER_1C_EVENTS = 4_000
+
+
+def _bench_server_ingest_async(
+    events: list[Event], batch_size: int, clients: int
+) -> dict[str, float]:
+    """Closed-loop ingest through the asyncio front door over TCP.
+
+    A served sharded cluster (2 workers, 2 frontends) takes
+    ``clients`` concurrent connections, the event stream striped across
+    them; every client sends a ``_SERVER_CHUNK``-event batch and awaits
+    the replies before sending the next (closed loop — the harness
+    ``batch_size`` is deliberately not used here, the fixed small trip
+    is the bench's axis). One connection measures the per-round-trip
+    ceiling (frame + admission + dispatch + fan-in, serialized); many
+    connections measure how far the router's pipelined service loop
+    overlaps those trips. The CI floor requires 64c >= 2x 1c on
+    >=4-core hosts.
+    """
+    import asyncio
+
+    from repro.server.admission import AdmissionController, TenantQuota
+    from repro.server.client import AsyncRailgunClient
+    from repro.server.server import serve_cluster
+
+    del batch_size
+    if clients == 1:
+        events = events[:_SERVER_1C_EVENTS]
+
+    # Admission sized out of the way: this bench measures the data
+    # path, not the shed path (test_server_frontdoor.py covers that).
+    admission = AdmissionController(
+        default_quota=TenantQuota(
+            events_per_sec=1e9, burst=1 << 20, max_in_flight=1 << 20,
+        ),
+        max_in_flight=1 << 20,
+        max_queue_depth=1 << 20,
+    )
+    with ClusterRouter(workers=2, frontends=2, checkpoint_every=None) as cluster:
+        cluster.create_stream("tx", ["cardId"], **_ENGINE_STREAM)
+        cluster.create_metric(_ENGINE_METRIC)
+        handle = serve_cluster(cluster, admission=admission)
+        host, port = handle.address
+        try:
+            shares = [events[i::clients] for i in range(clients)]
+
+            async def one_client(share: list[Event]) -> list[float]:
+                samples: list[float] = []
+                async with AsyncRailgunClient(host, port) as client:
+                    for chunk in _slices(share, _SERVER_CHUNK):
+                        started = time.perf_counter()
+                        await client.send_batch("tx", chunk)
+                        elapsed = time.perf_counter() - started
+                        samples.append(elapsed * 1e6 / max(1, len(chunk)))
+                return samples
+
+            async def run_all() -> list[list[float]]:
+                return await asyncio.gather(
+                    *(one_client(share) for share in shares)
+                )
+
+            started = time.perf_counter()
+            per_client = asyncio.run(run_all())
+            total = time.perf_counter() - started
+        finally:
+            handle.stop()
+    samples = [sample for client in per_client for sample in client]
+    p50, p99 = _percentiles_us(samples)
+    return {
+        "events_per_sec": len(events) / total if total > 0 else 0.0,
+        "p50_us": p50,
+        "p99_us": p99,
+    }
+
+
+def bench_server_ingest_async_1c(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_server_ingest_async(events, batch_size, clients=1)
+
+
+def bench_server_ingest_async_64c(events: list[Event], batch_size: int) -> dict[str, float]:
+    return _bench_server_ingest_async(events, batch_size, clients=64)
+
+
 # -- durable segmented log (fsync policies + recovery reopen) -----------------
 
 
@@ -621,6 +717,8 @@ BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
     "engine_ingest_process_2f": bench_engine_ingest_process_2f,
     "engine_ingest_process_4f": bench_engine_ingest_process_4f,
     "engine_ingest_process_durable": bench_engine_ingest_process_durable,
+    "server_ingest_async_1c": bench_server_ingest_async_1c,
+    "server_ingest_async_64c": bench_server_ingest_async_64c,
     "log_append_fsync_never": bench_log_append_fsync_never,
     "log_append_fsync_batch": bench_log_append_fsync_batch,
     "log_append_fsync_always": bench_log_append_fsync_always,
@@ -635,7 +733,9 @@ BENCHES: dict[str, Callable[[list[Event], int], dict[str, float]]] = {
 ENGINE_BENCHES = frozenset(
     name
     for name in BENCHES
-    if name.startswith(("engine_ingest", "recovery_", "log_append", "durable_"))
+    if name.startswith(
+        ("engine_ingest", "server_ingest", "recovery_", "log_append", "durable_")
+    )
 )
 
 

@@ -10,6 +10,7 @@ multi-node test deterministic.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
@@ -210,19 +211,66 @@ def create_cluster(execution: str = "single", **kwargs):
     reopen their on-disk logs), while a full ``ClusterRouter`` reopen
     still requires re-issuing DDL (see the "Durability" section of
     ``docs/ARCHITECTURE.md``).
+
+    Every topology also accepts ``serve="tcp://host:port"`` (port 0 for
+    an ephemeral port): the cluster is then additionally exposed over
+    TCP through the asyncio front door
+    (:func:`repro.server.server.serve_cluster`); the handle is attached
+    as ``cluster.server`` and stopped automatically by
+    ``cluster.close()``.
+
+    Unknown keyword arguments raise :class:`ValueError` naming the bad
+    keywords and the full matrix of valid ones for each topology —
+    a silently ignored typo (``checkpoint_evry=...``) is a misconfigured
+    cluster that looks healthy until it isn't.
     """
+    serve = kwargs.pop("serve", None)
     if execution == "single":
-        return RailgunCluster(**kwargs)
-    if execution == "process":
-        frontends = kwargs.pop("frontends", 1)
+        cls, label = RailgunCluster, 'execution="single"'
+    elif execution == "process":
+        frontends = kwargs.get("frontends", 1)
         if frontends is not None and frontends > 1:
             from repro.shard.router import ClusterRouter
 
-            return ClusterRouter(frontends=frontends, **kwargs)
-        from repro.shard.parallel import ParallelCluster
+            cls, label = ClusterRouter, 'execution="process", frontends>=2'
+        else:
+            from repro.shard.parallel import ParallelCluster
 
-        return ParallelCluster(**kwargs)
-    raise EngineError(f"unknown execution mode {execution!r}")
+            kwargs.pop("frontends", None)
+            cls, label = ParallelCluster, 'execution="process", frontends=1'
+    else:
+        raise EngineError(f"unknown execution mode {execution!r}")
+    valid = [
+        name
+        for name in inspect.signature(cls.__init__).parameters
+        if name != "self"
+    ]
+    unknown = sorted(set(kwargs) - set(valid))
+    if unknown:
+        raise ValueError(
+            f"unknown create_cluster keyword(s) {', '.join(map(repr, unknown))} "
+            f"for {label} ({cls.__name__}); valid keywords are: "
+            f"{', '.join(valid)} "
+            "(plus 'frontends' to pick the process-mode topology and "
+            "'serve' to expose the cluster over TCP)"
+        )
+    cluster = cls(**kwargs)
+    if serve is not None:
+        from repro.server.server import serve_cluster
+
+        try:
+            cluster.server = serve_cluster(cluster, serve)
+        except Exception:
+            cluster.close()
+            raise
+        original_close = cluster.close
+
+        def _close_with_server(*args, **close_kwargs):
+            cluster.server.stop()
+            original_close(*args, **close_kwargs)
+
+        cluster.close = _close_with_server
+    return cluster
 
 
 class RailgunCluster:

@@ -1,0 +1,506 @@
+"""Front-door clients: asyncio-native and a sync wrapper.
+
+:class:`AsyncRailgunClient` is the protocol implementation — one TCP
+connection, a background receive task resolving futures per
+correlation, DDL over :class:`~repro.shard.wire.DdlRequest`, and
+``send``/``send_batch`` returning the same
+:class:`~repro.engine.cluster.Reply` objects every in-process facade
+returns (results byte-identical to ``create_cluster("single")``;
+``latency_ms`` is the client-observed round trip).
+
+:class:`RailgunClient` wraps it for synchronous code by running a
+private event loop on a daemon thread — one protocol implementation,
+two call styles (the equivalence tests drive the sync wrapper, so both
+layers sit under the byte-identical bar).
+
+Two deliberate API differences from the in-process facades:
+
+- Dict sends must carry an explicit ``timestamp`` — the cluster's
+  logical clock is not shared with remote processes, so there is no
+  honest default. Event ids are minted as ``{session}-{seq:09d}``; the
+  server-issued session prefix keeps ids unique across every client of
+  the cluster.
+- An over-quota batch raises :class:`ServerBusyError` (after
+  ``busy_retries`` automatic retries honoring the server's
+  ``retry_after_ms``) — load shedding is an explicit outcome, never a
+  silent drop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Iterable, Mapping
+
+from repro.common.errors import EngineError
+from repro.engine.cluster import Reply, _normalize_fields
+from repro.events.event import Event
+from repro.server.admission import LatencyBudget
+from repro.server.framing import read_frame, write_frame
+from repro.shard import wire
+
+#: Events per IngestBatch frame (mirrors the router's ingest_max).
+INGEST_CHUNK = 256
+
+
+class ServerBusyError(EngineError):
+    """The server shed load instead of accepting a batch."""
+
+    def __init__(
+        self, reason: str, retry_after_ms: int, correlations: tuple[int, ...]
+    ) -> None:
+        super().__init__(
+            f"server busy ({reason}): {len(correlations)} events shed, "
+            f"retry after {retry_after_ms}ms"
+        )
+        self.reason = reason
+        self.retry_after_ms = retry_after_ms
+        self.correlations = correlations
+
+
+class AsyncRailgunClient:
+    """One front-door connection; all methods must run on one loop."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        token: str = "",
+    ) -> None:
+        self._host = host
+        self._port = port
+        self.tenant = tenant
+        self._token = token
+        self.session = ""
+        #: the tenant's latency target, as announced by the HelloAck.
+        self.budget: LatencyBudget | None = None
+        self.max_in_flight = 0
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._recv_task: asyncio.Task | None = None
+        self._next_correlation = 0
+        self._next_request = 0
+        self._seq = 0
+        #: correlation -> (future, event, stream, monotonic send time).
+        self._pending: dict[int, tuple[asyncio.Future, Event, str, float]] = {}
+        self._ddl_pending: dict[int, asyncio.Future] = {}
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def connect(self) -> "AsyncRailgunClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        await write_frame(
+            self._writer, wire.encode(wire.Hello(self.tenant, self._token))
+        )
+        payload = await read_frame(self._reader)
+        if payload is None:
+            raise EngineError("server closed the connection during handshake")
+        ack = wire.decode(payload)
+        if not isinstance(ack, wire.HelloAck):
+            raise EngineError(f"expected HelloAck, got {type(ack).__name__}")
+        if not ack.ok:
+            self._writer.close()
+            raise EngineError(f"server refused connection: {ack.error}")
+        self.session = ack.session
+        self.max_in_flight = ack.max_in_flight
+        self.budget = LatencyBudget(ack.p50_budget_ms, ack.p99_budget_ms)
+        self._recv_task = asyncio.ensure_future(self._recv_loop())
+        return self
+
+    async def close(self) -> None:
+        """Say goodbye and release the socket; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._writer is not None:
+            try:
+                await write_frame(self._writer, wire.encode(wire.Goodbye()))
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+        if self._recv_task is not None:
+            self._recv_task.cancel()
+            try:
+                await self._recv_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+        self._fail_all(EngineError("client closed"))
+
+    async def __aenter__(self) -> "AsyncRailgunClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- receive plane --------------------------------------------------------
+
+    async def _recv_loop(self) -> None:
+        try:
+            while True:
+                payload = await read_frame(self._reader)
+                if payload is None:
+                    break
+                self._dispatch(wire.decode(payload))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_all(EngineError(f"connection error: {exc}"))
+            return
+        self._fail_all(EngineError("connection closed by server"))
+
+    def _dispatch(self, msg: object) -> None:
+        if isinstance(msg, wire.ReplyBatch):
+            now = time.monotonic()
+            for correlation, topic, results in msg.replies:
+                entry = self._pending.pop(correlation, None)
+                if entry is None:
+                    continue  # raced with a local failure; drop
+                future, event, stream, started = entry
+                if not future.done():
+                    future.set_result(
+                        Reply(
+                            event=event,
+                            stream=stream or topic,
+                            results=results or {},
+                            latency_ms=int((now - started) * 1000),
+                        )
+                    )
+        elif isinstance(msg, wire.ServerBusy):
+            for correlation in msg.correlations:
+                entry = self._pending.pop(correlation, None)
+                if entry is None:
+                    continue
+                future = entry[0]
+                if not future.done():
+                    future.set_exception(
+                        ServerBusyError(
+                            msg.reason, msg.retry_after_ms, (correlation,)
+                        )
+                    )
+        elif isinstance(msg, wire.DdlReply):
+            future = self._ddl_pending.pop(msg.request_id, None)
+            if future is None or future.done():
+                return
+            if msg.ok:
+                future.set_result(msg.value)
+            else:
+                future.set_exception(EngineError(f"ddl failed: {msg.error}"))
+        else:
+            self._fail_all(
+                EngineError(f"unexpected server frame {type(msg).__name__}")
+            )
+
+    def _fail_all(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future, _, _, _ in pending.values():
+            if not future.done():
+                future.set_exception(error)
+        ddl, self._ddl_pending = self._ddl_pending, {}
+        for future in ddl.values():
+            if not future.done():
+                future.set_exception(error)
+
+    # -- the data path --------------------------------------------------------
+
+    def _as_event(
+        self,
+        item: Mapping[str, Any] | Event,
+        timestamp: int | None,
+    ) -> Event:
+        if isinstance(item, Event):
+            return item
+        if timestamp is None:
+            raise EngineError(
+                "dict sends over TCP require an explicit timestamp: the "
+                "cluster's logical clock is not shared with remote clients"
+            )
+        event = Event(f"{self.session}-{self._seq:09d}", timestamp, item)
+        self._seq += 1
+        return event
+
+    async def send(
+        self,
+        stream: str,
+        fields: Mapping[str, Any] | None = None,
+        timestamp: int | None = None,
+        event: Event | None = None,
+        busy_retries: int = 0,
+    ) -> Reply:
+        """Send one event and await its reply."""
+        if event is None:
+            if fields is None:
+                raise EngineError("either fields or event is required")
+            event = self._as_event(fields, timestamp)
+        replies = await self.send_batch(stream, [event], busy_retries=busy_retries)
+        return replies[0]
+
+    async def send_batch(
+        self,
+        stream: str,
+        batch: Iterable[Mapping[str, Any] | Event],
+        timestamp: int | None = None,
+        busy_retries: int = 0,
+    ) -> list[Reply]:
+        """Send a batch, await every reply; input order.
+
+        A shed batch (``ServerBusy``) is retried up to ``busy_retries``
+        times, sleeping the server's ``retry_after_ms`` between
+        attempts and resending only the shed events; exhausted retries
+        raise :class:`ServerBusyError` naming what was never accepted.
+        """
+        events = [self._as_event(item, timestamp) for item in batch]
+        correlations = []
+        for _ in events:
+            correlations.append(self._next_correlation)
+            self._next_correlation += 1
+        replies: dict[int, Reply] = {}
+        outstanding = list(zip(correlations, events))
+        attempt = 0
+        while outstanding:
+            futures = []
+            loop = asyncio.get_running_loop()
+            started = time.monotonic()
+            for correlation, event in outstanding:
+                future = loop.create_future()
+                self._pending[correlation] = (future, event, stream, started)
+                futures.append(future)
+            await self._ship(stream, outstanding)
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            shed: list[tuple[int, Event]] = []
+            reason, retry_ms = "", 0
+            for (correlation, event), result in zip(outstanding, results):
+                if isinstance(result, ServerBusyError):
+                    shed.append((correlation, event))
+                    reason = result.reason
+                    retry_ms = max(retry_ms, result.retry_after_ms)
+                elif isinstance(result, BaseException):
+                    raise result
+                else:
+                    replies[correlation] = result
+            if shed and attempt >= busy_retries:
+                raise ServerBusyError(
+                    reason, retry_ms, tuple(corr for corr, _ in shed)
+                )
+            if shed:
+                attempt += 1
+                await asyncio.sleep(retry_ms / 1000.0)
+            outstanding = shed
+        return [replies[correlation] for correlation in correlations]
+
+    async def _ship(
+        self, stream: str, entries: list[tuple[int, Event]]
+    ) -> None:
+        for start in range(0, len(entries), INGEST_CHUNK):
+            chunk = entries[start:start + INGEST_CHUNK]
+            frame = wire.encode(
+                wire.IngestBatch(
+                    stream,
+                    [(correlation, event, ()) for correlation, event in chunk],
+                )
+            )
+            await write_frame(self._writer, frame)
+
+    # -- DDL ------------------------------------------------------------------
+
+    async def _ddl(self, request: wire.DdlRequest) -> int:
+        future = asyncio.get_running_loop().create_future()
+        self._ddl_pending[request.request_id] = future
+        await write_frame(self._writer, wire.encode(request))
+        return await future
+
+    def _request_id(self) -> int:
+        self._next_request += 1
+        return self._next_request
+
+    async def create_stream(
+        self,
+        name: str,
+        partitioners: Iterable[str],
+        partitions: int = 4,
+        schema: object = (),
+        with_global_partitioner: bool = False,
+    ) -> None:
+        """Register a stream (mirrors the facade signature)."""
+        await self._ddl(
+            wire.DdlRequest(
+                self._request_id(),
+                "create_stream",
+                name=name,
+                fields=_normalize_fields(schema),
+                names=tuple(partitioners),
+                number=partitions,
+                flag=with_global_partitioner,
+            )
+        )
+
+    async def create_metric(self, query_text: str, backfill: bool = False) -> int:
+        """Register a metric; returns its id."""
+        return await self._ddl(
+            wire.DdlRequest(
+                self._request_id(), "create_metric",
+                text=query_text, flag=backfill,
+            )
+        )
+
+    async def delete_metric(self, metric_id: int) -> None:
+        await self._ddl(
+            wire.DdlRequest(
+                self._request_id(), "delete_metric", number=metric_id
+            )
+        )
+
+    async def evolve_schema(self, stream: str, new_fields: object) -> None:
+        await self._ddl(
+            wire.DdlRequest(
+                self._request_id(), "evolve_schema",
+                name=stream, fields=_normalize_fields(new_fields),
+            )
+        )
+
+    async def add_partitioner(self, stream: str, partitioner: str) -> None:
+        await self._ddl(
+            wire.DdlRequest(
+                self._request_id(), "add_partitioner",
+                name=stream, text=partitioner,
+            )
+        )
+
+
+class RailgunClient:
+    """Sync facade over :class:`AsyncRailgunClient`.
+
+    Runs a private event loop on a daemon thread and bridges every call
+    with ``run_coroutine_threadsafe`` — one protocol implementation
+    serving both call styles. Use as a context manager::
+
+        with RailgunClient(host, port, tenant="acme") as client:
+            client.send("tx", event=my_event)
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        token: str = "",
+        connect_timeout: float = 10.0,
+        call_timeout: float = 120.0,
+    ) -> None:
+        self._call_timeout = call_timeout
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def runner() -> None:
+            asyncio.set_event_loop(self._loop)
+            ready.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=runner, name="railgun-client", daemon=True
+        )
+        self._thread.start()
+        ready.wait(timeout=10.0)
+        self._async = AsyncRailgunClient(host, port, tenant=tenant, token=token)
+        try:
+            self._call(self._async.connect(), timeout=connect_timeout)
+        except Exception:
+            self._shutdown_loop()
+            raise
+
+    def _call(self, coro, timeout: float | None = None):
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout or self._call_timeout)
+
+    def _shutdown_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+    @property
+    def session(self) -> str:
+        return self._async.session
+
+    @property
+    def budget(self) -> LatencyBudget | None:
+        return self._async.budget
+
+    def send(
+        self,
+        stream: str,
+        fields: Mapping[str, Any] | None = None,
+        timestamp: int | None = None,
+        event: Event | None = None,
+        busy_retries: int = 0,
+    ) -> Reply:
+        return self._call(
+            self._async.send(
+                stream, fields=fields, timestamp=timestamp, event=event,
+                busy_retries=busy_retries,
+            )
+        )
+
+    def send_batch(
+        self,
+        stream: str,
+        batch: Iterable[Mapping[str, Any] | Event],
+        timestamp: int | None = None,
+        busy_retries: int = 0,
+    ) -> list[Reply]:
+        return self._call(
+            self._async.send_batch(
+                stream, list(batch), timestamp=timestamp,
+                busy_retries=busy_retries,
+            )
+        )
+
+    def create_stream(
+        self,
+        name: str,
+        partitioners: Iterable[str],
+        partitions: int = 4,
+        schema: object = (),
+        with_global_partitioner: bool = False,
+    ) -> None:
+        self._call(
+            self._async.create_stream(
+                name, partitioners, partitions=partitions, schema=schema,
+                with_global_partitioner=with_global_partitioner,
+            )
+        )
+
+    def create_metric(self, query_text: str, backfill: bool = False) -> int:
+        return self._call(self._async.create_metric(query_text, backfill=backfill))
+
+    def delete_metric(self, metric_id: int) -> None:
+        self._call(self._async.delete_metric(metric_id))
+
+    def evolve_schema(self, stream: str, new_fields: object) -> None:
+        self._call(self._async.evolve_schema(stream, new_fields))
+
+    def add_partitioner(self, stream: str, partitioner: str) -> None:
+        self._call(self._async.add_partitioner(stream, partitioner))
+
+    def close(self) -> None:
+        """Close the connection and stop the loop thread; idempotent."""
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self._async.close(), timeout=10.0)
+        finally:
+            self._shutdown_loop()
+
+    def __enter__(self) -> "RailgunClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

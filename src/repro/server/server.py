@@ -1,0 +1,586 @@
+"""The asyncio ingest server: many TCP clients, one cluster.
+
+Architecture (one process, two planes):
+
+- **asyncio loop thread** — accepts connections, parses length-prefixed
+  ``shard.wire`` frames, runs admission control, and fans completed
+  replies back out per connection. Nothing here touches the cluster.
+- **cluster service thread** (the *driver*) — the only thread that
+  talks to the cluster facade. For a :class:`ClusterRouter` it runs the
+  router's ``service_step`` loop (thread-safe ``submit_batch`` /
+  ``submit_call`` hooks, pipelined: many connections' batches are in
+  flight in the cluster at once). For the other facades
+  (``RailgunCluster``, ``ParallelCluster``) a generic driver executes
+  queued submissions one ``send_batch`` at a time — correct, just not
+  pipelined.
+
+The handoff between the planes is a bounded dispatch queue (admission's
+``max_queue_depth`` sheds load before the queue grows) in one
+direction, and ``loop.call_soon_threadsafe`` posts into per-connection
+outboxes in the other. A slow reader blocks only its own connection's
+writer task (TCP backpressure on ``drain()``); its outbox is bounded by
+the tenant's in-flight cap, because events stop being admitted when
+their replies stop draining.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+import traceback
+import uuid
+from collections import deque
+
+from repro.common.errors import EngineError, SerdeError
+from repro.server.admission import AdmissionController
+from repro.server.framing import FrameError, read_frame, write_frame
+from repro.shard import wire
+
+#: Replies coalesced into one ReplyBatch frame per writer wakeup.
+REPLY_CHUNK = 256
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    """Parse ``tcp://host:port`` (the only supported scheme)."""
+    if not url.startswith("tcp://"):
+        raise EngineError(f"unsupported serve url {url!r}: expected tcp://host:port")
+    hostport = url[len("tcp://"):]
+    host, sep, port = hostport.rpartition(":")
+    if not sep or not host:
+        raise EngineError(f"unsupported serve url {url!r}: expected tcp://host:port")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise EngineError(f"bad port in serve url {url!r}") from None
+
+
+# -- cluster drivers ----------------------------------------------------------
+
+
+class _ClusterDriver(threading.Thread):
+    """Base: the single thread allowed to touch the cluster facade."""
+
+    def __init__(self, cluster) -> None:
+        super().__init__(name="railgun-server-driver", daemon=True)
+        self._cluster = cluster
+        self._stop_event = threading.Event()
+        self._drain = True
+        self.error: str | None = None
+
+    def submit_batch(self, stream: str, events: list, on_reply) -> None:
+        raise NotImplementedError
+
+    def submit_call(self, fn, on_done) -> None:
+        raise NotImplementedError
+
+    def backlog(self) -> int:
+        raise NotImplementedError
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        self._drain = drain
+        self._stop_event.set()
+        self.join(timeout=timeout)
+
+
+class _RouterDriver(_ClusterDriver):
+    """Drives a ``ClusterRouter`` through its thread-safe service hooks;
+    submissions from every connection pipeline through the router."""
+
+    def submit_batch(self, stream, events, on_reply) -> None:
+        self._cluster.submit_batch(stream, events, on_reply)
+
+    def submit_call(self, fn, on_done) -> None:
+        self._cluster.submit_call(fn, on_done)
+
+    def backlog(self) -> int:
+        return self._cluster.submission_backlog()
+
+    def run(self) -> None:
+        router = self._cluster
+        try:
+            while not self._stop_event.is_set():
+                router.service_step()
+            if self._drain:
+                deadline = time.monotonic() + 10.0
+                while (
+                    router.service_outstanding()
+                    and time.monotonic() < deadline
+                ):
+                    router.service_step()
+        except Exception:
+            self.error = traceback.format_exc(limit=8)
+
+
+class _FacadeDriver(_ClusterDriver):
+    """Generic driver for the blocking facades: one submission at a
+    time through ``send_batch`` (correct everywhere, pipelined
+    nowhere). DDL settles with ``run_until_quiet`` so a following send
+    lands on rebalanced assignments."""
+
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster)
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+
+    def submit_batch(self, stream, events, on_reply) -> None:
+        self._queue.put(("batch", stream, events, on_reply))
+
+    def submit_call(self, fn, on_done) -> None:
+        self._queue.put(("call", fn, None, on_done))
+
+    def backlog(self) -> int:
+        return self._queue.qsize()
+
+    def run(self) -> None:
+        try:
+            while True:
+                try:
+                    kind, a, b, callback = self._queue.get(timeout=0.05)
+                except queue.Empty:
+                    if self._stop_event.is_set():
+                        break
+                    continue
+                if self._stop_event.is_set() and not self._drain:
+                    break
+                if kind == "batch":
+                    replies = self._cluster.send_batch(a, b)
+                    for index, reply in enumerate(replies):
+                        callback(index, reply)
+                else:
+                    try:
+                        result = a()
+                    except Exception as exc:
+                        callback(None, exc)
+                        continue
+                    settle = getattr(self._cluster, "run_until_quiet", None)
+                    if settle is not None:
+                        settle()
+                    callback(result, None)
+        except Exception:
+            self.error = traceback.format_exc(limit=8)
+
+
+def _driver_for(cluster) -> _ClusterDriver:
+    if hasattr(cluster, "submit_batch") and hasattr(cluster, "service_step"):
+        return _RouterDriver(cluster)
+    return _FacadeDriver(cluster)
+
+
+# -- connections --------------------------------------------------------------
+
+
+class _Connection:
+    """Loop-thread state for one client socket: identity + outbox."""
+
+    def __init__(self, tenant: str, writer: asyncio.StreamWriter) -> None:
+        self.tenant = tenant
+        self.writer = writer
+        self.session = uuid.uuid4().hex[:12]
+        #: completed replies and control frames awaiting the writer
+        #: task; bounded transitively by the tenant's in-flight cap.
+        self.outbox: deque = deque()
+        self.wake = asyncio.Event()
+        self.closed = False
+
+    def enqueue_reply(self, correlation: int, stream: str, results: dict) -> None:
+        if self.closed:
+            return
+        self.outbox.append((correlation, stream, results))
+        self.wake.set()
+
+    def enqueue_msg(self, msg: object) -> None:
+        if self.closed:
+            return
+        self.outbox.append(msg)
+        self.wake.set()
+
+    def close(self) -> None:
+        self.closed = True
+        self.wake.set()
+        try:
+            self.writer.close()
+        except RuntimeError:
+            pass  # loop already closing
+
+
+class RailgunServer:
+    """Accepts front-door connections and multiplexes them onto one
+    cluster facade. The server borrows the cluster — ``stop()`` leaves
+    it open for its owner (``create_cluster(serve=...)`` wraps the
+    cluster's ``close`` to stop the server first)."""
+
+    def __init__(
+        self,
+        cluster,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admission: AdmissionController | None = None,
+        tokens: dict[str, str] | None = None,
+    ) -> None:
+        self._cluster = cluster
+        self._host = host
+        self._port = port
+        self.admission = admission if admission is not None else AdmissionController()
+        #: when set, Hello.token must match tokens[tenant] exactly.
+        self._tokens = tokens
+        self._driver = _driver_for(cluster)
+        self._server: asyncio.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._connections: set[_Connection] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self._stopped = False
+        self.address: tuple[str, int] | None = None
+        self.frames_in = 0
+        self.frames_out = 0
+        self.busy_frames = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "RailgunServer":
+        self._loop = asyncio.get_running_loop()
+        self._driver.start()
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain in-flight work, close all.
+
+        ``drain=True`` completes every admitted batch and flushes every
+        outbox before the sockets close; ``drain=False`` is the abrupt
+        path — clients see EOF on their in-flight requests.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Blocking join of the service thread. Completions it posts via
+        # call_soon_threadsafe queue up and flush right after.
+        self._driver.stop(drain=drain)
+        if drain:
+            deadline = self._loop.time() + 10.0
+            while (
+                any(conn.outbox for conn in self._connections)
+                and self._loop.time() < deadline
+            ):
+                await asyncio.sleep(0.005)
+        for conn in list(self._connections):
+            conn.close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._connections.clear()
+
+    def stats(self) -> dict:
+        """Admission counters (quotas, latency vs budget) + server-side
+        connection/frame counters."""
+        return {
+            "admission": self.admission.stats(),
+            "server": {
+                "connections": len(self._connections),
+                "frames_in": self.frames_in,
+                "frames_out": self.frames_out,
+                "busy_frames": self.busy_frames,
+                "dispatch_backlog": self._driver.backlog(),
+                "driver_error": self._driver.error,
+            },
+        }
+
+    # -- per-connection protocol ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        conn: _Connection | None = None
+        admitted = False
+        tenant = ""
+        writer_task: asyncio.Task | None = None
+        try:
+            payload = await read_frame(reader)
+            if payload is None:
+                return
+            hello = wire.decode(payload)
+            if not isinstance(hello, wire.Hello):
+                raise FrameError(
+                    f"expected Hello, got {type(hello).__name__}"
+                )
+            tenant = hello.tenant
+            if self._tokens is not None and self._tokens.get(tenant) != hello.token:
+                await write_frame(
+                    writer,
+                    wire.encode(wire.HelloAck(False, error="bad tenant or token")),
+                )
+                return
+            decision = self.admission.connect(tenant)
+            if not decision.ok:
+                await write_frame(
+                    writer,
+                    wire.encode(
+                        wire.HelloAck(False, error=f"refused: {decision.reason}")
+                    ),
+                )
+                return
+            admitted = True
+            conn = _Connection(tenant, writer)
+            quota = self.admission.quota_for(tenant)
+            await write_frame(
+                writer,
+                wire.encode(
+                    wire.HelloAck(
+                        True,
+                        session=conn.session,
+                        max_in_flight=quota.max_in_flight,
+                        p50_budget_ms=quota.budget.p50_ms,
+                        p99_budget_ms=quota.budget.p99_ms,
+                    )
+                ),
+            )
+            self._connections.add(conn)
+            writer_task = asyncio.ensure_future(self._writer_loop(conn))
+            while True:
+                payload = await read_frame(reader)
+                if payload is None:
+                    break
+                self.frames_in += 1
+                msg = wire.decode(payload)
+                if isinstance(msg, wire.IngestBatch):
+                    self._on_ingest(conn, msg)
+                elif isinstance(msg, wire.DdlRequest):
+                    self._on_ddl(conn, msg)
+                elif isinstance(msg, wire.Goodbye):
+                    break
+                else:
+                    raise FrameError(
+                        f"unexpected client frame {type(msg).__name__}"
+                    )
+        except (FrameError, SerdeError, ConnectionError, OSError):
+            pass  # protocol violation or peer vanished: drop the connection
+        except asyncio.CancelledError:
+            # Server stop cancels handler tasks; finish teardown normally
+            # so the streams layer doesn't log the cancellation.
+            pass
+        finally:
+            if conn is not None:
+                # Flush what the outbox already holds (a clean Goodbye
+                # arrives with no replies outstanding), then tear down.
+                if not self._stopped:
+                    flush_deadline = self._loop.time() + 5.0
+                    while conn.outbox and self._loop.time() < flush_deadline:
+                        await asyncio.sleep(0.005)
+                conn.close()
+                self._connections.discard(conn)
+            if writer_task is not None:
+                writer_task.cancel()
+                try:
+                    await writer_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            if admitted:
+                self.admission.disconnect(tenant)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+            self._tasks.discard(task)
+
+    def _on_ingest(self, conn: _Connection, msg: wire.IngestBatch) -> None:
+        correlations = [correlation for correlation, _, _ in msg.entries]
+        events = [event for _, event, _ in msg.entries]
+        if self._driver.error is not None:
+            decision_reason, retry = "cluster-error", 0
+        else:
+            decision = self.admission.admit(
+                conn.tenant, len(events), self._driver.backlog()
+            )
+            if decision.ok:
+                tenant = conn.tenant
+                started = time.monotonic()
+
+                def on_reply(index: int, reply) -> None:
+                    # Runs on the service thread: account first (the
+                    # admission ledger must not leak even if the client
+                    # is gone), then post the reply to the loop.
+                    elapsed_ms = (time.monotonic() - started) * 1000.0
+                    self.admission.complete(tenant, 1, elapsed_ms)
+                    self._post(
+                        conn.enqueue_reply,
+                        correlations[index],
+                        reply.stream,
+                        reply.results,
+                    )
+
+                self._driver.submit_batch(msg.stream, events, on_reply)
+                return
+            decision_reason, retry = decision.reason, decision.retry_after_ms
+        self.busy_frames += 1
+        conn.enqueue_msg(
+            wire.ServerBusy(decision_reason, retry, tuple(correlations))
+        )
+
+    def _on_ddl(self, conn: _Connection, msg: wire.DdlRequest) -> None:
+        def call():
+            return self._run_ddl(msg)
+
+        def on_done(result, error) -> None:
+            if error is None:
+                reply = wire.DdlReply(msg.request_id, True, int(result or 0))
+            else:
+                reply = wire.DdlReply(
+                    msg.request_id, False, 0,
+                    f"{type(error).__name__}: {error}",
+                )
+            self._post(conn.enqueue_msg, reply)
+
+        self._driver.submit_call(call, on_done)
+
+    def _run_ddl(self, msg: wire.DdlRequest) -> int:
+        cluster = self._cluster
+        if msg.op == "create_stream":
+            cluster.create_stream(
+                msg.name,
+                list(msg.names),
+                partitions=msg.number,
+                schema=msg.fields,
+                with_global_partitioner=msg.flag,
+            )
+            return 0
+        if msg.op == "create_metric":
+            return cluster.create_metric(msg.text, backfill=msg.flag)
+        if msg.op == "delete_metric":
+            cluster.delete_metric(msg.number)
+            return 0
+        if msg.op == "evolve_schema":
+            cluster.evolve_schema(msg.name, msg.fields)
+            return 0
+        if msg.op == "add_partitioner":
+            cluster.add_partitioner(msg.name, msg.text)
+            return 0
+        raise EngineError(f"unknown ddl op {msg.op!r}")
+
+    def _post(self, fn, *args) -> None:
+        try:
+            self._loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:
+            pass  # loop closed during shutdown; the client saw EOF anyway
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        """Ship the outbox: coalesce replies into ReplyBatch frames.
+
+        ``write_frame`` awaits the transport's drain, so a slow reader
+        stalls exactly this task — frames queue in the outbox (bounded
+        by the tenant's in-flight cap) instead of in kernel buffers.
+        """
+        try:
+            while True:
+                await conn.wake.wait()
+                conn.wake.clear()
+                while conn.outbox:
+                    replies = []
+                    while (
+                        conn.outbox
+                        and isinstance(conn.outbox[0], tuple)
+                        and len(replies) < REPLY_CHUNK
+                    ):
+                        correlation, stream, results = conn.outbox.popleft()
+                        replies.append((correlation, stream, results))
+                    if replies:
+                        frame = wire.encode(wire.ReplyBatch(replies))
+                    else:
+                        frame = wire.encode(conn.outbox.popleft())
+                    await write_frame(conn.writer, frame)
+                    self.frames_out += 1
+                if conn.closed:
+                    return
+        except (ConnectionError, OSError, RuntimeError):
+            conn.closed = True  # peer gone; the reader side cleans up
+
+
+# -- sync hosting -------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on its own loop thread, controlled from sync
+    code. ``create_cluster(serve=...)`` returns one as ``cluster.server``."""
+
+    def __init__(
+        self,
+        server: RailgunServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the server is listening on."""
+        return self._server.address
+
+    @property
+    def server(self) -> RailgunServer:
+        """The underlying server (admission controller, counters)."""
+        return self._server
+
+    def stats(self) -> dict:
+        return self._server.stats()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the server and its loop thread; idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self._server.stop(drain=drain), self._loop
+        )
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+            self._loop.close()
+
+
+def serve_cluster(
+    cluster,
+    url: str = "tcp://127.0.0.1:0",
+    admission: AdmissionController | None = None,
+    tokens: dict[str, str] | None = None,
+) -> ServerHandle:
+    """Start a front-door server over ``cluster`` on a background loop
+    thread and return its :class:`ServerHandle` (``.address`` carries
+    the bound port when the url asked for port 0)."""
+    host, port = parse_url(url)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+        ready.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, name="railgun-server", daemon=True)
+    thread.start()
+    ready.wait(timeout=10.0)
+    server = RailgunServer(
+        cluster, host, port, admission=admission, tokens=tokens
+    )
+    future = asyncio.run_coroutine_threadsafe(server.start(), loop)
+    try:
+        future.result(timeout=10.0)
+    except Exception:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5.0)
+        raise
+    return ServerHandle(server, loop, thread)

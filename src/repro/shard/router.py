@@ -68,9 +68,11 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import queue
 import shutil
 import socket
 import tempfile
+import threading
 import time
 import traceback
 import uuid
@@ -671,11 +673,17 @@ def shard_frontend_main(
         transport=transport,
         shm_prefix=shm_prefix,
     )
+    parent_pid = os.getppid()
     try:
         while True:
             wait_on = [conn, *engine.conns.values()]
             timeout = 0.5 if engine.rings else 1.0
             ready = set(multiprocessing.connection.wait(wait_on, timeout))
+            if os.getppid() != parent_pid:
+                # Router process killed without cleanup (pipe EOF never
+                # fires: forked siblings hold each other's pipe ends
+                # open); exit instead of squatting as an orphan.
+                return
             if conn in ready:
                 while True:
                     msg = wire.decode(conn.recv_bytes())
@@ -863,6 +871,17 @@ class ClusterRouter:
         #: checkpoint-store version the logs were last truncated against.
         self._truncated_at = 0
         self._closed = False
+        self._close_lock = threading.Lock()
+        #: thread-safe handoff from other threads (the asyncio front
+        #: door) into the thread that owns this router; drained by
+        #: ``service_step``. The queue is the ONLY structure touched
+        #: from foreign threads — routing, pending state and reply
+        #: delivery all stay on the servicing thread.
+        self._submissions: queue.SimpleQueue = queue.SimpleQueue()
+        #: correlation -> (on_reply, index in the submitted batch);
+        #: tracks which completed replies belong to submitted work (as
+        #: opposed to direct ``send``/``send_batch`` calls).
+        self._service_pending: dict[int, tuple[Any, int]] = {}
 
     # -- topology -------------------------------------------------------------
 
@@ -1067,6 +1086,73 @@ class ClusterRouter:
                 f"not complete within {max_rounds} pump rounds"
             )
         return [self.completed.pop(correlation) for correlation in correlations]
+
+    # -- thread-safe submission (the asyncio front door) ----------------------
+
+    def submit_batch(self, stream: str, events: list[Event], on_reply) -> None:
+        """Queue a batch for routing from another thread.
+
+        ``on_reply(index, reply)`` fires on the thread running
+        :meth:`service_step` once the ``index``-th event's fan-in
+        completes; replies may complete (and fire) in any order. May be
+        called from any thread — the ingest server's asyncio loop hands
+        work to the router's service thread through exactly this hook.
+        """
+        self._submissions.put(("batch", stream, list(events), on_reply))
+
+    def submit_call(self, fn, on_done) -> None:
+        """Queue an arbitrary control-plane call (DDL, stats) from
+        another thread; ``on_done(result, error)`` fires on the service
+        thread with whichever of the two the call produced."""
+        self._submissions.put(("call", fn, None, on_done))
+
+    def submission_backlog(self) -> int:
+        """Submissions accepted but not yet routed (queue-depth input
+        for admission control)."""
+        return self._submissions.qsize()
+
+    def service_outstanding(self) -> int:
+        """Submitted work not yet answered: queued submissions plus
+        routed correlations whose fan-in has not completed."""
+        return len(self._service_pending) + self._submissions.qsize()
+
+    def service_step(self) -> int:
+        """One service-thread round: drain submissions, pump, deliver.
+
+        The front-door server runs this in a dedicated thread; the
+        blocking wait inside :meth:`pump` (10ms on reply pipes when
+        idle) doubles as the loop's pacing, so an idle server costs one
+        wakeup per 10ms rather than a spin.
+        """
+        handled = 0
+        while True:
+            try:
+                kind, a, b, callback = self._submissions.get_nowait()
+            except queue.Empty:
+                break
+            if kind == "batch":
+                correlations = self._route_and_ship(a, b)
+                for index, correlation in enumerate(correlations):
+                    self._service_pending[correlation] = (callback, index)
+                handled += len(correlations)
+            else:
+                try:
+                    result = a()
+                except Exception as exc:
+                    callback(None, exc)
+                else:
+                    callback(result, None)
+                handled += 1
+        handled += self.pump()
+        if self._service_pending and self.completed:
+            for correlation in list(self.completed):
+                entry = self._service_pending.pop(correlation, None)
+                if entry is None:
+                    continue  # a direct send/send_batch owns this reply
+                reply = self.completed.pop(correlation)
+                callback, index = entry
+                callback(index, reply)
+        return handled
 
     def _route_and_ship(self, stream: str, events: list[Event]) -> list[int]:
         """Hash, bucket per frontend, frame and ship a run of events.
@@ -1544,29 +1630,65 @@ class ClusterRouter:
             },
         }
 
-    def close(self) -> None:
-        """Stop every frontend and worker process; idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        for handle in self._frontends.values():
+    def close(self, drain: bool = True, drain_timeout: float = 10.0) -> None:
+        """Stop every frontend and worker process; idempotent.
+
+        Drain-before-close: with ``drain=True`` (the default) the
+        router first completes outstanding fan-ins — both direct
+        ``send``/``send_batch`` correlations and queued front-door
+        submissions — so a server shutting down mid-flight answers
+        every accepted request before its processes go away. The drain
+        is bounded: ``drain_timeout`` caps it overall, and a stall (no
+        progress for ~50 idle rounds, e.g. after an unrecovered crash)
+        abandons it early rather than hanging shutdown. A child error
+        raised mid-drain likewise downgrades to an immediate teardown —
+        close() must always release the process tree, so the supervisor
+        shutdown and socket/shm cleanup run even if stopping the
+        frontends throws.
+
+        Thread-safe and idempotent: concurrent calls race on one lock
+        and every call after the first returns immediately. The caller
+        must stop any thread running :meth:`service_step` first — close
+        drains on the calling thread.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain:
+            deadline = time.monotonic() + drain_timeout
+            stalled = 0
             try:
-                handle.conn.send_bytes(wire.encode(wire.Shutdown()))
-            except (OSError, ValueError):
-                pass
-        for handle in self._frontends.values():
-            handle.process.join(timeout=2.0)
-            if handle.alive:
-                handle.process.kill()
+                while (
+                    self.pending
+                    or self._service_pending
+                    or self._submissions.qsize() > 0
+                ):
+                    if time.monotonic() > deadline or stalled > 50:
+                        break
+                    stalled = 0 if self.service_step() else stalled + 1
+            except EngineError:
+                pass  # dead child mid-drain: fall through to teardown
+        try:
+            for handle in self._frontends.values():
+                try:
+                    handle.conn.send_bytes(wire.encode(wire.Shutdown()))
+                except (OSError, ValueError):
+                    pass
+            for handle in self._frontends.values():
                 handle.process.join(timeout=2.0)
-            try:
-                handle.conn.close()
-            except OSError:
-                pass
-        self.supervisor.shutdown()
-        shutil.rmtree(self._socket_dir, ignore_errors=True)
-        if self.transport == "shm":
-            shm.sweep(self._shm_prefix)
+                if handle.alive:
+                    handle.process.kill()
+                    handle.process.join(timeout=2.0)
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+        finally:
+            self.supervisor.shutdown()
+            shutil.rmtree(self._socket_dir, ignore_errors=True)
+            if self.transport == "shm":
+                shm.sweep(self._shm_prefix)
 
     def __enter__(self) -> "ClusterRouter":
         return self

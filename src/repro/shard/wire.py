@@ -85,6 +85,16 @@ MSG_DRAIN_ACK = 25
 MSG_SHM_HELLO = 27
 MSG_SHM_DOORBELL = 28
 
+# TCP front door (remote client <-> ingest server). IngestBatch and
+# ReplyBatch are reused verbatim on this plane; these frames add the
+# connection handshake, admission verdicts and the remote control plane.
+MSG_HELLO = 31
+MSG_HELLO_ACK = 32
+MSG_SERVER_BUSY = 33
+MSG_DDL_REQUEST = 34
+MSG_DDL_REPLY = 35
+MSG_GOODBYE = 36
+
 
 @dataclass(frozen=True)
 class CreateStream:
@@ -391,6 +401,93 @@ class ShmDoorbell:
     round, not per frame."""
 
 
+# -- TCP front door -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """First frame on a front-door connection: who is calling.
+
+    ``tenant`` selects the admission quota (token bucket, in-flight cap,
+    latency budget); ``token`` authenticates when the server was
+    configured with per-tenant tokens. ``protocol`` lets a future server
+    reject clients it cannot speak to instead of mis-parsing them."""
+
+    tenant: str
+    token: str = ""
+    protocol: int = 1
+
+
+@dataclass(frozen=True)
+class HelloAck:
+    """The server's answer to :class:`Hello`.
+
+    On ``ok`` the ack carries the session id (the client's event-id
+    mint prefix — unique per connection, so ids never collide across
+    clients) and the tenant's effective admission parameters, so a
+    client can pace itself without ever seeing a ``ServerBusy``."""
+
+    ok: bool
+    session: str = ""
+    error: str = ""
+    max_in_flight: int = 0
+    p50_budget_ms: float = 0.0
+    p99_budget_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServerBusy:
+    """Explicit load shed: the named correlations were NOT accepted.
+
+    Admission control answers an over-quota or over-depth
+    ``IngestBatch`` with this frame instead of buffering it — the
+    client sees exactly which correlations to retry (after
+    ``retry_after_ms``) and nothing is ever silently dropped."""
+
+    reason: str
+    retry_after_ms: int = 0
+    correlations: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class DdlRequest:
+    """Remote control plane: one DDL call, client -> server.
+
+    ``op`` names the facade method (``create_stream``,
+    ``create_metric``, ``delete_metric``, ``evolve_schema``,
+    ``add_partitioner``); the remaining fields are that method's
+    arguments flattened into one generic frame — ``name`` is the
+    stream, ``text`` the query or partitioner, ``fields`` the schema
+    pairs, ``names`` the partitioner list, ``number`` the partition
+    count or metric id, ``flag`` the backfill/global-partitioner bool."""
+
+    request_id: int
+    op: str
+    name: str = ""
+    text: str = ""
+    fields: tuple[tuple[str, str], ...] = ()
+    names: tuple[str, ...] = ()
+    number: int = 0
+    flag: bool = False
+
+
+@dataclass(frozen=True)
+class DdlReply:
+    """Outcome of a :class:`DdlRequest`; ``value`` carries ints the op
+    returns (the metric id of ``create_metric``, else 0)."""
+
+    request_id: int
+    ok: bool
+    value: int = 0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Clean client hangup: the server may drop connection state
+    immediately instead of waiting for the TCP FIN to surface."""
+
+
 # -- topic partitions ---------------------------------------------------------
 
 
@@ -633,6 +730,44 @@ def encode(msg: object) -> bytes:
         serde.write_str(buf, msg.reply_ring)
     elif isinstance(msg, ShmDoorbell):
         buf.append(MSG_SHM_DOORBELL)
+    elif isinstance(msg, Hello):
+        buf.append(MSG_HELLO)
+        serde.write_str(buf, msg.tenant)
+        serde.write_str(buf, msg.token)
+        serde.write_varint(buf, msg.protocol)
+    elif isinstance(msg, HelloAck):
+        buf.append(MSG_HELLO_ACK)
+        buf.append(1 if msg.ok else 0)
+        serde.write_str(buf, msg.session)
+        serde.write_str(buf, msg.error)
+        serde.write_varint(buf, msg.max_in_flight)
+        serde.write_f64(buf, msg.p50_budget_ms)
+        serde.write_f64(buf, msg.p99_budget_ms)
+    elif isinstance(msg, ServerBusy):
+        buf.append(MSG_SERVER_BUSY)
+        serde.write_str(buf, msg.reason)
+        serde.write_varint(buf, msg.retry_after_ms)
+        serde.write_varint(buf, len(msg.correlations))
+        for correlation in msg.correlations:
+            serde.write_varint(buf, correlation)
+    elif isinstance(msg, DdlRequest):
+        buf.append(MSG_DDL_REQUEST)
+        serde.write_varint(buf, msg.request_id)
+        serde.write_str(buf, msg.op)
+        serde.write_str(buf, msg.name)
+        serde.write_str(buf, msg.text)
+        _write_field_pairs(buf, msg.fields)
+        serde.write_str_list(buf, list(msg.names))
+        serde.write_varint(buf, msg.number)
+        buf.append(1 if msg.flag else 0)
+    elif isinstance(msg, DdlReply):
+        buf.append(MSG_DDL_REPLY)
+        serde.write_varint(buf, msg.request_id)
+        buf.append(1 if msg.ok else 0)
+        serde.write_varint(buf, msg.value)
+        serde.write_str(buf, msg.error)
+    elif isinstance(msg, Goodbye):
+        buf.append(MSG_GOODBYE)
     else:
         raise SerdeError(f"unsupported wire message: {type(msg).__name__}")
     return bytes(buf)
@@ -883,6 +1018,51 @@ def decode(data: bytes) -> object:
         return ShmHello(work_ring, reply_ring)
     if tag == MSG_SHM_DOORBELL:
         return ShmDoorbell()
+    if tag == MSG_HELLO:
+        tenant, offset = serde.read_str(view, offset)
+        token, offset = serde.read_str(view, offset)
+        protocol, offset = serde.read_varint(view, offset)
+        return Hello(tenant, token, protocol)
+    if tag == MSG_HELLO_ACK:
+        ok = bool(view[offset])
+        offset += 1
+        session, offset = serde.read_str(view, offset)
+        error, offset = serde.read_str(view, offset)
+        max_in_flight, offset = serde.read_varint(view, offset)
+        p50, offset = serde.read_f64(view, offset)
+        p99, offset = serde.read_f64(view, offset)
+        return HelloAck(ok, session, error, max_in_flight, p50, p99)
+    if tag == MSG_SERVER_BUSY:
+        reason, offset = serde.read_str(view, offset)
+        retry_after_ms, offset = serde.read_varint(view, offset)
+        count, offset = serde.read_varint(view, offset)
+        correlations = []
+        for _ in range(count):
+            correlation, offset = serde.read_varint(view, offset)
+            correlations.append(correlation)
+        return ServerBusy(reason, retry_after_ms, tuple(correlations))
+    if tag == MSG_DDL_REQUEST:
+        request_id, offset = serde.read_varint(view, offset)
+        op, offset = serde.read_str(view, offset)
+        name, offset = serde.read_str(view, offset)
+        text, offset = serde.read_str(view, offset)
+        fields, offset = _read_field_pairs(view, offset)
+        names, offset = serde.read_str_list(view, offset)
+        number, offset = serde.read_varint(view, offset)
+        flag = bool(view[offset])
+        offset += 1
+        return DdlRequest(
+            request_id, op, name, text, fields, tuple(names), number, flag
+        )
+    if tag == MSG_DDL_REPLY:
+        request_id, offset = serde.read_varint(view, offset)
+        ok = bool(view[offset])
+        offset += 1
+        value, offset = serde.read_varint(view, offset)
+        error, offset = serde.read_str(view, offset)
+        return DdlReply(request_id, ok, value, error)
+    if tag == MSG_GOODBYE:
+        return Goodbye()
     raise SerdeError(f"unknown wire message tag {tag}")
 
 

@@ -343,15 +343,23 @@ def shard_worker_main(
         for ring in data_rings.pop(data_conn, ()):
             ring.close(unlink=unlink)
 
+    parent_pid = os.getppid()
     try:
         while True:
             wait_on: list = [conn, *data_conns]
             if listener is not None:
                 wait_on.append(listener)
             # With rings attached the wait must time out so heartbeats
-            # keep advancing even on an idle link.
-            timeout = 0.5 if (sup_work is not None or data_rings) else None
+            # keep advancing even on an idle link; without, it times out
+            # anyway so the orphan check below runs on an idle worker.
+            timeout = 0.5 if (sup_work is not None or data_rings) else 1.0
             ready = set(connection.wait(wait_on, timeout))
+            if os.getppid() != parent_pid:
+                # The owning process was killed without cleanup. Pipe
+                # EOF cannot signal this: forked siblings inherit each
+                # other's pipe ends and keep them open, so reparenting
+                # is the only reliable death signal.
+                return
             for ring in all_rings():
                 ring.beat()
             if conn in ready:

@@ -506,6 +506,51 @@ class TestClusterSendBatchEquivalence:
         assert [r.event for r in replies_a] == [r.event for r in replies_b]
         assert processed == len(events) == single.total_messages_processed()
 
+    def test_tcp_front_door_matches_per_event_replies(self):
+        # The front door is held to the same bar as every other plane:
+        # replies fetched over TCP through the asyncio server (framed
+        # wire serde, admission control, reply fan-out and all) are
+        # byte-identical to create_cluster("single") driving the same
+        # events — including ties and a duplicate id.
+        from repro.engine.cluster import create_cluster
+        from repro.server.client import RailgunClient
+
+        events = [
+            Event(f"b{i}", 1000 + i // 2, {"cardId": f"c{i % 3}", "amount": float(i)})
+            for i in range(40)
+        ]
+        events.append(events[7])  # duplicate id: replies read-only
+        single = create_cluster("single", nodes=2, processor_units=2)
+        single.create_stream(
+            "tx", ["cardId"], partitions=2,
+            schema={"cardId": "string", "amount": "float"},
+        )
+        single.create_metric(
+            "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+            "OVER sliding 5 minutes"
+        )
+        single.run_until_quiet()
+        replies_a = [single.send("tx", event=event) for event in events]
+        served = create_cluster(
+            "single", nodes=2, processor_units=2, serve="tcp://127.0.0.1:0"
+        )
+        try:
+            host, port = served.server.address
+            with RailgunClient(host, port) as client:
+                client.create_stream(
+                    "tx", ["cardId"], partitions=2,
+                    schema={"cardId": "string", "amount": "float"},
+                )
+                client.create_metric(
+                    "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+                    "OVER sliding 5 minutes"
+                )
+                replies_b = client.send_batch("tx", events)
+        finally:
+            served.close()
+        assert [r.results for r in replies_a] == [r.results for r in replies_b]
+        assert [r.event for r in replies_a] == [r.event for r in replies_b]
+
     @pytest.mark.parametrize("transport", ["socket", "shm"])
     def test_durable_sharded_frontend_mode_matches_per_event_replies(
         self, tmp_path, transport

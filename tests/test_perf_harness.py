@@ -55,6 +55,8 @@ class TestRunBenches:
             "engine_ingest_process_2f",
             "engine_ingest_process_4f",
             "engine_ingest_process_durable",
+            "server_ingest_async_1c",
+            "server_ingest_async_64c",
             "engine_ingest_process_shm_1w",
             "engine_ingest_process_shm_4w",
             "engine_ingest_process_shm_2f",
