@@ -1,0 +1,22 @@
+"""Property-based chaos harness for the Railgun reproduction.
+
+Seeded scenarios (skewed traffic, out-of-order and tie bursts,
+duplicate storms, crash/checkpoint/drain faults) replayed against any
+cluster topology, asserting replies byte-identical to
+``create_cluster("single")``. ``python -m repro.chaos --seed N``
+replays any failure; see ``docs/ARCHITECTURE.md`` ("Time & chaos").
+"""
+
+from .runner import TOPOLOGIES, ChaosResult, run_seed
+from .scenario import FAULT_KINDS, Fault, Scenario, StreamSpec, generate_scenario
+
+__all__ = [
+    "TOPOLOGIES",
+    "ChaosResult",
+    "run_seed",
+    "FAULT_KINDS",
+    "Fault",
+    "Scenario",
+    "StreamSpec",
+    "generate_scenario",
+]

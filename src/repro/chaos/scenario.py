@@ -1,0 +1,236 @@
+"""Seeded chaos scenarios: messy traffic + a fault schedule, replayable.
+
+A :class:`Scenario` is a *pure function of its seed*: the same seed
+always yields the same streams, metrics, event sequence (ids,
+timestamps, payloads, batching) and fault schedule. That is the whole
+contract — ``python -m repro.chaos --seed N`` replays any failure
+identically, and every seed that ever found a bug becomes a named
+regression test (``tests/test_chaos.py``).
+
+Traffic composition mirrors the messiest conditions the paper's MAD
+requirements demand correctness under (§2's event-time model with
+out-of-order arrivals):
+
+- **hot-key skew** — keys drawn from a quadratic ramp, so one key takes
+  a large share of the stream (partition imbalance, reply fan-in
+  contention);
+- **tie bursts** — runs of events sharing one timestamp (the reservoir
+  tie path, reply-ordering among equal timestamps);
+- **out-of-order bursts** — timestamps jumping back into sealed or
+  soon-to-seal windows (rewrite/discard policies, grace periods);
+- **duplicate storms** — earlier events re-sent verbatim (read-only
+  replies, replay suppression);
+- **faults** — worker/frontend crashes, forced checkpoints (which also
+  drive durable-log truncation) and drains, scheduled between batches.
+
+The fault *schedule* is deterministic; the fault *timing* inside the
+target process tree is not (real processes die mid-whatever) — which is
+the point: the one invariant that must survive any interleaving is that
+replies are byte-identical to ``create_cluster("single")``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.events.event import Event
+
+#: Fault kinds `generate_scenario` may schedule. ``crash_frontend``
+#: only applies on the sharded-frontend topology (no-op elsewhere);
+#: ``checkpoint`` exercises checkpoint shipping *and* durable
+#: truncation; ``drain`` quiesces the data plane mid-stream.
+FAULT_KINDS = ("crash_worker", "crash_frontend", "checkpoint", "drain")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: fires before batch ``at_batch`` ships."""
+
+    at_batch: int
+    kind: str
+    #: picks the victim among live workers/frontends (modulo count).
+    target: int = 0
+    #: after a crash: wait for the restart before resuming traffic
+    #: (True exercises recovery-then-traffic, False traffic-while-down).
+    settle: bool = False
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    name: str
+    partitioners: tuple[str, ...]
+    partitions: int
+    schema: tuple[tuple[str, str], ...]
+
+
+@dataclass
+class Scenario:
+    seed: int
+    streams: list[StreamSpec]
+    metrics: list[tuple[str, str]] = field(default_factory=list)
+    #: (batch index, query) — DDL arriving mid-stream; applied at the
+    #: same point on the reference and the target.
+    mid_metrics: list[tuple[int, str]] = field(default_factory=list)
+    #: per batch: (stream name, events).
+    batches: list[tuple[str, list[Event]]] = field(default_factory=list)
+    faults: list[Fault] = field(default_factory=list)
+
+    @property
+    def total_events(self) -> int:
+        return sum(len(events) for _, events in self.batches)
+
+    def describe(self) -> str:
+        kinds: dict[str, int] = {}
+        for fault in self.faults:
+            kinds[fault.kind] = kinds.get(fault.kind, 0) + 1
+        fault_text = (
+            ", ".join(f"{k}x{v}" for k, v in sorted(kinds.items())) or "none"
+        )
+        return (
+            f"seed={self.seed} streams={len(self.streams)} "
+            f"metrics={len(self.metrics)}+{len(self.mid_metrics)} "
+            f"events={self.total_events} batches={len(self.batches)} "
+            f"faults=[{fault_text}]"
+        )
+
+
+#: Query templates; ``{s}`` is the stream, ``{w}`` a window duration.
+#: Only aggregates + windows the query language supports (see
+#: tests/test_query_parser.py) — the generator composes, not invents.
+_METRIC_TEMPLATES = (
+    "SELECT sum(amount), count(*) FROM {s} GROUP BY cardId OVER sliding {w}",
+    "SELECT avg(amount) FROM {s} GROUP BY cardId OVER sliding {w}",
+    "SELECT max(amount), min(amount) FROM {s} GROUP BY cardId OVER sliding {w}",
+    "SELECT count(*) FROM {s} GROUP BY cardId OVER sliding {w}",
+)
+
+_WINDOWS = ("30 seconds", "2 minutes", "5 minutes")
+
+
+def _skewed_key(rng: random.Random, key_count: int) -> str:
+    """Quadratic ramp: key 0 is drawn ~sqrt(key_count)× more often than
+    the coldest key — hot-key traffic without an external zipf table."""
+    return f"c{int(rng.random() ** 2 * key_count)}"
+
+
+def generate_scenario(
+    seed: int,
+    *,
+    min_events: int = 150,
+    max_events: int = 500,
+) -> Scenario:
+    """The scenario for ``seed`` — deterministic, whole-cloth."""
+    rng = random.Random(seed)
+    streams = [
+        StreamSpec(
+            name="tx",
+            partitioners=("cardId",),
+            partitions=rng.choice((2, 3, 4)),
+            schema=(("cardId", "string"), ("amount", "float")),
+        )
+    ]
+    if rng.random() < 0.35:
+        streams.append(
+            StreamSpec(
+                name="alerts",
+                partitioners=("cardId",),
+                partitions=rng.choice((2, 3)),
+                schema=(("cardId", "string"), ("amount", "float")),
+            )
+        )
+    metrics: list[tuple[str, str]] = []
+    for spec in streams:
+        for _ in range(rng.randrange(1, 3)):
+            template = rng.choice(_METRIC_TEMPLATES)
+            metrics.append(
+                (spec.name,
+                 template.format(s=spec.name, w=rng.choice(_WINDOWS)))
+            )
+
+    total = rng.randrange(min(min_events, max_events), max_events + 1)
+    key_count = rng.choice((5, 8, 20))
+    batches: list[tuple[str, list[Event]]] = []
+    sent: list[tuple[str, Event]] = []  # duplicate-storm source material
+    ts = 1_000
+    next_id = 0
+    produced = 0
+    while produced < total:
+        stream = streams[rng.randrange(len(streams))].name
+        size = rng.randrange(1, 49)
+        events: list[Event] = []
+        while len(events) < size and produced < total:
+            roll = rng.random()
+            if roll < 0.06 and sent:
+                # Duplicate storm: re-send 1-4 earlier events verbatim
+                # (same id, same timestamp, same payload, same stream).
+                for _ in range(rng.randrange(1, 5)):
+                    dup_stream, dup = sent[rng.randrange(len(sent))]
+                    if dup_stream == stream:
+                        events.append(dup)
+                        produced += 1
+                continue
+            ts += rng.choice((0, 0, 1, 2, 5, 40))
+            if roll < 0.14:
+                # Tie burst: 2-6 events sharing this exact timestamp.
+                burst = rng.randrange(2, 7)
+                for _ in range(burst):
+                    if produced >= total:
+                        break
+                    event = Event(
+                        f"e{next_id}", ts,
+                        {"cardId": _skewed_key(rng, key_count),
+                         "amount": float(rng.randrange(0, 5000)) / 100.0},
+                    )
+                    next_id += 1
+                    events.append(event)
+                    sent.append((stream, event))
+                    produced += 1
+                continue
+            if roll < 0.22:
+                # Out-of-order burst: land 100ms-5s in the past (sealed
+                # or sealing windows; the ooo policy decides the rest).
+                event_ts = max(0, ts - rng.randrange(100, 5_000))
+            else:
+                event_ts = ts
+            event = Event(
+                f"e{next_id}", event_ts,
+                {"cardId": _skewed_key(rng, key_count),
+                 "amount": float(rng.randrange(0, 5000)) / 100.0},
+            )
+            next_id += 1
+            events.append(event)
+            sent.append((stream, event))
+            produced += 1
+        if events:
+            batches.append((stream, events))
+
+    mid_metrics: list[tuple[int, str]] = []
+    if batches and rng.random() < 0.4:
+        at = rng.randrange(len(batches))
+        spec = streams[rng.randrange(len(streams))]
+        template = rng.choice(_METRIC_TEMPLATES)
+        mid_metrics.append(
+            (at, template.format(s=spec.name, w=rng.choice(_WINDOWS)))
+        )
+
+    faults: list[Fault] = []
+    if batches:
+        for _ in range(rng.randrange(0, 5)):
+            faults.append(
+                Fault(
+                    at_batch=rng.randrange(len(batches)),
+                    kind=rng.choice(FAULT_KINDS),
+                    target=rng.randrange(4),
+                    settle=rng.random() < 0.5,
+                )
+            )
+    faults.sort(key=lambda fault: (fault.at_batch, fault.kind, fault.target))
+    return Scenario(
+        seed=seed,
+        streams=streams,
+        metrics=metrics,
+        mid_metrics=mid_metrics,
+        batches=batches,
+        faults=faults,
+    )

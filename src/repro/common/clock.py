@@ -1,61 +1,33 @@
-"""Clock abstraction.
+"""Event-time clock abstraction (re-exported from the time plane).
 
 All engine components take a :class:`Clock` so tests and the discrete
 event simulator can drive virtual time deterministically. Timestamps are
 integer **milliseconds** throughout the library, mirroring the paper's
 event-time model (§2: every event carries a timestamp).
+
+The classes now live in :mod:`repro.common.timesource`, where they are
+the *event-time view* of the unified :class:`~repro.common.timesource.
+TimeSource` plane (``source.event_clock()`` hands back a ``Clock`` on
+the same timeline); this module keeps the historical import path plus
+the duration parsing/formatting helpers.
 """
 
 from __future__ import annotations
 
-import time
-from abc import ABC, abstractmethod
+from repro.common.timesource import Clock, ManualClock, SystemClock
 
-
-class Clock(ABC):
-    """Source of the current time in milliseconds."""
-
-    @abstractmethod
-    def now(self) -> int:
-        """Return the current time in milliseconds."""
-
-    def now_seconds(self) -> float:
-        """Return the current time in (fractional) seconds."""
-        return self.now() / 1000.0
-
-
-class SystemClock(Clock):
-    """Wall-clock time; used by the interactive examples."""
-
-    def now(self) -> int:
-        return int(time.time() * 1000)
-
-
-class ManualClock(Clock):
-    """Deterministic clock advanced explicitly by tests and simulators."""
-
-    def __init__(self, start_ms: int = 0) -> None:
-        if start_ms < 0:
-            raise ValueError(f"clock cannot start at negative time: {start_ms}")
-        self._now_ms = start_ms
-
-    def now(self) -> int:
-        return self._now_ms
-
-    def advance(self, delta_ms: int) -> int:
-        """Move time forward by ``delta_ms`` and return the new time."""
-        if delta_ms < 0:
-            raise ValueError(f"cannot move time backwards: {delta_ms}")
-        self._now_ms += delta_ms
-        return self._now_ms
-
-    def set(self, now_ms: int) -> None:
-        """Jump to an absolute time (must be monotonically non-decreasing)."""
-        if now_ms < self._now_ms:
-            raise ValueError(
-                f"clock must be monotonic: {now_ms} < {self._now_ms}"
-            )
-        self._now_ms = now_ms
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "ManualClock",
+    "MILLIS",
+    "SECONDS",
+    "MINUTES",
+    "HOURS",
+    "DAYS",
+    "parse_duration_ms",
+    "format_duration_ms",
+]
 
 
 # Convenient duration constants (milliseconds).

@@ -30,11 +30,11 @@ from __future__ import annotations
 
 import math
 import threading
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Mapping
 
 from repro.common.percentiles import LatencyRecorder
+from repro.common.timesource import TimeSource, resolve_time_source
 
 
 @dataclass(frozen=True)
@@ -82,29 +82,32 @@ _BACKOFF_MS = 25
 
 
 class TokenBucket:
-    """A token bucket with an injectable monotonic clock (seconds).
+    """A token bucket over an injectable :class:`TimeSource`.
 
     ``try_take(n)`` returns 0.0 and debits on success, or the seconds
     until ``n`` tokens will have accrued (without debiting) — the
-    caller turns that into ``retry_after_ms``.
+    caller turns that into ``retry_after_ms``. With a
+    :class:`~repro.common.timesource.DeterministicTimeSource` every
+    refill (and thus every ``retry_after_ms``) is an exact function of
+    virtual time — no real sleeping anywhere in the admission tests.
     """
 
     def __init__(
         self,
         rate: float,
         burst: float,
-        clock: Callable[[], float] = time.monotonic,
+        time_source: TimeSource | None = None,
     ) -> None:
         if rate <= 0 or burst <= 0:
             raise ValueError(f"rate and burst must be positive: {rate}, {burst}")
         self.rate = float(rate)
         self.burst = float(burst)
-        self._clock = clock
+        self._time = resolve_time_source(time_source)
         self._tokens = float(burst)
-        self._last = clock()
+        self._last = self._time.monotonic()
 
     def _refill(self) -> None:
-        now = self._clock()
+        now = self._time.monotonic()
         if now > self._last:
             self._tokens = min(
                 self.burst, self._tokens + (now - self._last) * self.rate
@@ -152,14 +155,14 @@ class AdmissionController:
         max_connections: int = 1_024,
         max_in_flight: int = 16_384,
         max_queue_depth: int = 64,
-        clock: Callable[[], float] = time.monotonic,
+        time_source: TimeSource | None = None,
     ) -> None:
         self.max_connections = max_connections
         self.max_in_flight = max_in_flight
         self.max_queue_depth = max_queue_depth
         self._quotas = dict(quotas or {})
         self._default_quota = default_quota
-        self._clock = clock
+        self._time = resolve_time_source(time_source)
         self._tenants: dict[str, _TenantState] = {}
         self._lock = threading.Lock()
         self.connections = 0
@@ -176,7 +179,7 @@ class AdmissionController:
             quota = self.quota_for(tenant)
             state = _TenantState(
                 quota,
-                TokenBucket(quota.events_per_sec, quota.burst, self._clock),
+                TokenBucket(quota.events_per_sec, quota.burst, self._time),
             )
             self._tenants[tenant] = state
         return state

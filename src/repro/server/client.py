@@ -30,10 +30,10 @@ from __future__ import annotations
 
 import asyncio
 import threading
-import time
 from typing import Any, Iterable, Mapping
 
 from repro.common.errors import EngineError
+from repro.common.timesource import TimeSource, resolve_time_source
 from repro.engine.cluster import Reply, _normalize_fields
 from repro.events.event import Event
 from repro.server.admission import LatencyBudget
@@ -68,11 +68,13 @@ class AsyncRailgunClient:
         port: int,
         tenant: str = "default",
         token: str = "",
+        time_source: TimeSource | None = None,
     ) -> None:
         self._host = host
         self._port = port
         self.tenant = tenant
         self._token = token
+        self._time = resolve_time_source(time_source)
         self.session = ""
         #: the tenant's latency target, as announced by the HelloAck.
         self.budget: LatencyBudget | None = None
@@ -160,7 +162,7 @@ class AsyncRailgunClient:
 
     def _dispatch(self, msg: object) -> None:
         if isinstance(msg, wire.ReplyBatch):
-            now = time.monotonic()
+            now = self._time.monotonic()
             for correlation, topic, results in msg.replies:
                 entry = self._pending.pop(correlation, None)
                 if entry is None:
@@ -269,7 +271,7 @@ class AsyncRailgunClient:
         while outstanding:
             futures = []
             loop = asyncio.get_running_loop()
-            started = time.monotonic()
+            started = self._time.monotonic()
             for correlation, event in outstanding:
                 future = loop.create_future()
                 self._pending[correlation] = (future, event, stream, started)
@@ -293,7 +295,9 @@ class AsyncRailgunClient:
                 )
             if shed:
                 attempt += 1
-                await asyncio.sleep(retry_ms / 1000.0)
+                # real_delay: honors $RAILGUN_TIME_SCALE compression
+                # without blocking the event loop in TimeSource.sleep.
+                await asyncio.sleep(self._time.real_delay(retry_ms / 1000.0))
             outstanding = shed
         return [replies[correlation] for correlation in correlations]
 
@@ -395,6 +399,7 @@ class RailgunClient:
         token: str = "",
         connect_timeout: float = 10.0,
         call_timeout: float = 120.0,
+        time_source: TimeSource | None = None,
     ) -> None:
         self._call_timeout = call_timeout
         self._loop = asyncio.new_event_loop()
@@ -410,7 +415,9 @@ class RailgunClient:
         )
         self._thread.start()
         ready.wait(timeout=10.0)
-        self._async = AsyncRailgunClient(host, port, tenant=tenant, token=token)
+        self._async = AsyncRailgunClient(
+            host, port, tenant=tenant, token=token, time_source=time_source
+        )
         try:
             self._call(self._async.connect(), timeout=connect_timeout)
         except Exception:

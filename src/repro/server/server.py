@@ -28,12 +28,12 @@ from __future__ import annotations
 import asyncio
 import queue
 import threading
-import time
 import traceback
 import uuid
 from collections import deque
 
 from repro.common.errors import EngineError, SerdeError
+from repro.common.timesource import TimeSource, resolve_time_source
 from repro.server.admission import AdmissionController
 from repro.server.framing import FrameError, read_frame, write_frame
 from repro.shard import wire
@@ -62,9 +62,10 @@ def parse_url(url: str) -> tuple[str, int]:
 class _ClusterDriver(threading.Thread):
     """Base: the single thread allowed to touch the cluster facade."""
 
-    def __init__(self, cluster) -> None:
+    def __init__(self, cluster, time_source: TimeSource | None = None) -> None:
         super().__init__(name="railgun-server-driver", daemon=True)
         self._cluster = cluster
+        self._time = resolve_time_source(time_source)
         self._stop_event = threading.Event()
         self._drain = True
         self.error: str | None = None
@@ -103,11 +104,8 @@ class _RouterDriver(_ClusterDriver):
             while not self._stop_event.is_set():
                 router.service_step()
             if self._drain:
-                deadline = time.monotonic() + 10.0
-                while (
-                    router.service_outstanding()
-                    and time.monotonic() < deadline
-                ):
+                deadline = self._time.deadline(10.0)
+                while router.service_outstanding() and not deadline.expired():
                     router.service_step()
         except Exception:
             self.error = traceback.format_exc(limit=8)
@@ -119,8 +117,8 @@ class _FacadeDriver(_ClusterDriver):
     nowhere). DDL settles with ``run_until_quiet`` so a following send
     lands on rebalanced assignments."""
 
-    def __init__(self, cluster) -> None:
-        super().__init__(cluster)
+    def __init__(self, cluster, time_source: TimeSource | None = None) -> None:
+        super().__init__(cluster, time_source)
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
 
     def submit_batch(self, stream, events, on_reply) -> None:
@@ -161,10 +159,10 @@ class _FacadeDriver(_ClusterDriver):
             self.error = traceback.format_exc(limit=8)
 
 
-def _driver_for(cluster) -> _ClusterDriver:
+def _driver_for(cluster, time_source: TimeSource | None = None) -> _ClusterDriver:
     if hasattr(cluster, "submit_batch") and hasattr(cluster, "service_step"):
-        return _RouterDriver(cluster)
-    return _FacadeDriver(cluster)
+        return _RouterDriver(cluster, time_source)
+    return _FacadeDriver(cluster, time_source)
 
 
 # -- connections --------------------------------------------------------------
@@ -217,14 +215,20 @@ class RailgunServer:
         port: int = 0,
         admission: AdmissionController | None = None,
         tokens: dict[str, str] | None = None,
+        time_source: TimeSource | None = None,
     ) -> None:
         self._cluster = cluster
         self._host = host
         self._port = port
-        self.admission = admission if admission is not None else AdmissionController()
+        self._time = resolve_time_source(time_source)
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(time_source=self._time)
+        )
         #: when set, Hello.token must match tokens[tenant] exactly.
         self._tokens = tokens
-        self._driver = _driver_for(cluster)
+        self._driver = _driver_for(cluster, self._time)
         self._server: asyncio.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._connections: set[_Connection] = set()
@@ -404,13 +408,13 @@ class RailgunServer:
             )
             if decision.ok:
                 tenant = conn.tenant
-                started = time.monotonic()
+                started = self._time.monotonic()
 
                 def on_reply(index: int, reply) -> None:
                     # Runs on the service thread: account first (the
                     # admission ledger must not leak even if the client
                     # is gone), then post the reply to the loop.
-                    elapsed_ms = (time.monotonic() - started) * 1000.0
+                    elapsed_ms = (self._time.monotonic() - started) * 1000.0
                     self.admission.complete(tenant, 1, elapsed_ms)
                     self._post(
                         conn.enqueue_reply,
@@ -557,6 +561,7 @@ def serve_cluster(
     url: str = "tcp://127.0.0.1:0",
     admission: AdmissionController | None = None,
     tokens: dict[str, str] | None = None,
+    time_source: TimeSource | None = None,
 ) -> ServerHandle:
     """Start a front-door server over ``cluster`` on a background loop
     thread and return its :class:`ServerHandle` (``.address`` carries
@@ -574,7 +579,8 @@ def serve_cluster(
     thread.start()
     ready.wait(timeout=10.0)
     server = RailgunServer(
-        cluster, host, port, admission=admission, tokens=tokens
+        cluster, host, port, admission=admission, tokens=tokens,
+        time_source=time_source,
     )
     future = asyncio.run_coroutine_threadsafe(server.start(), loop)
     try:

@@ -47,6 +47,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.common.clock import ManualClock
 from repro.common.errors import EngineError
+from repro.common.timesource import TimeSource, resolve_time_source
 from repro.engine.catalog import (
     GLOBAL_PARTITIONER,
     OPERATIONS_TOPIC,
@@ -119,7 +120,9 @@ class ParallelCluster:
         durable_dir: str | None = None,
         durable_fsync: str = "batch",
         transport: str | None = None,
+        time_source: TimeSource | None = None,
     ) -> None:
+        self._time = resolve_time_source(time_source)
         self.clock = ManualClock(start_ms=1)
         self.durable_dir = resolve_durable_dir(durable_dir, "parallel")
         if self.durable_dir is not None:
@@ -143,6 +146,7 @@ class ParallelCluster:
             workers,
             unit_config=unit_config,
             strategy=assignment_strategy,
+            time_source=self._time,
             checkpoint_interval=checkpoint_every,
             mp_context=mp_context,
             checkpoint_dir=(

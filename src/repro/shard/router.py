@@ -73,7 +73,6 @@ import shutil
 import socket
 import tempfile
 import threading
-import time
 import traceback
 import uuid
 from dataclasses import dataclass, field
@@ -82,6 +81,7 @@ from typing import Any, Iterable, Mapping
 from repro.common.clock import ManualClock
 from repro.common.errors import EngineError
 from repro.common.hashing import partition_for
+from repro.common.timesource import TimeSource, resolve_time_source
 from repro.engine.assignment import (
     PreviousState,
     ProcessorInfo,
@@ -126,7 +126,9 @@ REPLY_CHUNK = 512
 DOORBELL = wire.encode(wire.ShmDoorbell())
 
 
-def _connect(addr: str, deadline_s: float = 0.25):
+def _connect(
+    addr: str, deadline_s: float = 0.25, time_source: TimeSource | None = None
+):
     """Connect a data socket to a worker's listener, with a short grace.
 
     A restarted worker rebinds its address asynchronously, so the first
@@ -140,7 +142,8 @@ def _connect(addr: str, deadline_s: float = 0.25):
     """
     from multiprocessing.connection import Connection
 
-    deadline = time.monotonic() + deadline_s
+    clock = resolve_time_source(time_source)
+    deadline = clock.deadline(deadline_s)
     while True:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         try:
@@ -148,9 +151,9 @@ def _connect(addr: str, deadline_s: float = 0.25):
             return Connection(sock.detach())
         except OSError:
             sock.close()
-            if time.monotonic() > deadline:
+            if deadline.expired():
                 return None
-            time.sleep(0.005)
+            clock.sleep(0.005)
 
 
 class FrontendEngine:
@@ -184,9 +187,11 @@ class FrontendEngine:
         durable_segment_bytes: int = 1 << 20,
         transport: str = "socket",
         shm_prefix: str | None = None,
+        time_source: TimeSource | None = None,
     ) -> None:
         if transport not in ("socket", "shm"):
             raise EngineError(f"unknown transport {transport!r}")
+        self._time = resolve_time_source(time_source)
         self.frontend_id = frontend_id
         self.batch_max = batch_max
         self.max_outstanding = max_outstanding
@@ -414,7 +419,7 @@ class FrontendEngine:
         addr = self.addrs.get(worker_id)
         if addr is None:
             return None
-        conn = _connect(addr)
+        conn = _connect(addr, time_source=self._time)
         if conn is None:
             return None
         if self.transport == "shm":
@@ -423,8 +428,12 @@ class FrontendEngine:
             # before the first ring frame is announced.
             tag = f"{self._shm_prefix}-{self.frontend_id}-{self._link_seq}"
             self._link_seq += 1
-            work = ShmRing.create("producer", name=f"{tag}-work")
-            reply = ShmRing.create("consumer", name=f"{tag}-reply")
+            work = ShmRing.create(
+                "producer", name=f"{tag}-work", time_source=self._time
+            )
+            reply = ShmRing.create(
+                "consumer", name=f"{tag}-reply", time_source=self._time
+            )
             try:
                 conn.send_bytes(
                     wire.encode(wire.ShmHello(work.name, reply.name))
@@ -807,9 +816,11 @@ class ClusterRouter:
         durable_fsync: str = "batch",
         durable_segment_bytes: int = 1 << 20,
         transport: str | None = None,
+        time_source: TimeSource | None = None,
     ) -> None:
         if frontends <= 0:
             raise EngineError(f"need at least one frontend: {frontends}")
+        self._time = resolve_time_source(time_source)
         transport = shm.resolve_transport(transport)
         if transport not in ("socket", "shm"):
             raise EngineError(f"unknown transport {transport!r}")
@@ -831,6 +842,7 @@ class ClusterRouter:
             workers,
             unit_config=unit_config,
             strategy=assignment_strategy,
+            time_source=self._time,
             checkpoint_interval=checkpoint_every,
             mp_context=self._ctx,
             listen_dir=self._socket_dir,
@@ -1276,7 +1288,7 @@ class ClusterRouter:
                 handle.conn.send_bytes(wire.encode(wire.DrainRequest(request_id)))
             except OSError:
                 pass  # respawn detected below; re-asked then
-        deadline = time.monotonic() + timeout
+        deadline = self._time.deadline(timeout)
         while True:
             waiting = [
                 frontend_id
@@ -1285,7 +1297,7 @@ class ClusterRouter:
             ]
             if not waiting:
                 break
-            if time.monotonic() > deadline:
+            if deadline.expired():
                 raise EngineError(f"frontends did not drain: {sorted(waiting)}")
             self.pump()
             for frontend_id in waiting:
@@ -1656,7 +1668,7 @@ class ClusterRouter:
                 return
             self._closed = True
         if drain:
-            deadline = time.monotonic() + drain_timeout
+            deadline = self._time.deadline(drain_timeout)
             stalled = 0
             try:
                 while (
@@ -1664,7 +1676,7 @@ class ClusterRouter:
                     or self._service_pending
                     or self._submissions.qsize() > 0
                 ):
-                    if time.monotonic() > deadline or stalled > 50:
+                    if deadline.expired() or stalled > 50:
                         break
                     stalled = 0 if self.service_step() else stalled + 1
             except EngineError:

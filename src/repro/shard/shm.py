@@ -47,10 +47,11 @@ from __future__ import annotations
 
 import os
 import struct
-import time
 import uuid
 import zlib
 from multiprocessing import resource_tracker, shared_memory
+
+from repro.common.timesource import TimeSource, resolve_time_source
 
 try:  # CPython's POSIX shm primitive (Linux/macOS)
     import _posixshmem
@@ -157,10 +158,18 @@ class ShmRing:
     """
 
     def __init__(
-        self, shm: shared_memory.SharedMemory, side: str, owner: bool
+        self,
+        shm: shared_memory.SharedMemory,
+        side: str,
+        owner: bool,
+        time_source: TimeSource | None = None,
     ) -> None:
         if side not in ("producer", "consumer"):
             raise ValueError(f"bad ring side: {side!r}")
+        # Heartbeats are *cross-process* comparisons, so both sides must
+        # read the same timeline: SystemTimeSource scaled by the shared
+        # $RAILGUN_TIME_SCALE env (inherited at spawn) satisfies that.
+        self._time = resolve_time_source(time_source)
         self._shm = shm
         self._buf = shm.buf
         self.side = side
@@ -185,6 +194,7 @@ class ShmRing:
         slot_count: int = DEFAULT_SLOT_COUNT,
         slot_bytes: int = DEFAULT_SLOT_BYTES,
         name: str | None = None,
+        time_source: TimeSource | None = None,
     ) -> "ShmRing":
         if slot_bytes < FRAME_HEADER.size:
             raise ValueError("slot_bytes must hold at least a frame header")
@@ -199,13 +209,15 @@ class ShmRing:
         _U32.pack_into(shm.buf, _OFF_MAGIC, MAGIC)
         _U32.pack_into(shm.buf, _OFF_SLOT_COUNT, slot_count)
         _U32.pack_into(shm.buf, _OFF_SLOT_BYTES, slot_bytes)
-        return cls(shm, side, owner=True)
+        return cls(shm, side, owner=True, time_source=time_source)
 
     @classmethod
-    def attach(cls, name: str, side: str) -> "ShmRing":
+    def attach(
+        cls, name: str, side: str, time_source: TimeSource | None = None
+    ) -> "ShmRing":
         shm = shared_memory.SharedMemory(name=name, create=False)
         _untrack(shm)
-        return cls(shm, side, owner=False)
+        return cls(shm, side, owner=False, time_source=time_source)
 
     # -- heartbeat / liveness --------------------------------------------------
 
@@ -214,7 +226,7 @@ class ShmRing:
         offset = (
             _OFF_PRODUCER_HB if self.side == "producer" else _OFF_CONSUMER_HB
         )
-        _U64.pack_into(self._buf, offset, time.monotonic_ns())
+        _U64.pack_into(self._buf, offset, self._time.monotonic_ns())
 
     def peer_heartbeat_ns(self) -> int:
         offset = (
@@ -241,7 +253,7 @@ class ShmRing:
         if hb == 0:
             return False
         if now_ns is None:
-            now_ns = time.monotonic_ns()
+            now_ns = self._time.monotonic_ns()
         return now_ns - hb > int(stale_after * 1e9)
 
     # -- producer side ---------------------------------------------------------
@@ -269,7 +281,7 @@ class ShmRing:
             )
         buf = self._buf
         tail = _U64.unpack_from(buf, _OFF_TAIL)[0]
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = self._time.deadline(timeout)
         pause = 20e-6
         while True:
             if self.peer_closed():
@@ -281,10 +293,10 @@ class ShmRing:
                 raise ShmPeerDead(
                     f"consumer of ring {self.name} stopped heartbeating"
                 )
-            if deadline is not None and time.monotonic() > deadline:
+            if deadline.expired():
                 raise ShmError(f"ring {self.name} full for {timeout}s")
             self.beat()
-            time.sleep(pause)
+            self._time.sleep(pause)
             pause = min(pause * 2, 1e-3)
         frame = FRAME_HEADER.pack(
             tail, len(payload), zlib.crc32(payload)
@@ -301,7 +313,7 @@ class ShmRing:
         # its head once tail moves, and the CRC catches reordering on
         # weakly-ordered hosts.
         _U64.pack_into(buf, _OFF_TAIL, tail + need)
-        _U64.pack_into(buf, _OFF_PRODUCER_HB, time.monotonic_ns())
+        _U64.pack_into(buf, _OFF_PRODUCER_HB, self._time.monotonic_ns())
 
     # -- consumer side ---------------------------------------------------------
 
@@ -333,7 +345,7 @@ class ShmRing:
             self.slot_bytes
         )
         _U64.pack_into(buf, _OFF_HEAD, head + need)
-        _U64.pack_into(buf, _OFF_CONSUMER_HB, time.monotonic_ns())
+        _U64.pack_into(buf, _OFF_CONSUMER_HB, self._time.monotonic_ns())
         return payload
 
     def drain(self) -> list[bytes]:

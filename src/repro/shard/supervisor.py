@@ -40,12 +40,12 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
-import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.errors import EngineError
+from repro.common.timesource import TimeSource, resolve_time_source
 from repro.engine.assignment import (
     PreviousState,
     ProcessorInfo,
@@ -242,9 +242,11 @@ class ShardSupervisor:
         listen_dir: str | None = None,
         checkpoint_dir: str | None = None,
         transport: str = "socket",
+        time_source: TimeSource | None = None,
     ) -> None:
         if workers <= 0:
             raise EngineError(f"need at least one shard worker: {workers}")
+        self._time = resolve_time_source(time_source)
         if transport not in ("socket", "shm"):
             raise EngineError(f"unknown shard transport: {transport!r}")
         #: ``"shm"`` moves WorkBatch/BatchDone payloads onto per-worker
@@ -369,8 +371,12 @@ class ShardSupervisor:
             # sees its predecessor's half-consumed frames.
             tag = f"{self._shm_prefix}-{worker_id}-{self._spawn_seq}"
             self._spawn_seq += 1
-            work_ring = ShmRing.create("producer", name=f"{tag}-work")
-            reply_ring = ShmRing.create("consumer", name=f"{tag}-reply")
+            work_ring = ShmRing.create(
+                "producer", name=f"{tag}-work", time_source=self._time
+            )
+            reply_ring = ShmRing.create(
+                "consumer", name=f"{tag}-reply", time_source=self._time
+            )
             shm_names = (work_ring.name, reply_ring.name)
         process = self._ctx.Process(
             target=shard_worker_main,
@@ -517,8 +523,8 @@ class ShardSupervisor:
             waiting.add(handle.worker_id)
         offsets: dict[TopicPartition, int] = {}
         parked: list[tuple[object, WorkerHandle]] = []
-        deadline = time.monotonic() + timeout
-        while waiting and time.monotonic() < deadline:
+        deadline = self._time.deadline(timeout)
+        while waiting and not deadline.expired():
             for msg, handle in self._drain(timeout=0.05):
                 if isinstance(msg, wire.CheckpointAck):
                     self._ingest_ack(msg, handle, expected_id=request_id)

@@ -18,8 +18,8 @@ The acceptance bar for the durable segmented log bus:
 from __future__ import annotations
 
 import os
-import time
 
+from repro.common.timesource import default_time_source
 from repro.engine.cluster import create_cluster
 from repro.engine.processor import ACTIVE_GROUP
 from repro.events.event import Event
@@ -174,16 +174,18 @@ class TestCheckpointTruncation:
                 cluster.send_batch(
                     "tx", make_events(200, prefix=f"c{start}-", start_ts=start)
                 )
-            deadline = time.monotonic() + 30.0
-            while time.monotonic() < deadline:
+            starts: list[int] = []
+
+            def heads_truncated():
                 cluster.run_until_quiet()
                 spans = cluster.bus.segment_spans()
-                starts = [
+                starts[:] = [
                     spans[tp][0][0]
                     for tp in cluster.bus.topic_partitions("tx.cardId")
                 ]
-                if all(start > 0 for start in starts):
-                    break
+                return all(start > 0 for start in starts)
+
+            default_time_source().wait_until(heads_truncated, timeout=30.0, poll=0.0)
             assert all(start > 0 for start in starts), starts
 
 
@@ -259,9 +261,11 @@ class TestShardedFrontendDurability:
             # the Crash before its durable sync runs.
             correlations = cluster._route_and_ship("tx", events[30:60])
             handle.conn.send_bytes(wire.encode(wire.Crash()))
-            deadline = time.monotonic() + 30.0
-            while cluster.pending and time.monotonic() < deadline:
-                cluster.pump()
+            default_time_source().wait_until(
+                lambda: (cluster.pump(), not cluster.pending)[1],
+                timeout=30.0,
+                poll=0.0,
+            )
             assert not cluster.pending, "mid-append crash lost replies"
             window = [cluster.completed.pop(c) for c in correlations]
             assert handle.restarts == 1
@@ -282,13 +286,14 @@ class TestShardedFrontendDurability:
                 cluster.send_batch(
                     "tx", make_events(200, prefix=f"f{start}-", start_ts=start)
                 )
-            deadline = time.monotonic() + 30.0
-            truncated = False
-            while time.monotonic() < deadline and not truncated:
+            def logs_truncated():
                 cluster.run_until_quiet()
                 cluster.drain()
-                truncated = self._frontend_logs_truncated(durable)
-            assert truncated
+                return self._frontend_logs_truncated(durable)
+
+            assert default_time_source().wait_until(
+                logs_truncated, timeout=30.0, poll=0.0
+            )
 
     @staticmethod
     def _frontend_logs_truncated(durable):

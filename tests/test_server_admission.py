@@ -1,15 +1,19 @@
 """Admission-control unit tests: token buckets, caps, latency budgets.
 
-The controller is pure bookkeeping over an injectable clock, so every
-behavior here is deterministic — no sleeps, no sockets. The server
-contract tests in ``test_server_frontdoor.py`` exercise the same code
-end to end over TCP.
+The controller is pure bookkeeping over an injectable
+:class:`~repro.common.timesource.TimeSource`, so every behavior here is
+deterministic — zero real sleeping anywhere (asserted below), no
+sockets. The server contract tests in ``test_server_frontdoor.py``
+exercise the same code end to end over TCP.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro.common.timesource import DeterministicTimeSource
 from repro.server.admission import (
     AdmissionController,
     LatencyBudget,
@@ -18,28 +22,22 @@ from repro.server.admission import (
 )
 
 
-class FakeClock:
-    def __init__(self, start: float = 0.0) -> None:
-        self.now = start
-
-    def __call__(self) -> float:
-        return self.now
-
-    def advance(self, seconds: float) -> None:
-        self.now += seconds
+def FakeClock(start: float = 0.0) -> DeterministicTimeSource:
+    """The deterministic time plane; admission reads it, tests advance it."""
+    return DeterministicTimeSource(start)
 
 
 class TestTokenBucket:
     def test_starts_full_and_debits(self):
         clock = FakeClock()
-        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket = TokenBucket(rate=10.0, burst=5.0, time_source=clock)
         assert bucket.tokens == 5.0
         assert bucket.try_take(3) == 0.0
         assert bucket.tokens == 2.0
 
     def test_refills_at_rate_capped_at_burst(self):
         clock = FakeClock()
-        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket = TokenBucket(rate=10.0, burst=5.0, time_source=clock)
         bucket.try_take(5)
         clock.advance(0.25)
         assert bucket.tokens == pytest.approx(2.5)
@@ -48,7 +46,7 @@ class TestTokenBucket:
 
     def test_refusal_returns_exact_wait_without_debit(self):
         clock = FakeClock()
-        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket = TokenBucket(rate=10.0, burst=5.0, time_source=clock)
         bucket.try_take(5)
         wait = bucket.try_take(2)
         assert wait == pytest.approx(0.2)  # 2 tokens at 10/s
@@ -75,7 +73,7 @@ def make_controller(clock, **overrides) -> AdmissionController:
         max_connections=3,
         max_in_flight=60,
         max_queue_depth=4,
-        clock=clock,
+        time_source=clock,
     )
     defaults.update(overrides)
     return AdmissionController(**defaults)
@@ -184,3 +182,43 @@ class TestLatencyBudgets:
         tenant = admission.stats()["tenants"]["quiet"]
         assert tenant["observed_p50_ms"] == 0.0
         assert tenant["within_p99_budget"] is True
+
+
+class TestDeterministicRetryAfter:
+    def test_exact_retry_schedule_with_zero_real_sleeping(self):
+        # The satellite regression for the old `clock: Callable` params
+        # default-bound to time.monotonic at import: a deterministic
+        # source must drive the *exact* retry_after_ms schedule while
+        # the test spends no measurable real time waiting.
+        wall_started = time.perf_counter()
+        ts = FakeClock()
+        admission = make_controller(ts)
+        # Drain the 50-token burst (in two takes: in-flight cap is 40).
+        for take in (40, 10):
+            assert admission.admit("a", take).ok
+            admission.complete("a", take)
+        # 100 ev/s: n missing tokens cost exactly n*10 ms, always.
+        for missing in (1, 7, 40):
+            shed = admission.admit("a", missing)
+            assert shed.reason == "tenant-rate"
+            assert shed.retry_after_ms == missing * 10
+        # Advancing virtual time by the hinted wait admits exactly that
+        # batch — a shorter advance still refuses with the remainder.
+        shed = admission.admit("a", 20)
+        assert shed.retry_after_ms == 200
+        ts.advance(0.1)
+        assert admission.admit("a", 20).retry_after_ms == 100
+        ts.advance(0.1)
+        assert admission.admit("a", 20).ok
+        assert time.perf_counter() - wall_started < 0.5
+
+    def test_construction_reads_injected_source_not_import_time(self):
+        # Buckets built from a source that starts deep in virtual time
+        # must anchor refill at *that* time (the import-time binding bug
+        # would anchor at process start and grant a huge refill).
+        ts = FakeClock(start=1_000_000.0)
+        bucket = TokenBucket(rate=1.0, burst=10.0, time_source=ts)
+        bucket.try_take(10)
+        assert bucket.tokens == 0.0
+        ts.advance(5.0)
+        assert bucket.tokens == 5.0

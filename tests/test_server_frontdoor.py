@@ -27,11 +27,11 @@ import asyncio
 import socket
 import struct
 import threading
-import time
 
 import pytest
 
 from repro.common.errors import EngineError
+from repro.common.timesource import default_time_source
 from repro.engine.cluster import RailgunCluster, create_cluster
 from repro.events.event import Event
 from repro.server.admission import AdmissionController, TenantQuota
@@ -261,11 +261,11 @@ class TestSlowReader:
                     timestamp=1_000,
                 )
                 assert [count_of(r) for r in replies] == list(range(1, 31))
-            deadline = time.monotonic() + 5.0
-            while time.monotonic() < deadline:
-                if handle.stats()["admission"]["in_flight"] == 0:
-                    break
-                time.sleep(0.01)
+            default_time_source().wait_until(
+                lambda: handle.stats()["admission"]["in_flight"] == 0,
+                timeout=5.0,
+                poll=0.01,
+            )
             # The sloth's events completed server-side (its replies sit
             # in kernel buffers); the admission ledger is clean.
             assert handle.stats()["admission"]["in_flight"] == 0
@@ -325,7 +325,7 @@ class TestShutdown:
         stopped = threading.Event()
 
         def kill_soon():
-            time.sleep(0.05)
+            default_time_source().sleep(0.05)
             handle.stop(drain=False)
             stopped.set()
 
@@ -379,9 +379,11 @@ class TestRouterServiceHooks:
             lambda: cluster.create_stream("tx", ["cardId"], **STREAM_KW),
             lambda result, error: done.append((result, error)),
         )
-        deadline = time.monotonic() + 10.0
-        while not done and time.monotonic() < deadline:
-            cluster.service_step()
+        default_time_source().wait_until(
+            lambda: (cluster.service_step(), done)[1],
+            timeout=10.0,
+            poll=0.0,
+        )
         assert done and done[0][1] is None
         cluster.close()
 

@@ -10,11 +10,10 @@ evolution across the process boundary, and checkpoint shipping.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.common.errors import EngineError
+from repro.common.timesource import default_time_source
 from repro.engine.catalog import MetricDef, StreamDef
 from repro.engine.cluster import RailgunCluster, create_cluster
 from repro.engine.processor import UnitConfig
@@ -318,9 +317,11 @@ class TestShardSupervisor:
             tp = TopicPartition("ghost", 0)
             supervisor.assign([tp])
             supervisor.submit(tp, [(0, Event("x", 1, {}))], 0)
-            deadline = time.monotonic() + 10.0
-            while time.monotonic() < deadline and not supervisor.restarts:
-                supervisor.poll(timeout=0.05)
+            default_time_source().wait_until(
+                lambda: (supervisor.poll(timeout=0.05), supervisor.restarts)[1],
+                timeout=10.0,
+                poll=0.0,
+            )
             assert supervisor.restarts == 1
             assert any("ghost" in err for err in supervisor.worker_errors)
 
@@ -375,9 +376,10 @@ class TestShardSupervisor:
             victim = supervisor.handles[supervisor.worker_ids()[0]]
             victim.process.kill()
             victim.process.join(timeout=5.0)
-            started = time.monotonic()
+            clock = default_time_source()
+            started = clock.monotonic()
             offsets = supervisor.request_checkpoints(timeout=30.0)
-            elapsed = time.monotonic() - started
+            elapsed = clock.monotonic() - started
             assert elapsed < 20.0  # did not burn the timeout
             assert supervisor.restarts == 1
             assert offsets == {}  # no worker had processed anything yet
@@ -397,9 +399,11 @@ class TestShardSupervisor:
             handle.conn.send_bytes(
                 wire.encode(wire.CheckpointRequest(999, with_state=True))
             )
-            deadline = time.monotonic() + 10.0
-            while time.monotonic() < deadline and not len(supervisor.checkpoints):
-                supervisor.poll(timeout=0.05)
+            default_time_source().wait_until(
+                lambda: (supervisor.poll(timeout=0.05), len(supervisor.checkpoints))[1],
+                timeout=10.0,
+                poll=0.0,
+            )
             assert supervisor.checkpoints.offset(tp) == 25
             assert supervisor.late_checkpoint_acks == 1
             assert supervisor.stats()[worker_id]["late_checkpoint_acks"] == 1
@@ -412,9 +416,11 @@ class TestShardSupervisor:
             tp = TopicPartition("tx.cardId", 0)
             supervisor.assign([tp])
             supervisor.submit(tp, list(enumerate(make_events(30))), 0)
-            deadline = time.monotonic() + 10.0
-            while time.monotonic() < deadline and not len(supervisor.checkpoints):
-                supervisor.poll(timeout=0.05)
+            default_time_source().wait_until(
+                lambda: (supervisor.poll(timeout=0.05), len(supervisor.checkpoints))[1],
+                timeout=10.0,
+                poll=0.0,
+            )
             worker_id = supervisor.worker_ids()[0]
             assert supervisor.checkpoints.offset(tp) == 30
             assert supervisor.stats()[worker_id]["checkpoint_acks"] >= 1
@@ -518,12 +524,14 @@ class TestParallelClusterFailures:
                 cluster.pump()
             victim = cluster.worker_ids()[0]
             cluster.kill_worker(victim)
-            deadline = time.monotonic() + 30.0
-            while (
-                len(cluster.frontend.completed) < len(events)
-                and time.monotonic() < deadline
-            ):
-                cluster.pump()
+            default_time_source().wait_until(
+                lambda: (
+                    cluster.pump(),
+                    len(cluster.frontend.completed) >= len(events),
+                )[1],
+                timeout=30.0,
+                poll=0.0,
+            )
             results = [
                 cluster.frontend.take_completed(c).results for c in correlations
             ]
@@ -606,11 +614,11 @@ class TestCheckpointedRecovery:
         return [cluster.send("tx", event=event).results for event in events]
 
     def await_restart(self, cluster, count=1, timeout=30.0):
-        deadline = time.monotonic() + timeout
-        while (
-            cluster.supervisor.restarts < count and time.monotonic() < deadline
-        ):
-            cluster.pump()
+        default_time_source().wait_until(
+            lambda: (cluster.pump(), cluster.supervisor.restarts >= count)[1],
+            timeout=timeout,
+            poll=0.0,
+        )
         assert cluster.supervisor.restarts == count
         cluster.run_until_quiet()
 
@@ -710,12 +718,11 @@ class TestCheckpointedRecovery:
             results = [r.results for r in cluster.send_batch("tx", events)]
             assert results == expected
             # The cadence fired; pump until its acks filled the store.
-            deadline = time.monotonic() + 10.0
-            while (
-                not len(cluster.supervisor.checkpoints)
-                and time.monotonic() < deadline
-            ):
-                cluster.pump()
+            default_time_source().wait_until(
+                lambda: (cluster.pump(), len(cluster.supervisor.checkpoints))[1],
+                timeout=10.0,
+                poll=0.0,
+            )
             stored = sum(
                 cluster.supervisor.checkpoints.offset(tp)
                 for tp in cluster._watermarks

@@ -20,11 +20,10 @@ documented in docs/ARCHITECTURE.md:
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.common.errors import EngineError
+from repro.common.timesource import default_time_source
 from repro.engine.cluster import RailgunCluster, create_cluster
 from repro.events.event import Event
 from repro.messaging.log import TopicPartition
@@ -363,11 +362,11 @@ class TestClusterRouterEquivalence:
 
 class TestClusterRouterFailures:
     def await_worker_restart(self, cluster, count=1, timeout=30.0):
-        deadline = time.monotonic() + timeout
-        while (
-            cluster.supervisor.restarts < count and time.monotonic() < deadline
-        ):
-            cluster.pump()
+        default_time_source().wait_until(
+            lambda: (cluster.pump(), cluster.supervisor.restarts >= count)[1],
+            timeout=timeout,
+            poll=0.0,
+        )
         assert cluster.supervisor.restarts == count
 
     @pytest.mark.parametrize("transport", ["socket", "shm"])
@@ -381,12 +380,11 @@ class TestClusterRouterFailures:
             while len(cluster.completed) < 80:
                 cluster.pump()
             cluster.kill_worker(cluster.worker_ids()[0])
-            deadline = time.monotonic() + 30.0
-            while (
-                len(cluster.completed) < len(events)
-                and time.monotonic() < deadline
-            ):
-                cluster.pump()
+            default_time_source().wait_until(
+                lambda: (cluster.pump(), len(cluster.completed) >= len(events))[1],
+                timeout=30.0,
+                poll=0.0,
+            )
             results = [cluster.completed.pop(c).results for c in correlations]
             assert results == expected
             assert cluster.supervisor.restarts == 1

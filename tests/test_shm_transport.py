@@ -14,10 +14,10 @@ from __future__ import annotations
 import multiprocessing
 import random
 import threading
-import time
 
 import pytest
 
+from repro.common.timesource import default_time_source
 from repro.events.event import Event
 from repro.messaging.log import TopicPartition
 from repro.shard import columnar, shm, wire
@@ -66,13 +66,13 @@ class TestShmRing:
         received: list[bytes] = []
 
         def consume():
-            deadline = time.monotonic() + 5.0
-            while len(received) < 9 and time.monotonic() < deadline:
+            def drain():
                 frame = consumer.try_recv()
-                if frame is None:
-                    time.sleep(0.001)
-                    continue
-                received.append(frame)
+                if frame is not None:
+                    received.append(frame)
+                return len(received) >= 9
+
+            default_time_source().wait_until(drain, timeout=5.0, poll=0.001)
 
         thread = threading.Thread(target=consume)
         thread.start()
@@ -96,7 +96,7 @@ class TestShmRing:
         consumer.beat()
         assert not producer.peer_stale(10.0)
         assert producer.peer_stale(
-            0.01, now_ns=time.monotonic_ns() + int(0.05 * 1e9)
+            0.01, now_ns=default_time_source().monotonic_ns() + int(0.05 * 1e9)
         )
 
     def test_unattached_peer_is_never_stale(self):
@@ -226,7 +226,7 @@ class TestFrontendQuarantine:
         try:
             engine.drain_rings(stale_after=60.0)
             assert "w-0" not in engine.down
-            time.sleep(0.05)
+            default_time_source().sleep(0.05)
             engine.drain_rings(stale_after=0.01)
             assert "w-0" in engine.down
             assert "w-0" not in engine.conns

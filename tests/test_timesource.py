@@ -1,0 +1,245 @@
+"""Unit tests for the time plane (``repro.common.timesource``).
+
+Everything here runs in virtual or lightly-threaded time — the suite's
+own wall-clock budget is part of what it asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.timesource import (
+    MAX_TIME_SCALE,
+    SYSTEM,
+    Deadline,
+    DeterministicTimeSource,
+    ManualClock,
+    SystemClock,
+    SystemTimeSource,
+    default_time_source,
+    parse_time_scale,
+    resolve_time_source,
+    set_default_time_source,
+)
+
+
+class TestParseTimeScale:
+    def test_unset_and_empty_mean_real_time(self):
+        assert parse_time_scale(None) == 1.0
+        assert parse_time_scale("") == 1.0
+        assert parse_time_scale("   ") == 1.0
+
+    def test_numeric_values(self):
+        assert parse_time_scale("25") == 25.0
+        assert parse_time_scale("0.5") == 0.5
+        assert parse_time_scale(str(MAX_TIME_SCALE)) == MAX_TIME_SCALE
+
+    @pytest.mark.parametrize("bad", ["fast", "0", "-3", "nan", "1e9"])
+    def test_garbage_is_loud_not_silent(self, bad):
+        with pytest.raises(ValueError):
+            parse_time_scale(bad)
+
+
+class TestSystemTimeSource:
+    def test_scale_compresses_monotonic_and_sleep(self):
+        ts = SystemTimeSource(scale=100.0)
+        started_real = time.perf_counter()
+        before = ts.monotonic()
+        ts.sleep(0.5)  # 5ms real
+        after = ts.monotonic()
+        elapsed_real = time.perf_counter() - started_real
+        assert after - before >= 0.5  # source time honored the request
+        assert elapsed_real < 0.25  # but real time was compressed
+        assert ts.real_delay(0.5) == pytest.approx(0.005)
+
+    def test_wall_clock_is_never_scaled(self):
+        scaled = SystemTimeSource(scale=100.0)
+        plain = SystemTimeSource(scale=1.0)
+        assert abs(scaled.wall_ms() - plain.wall_ms()) < 5_000
+
+    def test_monotonic_ns_matches_monotonic(self):
+        ts = SystemTimeSource(scale=7.0)
+        lo = ts.monotonic()
+        ns = ts.monotonic_ns()
+        hi = ts.monotonic()
+        assert int(lo * 1e9) <= ns <= int(hi * 1e9) + 1
+
+    def test_rejects_bad_scale(self):
+        for bad in (0.0, -1.0, MAX_TIME_SCALE + 1):
+            with pytest.raises(ValueError):
+                SystemTimeSource(scale=bad)
+
+
+class TestDeadline:
+    def test_expiry_and_remaining_on_virtual_time(self):
+        ts = DeterministicTimeSource()
+        deadline = ts.deadline(2.0)
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(2.0)
+        ts.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        ts.advance(0.5)
+        assert deadline.expired()  # >= comparison: exactly-at counts
+        assert deadline.remaining() == 0.0
+
+    def test_none_timeout_never_expires(self):
+        ts = DeterministicTimeSource()
+        deadline = Deadline(ts, None)
+        ts.advance(1e6)
+        assert not deadline.expired()
+        assert deadline.remaining() == float("inf")
+
+
+class TestDeterministicSleep:
+    def test_single_thread_sleep_advances_instead_of_blocking(self):
+        ts = DeterministicTimeSource()
+        started = time.perf_counter()
+        ts.sleep(3600.0)  # an hour of virtual time
+        assert ts.monotonic() == pytest.approx(3600.0)
+        assert time.perf_counter() - started < 1.0
+
+    def test_sleep_zero_yields_without_advancing(self):
+        ts = DeterministicTimeSource(start=5.0)
+        ts.sleep(0)
+        ts.sleep(-1)
+        assert ts.monotonic() == 5.0
+        assert ts.wake_log == []  # a yield is not a wakeup
+
+    def test_waiters_wake_in_deadline_order_not_start_order(self):
+        ts = DeterministicTimeSource()
+        # Register this thread as a runnable participant first: while it
+        # never parks, automatic jumps are disabled, so no sleeper can
+        # wake before all three have parked — the ordering is then a
+        # pure function of the requested deadlines.
+        ts.sleep(0)
+
+        threads = [
+            threading.Thread(
+                target=ts.sleep, args=(seconds,), name=name, daemon=True
+            )
+            for name, seconds in [("late", 3.0), ("early", 1.0), ("mid", 2.0)]
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.perf_counter() + 5.0
+        while len(ts._waiters) < 3 and time.perf_counter() < deadline:
+            time.sleep(0.001)
+        ts.advance(3.0)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert ts.wake_log == ["early", "mid", "late"]
+        assert ts.monotonic() == pytest.approx(3.0)
+
+    def test_advance_steps_through_intermediate_deadlines(self):
+        ts = DeterministicTimeSource()
+        ts.sleep(0)  # register as runnable: no jump until we advance
+
+        threads = [
+            threading.Thread(target=ts.sleep, args=(s,), name=n, daemon=True)
+            for n, s in [("b", 2.0), ("a", 1.0)]
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.perf_counter() + 5.0
+        while len(ts._waiters) < 2 and time.perf_counter() < deadline:
+            time.sleep(0.001)
+        ts.advance(10.0)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        # wake_log appends under the source lock at unpark time, so the
+        # intermediate deadline (a at 1.0) must precede b at 2.0.
+        assert ts.wake_log == ["a", "b"]
+        assert ts.monotonic() == pytest.approx(10.0)
+
+    def test_monotonic_ns_consistent_with_monotonic(self):
+        ts = DeterministicTimeSource(start=1.5)
+        assert ts.monotonic_ns() == 1_500_000_000
+        ts.advance(0.25)
+        assert ts.monotonic_ns() == 1_750_000_000
+        assert ts.monotonic_ns() == int(round(ts.monotonic() * 1e9))
+
+    def test_negative_advance_and_start_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicTimeSource(start=-1.0)
+        with pytest.raises(ValueError):
+            DeterministicTimeSource().advance(-0.1)
+
+    def test_real_delay_advances_and_returns_zero(self):
+        ts = DeterministicTimeSource()
+        assert ts.real_delay(2.5) == 0.0
+        assert ts.monotonic() == pytest.approx(2.5)
+
+
+class TestWaitUntil:
+    def test_immediate_truth_skips_sleeping(self):
+        ts = DeterministicTimeSource()
+        assert ts.wait_until(lambda: True, timeout=10.0)
+        assert ts.monotonic() == 0.0
+
+    def test_polls_until_predicate_flips(self):
+        ts = DeterministicTimeSource()
+        assert ts.wait_until(lambda: ts.monotonic() >= 0.1, timeout=5.0)
+        assert 0.1 <= ts.monotonic() < 5.0
+
+    def test_timeout_returns_false_after_final_recheck(self):
+        ts = DeterministicTimeSource()
+        calls = []
+        assert not ts.wait_until(
+            lambda: calls.append(1) and False, timeout=0.05, poll=0.01
+        )
+        assert ts.monotonic() == pytest.approx(0.05)
+        assert len(calls) >= 2  # polled, then the one-last-check after expiry
+
+
+class TestEventClockViews:
+    def test_event_clock_tracks_virtual_monotonic(self):
+        ts = DeterministicTimeSource()
+        clock = ts.event_clock(start_ms=1_000)
+        assert clock.now() == 1_000
+        ts.advance_ms(250)
+        assert clock.now() == 1_250
+        assert clock.now_seconds() == pytest.approx(1.25)
+
+    def test_event_clock_without_start_reads_wall(self):
+        ts = DeterministicTimeSource(wall_start_ms=77_000)
+        clock = ts.event_clock()
+        assert isinstance(clock, SystemClock)
+        assert clock.now() == 77_000
+        ts.advance(1.0)
+        assert clock.now() == 78_000
+
+    def test_manual_clock_semantics_preserved(self):
+        clock = ManualClock(start_ms=10)
+        assert clock.advance(5) == 15
+        clock.set(20)
+        with pytest.raises(ValueError):
+            clock.set(19)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+
+class TestDefaultResolution:
+    def test_resolve_prefers_explicit(self):
+        ts = DeterministicTimeSource()
+        assert resolve_time_source(ts) is ts
+        assert resolve_time_source(None) is default_time_source()
+
+    def test_set_default_round_trips(self):
+        ts = DeterministicTimeSource()
+        previous = set_default_time_source(ts)
+        try:
+            assert default_time_source() is ts
+        finally:
+            set_default_time_source(previous)
+        assert default_time_source() is previous
+
+    def test_none_restores_system(self):
+        previous = set_default_time_source(DeterministicTimeSource())
+        try:
+            set_default_time_source(None)
+            assert default_time_source() is SYSTEM
+        finally:
+            set_default_time_source(previous)

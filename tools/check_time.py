@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Lint: the time plane is the only module allowed to read the clock.
+
+Walks every module under ``src/repro`` except ``common/timesource.py``
+and fails on raw uses of ``time.time`` / ``time.monotonic`` /
+``time.monotonic_ns`` / ``time.sleep`` (alias-aware, plus the
+``from time import ...`` forms). Those calls are exactly what made
+fault suites sleep real seconds: any new deadline, heartbeat or backoff
+must go through an injectable
+:class:`~repro.common.timesource.TimeSource` so the chaos harness and
+``$RAILGUN_TIME_SCALE`` keep working.
+
+``time.perf_counter`` / ``perf_counter_ns`` stay allowed everywhere:
+they measure how fast *real* hardware ran a benchmark, which is the one
+thing that must never be virtualized.
+
+Usage: ``python tools/check_time.py [root ...]`` (default ``src/repro``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+FORBIDDEN = {"time", "monotonic", "monotonic_ns", "sleep"}
+
+#: module paths (relative to the scanned root) exempt from the lint —
+#: the one place raw clock reads are the implementation, not a leak.
+EXEMPT = {os.path.join("common", "timesource.py")}
+
+
+def _violations(path: str, source: str) -> list[tuple[int, str]]:
+    tree = ast.parse(source, filename=path)
+    time_aliases: set[str] = set()
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_aliases.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in FORBIDDEN:
+                        found.append(
+                            (node.lineno, f"from time import {alias.name}")
+                        )
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in time_aliases
+            and node.attr in FORBIDDEN
+        ):
+            found.append((node.lineno, f"{node.value.id}.{node.attr}"))
+    return sorted(found)
+
+
+def check(roots: list[str]) -> int:
+    bad = 0
+    for root in roots:
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                if rel in EXEMPT:
+                    continue
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                for lineno, what in _violations(path, source):
+                    print(
+                        f"{path}:{lineno}: raw {what} — inject a TimeSource "
+                        "(repro.common.timesource) instead"
+                    )
+                    bad += 1
+    if bad:
+        print(f"check_time: {bad} raw time call site(s)", file=sys.stderr)
+        return 1
+    print("check_time: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    roots = sys.argv[1:] or [os.path.join("src", "repro")]
+    sys.exit(check(roots))
