@@ -297,6 +297,13 @@ class TestReconnect:
                 # The window picked up where the first connection left
                 # off: counts 6..10, not 1..5.
                 assert [count_of(r) for r in replies] == [6, 7, 8, 9, 10]
+            # The server notices the client's close asynchronously; wait
+            # for the ledger to drain instead of racing its reader task.
+            default_time_source().wait_until(
+                lambda: handle.stats()["admission"]["connections"] == 0,
+                timeout=5.0,
+                poll=0.01,
+            )
             assert handle.stats()["admission"]["connections"] == 0
         finally:
             handle.stop()

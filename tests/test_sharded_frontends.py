@@ -387,7 +387,10 @@ class TestClusterRouterFailures:
             )
             results = [cluster.completed.pop(c).results for c in correlations]
             assert results == expected
-            assert cluster.supervisor.restarts == 1
+            # Over shm every reply may have been salvaged from the
+            # victim's ring, completing the batch before the supervisor
+            # notices the corpse — wait for the restart, don't race it.
+            self.await_worker_restart(cluster)
             # The uncheckpointed tail replayed. Over shm the frontend
             # salvages already-published replies from the victim's reply
             # ring before quarantining the link, so the replay set may
