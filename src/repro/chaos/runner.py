@@ -22,6 +22,7 @@ compresses chaos runs exactly like the fault suites.
 from __future__ import annotations
 
 import tempfile
+import threading
 import traceback
 from dataclasses import dataclass, field
 
@@ -110,12 +111,57 @@ def _apply_fault(cluster, fault, applied: list[str]) -> None:
         # No settle wait: the router repairs dead frontends lazily on
         # the next send touching their slice; traffic-while-down is the
         # interesting path.
+    elif fault.kind == "add_worker" and hasattr(cluster, "add_worker"):
+        worker_id = cluster.add_worker()
+        applied.append(f"add_worker:{worker_id}")
+    elif fault.kind == "remove_worker" and hasattr(cluster, "remove_worker"):
+        workers = cluster.worker_ids()
+        if len(workers) <= 1:
+            return  # never drain the pool to zero
+        victim = workers[fault.target % len(workers)]
+        cluster.remove_worker(victim)
+        applied.append(f"remove_worker:{victim}")
     elif fault.kind == "checkpoint" and hasattr(cluster, "checkpoint_now"):
         cluster.checkpoint_now()
         applied.append("checkpoint")
     elif fault.kind == "drain" and hasattr(cluster, "drain"):
         cluster.drain()
         applied.append("drain")
+
+
+def _arm_mid_batch_kill(cluster, fault, applied: list[str]):
+    """SIGKILL a worker from a side thread while ``send_batch`` runs.
+
+    The victim handle is resolved on the caller's thread; the side
+    thread only sleeps briefly (virtual-time-scaled) and kills the
+    process — no facade state is touched concurrently. Landing after
+    the batch is fine: the invariant must hold either way.
+    """
+    if not hasattr(cluster, "worker_ids"):
+        return None
+    workers = cluster.worker_ids()
+    if not workers:
+        return None
+    victim = workers[fault.target % len(workers)]
+    handle = cluster.supervisor.handles.get(victim)
+    if handle is None or not handle.alive:
+        return None
+    process = handle.process
+    time_source = default_time_source()
+
+    def kill() -> None:
+        time_source.sleep(0.002 * (fault.target % 4 + 1))
+        try:
+            process.kill()
+        except (ProcessLookupError, OSError):
+            pass  # already dead; the schedule shrugs
+
+    thread = threading.Thread(
+        target=kill, name="chaos-mid-batch-kill", daemon=True
+    )
+    thread.start()
+    applied.append(f"crash_mid_batch:{victim}")
+    return thread
 
 
 def _collect_replies(
@@ -133,9 +179,17 @@ def _collect_replies(
     for index, (stream, events) in enumerate(scenario.batches):
         for query in mid_ddl.get(index, ()):
             cluster.create_metric(query)
+        killers = []
         for fault in schedule.get(index, ()):
-            _apply_fault(cluster, fault, applied)
+            if fault.kind == "crash_mid_batch":
+                thread = _arm_mid_batch_kill(cluster, fault, applied)
+                if thread is not None:
+                    killers.append(thread)
+            else:
+                _apply_fault(cluster, fault, applied)
         replies.extend(cluster.send_batch(stream, events))
+        for thread in killers:
+            thread.join()
     cluster.run_until_quiet()
     return replies
 

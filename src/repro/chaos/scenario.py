@@ -39,8 +39,17 @@ from repro.events.event import Event
 #: Fault kinds `generate_scenario` may schedule. ``crash_frontend``
 #: only applies on the sharded-frontend topology (no-op elsewhere);
 #: ``checkpoint`` exercises checkpoint shipping *and* durable
-#: truncation; ``drain`` quiesces the data plane mid-stream.
-FAULT_KINDS = ("crash_worker", "crash_frontend", "checkpoint", "drain")
+#: truncation; ``drain`` quiesces the data plane mid-stream;
+#: ``add_worker``/``remove_worker`` rebalance the task assignment
+#: mid-stream (checkpoint shipping to new owners, route moves under
+#: in-flight traffic). ``remove_worker`` is skipped when only one
+#: worker remains. ``crash_mid_batch`` SIGKILLs a worker from a side
+#: thread *while* ``send_batch`` is in flight — the schedule says which
+#: batch, the OS decides which record the victim dies on.
+FAULT_KINDS = (
+    "crash_worker", "crash_frontend", "checkpoint", "drain",
+    "add_worker", "remove_worker", "crash_mid_batch",
+)
 
 
 @dataclass(frozen=True)

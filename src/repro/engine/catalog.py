@@ -76,6 +76,14 @@ class CreateStreamOp:
 @dataclass(frozen=True)
 class CreateMetricOp:
     metric: MetricDef
+    #: per-task activation cuts ``(tp, offset)``: the dispatch frontier
+    #: of each topic task when the DDL landed. A task restored from a
+    #: checkpoint that predates this metric must not fold replayed
+    #: records below the cut into it — the original incarnation
+    #: processed them without the metric. Empty for metrics defined
+    #: before traffic (activation 0) and for backfill completions
+    #: (their state rides checkpoints, never a replay).
+    activations: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -115,6 +115,11 @@ def build_metric_def(
     catalogue and replicates it to its back-end.
     """
     query = parse_query(query_text)
+    if query.as_of is not None:
+        raise EngineError(
+            "AS OF is a read-time clause; a metric definition has no "
+            "read instant — use query_as_of() on the spliced metric"
+        )
     if query.stream not in catalog.streams:
         raise EngineError(f"unknown stream {query.stream!r}")
     validate_metric_fields(catalog, query)
@@ -313,6 +318,7 @@ class RailgunCluster:
         self.tick_ms = tick_ms
         self.catalog = Catalog()
         self.nodes: dict[str, RailgunNode] = {}
+        self._backfills: list = []
         self._assignment_dirty = False
         self._last_assignment: Assignment | None = None
         self._next_node = 0
@@ -410,6 +416,76 @@ class RailgunCluster:
     def delete_metric(self, metric_id: int) -> None:
         """Remove a metric cluster-wide."""
         self._publish_op(DeleteMetricOp(metric_id))
+
+    # -- replay & backfill ----------------------------------------------------------
+
+    def backfill_metric(self, query_text: str) -> int:
+        """Define a metric *after the fact* and materialize it from the log.
+
+        The metric id is reserved immediately; a background
+        :class:`~repro.replay.backfill.CooperativeBackfill` job (stepped
+        from :meth:`pump`, so ingest never pauses) replays each
+        partition's log through a shadow processor and splices the
+        result into the live task processors at their exact consumption
+        offsets. Once every holder is spliced the ``CreateMetricOp``
+        goes out on the operations topic and the metric behaves like any
+        other. Use :meth:`backfill_status` to observe completion.
+        """
+        from repro.replay.backfill import CooperativeBackfill
+
+        metric = build_metric_def(self.catalog, query_text)
+        self.catalog.apply(CreateMetricOp(metric))
+        self._backfills.append(CooperativeBackfill(self, metric))
+        return metric.metric_id
+
+    def backfill_status(self, metric_id: int) -> str:
+        """``"running"``, ``"complete"``, or ``"unknown"`` for an id."""
+        for job in self._backfills:
+            if job.metric.metric_id == metric_id:
+                return "complete" if job.done else "running"
+        return "unknown"
+
+    def metric_values(self, metric_id: int) -> dict[tuple, dict[str, Any]]:
+        """A metric's current per-group values, merged across partitions.
+
+        Per partition the furthest-ahead holder answers (the active
+        owner, or its equal after a quiesce).
+        """
+        metric = self.catalog.metrics.get(metric_id)
+        if metric is None:
+            raise EngineError(f"unknown metric id {metric_id}")
+        merged: dict[tuple, dict[str, Any]] = {}
+        for tp in self.bus.topic_partitions(metric.topic):
+            best = None
+            for node in self.alive_nodes():
+                for unit in node.units:
+                    processor = unit.task_processors.get(tp)
+                    if processor is None or not processor.has_metric(metric_id):
+                        continue
+                    if best is None or processor.next_offset > best.next_offset:
+                        best = processor
+            if best is not None:
+                merged.update(best.metric_values(metric_id))
+        return merged
+
+    def query_as_of(self, metric_id: int, as_of: int):
+        """Time-travel read: the metric's values at event time ``as_of``
+        (:func:`repro.replay.asof.as_of_values` over this cluster's bus)."""
+        from repro.replay.asof import as_of_values
+
+        metric = self.catalog.metrics.get(metric_id)
+        if metric is None:
+            raise EngineError(f"unknown metric id {metric_id}")
+        return as_of_values(
+            self.bus,
+            self.bus.topic_partitions(metric.topic),
+            self.catalog.streams[metric.stream],
+            self.catalog.metrics_for_topic(metric.topic),
+            metric_id,
+            as_of,
+            reservoir_config=self.unit_config.reservoir,
+            lsm_config=self.unit_config.lsm,
+        )
 
     def evolve_schema(self, stream: str, new_fields: object) -> None:
         """Append fields to a stream schema (old chunks stay readable)."""
@@ -581,6 +657,11 @@ class RailgunCluster:
         if self._assignment_dirty:
             self._rebalance()
         handled = 0
+        # Backfills step first: no unit is mid-batch here, so processor
+        # offsets are exact splice points.
+        for job in self._backfills:
+            if not job.done:
+                handled += job.step()
         for node in self.alive_nodes():
             handled += node.pump()
         return handled
@@ -749,6 +830,8 @@ class RailgunCluster:
 
     def close(self) -> None:
         """Flush and release the durable bus (no-op when in-memory)."""
+        for job in self._backfills:
+            job.close()
         if self.durable_dir is not None:
             self.bus.close()
 

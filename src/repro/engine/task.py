@@ -56,6 +56,17 @@ class TaskCheckpoint:
         return set(self.reservoir_sealed) | set(self.state_files)
 
 
+@dataclass
+class BackfillState:
+    """A backfilled metric's transferable state (see
+    :meth:`TaskProcessor.export_backfill`)."""
+
+    metric_id: int
+    state_rows: list[tuple[bytes, bytes]]
+    distinct_rows: list[tuple[bytes, bytes]]
+    iterator_positions: dict[str, tuple[int, int]]
+
+
 class TaskProcessor:
     """Computation of all metrics for one (topic, partition)."""
 
@@ -127,6 +138,55 @@ class TaskProcessor:
     def metric_ids(self) -> tuple[int, ...]:
         """Registered metric ids, sorted."""
         return tuple(sorted(self._metric_defs))
+
+    def has_metric(self, metric_id: int) -> bool:
+        """True when the metric is registered on this processor."""
+        return metric_id in self._metric_defs
+
+    def metric_values(self, metric_id: int) -> dict[tuple, dict[str, Any]]:
+        """Current per-group results of one registered metric."""
+        handle = self.plan._metrics[metric_id]
+        agg_specs = [
+            (node.agg_index, node.spec.name, node.display_name)
+            for node in handle.aggregators
+        ]
+        return self.state.metric_values(metric_id, agg_specs)
+
+    # -- backfill splice -------------------------------------------------------
+
+    def export_backfill(self, metric_id: int) -> "BackfillState":
+        """One metric's graftable state: its rows in both column
+        families plus this plan's iterator positions.
+
+        Called on a *shadow* processor that replayed the partition log
+        with only this metric registered: reservoir chunking, dedup and
+        iterator motion are deterministic functions of the arrival
+        sequence, so the shadow's rows and cursor positions are exactly
+        what a processor that had the metric from offset 0 would hold.
+        """
+        state_rows, distinct_rows = self.state.export_metric_rows(metric_id)
+        return BackfillState(
+            metric_id=metric_id,
+            state_rows=state_rows,
+            distinct_rows=distinct_rows,
+            iterator_positions=self.plan.iterator_positions(),
+        )
+
+    def apply_backfill(self, metric: MetricDef, state: "BackfillState") -> None:
+        """Splice a backfilled metric into this live processor.
+
+        Must run exactly when ``next_offset`` equals the offset the
+        shadow replayed to — then registering the metric, replacing its
+        rows wholesale and overwriting its iterator positions leaves the
+        processor byte-identical to one that carried the metric from
+        offset 0. Share-key collisions are harmless: a shared iterator's
+        shadow position equals the live position by the same determinism.
+        """
+        self.add_metric(metric)
+        self.state.import_metric_rows(
+            metric.metric_id, state.state_rows, state.distinct_rows
+        )
+        self.plan.set_iterator_positions(state.iterator_positions)
 
     # -- the data path ------------------------------------------------------------------
 

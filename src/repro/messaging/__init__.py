@@ -21,6 +21,7 @@ from repro.messaging.consumer import (
     PartitionView,
     RebalanceListener,
 )
+from repro.messaging.cursor import LogCursor
 from repro.messaging.durable import DurableBus, DurableLog
 from repro.messaging.groups import (
     GroupCoordinator,
@@ -51,4 +52,5 @@ __all__ = [
     "SegmentedLog",
     "DurableBus",
     "DurableLog",
+    "LogCursor",
 ]

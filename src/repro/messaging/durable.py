@@ -314,6 +314,8 @@ class DurableLog(PartitionLog):
         super().__init__(tp, replication)
         self.segments = SegmentedLog(root, config)
         self._base = self.segments.start_offset
+        self._pins: dict[int, int] = {}
+        self._next_pin = 0
         for offset, payload in self.segments.records(self._base):
             view = memoryview(payload)
             timestamp, at = serde.read_signed_varint(view, 0)
@@ -362,9 +364,44 @@ class DurableLog(PartitionLog):
         """Write out buffered records (fsync per the store's policy)."""
         self.segments.flush()
 
+    # -- retention pins --------------------------------------------------------
+    #
+    # A pin is a reader's claim on history: while any pin is open,
+    # checkpoint-driven truncation clamps to the lowest pinned offset,
+    # so a backfill replaying the log behind the live writer never sees
+    # its unread records deleted under it. Pins are in-process state —
+    # they protect *live* readers, not crashed ones — so a reopen starts
+    # with none.
+
+    def pin(self, offset: int) -> int:
+        """Hold retention at ``offset``; returns a token for the holder."""
+        token = self._next_pin
+        self._next_pin += 1
+        self._pins[token] = max(offset, self._base)
+        return token
+
+    def advance_pin(self, token: int, offset: int) -> None:
+        """Move a pin forward as its reader consumes (never backward)."""
+        if token in self._pins:
+            self._pins[token] = max(self._pins[token], offset)
+
+    def unpin(self, token: int) -> None:
+        """Release a pin; idempotent."""
+        self._pins.pop(token, None)
+
+    @property
+    def pinned_floor(self) -> int | None:
+        """Lowest offset any open pin protects (``None`` when unpinned)."""
+        return min(self._pins.values()) if self._pins else None
+
     def truncate_below(self, offset: int) -> int:
         """Drop whole segments (and their in-memory window) below
-        ``offset``; returns the new retention start."""
+        ``offset``; returns the new retention start. Open pins clamp the
+        cut — segments a backfill cursor still needs survive until it
+        advances past them or closes."""
+        floor = self.pinned_floor
+        if floor is not None:
+            offset = min(offset, floor)
         start = self.segments.truncate_below(min(offset, self.end_offset))
         if start > self._base:
             self._messages = self._messages[start - self._base :]

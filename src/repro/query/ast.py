@@ -35,6 +35,10 @@ class Query:
     where: Expression | None = None
     group_by: tuple[str, ...] = field(default=())
     raw_text: str = ""
+    #: read-time clause (``AS OF <epoch-ms>``): evaluate the metric as it
+    #: stood at this event-time instant via checkpoint + bounded log
+    #: replay. Not valid in DDL — a metric definition has no read instant.
+    as_of: int | None = None
 
     def metric_names(self) -> list[str]:
         """Display names for each aggregation column."""
@@ -51,4 +55,6 @@ class Query:
         if self.group_by:
             parts.append("GROUP BY " + ", ".join(self.group_by))
         parts.append(f"OVER {self.window.describe()}")
+        if self.as_of is not None:
+            parts.append(f"AS OF {self.as_of}")
         return " ".join(parts)

@@ -6,6 +6,7 @@
     [WHERE filterExpression]
     [GROUP BY fields]
     OVER WindowExpression
+    [AS OF epochMillis]
 
     AggExpression    ::= Aggregation(field) | Aggregation(field), AggExpression
     Aggregation      ::= count | sum | avg | stdDev | max | min | last |
@@ -81,6 +82,17 @@ class _QueryParser:
             group_by = self._parse_field_list()
         self._expect_keyword("over")
         window = self._parse_window()
+        as_of = None
+        if self._peek().is_keyword("as"):
+            self._advance()
+            self._expect_keyword("of")
+            number = self._advance()
+            if number.kind is not TokenKind.NUMBER:
+                raise QueryError(
+                    f"expected AS OF timestamp, found {number.text!r}",
+                    number.position,
+                )
+            as_of = int(number.text)
         trailing = self._advance()
         if trailing.kind is not TokenKind.EOF:
             raise QueryError(
@@ -93,6 +105,7 @@ class _QueryParser:
             where=where,
             group_by=group_by,
             raw_text=self._text,
+            as_of=as_of,
         )
 
     def _parse_aggregations(self) -> tuple[AggSpec, ...]:

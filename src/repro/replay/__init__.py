@@ -1,0 +1,29 @@
+"""Event-sourced replay: backfill, as-of queries, consistent cuts.
+
+The durable partition log (PR 5) records every event the engine ever
+ingested; this package turns that record from a crash-recovery detail
+into a queryable history:
+
+- :mod:`repro.replay.backfill` — define a metric *after the fact* and
+  materialize it by replaying the log behind the live writer, then
+  atomically splice it into the live catalog (no ingest pause);
+- :mod:`repro.replay.asof` — time-travel reads: a metric's values as
+  they stood at an event-time instant, served from a checkpoint plus a
+  bounded log replay;
+- :mod:`repro.replay.cut` — consistent-cut export/import for
+  cluster-to-cluster migration of a durable deployment.
+"""
+
+from repro.replay.asof import AsOfResult, as_of_values, seed_processor
+from repro.replay.backfill import ReplayError, ShadowReplay
+from repro.replay.cut import export_cut, import_cut
+
+__all__ = [
+    "AsOfResult",
+    "as_of_values",
+    "seed_processor",
+    "ReplayError",
+    "ShadowReplay",
+    "export_cut",
+    "import_cut",
+]

@@ -356,6 +356,25 @@ class AsyncRailgunClient:
             )
         )
 
+    async def backfill_metric(self, query_text: str) -> int:
+        """Define a metric after the fact: the server replays the
+        partition log behind the live writer and splices the metric in
+        without pausing ingest; returns its id."""
+        return await self._ddl(
+            wire.DdlRequest(
+                self._request_id(), "backfill_metric", text=query_text,
+            )
+        )
+
+    async def backfill_status(self, metric_id: int) -> str:
+        """``"running"`` until the backfill splice completes."""
+        done = await self._ddl(
+            wire.DdlRequest(
+                self._request_id(), "backfill_status", number=metric_id,
+            )
+        )
+        return "complete" if done else "running"
+
     async def delete_metric(self, metric_id: int) -> None:
         await self._ddl(
             wire.DdlRequest(
@@ -487,6 +506,12 @@ class RailgunClient:
 
     def create_metric(self, query_text: str, backfill: bool = False) -> int:
         return self._call(self._async.create_metric(query_text, backfill=backfill))
+
+    def backfill_metric(self, query_text: str) -> int:
+        return self._call(self._async.backfill_metric(query_text))
+
+    def backfill_status(self, metric_id: int) -> str:
+        return self._call(self._async.backfill_status(metric_id))
 
     def delete_metric(self, metric_id: int) -> None:
         self._call(self._async.delete_metric(metric_id))

@@ -460,6 +460,17 @@ class RailgunServer:
             return 0
         if msg.op == "create_metric":
             return cluster.create_metric(msg.text, backfill=msg.flag)
+        if msg.op == "backfill_metric":
+            # Define-after-the-fact: replay the partition log behind the
+            # live writer, then splice. Facade drivers settle the call
+            # with run_until_quiet, so the reply means "spliced"; the
+            # router driver keeps pumping and clients poll the status.
+            return cluster.backfill_metric(msg.text)
+        if msg.op == "backfill_status":
+            status = cluster.backfill_status(msg.number)
+            if status == "unknown":
+                raise EngineError(f"unknown backfill metric {msg.number}")
+            return 1 if status == "complete" else 0
         if msg.op == "delete_metric":
             cluster.delete_metric(msg.number)
             return 0

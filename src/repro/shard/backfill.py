@@ -1,0 +1,196 @@
+"""Backfill driver for the supervisor-backed shard topologies.
+
+:class:`ShardBackfill` is the process-parallel counterpart of
+:class:`~repro.replay.backfill.CooperativeBackfill`: the coordinator
+cannot splice into a worker's :class:`~repro.engine.task.TaskProcessor`
+directly, so the job replays each partition's log through a local
+:class:`~repro.replay.backfill.ShadowReplay`, exports the state at a
+**cut offset** and ships it to the owning worker as a
+:class:`~repro.shard.wire.BackfillInstall` control frame.
+
+The cut is the task's *submitted frontier* — the owner view's
+:meth:`~repro.messaging.consumer.PartitionView.position` — which is
+always reachable by the worker (every record below it has been shipped)
+and never behind the worker (a record is only processed after it was
+submitted). The worker stashes the install until its ``next_offset``
+reaches the cut, splitting a work batch mid-run when the cut lands
+inside one, then splices and acks with
+:class:`~repro.shard.wire.BackfillInstalled`. Ingest never pauses.
+
+Installs travel **outside** the supervisor's replayable control log
+(:meth:`~repro.shard.supervisor.ShardSupervisor.send_control`): their
+payload is only valid against the recipient incarnation's exact offset.
+Recovery is by reset: when a worker restarts or a rebalance moves
+tasks, the cluster calls :meth:`ShardBackfill.reset` for the affected
+tasks — in-flight installs and acks are forgotten and the shadow
+re-exports at the restored frontier. Re-installing onto a worker that
+already spliced is a harmless identity overwrite (the worker just
+re-acks), because shadow state at a given offset is a deterministic
+function of the arrival sequence.
+
+Completion ordering is load-bearing: a synchronous with-state
+checkpoint runs *before* the ``CreateMetricOp`` broadcast enters the
+replayable control log. The stored checkpoints then already contain the
+spliced state, so a crash after the broadcast restores the metric with
+its history; a crash before the broadcast restores tasks without the
+metric def and the reset re-splices them. The reverse order would let a
+restart register the def against an empty state — silently wrong
+values.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import EngineError
+from repro.engine.catalog import CreateMetricOp, MetricDef
+from repro.messaging.log import TopicPartition
+from repro.replay.backfill import ReplayError, ShadowReplay
+from repro.shard import wire
+
+
+class ShardBackfill:
+    """One late-defined metric's materialization across shard workers."""
+
+    def __init__(self, cluster, metric: MetricDef, batch: int = 512) -> None:
+        self.cluster = cluster
+        self.metric = metric
+        self.batch = batch
+        self.stream = cluster.catalog.streams[metric.stream]
+        self.shadows: dict[TopicPartition, ShadowReplay] = {}
+        #: cut offset of the in-flight (unacked) install per task
+        self.sent: dict[TopicPartition, int] = {}
+        self.done = False
+
+    # -- driving ---------------------------------------------------------------
+
+    def step(self) -> int:
+        """Advance every shadow toward its task's submitted frontier;
+        install the caught-up ones; complete once every task acked.
+        Returns a work count (records replayed + protocol actions)."""
+        if self.done:
+            return 0
+        cluster = self.cluster
+        supervisor = cluster.supervisor
+        acked = supervisor.backfill_installed
+        work = 0
+        tasks = cluster.bus.topic_partitions(self.metric.topic)
+        remaining = False
+        for tp in tasks:
+            if (tp, self.metric.metric_id) in acked:
+                shadow = self.shadows.pop(tp, None)
+                if shadow is not None:
+                    shadow.close()
+                continue
+            remaining = True
+            if tp in self.sent:
+                continue  # install in flight; the ack (or a reset) resolves it
+            owner = supervisor.owner_of(tp)
+            if owner is None:
+                continue
+            frontier = cluster._views[owner].position(tp)
+            shadow = self.shadows.get(tp)
+            if shadow is not None and shadow.position > frontier:
+                # The owner was rebuilt below the shadow (restart from
+                # an older checkpoint): restart the replay.
+                shadow.close()
+                del self.shadows[tp]
+                shadow = None
+            if shadow is None:
+                shadow = self._make_shadow(tp)
+                self.shadows[tp] = shadow
+            work += shadow.step(self.batch, stop=frontier)
+            if shadow.position == frontier:
+                state = shadow.export()
+                install = wire.BackfillInstall(
+                    tp,
+                    frontier,
+                    self.metric,
+                    state.state_rows,
+                    state.distinct_rows,
+                    state.iterator_positions,
+                )
+                if supervisor.send_control(owner, install):
+                    self.sent[tp] = frontier
+                    work += 1
+                # An unreachable worker is about to be reaped; the
+                # restart hook resets this task and the next step
+                # re-exports at the restored frontier.
+        if not remaining and tasks:
+            if self._complete():
+                work += 1
+        return work
+
+    def _make_shadow(self, tp: TopicPartition) -> ShadowReplay:
+        """A shadow from offset 0, or — when retention already reclaimed
+        the early segments — seeded from the task's stored checkpoint
+        (value-correct, window-primed; the documented bounded-replay
+        trade)."""
+        supervisor = self.cluster.supervisor
+        config = supervisor.unit_config
+        try:
+            return ShadowReplay(
+                self.cluster.bus, tp, self.stream, self.metric,
+                reservoir_config=config.reservoir,
+                lsm_config=config.lsm,
+            )
+        except ReplayError:
+            checkpoint = supervisor.checkpoints.get(tp)
+            if checkpoint is None:
+                raise
+            seed_metrics = tuple(
+                m
+                for m in self.cluster.catalog.metrics_for_topic(
+                    self.metric.topic
+                )
+                if m.metric_id in checkpoint.metric_ids
+            )
+            return ShadowReplay(
+                self.cluster.bus, tp, self.stream, self.metric,
+                reservoir_config=config.reservoir,
+                lsm_config=config.lsm,
+                seed_checkpoint=checkpoint,
+                seed_metrics=seed_metrics,
+            )
+
+    def _complete(self) -> bool:
+        """Checkpoint-then-broadcast (see the module docstring for why
+        this order); False when a worker vanished mid-completion — the
+        restart hook resets its tasks and the job keeps running."""
+        cluster = self.cluster
+        try:
+            cluster.supervisor.request_checkpoints(with_state=True)
+        except EngineError:
+            return False
+        cluster._publish_op(CreateMetricOp(self.metric))
+        acked = cluster.supervisor.backfill_installed
+        for key in [k for k in acked if k[1] == self.metric.metric_id]:
+            acked.discard(key)
+        self.done = True
+        self.close()
+        return True
+
+    # -- recovery --------------------------------------------------------------
+
+    def reset(self, tasks: set[TopicPartition] | None = None) -> None:
+        """Forget in-flight installs and acks — all of them, or just for
+        ``tasks``. Called after a worker restart or a rebalance: the
+        targeted workers were rebuilt from checkpoints that may predate
+        the splice, so those tasks re-replay and re-install. Harmless
+        when the splice actually survived — the worker re-acks the
+        duplicate install without applying it."""
+        if self.done:
+            return
+        acked = self.cluster.supervisor.backfill_installed
+        for tp, metric_id in list(acked):
+            if metric_id != self.metric.metric_id:
+                continue
+            if tasks is None or tp in tasks:
+                acked.discard((tp, metric_id))
+        for tp in list(self.sent):
+            if tasks is None or tp in tasks:
+                del self.sent[tp]
+
+    def close(self) -> None:
+        """Release every shadow's retention pin; idempotent."""
+        for shadow in self.shadows.values():
+            shadow.close()
+        self.shadows.clear()

@@ -70,13 +70,16 @@ from repro.engine.cluster import (
 from repro.engine.envelope import EventEnvelope, ReplyEnvelope
 from repro.engine.node import RailgunNode
 from repro.engine.processor import ACTIVE_GROUP, UnitConfig
+from repro.engine.task import TaskProcessor
 from repro.events.event import Event
 from repro.messaging.broker import MessageBus
 from repro.messaging.consumer import PartitionView
 from repro.messaging.durable import DurableBus, resolve_durable_dir
 from repro.messaging.log import TopicPartition
 from repro.messaging.producer import Producer
+from repro.replay.asof import AsOfResult, as_of_values
 from repro.shard import wire
+from repro.shard.backfill import ShardBackfill
 from repro.shard.shm import resolve_transport
 from repro.shard.supervisor import ShardSupervisor
 
@@ -92,7 +95,9 @@ def op_to_wire(op: object) -> object:
     if isinstance(op, CreateStreamOp):
         return wire.CreateStream(op.stream)
     if isinstance(op, CreateMetricOp):
-        return wire.CreateMetric(op.metric)
+        # getattr: ops pickled into durable logs before the activation
+        # field existed unpickle without it.
+        return wire.CreateMetric(op.metric, getattr(op, "activations", ()))
     if isinstance(op, DeleteMetricOp):
         return wire.DeleteMetric(op.metric_id)
     if isinstance(op, EvolveSchemaOp):
@@ -168,6 +173,8 @@ class ParallelCluster:
         self._pending: dict[tuple[TopicPartition, int], EventEnvelope] = {}
         #: checkpoint-store version the logs were last truncated against.
         self._truncated_at = 0
+        #: running/finished backfill jobs (kept for status queries).
+        self._backfills: list[ShardBackfill] = []
         self.rebalance_count = 0
         self._closed = False
         if self.durable_dir is not None and self.bus.recovered:
@@ -261,8 +268,21 @@ class ParallelCluster:
     def create_metric(self, query_text: str, backfill: bool = False) -> int:
         """Register a metric from a Figure 4 statement; returns metric id."""
         metric = build_metric_def(self.catalog, query_text, backfill)
-        self._publish_op(CreateMetricOp(metric))
+        self._publish_op(CreateMetricOp(metric, self._activation_cuts(metric)))
         return metric.metric_id
+
+    def _activation_cuts(self, metric) -> tuple:
+        """Each topic task's processed frontier at DDL time — the offset
+        a recovery replay must re-activate the metric at (the cut is
+        stamped into the op, so the durable reopen path replays it
+        identically)."""
+        return tuple(
+            sorted(
+                ((tp, self._watermarks.get(tp, 0))
+                 for tp in self.bus.topic_partitions(metric.topic)),
+                key=lambda pair: str(pair[0]),
+            )
+        )
 
     def delete_metric(self, metric_id: int) -> None:
         """Remove a metric cluster-wide."""
@@ -299,6 +319,100 @@ class ParallelCluster:
             for stream in self.catalog.streams.values()
             for topic in stream.topics()
         )
+
+    # -- replay & backfill ----------------------------------------------------
+
+    def backfill_metric(self, query_text: str) -> int:
+        """Define a metric *after the fact* and materialize it from the logs.
+
+        The metric id is reserved immediately; a background
+        :class:`~repro.shard.backfill.ShardBackfill` job (stepped from
+        :meth:`pump`, so ingest never pauses) replays each partition log
+        through a coordinator-side shadow and ships the exported state
+        to the owning workers, which splice it at exact cut offsets.
+        Only on completion does the ``CreateMetricOp`` reach the
+        operations log and the worker control log — an incomplete
+        backfill does not survive a coordinator restart and must be
+        re-issued. Use :meth:`backfill_status` to observe completion.
+        """
+        metric = build_metric_def(self.catalog, query_text)
+        self.catalog.apply(CreateMetricOp(metric))
+        self._backfills.append(ShardBackfill(self, metric))
+        return metric.metric_id
+
+    def backfill_status(self, metric_id: int) -> str:
+        """``"running"``, ``"complete"``, or ``"unknown"`` for an id."""
+        for job in self._backfills:
+            if job.metric.metric_id == metric_id:
+                return "complete" if job.done else "running"
+        return "unknown"
+
+    def metric_values(self, metric_id: int) -> dict[tuple, dict[str, Any]]:
+        """A metric's current per-group values, merged across partitions.
+
+        Workers hold the live state, so this takes a synchronous
+        with-state checkpoint and reads the values off restored
+        copies — exact, because a restore is byte-faithful to the
+        worker's state at the checkpoint boundary.
+        """
+        metric = self.catalog.metrics.get(metric_id)
+        if metric is None:
+            raise EngineError(f"unknown metric id {metric_id}")
+        self.supervisor.request_checkpoints(with_state=True)
+        stream = self.catalog.streams[metric.stream]
+        config = self.supervisor.unit_config
+        merged: dict[tuple, dict[str, Any]] = {}
+        for tp in self.bus.topic_partitions(metric.topic):
+            checkpoint = self.supervisor.checkpoints.get(tp)
+            if checkpoint is None:
+                continue
+            metrics = [
+                m
+                for m in self.catalog.metrics_for_topic(metric.topic)
+                if m.metric_id in checkpoint.metric_ids
+            ]
+            processor = TaskProcessor.restore(
+                checkpoint,
+                stream,
+                metrics,
+                reservoir_config=config.reservoir,
+                lsm_config=config.lsm,
+            )
+            if processor.has_metric(metric_id):
+                merged.update(processor.metric_values(metric_id))
+        return merged
+
+    def query_as_of(self, metric_id: int, as_of: int) -> AsOfResult:
+        """Time-travel read: the metric's values at event time ``as_of``,
+        answered from the supervisor's stored checkpoints plus a bounded
+        replay of each partition log's tail."""
+        metric = self.catalog.metrics.get(metric_id)
+        if metric is None:
+            raise EngineError(f"unknown metric id {metric_id}")
+        tps = self.bus.topic_partitions(metric.topic)
+        checkpoints = {
+            tp: checkpoint
+            for tp in tps
+            if (checkpoint := self.supervisor.checkpoints.get(tp)) is not None
+        }
+        config = self.supervisor.unit_config
+        return as_of_values(
+            self.bus,
+            tps,
+            self.catalog.streams[metric.stream],
+            self.catalog.metrics_for_topic(metric.topic),
+            metric_id,
+            as_of,
+            checkpoints=checkpoints,
+            reservoir_config=config.reservoir,
+            lsm_config=config.lsm,
+        )
+
+    def _step_backfills(self) -> int:
+        work = 0
+        for job in self._backfills:
+            work += job.step()
+        return work
 
     # -- the data path --------------------------------------------------------
 
@@ -385,6 +499,7 @@ class ParallelCluster:
         """One coordinator round: dispatch, collect, assemble replies."""
         self.clock.advance(self.tick_ms)
         shipped = self._dispatch()
+        shipped += self._step_backfills()
         # Nothing new to ship and work in flight: block briefly instead
         # of spinning — on a loaded host the coordinator must yield the
         # core to its workers.
@@ -407,6 +522,7 @@ class ParallelCluster:
                 or self.frontend.pending
                 or self.supervisor.outstanding()
                 or any(view.lag() for view in self._views.values())
+                or any(not job.done for job in self._backfills)
             )
             if not busy:
                 quiet += 1
@@ -527,6 +643,10 @@ class ParallelCluster:
                     view.seek(tp, self.supervisor.checkpoints.offset(tp))
                 else:
                     view.seek(tp, 0)
+        # Moved tasks were rebuilt from checkpoints that may predate a
+        # splice still in flight: re-derive their installs.
+        for job in self._backfills:
+            job.reset()
         self.rebalance_count += 1
 
     def _on_worker_restart(
@@ -546,6 +666,11 @@ class ParallelCluster:
             return
         for tp in tasks:
             view.seek(tp, self.supervisor.checkpoints.offset(tp))
+        # The fresh incarnation restored from checkpoints that may not
+        # contain an in-flight splice (and its stash died with the old
+        # process): forget those installs/acks so they re-derive.
+        for job in self._backfills:
+            job.reset(tasks)
 
     def _quiesce(self, timeout_rounds: int = 2000) -> None:
         for _ in range(timeout_rounds):
@@ -579,6 +704,8 @@ class ParallelCluster:
         """Stop every worker process (and flush the durable bus); idempotent."""
         if not self._closed:
             self._closed = True
+            for job in self._backfills:
+                job.close()
             self.supervisor.shutdown()
             if self.durable_dir is not None:
                 self.bus.close()

@@ -104,7 +104,9 @@ from repro.engine.cluster import (
     build_stream_def,
     validate_new_partitioner,
 )
+from repro.engine.envelope import EventEnvelope
 from repro.engine.processor import ACTIVE_GROUP, UnitConfig
+from repro.engine.task import TaskProcessor
 from repro.events.event import Event
 from repro.messaging.broker import MessageBus
 from repro.messaging.consumer import PartitionView
@@ -114,7 +116,10 @@ from repro.messaging.durable import (
     resolve_durable_dir,
     write_cut,
 )
+from repro.messaging.cursor import LogCursor
 from repro.messaging.log import TopicPartition
+from repro.replay.asof import AsOfResult, seed_processor
+from repro.replay.backfill import ReplayError, ShadowReplay
 from repro.shard import columnar, shm, wire
 from repro.shard.shm import ShmError, ShmRing
 from repro.shard.supervisor import ShardSupervisor, _default_context
@@ -188,6 +193,7 @@ class FrontendEngine:
         transport: str = "socket",
         shm_prefix: str | None = None,
         time_source: TimeSource | None = None,
+        unit_config: UnitConfig | None = None,
     ) -> None:
         if transport not in ("socket", "shm"):
             raise EngineError(f"unknown transport {transport!r}")
@@ -261,6 +267,13 @@ class FrontendEngine:
         self._reply_buf: list[tuple[int, str, dict | None]] = []
         self._processed_buf: dict[str, list[int]] = {}
         self._wm_dirty = False
+        #: worker-identical processing config — the backfill shadows
+        #: must chunk/dedup exactly like the workers they splice into.
+        self.unit_config = unit_config if unit_config is not None else UnitConfig()
+        #: metric id -> running backfill job (this frontend's half).
+        self.backfills: dict[int, FrontendBackfill] = {}
+        #: answered log-read pages awaiting the next flush.
+        self._records_buf: list[wire.BackfillRecords] = []
 
     # -- control plane --------------------------------------------------------
 
@@ -284,8 +297,40 @@ class FrontendEngine:
         elif isinstance(msg, wire.AddPartitioner):
             self.catalog.apply(AddPartitionerOp(msg.stream, msg.partitioner))
             self._create_topics(msg.stream)
+        elif isinstance(msg, wire.BackfillStart):
+            if msg.metric.metric_id not in self.backfills:
+                self.backfills[msg.metric.metric_id] = FrontendBackfill(self, msg)
+        elif isinstance(msg, wire.BackfillStop):
+            job = self.backfills.pop(msg.metric_id, None)
+            if job is not None:
+                job.close()
+        elif isinstance(msg, wire.BackfillRead):
+            self._records_buf.append(self._read_records(msg))
         else:
             raise TypeError(f"unexpected frontend message: {type(msg).__name__}")
+
+    def _read_records(self, msg: wire.BackfillRead) -> wire.BackfillRecords:
+        """Serve one page of an owned partition log (the router's as-of
+        read path; the router holds no logs of its own)."""
+        log = self.bus.log(msg.tp)
+        start = getattr(log, "start_offset", 0)
+        end = self.bus.end_offset(msg.tp)
+        begin = max(msg.begin, start)
+        entries: list[tuple[int, Event]] = []
+        with LogCursor(self.bus, msg.tp, begin) as cursor:
+            for message in cursor.read(msg.max_records):
+                value = message.value
+                if isinstance(value, EventEnvelope):
+                    value = value.event
+                entries.append((message.offset, value))
+        return wire.BackfillRecords(msg.tp, msg.begin, entries, start, end)
+
+    def step_backfills(self) -> int:
+        """Advance every running backfill job one round."""
+        work = 0
+        for job in self.backfills.values():
+            work += job.step()
+        return work
 
     def _create_topics(self, stream_name: str) -> None:
         stream = self.catalog.streams[stream_name]
@@ -307,7 +352,17 @@ class FrontendEngine:
             routes[tp] = worker_id
             self.addrs[worker_id] = addr
             owned.append(tp)
+        moved = {
+            tp for tp, worker_id in routes.items()
+            if self.routes.get(tp) not in (None, worker_id)
+        }
         self.routes = routes
+        if moved:
+            # A moved task's new worker restored from a checkpoint that
+            # may predate an earlier splice: re-replay and re-install
+            # (a duplicate install is re-acked without applying).
+            for job in self.backfills.values():
+                job.forget(moved)
         active = set(routes.values())
         for worker_id in list(self.conns):
             if worker_id not in active:
@@ -385,6 +440,15 @@ class FrontendEngine:
         for tp, offset in msg.seeks:
             if self.routes.get(tp) == worker_id:
                 self.view.seek(tp, min(offset, self.view.position(tp)))
+        if self.backfills:
+            # The fresh worker restored from a checkpoint that may
+            # predate an in-flight splice: re-replay its tasks to the
+            # restored frontier and re-install there.
+            affected = {
+                tp for tp, owner in self.routes.items() if owner == worker_id
+            }
+            for job in self.backfills.values():
+                job.forget(affected)
 
     def _close_conn(self, worker_id: str) -> None:
         conn = self.conns.pop(worker_id, None)
@@ -568,6 +632,15 @@ class FrontendEngine:
 
     def handle_batch_done(self, worker_id: str, msg: wire.BatchDone) -> None:
         """Merge one finished batch: replies, watermark, progress."""
+        if isinstance(msg, wire.BackfillStale):
+            # The worker refused an install whose cut sat behind its
+            # frontier (our restored snapshot lagged it): forget the
+            # task and only re-splice at or above the reported offset.
+            job = self.backfills.get(msg.metric_id)
+            if job is not None:
+                job.forget({msg.tp})
+                job.floor[msg.tp] = msg.next_offset
+            return
         if not isinstance(msg, wire.BatchDone):
             raise TypeError(f"unexpected data frame: {type(msg).__name__}")
         self.outstanding[worker_id] = max(0, self.outstanding.get(worker_id, 0) - 1)
@@ -594,6 +667,10 @@ class FrontendEngine:
 
     def flush(self, conn) -> None:
         """Ship buffered replies/progress to the router; ack drains."""
+        if self._records_buf:
+            for page in self._records_buf:
+                conn.send_bytes(wire.encode(page))
+            self._records_buf = []
         if (
             self._reply_buf or self._wm_dirty or self._processed_buf
             or self._durable_dirty
@@ -646,6 +723,133 @@ class FrontendEngine:
         )
 
 
+class FrontendBackfill:
+    """One backfill job's frontend half: shadows + in-line installs.
+
+    In router mode the frontends host the backfill readers — each owns
+    its tasks' partition logs *and* their dispatch position, so the
+    splice point is decided in the loop thread that also ships the
+    work: when a shadow catches the task's
+    :meth:`~repro.messaging.consumer.PartitionView.position`, nothing
+    past that offset has been dispatched yet, and the
+    :class:`~repro.shard.wire.BackfillInstall` sent on the task's data
+    link lands (socket-FIFO) between the batches below the cut and the
+    ones above it. The worker stashes and splices at exactly that
+    offset; its ack flows through the supervisor control pipe to the
+    router, which owns completion. On the shm transport later ring
+    batches can overtake the socket frame — the worker re-polls the
+    data socket before each ring frame, restoring the ordering.
+
+    Recovery mirrors the other topologies: a worker restart or a route
+    move calls :meth:`forget` for the affected tasks (the fresh worker
+    restored from a checkpoint that may predate the splice), and the
+    next :meth:`step` re-replays to the restored frontier and
+    re-installs — a duplicate install is re-acked without applying.
+    """
+
+    def __init__(self, engine: FrontendEngine, start: wire.BackfillStart) -> None:
+        self.engine = engine
+        self.metric = start.metric
+        self.peers = start.peers
+        self.seeds = dict(start.seeds)
+        self.stream = engine.catalog.streams[start.metric.stream]
+        self.shadows: dict[TopicPartition, ShadowReplay] = {}
+        self.installed: set[TopicPartition] = set()
+        #: per-task minimum splice offset, raised by BackfillStale nacks
+        self.floor: dict[TopicPartition, int] = {}
+        self.batch = 512
+
+    def step(self) -> int:
+        engine = self.engine
+        work = 0
+        for tp in engine.view.assignment():
+            if tp.topic != self.metric.topic or tp in self.installed:
+                continue
+            worker_id = engine.routes.get(tp)
+            if worker_id is None or worker_id in engine.down:
+                continue  # quarantined; WorkerRestarted re-authorizes
+            frontier = engine.view.position(tp)
+            shadow = self.shadows.get(tp)
+            if shadow is not None and shadow.position > frontier:
+                # The task was re-seeked below the shadow (worker
+                # restart from an older checkpoint): restart the replay.
+                shadow.close()
+                del self.shadows[tp]
+                shadow = None
+            if shadow is None:
+                shadow = self._make_shadow(tp)
+                self.shadows[tp] = shadow
+            work += shadow.step(self.batch, stop=frontier)
+            if shadow.position != frontier:
+                continue
+            if frontier < self.floor.get(tp, 0):
+                continue  # worker nacked this cut; wait for dispatch to pass it
+
+            conn = engine._link(worker_id)
+            if conn is None:
+                continue
+            state = shadow.export()
+            install = wire.BackfillInstall(
+                tp,
+                frontier,
+                self.metric,
+                state.state_rows,
+                state.distinct_rows,
+                state.iterator_positions,
+            )
+            try:
+                conn.send_bytes(wire.encode(install))
+            except OSError:
+                engine.link_down(worker_id)
+                continue
+            self.installed.add(tp)
+            shadow.close()
+            del self.shadows[tp]
+            work += 1
+        return work
+
+    def _make_shadow(self, tp: TopicPartition) -> ShadowReplay:
+        """A shadow from offset 0, or — when retention already reclaimed
+        the early segments — seeded from the stored checkpoint the
+        router shipped with the start frame."""
+        engine = self.engine
+        config = engine.unit_config
+        try:
+            return ShadowReplay(
+                engine.bus, tp, self.stream, self.metric,
+                reservoir_config=config.reservoir,
+                lsm_config=config.lsm,
+            )
+        except ReplayError:
+            checkpoint = self.seeds.get(tp)
+            if checkpoint is None:
+                raise
+            seed_metrics = tuple(
+                m for m in self.peers if m.metric_id in checkpoint.metric_ids
+            )
+            return ShadowReplay(
+                engine.bus, tp, self.stream, self.metric,
+                reservoir_config=config.reservoir,
+                lsm_config=config.lsm,
+                seed_checkpoint=checkpoint,
+                seed_metrics=seed_metrics,
+            )
+
+    def forget(self, tasks: set[TopicPartition]) -> None:
+        """Un-install + drop shadows for ``tasks``; they re-replay."""
+        for tp in tasks:
+            self.installed.discard(tp)
+            shadow = self.shadows.pop(tp, None)
+            if shadow is not None:
+                shadow.close()
+
+    def close(self) -> None:
+        """Release every shadow's retention pin; idempotent."""
+        for shadow in self.shadows.values():
+            shadow.close()
+        self.shadows.clear()
+
+
 def shard_frontend_main(
     conn,
     frontend_id: str,
@@ -656,6 +860,7 @@ def shard_frontend_main(
     durable_segment_bytes: int = 1 << 20,
     transport: str = "socket",
     shm_prefix: str | None = None,
+    unit_config: UnitConfig | None = None,
 ) -> None:
     """Frontend process entrypoint: route, dispatch, merge — until stopped.
 
@@ -681,12 +886,17 @@ def shard_frontend_main(
         durable_segment_bytes=durable_segment_bytes,
         transport=transport,
         shm_prefix=shm_prefix,
+        unit_config=unit_config,
     )
     parent_pid = os.getppid()
     try:
         while True:
             wait_on = [conn, *engine.conns.values()]
             timeout = 0.5 if engine.rings else 1.0
+            if engine.backfills:
+                # A replaying shadow makes progress per loop round, not
+                # per inbound frame — keep the loop hot until the stop.
+                timeout = 0.01
             ready = set(multiprocessing.connection.wait(wait_on, timeout))
             if os.getppid() != parent_pid:
                 # Router process killed without cleanup (pipe EOF never
@@ -724,6 +934,7 @@ def shard_frontend_main(
                     engine.link_down(worker_id)
             engine.drain_rings()
             engine.dispatch()
+            engine.step_backfills()
             engine.sync_durable()
             engine.flush(conn)
     except EOFError:
@@ -785,6 +996,79 @@ class FrontendHandle:
     @property
     def alive(self) -> bool:
         return self.process.is_alive()
+
+
+class RouterBackfill:
+    """The router half of one backfill: watch acks, own completion.
+
+    The frontends do the replaying and splicing
+    (:class:`FrontendBackfill`); worker acks flow through the
+    supervisor control pipes into
+    :attr:`~repro.shard.supervisor.ShardSupervisor.backfill_installed`.
+    Once every task of the metric's topic acked, completion runs
+    checkpoint-then-broadcast — a synchronous with-state checkpoint so
+    the stored state already contains the splice, *then* the
+    ``CreateMetric`` broadcast into the replayable worker control log
+    (the reverse order would let a post-crash restore register the def
+    against pre-splice state) — and finally tells the frontends to
+    stop, pruning the journaled start frame so respawns stop replaying
+    the job.
+    """
+
+    def __init__(self, router: "ClusterRouter", metric, start_frame: bytes) -> None:
+        self.router = router
+        self.metric = metric
+        self.start_frame = start_frame
+        self.done = False
+
+    def step(self) -> int:
+        if self.done:
+            return 0
+        router = self.router
+        metric_id = self.metric.metric_id
+        tasks = [
+            tp for tp in router._event_tasks() if tp.topic == self.metric.topic
+        ]
+        acked = router.supervisor.backfill_installed
+        if not tasks or any((tp, metric_id) not in acked for tp in tasks):
+            return 0
+        try:
+            router.supervisor.request_checkpoints(with_state=True)
+        except EngineError:
+            # A worker vanished mid-completion; its restart resets the
+            # affected acks and the job keeps running.
+            return 0
+        router._published += 1
+        router.catalog.apply(CreateMetricOp(self.metric))
+        router.supervisor.broadcast_control(wire.CreateMetric(self.metric))
+        stop = wire.encode(wire.BackfillStop(metric_id))
+        for handle in router._frontends.values():
+            handle.journal = [
+                entry for entry in handle.journal if entry[1] != self.start_frame
+            ]
+            try:
+                handle.conn.send_bytes(stop)
+            except OSError:
+                pass  # dead frontend; its respawn never sees the job
+        for key in [k for k in acked if k[1] == metric_id]:
+            acked.discard(key)
+        self.done = True
+        return 1
+
+    def reset(self, tasks: set[TopicPartition] | None = None) -> None:
+        """Forget acks — all, or just for ``tasks`` — after a worker
+        restart or rebalance rebuilt their state from checkpoints that
+        may predate the splice. The owning frontends re-install
+        autonomously (their ``WorkerRestarted``/``FrontendAssign``
+        handling forgets the same tasks)."""
+        if self.done:
+            return
+        acked = self.router.supervisor.backfill_installed
+        for tp, metric_id in list(acked):
+            if metric_id != self.metric.metric_id:
+                continue
+            if tasks is None or tp in tasks:
+                acked.discard((tp, metric_id))
 
 
 class ClusterRouter:
@@ -878,6 +1162,10 @@ class ClusterRouter:
         self._published = 0
         self._next_drain = 0
         self._drain_acks: set[tuple[int, str]] = set()
+        #: running/completed backfill jobs (router half of each).
+        self._backfills: list[RouterBackfill] = []
+        #: answered log-read pages, keyed by (task, begin offset).
+        self._read_pages: dict[tuple[TopicPartition, int], wire.BackfillRecords] = {}
         self.frontend_errors: list[str] = []
         self.rebalance_count = 0
         #: checkpoint-store version the logs were last truncated against.
@@ -909,6 +1197,7 @@ class ClusterRouter:
                 child_conn, frontend_id, self.batch_max, 2, frontend_dir,
                 self.durable_fsync, self.durable_segment_bytes,
                 self.transport, self._shm_prefix,
+                self.supervisor.unit_config,
             ),
             name=f"railgun-{frontend_id}",
             daemon=True,
@@ -993,14 +1282,226 @@ class ClusterRouter:
         metric = build_metric_def(self.catalog, query_text, backfill)
         self._published += 1
         self.catalog.apply(CreateMetricOp(metric))
-        self.supervisor.broadcast_control(wire.CreateMetric(metric))
+        activations = tuple(
+            sorted(
+                ((tp, self._watermarks.get(tp, 0))
+                 for tp in self._event_tasks() if tp.topic == metric.topic),
+                key=lambda pair: str(pair[0]),
+            )
+        )
+        self.supervisor.broadcast_control(
+            wire.CreateMetric(metric, activations)
+        )
+        self._sync_workers()
         return metric.metric_id
+
+    # -- replay & backfill ----------------------------------------------------
+
+    def backfill_metric(self, query_text: str) -> int:
+        """Define a metric *after the fact* and materialize it from the logs.
+
+        The metric id is reserved immediately; the owning frontends —
+        which host the partition logs — replay each task through a
+        shadow and splice it into the worker at the exact dispatch cut
+        (ingest never pauses), while a router-side
+        :class:`RouterBackfill` job watches the worker acks and runs
+        the completion. Only on completion does the ``CreateMetric``
+        broadcast reach the worker control log — an incomplete backfill
+        does not survive a router restart and must be re-issued. Use
+        :meth:`backfill_status` to observe completion.
+        """
+        metric = build_metric_def(self.catalog, query_text)
+        self.catalog.apply(CreateMetricOp(metric))
+        peers = tuple(
+            m
+            for m in self.catalog.metrics_for_topic(metric.topic)
+            if m.metric_id != metric.metric_id
+        )
+        store = self.supervisor.checkpoints
+        seeds = tuple(
+            (tp, checkpoint)
+            for tp in self._event_tasks()
+            if tp.topic == metric.topic
+            and (checkpoint := store.get(tp)) is not None
+        )
+        frame = self._broadcast_frontends(
+            wire.BackfillStart(metric, peers, seeds)
+        )
+        self._backfills.append(RouterBackfill(self, metric, frame))
+        return metric.metric_id
+
+    def backfill_status(self, metric_id: int) -> str:
+        """``"running"``, ``"complete"``, or ``"unknown"`` for an id."""
+        for job in self._backfills:
+            if job.metric.metric_id == metric_id:
+                return "complete" if job.done else "running"
+        return "unknown"
+
+    def metric_values(self, metric_id: int) -> dict[tuple, dict[str, Any]]:
+        """A metric's current per-group values, merged across partitions.
+
+        Workers hold the live state, so this takes a synchronous
+        with-state checkpoint and reads the values off restored
+        copies — exact, because a restore is byte-faithful to the
+        worker's state at the checkpoint boundary.
+        """
+        metric = self.catalog.metrics.get(metric_id)
+        if metric is None:
+            raise EngineError(f"unknown metric id {metric_id}")
+        self.supervisor.request_checkpoints(with_state=True)
+        stream = self.catalog.streams[metric.stream]
+        config = self.supervisor.unit_config
+        merged: dict[tuple, dict[str, Any]] = {}
+        for tp in self._event_tasks():
+            if tp.topic != metric.topic:
+                continue
+            checkpoint = self.supervisor.checkpoints.get(tp)
+            if checkpoint is None:
+                continue
+            metrics = [
+                m
+                for m in self.catalog.metrics_for_topic(metric.topic)
+                if m.metric_id in checkpoint.metric_ids
+            ]
+            processor = TaskProcessor.restore(
+                checkpoint,
+                stream,
+                metrics,
+                reservoir_config=config.reservoir,
+                lsm_config=config.lsm,
+            )
+            if processor.has_metric(metric_id):
+                merged.update(processor.metric_values(metric_id))
+        return merged
+
+    def query_as_of(
+        self, metric_id: int, as_of: int, batch: int = 256
+    ) -> AsOfResult:
+        """Time-travel read: the metric's values at event time ``as_of``.
+
+        The router owns no partition logs, so the replay tail is paged
+        in from the owning frontends (``BackfillRead`` round-trips);
+        the seeding rule is the shared one — a stored checkpoint is
+        used when every event it folded sits at or before ``as_of``,
+        which is what keeps the replay bounded.
+        """
+        metric = self.catalog.metrics.get(metric_id)
+        if metric is None:
+            raise EngineError(f"unknown metric id {metric_id}")
+        stream = self.catalog.streams[metric.stream]
+        metrics = sorted(
+            self.catalog.metrics_for_topic(metric.topic),
+            key=lambda m: m.metric_id,
+        )
+        config = self.supervisor.unit_config
+        merged: dict[tuple, dict[str, Any]] = {}
+        replayed = 0
+        log_records = 0
+        seeded = 0
+        for tp in self._event_tasks():
+            if tp.topic != metric.topic:
+                continue
+            checkpoint = self.supervisor.checkpoints.get(tp)
+            processor, begin = seed_processor(
+                tp, stream, metrics, checkpoint, as_of,
+                config.reservoir, config.lsm,
+            )
+            if begin > 0:
+                seeded += 1
+            position = begin
+            done = False
+            end_offset = 0
+            while not done:
+                page = self._fetch_page(tp, position, batch)
+                end_offset = page.end_offset
+                if position < page.start_offset:
+                    raise ReplayError(
+                        f"as-of replay for {tp} needs offset {position} "
+                        f"but the log starts at {page.start_offset}"
+                    )
+                if not page.entries:
+                    break
+                records = []
+                for record_offset, event in page.entries:
+                    if event.timestamp > as_of:
+                        done = True
+                        break
+                    records.append((record_offset, event))
+                if records:
+                    processor.process_batch(records)
+                    replayed += len(records)
+                    position = records[-1][0] + 1
+            log_records += end_offset
+            if processor.has_metric(metric_id):
+                merged.update(processor.metric_values(metric_id))
+        return AsOfResult(
+            values=merged,
+            replayed=replayed,
+            log_records=log_records,
+            seeded=seeded,
+        )
+
+    def _fetch_page(
+        self,
+        tp: TopicPartition,
+        begin: int,
+        max_records: int,
+        timeout: float = 10.0,
+    ) -> wire.BackfillRecords:
+        """One ``BackfillRead`` round-trip to the task's owning frontend
+        (re-asked across a frontend respawn)."""
+        owner = self._fe_owner.get(tp)
+        if owner is None:
+            raise EngineError(f"partition {tp} has no frontend owner")
+        handle = self._frontends[owner]
+        key = (tp, begin)
+        self._read_pages.pop(key, None)
+        request = wire.encode(wire.BackfillRead(tp, begin, max_records))
+        asked = handle.restarts
+        try:
+            handle.conn.send_bytes(request)
+        except OSError:
+            pass  # respawn detected below; re-asked then
+        deadline = self._time.deadline(timeout)
+        while True:
+            page = self._read_pages.pop(key, None)
+            if page is not None:
+                return page
+            if deadline.expired():
+                raise EngineError(
+                    f"frontend {owner} did not answer a log read for {tp}"
+                )
+            self.pump()
+            if handle.restarts != asked:
+                asked = handle.restarts
+                try:
+                    handle.conn.send_bytes(request)
+                except OSError:
+                    pass
 
     def delete_metric(self, metric_id: int) -> None:
         """Remove a metric cluster-wide."""
         self._published += 1
         self.catalog.apply(DeleteMetricOp(metric_id))
         self.supervisor.broadcast_control(wire.DeleteMetric(metric_id))
+        self._sync_workers()
+
+    def _sync_workers(self) -> None:
+        """Barrier: every live worker has consumed the control frames
+        broadcast so far.
+
+        Worker control rides the supervisor pipes while work batches
+        ride the frontends' data sockets — two unordered channels. DDL
+        that changes what replies *contain* (a metric appearing or
+        vanishing) must therefore round-trip the control pipe before
+        returning, or an event dispatched right after the DDL could be
+        processed against the old metric set and diverge from the
+        single-process reference.
+        """
+        try:
+            self.supervisor.request_checkpoints(with_state=False)
+        except EngineError:
+            pass  # a worker died mid-barrier; its restart replays the log
 
     def evolve_schema(self, stream: str, new_fields: object) -> None:
         """Append fields to a stream schema (old chunks stay readable)."""
@@ -1019,7 +1520,7 @@ class ClusterRouter:
         self._broadcast_frontends(wire.AddPartitioner(stream, partitioner))
         self._rebalance()
 
-    def _broadcast_frontends(self, msg: object) -> None:
+    def _broadcast_frontends(self, msg: object) -> bytes:
         frame = wire.encode(msg)
         for handle in self._frontends.values():
             handle.journal.append((-1, frame))
@@ -1027,6 +1528,7 @@ class ClusterRouter:
                 handle.conn.send_bytes(frame)
             except OSError:
                 pass  # dead frontend; the respawn replays the journal
+        return frame
 
     def _event_tasks(self) -> list[TopicPartition]:
         tasks: list[TopicPartition] = []
@@ -1244,6 +1746,8 @@ class ClusterRouter:
         self.clock.advance(self.tick_ms)
         handled = self._drain_replies()
         self.supervisor.poll(0.0)
+        for job in self._backfills:
+            handled += job.step()
         self._truncate_durable_logs()
         self._raise_on_errors()
         self._respawn_dead_frontends()
@@ -1260,10 +1764,13 @@ class ClusterRouter:
         """Pump until no replies move and no request is pending."""
         total = 0
         quiet = 0
+        busy_backfill = any(not job.done for job in self._backfills)
         for _ in range(max_rounds):
             handled = self.pump()
             total += handled
-            if handled == 0 and not self.pending:
+            if busy_backfill:
+                busy_backfill = any(not job.done for job in self._backfills)
+            if handled == 0 and not self.pending and not busy_backfill:
                 quiet += 1
                 if quiet >= quiet_rounds:
                     return total
@@ -1382,6 +1889,9 @@ class ClusterRouter:
             for tp, offset in msg.watermarks:
                 if offset > self._watermarks.get(tp, 0):
                     self._watermarks[tp] = offset
+            return 1
+        if isinstance(msg, wire.BackfillRecords):
+            self._read_pages[(msg.tp, msg.begin)] = msg
             return 1
         if isinstance(msg, wire.WorkerError):
             self.frontend_errors.append(msg.message)
@@ -1504,6 +2014,8 @@ class ClusterRouter:
                 )
             except OSError:
                 pass  # dead frontend; the respawn replays the journal
+        for job in self._backfills:
+            job.reset()
         self.rebalance_count += 1
 
     def _on_worker_restart(
@@ -1534,6 +2046,8 @@ class ClusterRouter:
                 handle.conn.send_bytes(wire.encode(msg))
             except OSError:
                 pass  # dead frontend; the respawn re-seeks via journal + seeks
+        for job in self._backfills:
+            job.reset(tasks)
 
     def _respawn_dead_frontends(self) -> None:
         for handle in self._frontends.values():

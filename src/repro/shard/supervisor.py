@@ -292,6 +292,9 @@ class ShardSupervisor:
         self.restarts = 0
         self.late_checkpoint_acks = 0
         self.worker_errors: list[str] = []
+        #: (task, metric_id) pairs whose backfill splice a worker acked;
+        #: the cluster-side backfill job consumes and clears these.
+        self.backfill_installed: set[tuple[TopicPartition, int]] = set()
         #: cluster hook invoked after a crashed worker was respawned;
         #: receives (worker_id, tasks-to-replay).
         self.on_restart: Callable[[str, set[TopicPartition]], None] | None = None
@@ -413,6 +416,24 @@ class ShardSupervisor:
                     handle.conn.send_bytes(frame)
                 except OSError:
                     pass  # dead worker; the restart replays the log
+
+    def send_control(self, worker_id: str, msg: object) -> bool:
+        """Send one control frame to one worker, outside the control log.
+
+        For per-worker, per-incarnation traffic (backfill installs):
+        the frame must *not* replay into a restarted process — its
+        payload is only valid against the state the recipient held when
+        it was built. Returns False when the worker is unreachable (the
+        caller re-derives and re-sends after the restart).
+        """
+        handle = self._handle(worker_id)
+        if not handle.alive:
+            return False
+        try:
+            handle.conn.send_bytes(wire.encode(msg))
+        except OSError:
+            return False
+        return True
 
     def assign(self, tasks: list[TopicPartition]) -> dict[str, set[TopicPartition]]:
         """(Re)shard ``tasks`` over the current workers, stickily.
@@ -667,6 +688,8 @@ class ShardSupervisor:
                 done.append(msg)
             elif isinstance(msg, wire.CheckpointAck):
                 self._ingest_ack(msg, handle)
+            elif isinstance(msg, wire.BackfillInstalled):
+                self.backfill_installed.add((msg.tp, msg.metric_id))
             elif isinstance(msg, wire.WorkerError):
                 self.worker_errors.append(msg.message)
         self._reap_dead()

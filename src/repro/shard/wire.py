@@ -95,6 +95,16 @@ MSG_DDL_REQUEST = 34
 MSG_DDL_REPLY = 35
 MSG_GOODBYE = 36
 
+# Backfill splice: supervisor->worker install + worker->supervisor ack.
+MSG_BACKFILL_INSTALL = 37
+MSG_BACKFILL_INSTALLED = 38
+# Router-mode backfill: router->frontend job control + paged log reads.
+MSG_BACKFILL_START = 39
+MSG_BACKFILL_STOP = 40
+MSG_BACKFILL_READ = 41
+MSG_BACKFILL_RECORDS = 42
+MSG_BACKFILL_STALE = 43
+
 
 @dataclass(frozen=True)
 class CreateStream:
@@ -105,9 +115,17 @@ class CreateStream:
 
 @dataclass(frozen=True)
 class CreateMetric:
-    """Register a metric on every task processor of its topic."""
+    """Register a metric on every task processor of its topic.
+
+    ``activations`` carries the per-task dispatch frontier at DDL time
+    (see :class:`repro.engine.catalog.CreateMetricOp`): a worker
+    restoring a task from a pre-metric checkpoint defers the metric to
+    a zero-state splice at exactly that offset, so a recovery replay
+    activates it where the original incarnation did.
+    """
 
     metric: MetricDef
+    activations: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -245,6 +263,106 @@ class WorkerError:
     on the control channel before the process dies."""
 
     message: str
+
+
+@dataclass
+class BackfillInstall:
+    """Graft a backfilled metric into one task at an exact offset.
+
+    Carries the shadow replay's exported state
+    (:class:`~repro.engine.task.BackfillState` fields, flattened) plus
+    the cut offset the export is valid at. The worker applies it the
+    moment the task's ``next_offset`` reaches ``at_offset`` — splitting
+    a :class:`WorkBatch` mid-run when the cut lands inside one — and
+    does *not* register the metric in its catalogue: catalogue
+    visibility arrives only with the completion broadcast, after every
+    owner spliced.
+    """
+
+    tp: TopicPartition
+    at_offset: int
+    metric: MetricDef
+    state_rows: list[tuple[bytes, bytes]]
+    distinct_rows: list[tuple[bytes, bytes]]
+    iterator_positions: dict[str, tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class BackfillInstalled:
+    """Worker ack: the named task spliced the backfilled metric."""
+
+    tp: TopicPartition
+    metric_id: int
+
+
+@dataclass
+class BackfillStart:
+    """Router -> frontend: shadow-replay every owned task of the
+    metric's topic and splice each into its worker at the dispatch cut.
+
+    The frontends host the backfill readers in router mode — they own
+    the partition logs *and* the dispatch position, so "shadow caught
+    the frontier" and "nothing later was shipped yet" are decided in
+    one thread and the install rides the task's own data link in
+    order. ``peers`` are the topic's already-live metric defs (the
+    frontend catalogue never sees metrics otherwise) and ``seeds`` the
+    stored checkpoints to fall back on when retention already
+    reclaimed a log's early segments. The frame is journaled while the
+    job runs, so a respawned frontend resumes the replay.
+    """
+
+    metric: MetricDef
+    peers: tuple[MetricDef, ...] = ()
+    seeds: tuple[tuple[TopicPartition, TaskCheckpoint], ...] = ()
+
+
+@dataclass(frozen=True)
+class BackfillStop:
+    """Router -> frontend: the backfill completed (or was abandoned);
+    drop its shadows and bookkeeping."""
+
+    metric_id: int
+
+
+@dataclass(frozen=True)
+class BackfillStale:
+    """Worker -> frontend nack on the data link: the install's cut is
+    already behind the task (``next_offset`` is the worker's frontier —
+    possible when the sender restored from a snapshot that lags the
+    worker, e.g. right after a frontend respawn). The frontend forgets
+    the install and re-splices at a cut at or above the frontier."""
+
+    tp: TopicPartition
+    metric_id: int
+    next_offset: int
+
+
+@dataclass(frozen=True)
+class BackfillRead:
+    """Router -> frontend: page ``max_records`` log records of an owned
+    task starting at ``begin`` (the as-of query's read path — the
+    router holds no partition logs of its own)."""
+
+    tp: TopicPartition
+    begin: int
+    max_records: int
+
+
+@dataclass
+class BackfillRecords:
+    """Frontend -> router: one :class:`BackfillRead` page.
+
+    ``entries`` are the ``(offset, event)`` records from ``begin``;
+    ``start_offset``/``end_offset`` are the log's current retention
+    floor and append frontier, so the reader can detect truncation
+    below its position and knows the total replay cost.
+    """
+
+    tp: TopicPartition
+    begin: int
+    entries: list[tuple[int, Event]]
+    start_offset: int
+    end_offset: int
 
 
 # -- sharded-frontend routing messages ----------------------------------------
@@ -548,6 +666,89 @@ def _read_offset_pairs(
     return tuple(pairs), offset
 
 
+# -- raw row pairs (state-store (key, value) byte rows) -----------------------
+
+
+def _write_row_pairs(
+    buf: bytearray, rows: Sequence[tuple[bytes, bytes]]
+) -> None:
+    serde.write_varint(buf, len(rows))
+    for key, value in rows:
+        serde.write_bytes(buf, key)
+        serde.write_bytes(buf, value)
+
+
+def _read_row_pairs(
+    data: memoryview, offset: int
+) -> tuple[list[tuple[bytes, bytes]], int]:
+    count, offset = serde.read_varint(data, offset)
+    rows: list[tuple[bytes, bytes]] = []
+    for _ in range(count):
+        key, offset = serde.read_bytes(data, offset)
+        value, offset = serde.read_bytes(data, offset)
+        rows.append((key, value))
+    return rows, offset
+
+
+def _write_metric_def(buf: bytearray, metric: MetricDef) -> None:
+    serde.write_varint(buf, metric.metric_id)
+    serde.write_str(buf, metric.query_text)
+    serde.write_str(buf, metric.stream)
+    serde.write_str(buf, metric.topic)
+    serde.write_varint(buf, 1 if metric.backfill else 0)
+
+
+def _read_metric_def(data: memoryview, offset: int) -> tuple[MetricDef, int]:
+    metric_id, offset = serde.read_varint(data, offset)
+    query_text, offset = serde.read_str(data, offset)
+    stream, offset = serde.read_str(data, offset)
+    topic, offset = serde.read_str(data, offset)
+    backfill, offset = serde.read_varint(data, offset)
+    return MetricDef(metric_id, query_text, stream, topic, bool(backfill)), offset
+
+
+def _write_event_records(
+    buf: bytearray, entries: list[tuple[int, Event]]
+) -> None:
+    # String table: distinct field names in first-seen order (the
+    # WorkBatch layout).
+    names: dict[str, int] = {}
+    for _, event in entries:
+        for name in event:
+            if name not in names:
+                names[name] = len(names)
+    serde.write_str_list(buf, list(names))
+    serde.write_varint(buf, len(entries))
+    for record_offset, event in entries:
+        serde.write_varint(buf, record_offset)
+        serde.write_str(buf, event.event_id)
+        serde.write_varint(buf, event.timestamp)
+        serde.write_varint(buf, event.field_count())
+        for name, value in event.items():
+            serde.write_varint(buf, names[name])
+            serde.write_value(buf, value)
+
+
+def _read_event_records(
+    data: memoryview, offset: int
+) -> tuple[list[tuple[int, Event]], int]:
+    names, offset = serde.read_str_list(data, offset)
+    count, offset = serde.read_varint(data, offset)
+    entries: list[tuple[int, Event]] = []
+    for _ in range(count):
+        record_offset, offset = serde.read_varint(data, offset)
+        event_id, offset = serde.read_str(data, offset)
+        timestamp, offset = serde.read_varint(data, offset)
+        field_count, offset = serde.read_varint(data, offset)
+        fields: dict[str, Any] = {}
+        for _ in range(field_count):
+            name_index, offset = serde.read_varint(data, offset)
+            value, offset = serde.read_value(data, offset)
+            fields[names[name_index]] = value
+        entries.append((record_offset, Event(event_id, timestamp, fields)))
+    return entries, offset
+
+
 # -- task checkpoints ---------------------------------------------------------
 
 
@@ -648,6 +849,10 @@ def encode(msg: object) -> bytes:
         serde.write_str(buf, metric.stream)
         serde.write_str(buf, metric.topic)
         serde.write_varint(buf, 1 if metric.backfill else 0)
+        serde.write_varint(buf, len(msg.activations))
+        for tp, at_offset in msg.activations:
+            _write_tp(buf, tp)
+            serde.write_varint(buf, at_offset)
     elif isinstance(msg, DeleteMetric):
         buf.append(MSG_DELETE_METRIC)
         serde.write_varint(buf, msg.metric_id)
@@ -692,6 +897,58 @@ def encode(msg: object) -> bytes:
     elif isinstance(msg, WorkerError):
         buf.append(MSG_WORKER_ERROR)
         serde.write_str(buf, msg.message)
+    elif isinstance(msg, BackfillInstall):
+        buf.append(MSG_BACKFILL_INSTALL)
+        _write_tp(buf, msg.tp)
+        serde.write_varint(buf, msg.at_offset)
+        metric = msg.metric
+        serde.write_varint(buf, metric.metric_id)
+        serde.write_str(buf, metric.query_text)
+        serde.write_str(buf, metric.stream)
+        serde.write_str(buf, metric.topic)
+        serde.write_varint(buf, 1 if metric.backfill else 0)
+        _write_row_pairs(buf, msg.state_rows)
+        _write_row_pairs(buf, msg.distinct_rows)
+        serde.write_varint(buf, len(msg.iterator_positions))
+        for key in sorted(msg.iterator_positions):
+            chunk_id, index = msg.iterator_positions[key]
+            serde.write_str(buf, key)
+            serde.write_signed_varint(buf, chunk_id)
+            serde.write_signed_varint(buf, index)
+    elif isinstance(msg, BackfillInstalled):
+        buf.append(MSG_BACKFILL_INSTALLED)
+        _write_tp(buf, msg.tp)
+        serde.write_varint(buf, msg.metric_id)
+    elif isinstance(msg, BackfillStart):
+        buf.append(MSG_BACKFILL_START)
+        _write_metric_def(buf, msg.metric)
+        serde.write_varint(buf, len(msg.peers))
+        for peer in msg.peers:
+            _write_metric_def(buf, peer)
+        serde.write_varint(buf, len(msg.seeds))
+        for tp, checkpoint in msg.seeds:
+            _write_tp(buf, tp)
+            _write_task_checkpoint(buf, checkpoint)
+    elif isinstance(msg, BackfillStop):
+        buf.append(MSG_BACKFILL_STOP)
+        serde.write_varint(buf, msg.metric_id)
+    elif isinstance(msg, BackfillStale):
+        buf.append(MSG_BACKFILL_STALE)
+        _write_tp(buf, msg.tp)
+        serde.write_varint(buf, msg.metric_id)
+        serde.write_varint(buf, msg.next_offset)
+    elif isinstance(msg, BackfillRead):
+        buf.append(MSG_BACKFILL_READ)
+        _write_tp(buf, msg.tp)
+        serde.write_varint(buf, msg.begin)
+        serde.write_varint(buf, msg.max_records)
+    elif isinstance(msg, BackfillRecords):
+        buf.append(MSG_BACKFILL_RECORDS)
+        _write_tp(buf, msg.tp)
+        serde.write_varint(buf, msg.begin)
+        serde.write_varint(buf, msg.start_offset)
+        serde.write_varint(buf, msg.end_offset)
+        _write_event_records(buf, msg.entries)
     elif isinstance(msg, IngestBatch):
         _encode_ingest_batch(buf, msg)
     elif isinstance(msg, FrontendAssign):
@@ -922,8 +1179,15 @@ def decode(data: bytes) -> object:
         stream, offset = serde.read_str(view, offset)
         topic, offset = serde.read_str(view, offset)
         backfill, offset = serde.read_varint(view, offset)
+        count, offset = serde.read_varint(view, offset)
+        activations = []
+        for _ in range(count):
+            tp, offset = _read_tp(view, offset)
+            at_offset, offset = serde.read_varint(view, offset)
+            activations.append((tp, at_offset))
         return CreateMetric(
-            MetricDef(metric_id, query_text, stream, topic, bool(backfill))
+            MetricDef(metric_id, query_text, stream, topic, bool(backfill)),
+            tuple(activations),
         )
     if tag == MSG_DELETE_METRIC:
         metric_id, offset = serde.read_varint(view, offset)
@@ -978,6 +1242,69 @@ def decode(data: bytes) -> object:
     if tag == MSG_WORKER_ERROR:
         message, offset = serde.read_str(view, offset)
         return WorkerError(message)
+    if tag == MSG_BACKFILL_INSTALL:
+        tp, offset = _read_tp(view, offset)
+        at_offset, offset = serde.read_varint(view, offset)
+        metric_id, offset = serde.read_varint(view, offset)
+        query_text, offset = serde.read_str(view, offset)
+        stream, offset = serde.read_str(view, offset)
+        topic, offset = serde.read_str(view, offset)
+        backfill, offset = serde.read_varint(view, offset)
+        state_rows, offset = _read_row_pairs(view, offset)
+        distinct_rows, offset = _read_row_pairs(view, offset)
+        position_count, offset = serde.read_varint(view, offset)
+        positions: dict[str, tuple[int, int]] = {}
+        for _ in range(position_count):
+            key, offset = serde.read_str(view, offset)
+            chunk_id, offset = serde.read_signed_varint(view, offset)
+            index, offset = serde.read_signed_varint(view, offset)
+            positions[key] = (chunk_id, index)
+        return BackfillInstall(
+            tp,
+            at_offset,
+            MetricDef(metric_id, query_text, stream, topic, bool(backfill)),
+            state_rows,
+            distinct_rows,
+            positions,
+        )
+    if tag == MSG_BACKFILL_INSTALLED:
+        tp, offset = _read_tp(view, offset)
+        metric_id, offset = serde.read_varint(view, offset)
+        return BackfillInstalled(tp, metric_id)
+    if tag == MSG_BACKFILL_START:
+        metric, offset = _read_metric_def(view, offset)
+        peer_count, offset = serde.read_varint(view, offset)
+        peers = []
+        for _ in range(peer_count):
+            peer, offset = _read_metric_def(view, offset)
+            peers.append(peer)
+        seed_count, offset = serde.read_varint(view, offset)
+        seeds = []
+        for _ in range(seed_count):
+            tp, offset = _read_tp(view, offset)
+            checkpoint, offset = _read_task_checkpoint(view, offset)
+            seeds.append((tp, checkpoint))
+        return BackfillStart(metric, tuple(peers), tuple(seeds))
+    if tag == MSG_BACKFILL_STOP:
+        metric_id, offset = serde.read_varint(view, offset)
+        return BackfillStop(metric_id)
+    if tag == MSG_BACKFILL_STALE:
+        tp, offset = _read_tp(view, offset)
+        metric_id, offset = serde.read_varint(view, offset)
+        next_offset, offset = serde.read_varint(view, offset)
+        return BackfillStale(tp, metric_id, next_offset)
+    if tag == MSG_BACKFILL_READ:
+        tp, offset = _read_tp(view, offset)
+        begin, offset = serde.read_varint(view, offset)
+        max_records, offset = serde.read_varint(view, offset)
+        return BackfillRead(tp, begin, max_records)
+    if tag == MSG_BACKFILL_RECORDS:
+        tp, offset = _read_tp(view, offset)
+        begin, offset = serde.read_varint(view, offset)
+        start_offset, offset = serde.read_varint(view, offset)
+        end_offset, offset = serde.read_varint(view, offset)
+        entries, offset = _read_event_records(view, offset)
+        return BackfillRecords(tp, begin, entries, start_offset, end_offset)
     if tag == MSG_INGEST_BATCH:
         return _decode_ingest_batch(view, offset)
     if tag == MSG_FRONTEND_ASSIGN:

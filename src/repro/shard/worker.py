@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import socket
 import traceback
+from dataclasses import dataclass
 from multiprocessing import connection
 from multiprocessing.connection import Connection
 
@@ -38,15 +39,35 @@ from repro.engine.catalog import (
     CreateStreamOp,
     DeleteMetricOp,
     EvolveSchemaOp,
+    MetricDef,
 )
 from repro.engine.processor import UnitConfig
-from repro.engine.task import TaskCheckpoint, TaskProcessor
+from repro.engine.task import BackfillState, TaskCheckpoint, TaskProcessor
 from repro.messaging.log import TopicPartition
 from repro.shard import columnar, wire
 from repro.shard.shm import ShmError, ShmRing
 
 #: Pre-encoded readiness ping for the shm transport; see shard.shm.
 DOORBELL = wire.encode(wire.ShmDoorbell())
+
+
+@dataclass
+class _PendingSplice:
+    """A metric waiting for its task to reach an exact offset cut.
+
+    Two flavors share the mechanism. A *backfill install* carries the
+    replayed ``state`` and acks with ``BackfillInstalled`` once spliced.
+    An *activation* (``state is None``) registers a freshly created
+    metric with zero state at the dispatch frontier the DDL was stamped
+    with — used when a task is rebuilt from a checkpoint (or from
+    scratch) that predates the metric, so the recovery replay below the
+    cut cannot fold records the original incarnation processed without
+    the metric.
+    """
+
+    at_offset: int
+    metric: MetricDef
+    state: BackfillState | None
 
 
 class ShardWorker:
@@ -61,6 +82,21 @@ class ShardWorker:
         #: last checkpoint taken per task, so the next one can release
         #: the LSM files the previous snapshot pinned.
         self._last_checkpoints: dict[TopicPartition, TaskCheckpoint] = {}
+        #: splices waiting for their task to reach the cut offset,
+        #: keyed ``tp -> metric_id``; applied mid-batch when a cut
+        #: lands inside a run.
+        self._pending_splices: dict[
+            TopicPartition, dict[int, _PendingSplice]
+        ] = {}
+        #: activation cut per ``(tp, metric_id)`` from ``CreateMetric``
+        #: frames: the dispatch frontier when the DDL landed. Consulted
+        #: whenever a task is (re)built so replayed records below the
+        #: cut never reach a metric created after them. Never pruned on
+        #: revoke — a task handed back later still needs its history.
+        self._activations: dict[tuple[TopicPartition, int], int] = {}
+        #: frames to push to the supervisor outside the request/reply
+        #: rhythm (backfill acks); the main loop flushes after each pass.
+        self.outbox: list[object] = []
         self.messages_processed = 0
 
     # -- control plane --------------------------------------------------------
@@ -70,7 +106,9 @@ class ShardWorker:
         if isinstance(msg, wire.CreateStream):
             self.catalog.apply(CreateStreamOp(msg.stream))
         elif isinstance(msg, wire.CreateMetric):
-            self.catalog.apply(CreateMetricOp(msg.metric))
+            self.catalog.apply(CreateMetricOp(msg.metric, msg.activations))
+            for tp, at_offset in msg.activations:
+                self._activations[(tp, msg.metric.metric_id)] = at_offset
             for tp, processor in self.task_processors.items():
                 if tp.topic == msg.metric.topic:
                     processor.add_metric(msg.metric)
@@ -78,6 +116,10 @@ class ShardWorker:
             self.catalog.apply(DeleteMetricOp(msg.metric_id))
             for processor in self.task_processors.values():
                 processor.remove_metric(msg.metric_id)
+            for pending in self._pending_splices.values():
+                pending.pop(msg.metric_id, None)
+            for key in [k for k in self._activations if k[1] == msg.metric_id]:
+                del self._activations[key]
         elif isinstance(msg, wire.AddPartitioner):
             self.catalog.apply(AddPartitionerOp(msg.stream, msg.partitioner))
         elif isinstance(msg, wire.EvolveSchema):
@@ -96,15 +138,151 @@ class ShardWorker:
                 if tp not in self.assigned:
                     del self.task_processors[tp]
                     self._last_checkpoints.pop(tp, None)
+            for tp in list(self._pending_splices):
+                if tp not in self.assigned:
+                    del self._pending_splices[tp]
+        elif isinstance(msg, wire.BackfillInstall):
+            self.handle_backfill_install(msg)
         else:
             raise TypeError(f"unexpected control message: {type(msg).__name__}")
+
+    # -- backfill splice -------------------------------------------------------
+
+    def handle_backfill_install(self, msg: wire.BackfillInstall) -> int | None:
+        """Stash a backfill install until the task reaches its cut.
+
+        Deliberately does *not* register the metric in the worker
+        catalogue: a crash between the stash and the completion
+        broadcast must rebuild the task without the metric (its state
+        is not in any stored checkpoint yet), and the coordinator's
+        reset re-sends a fresh install for the restored offset.
+
+        Returns the task's frontier when the install is already stale
+        (its cut sits behind ``next_offset`` — possible when the sender
+        restored from a snapshot that lags this worker, e.g. right
+        after a frontend respawn) so data-plane callers can nack it;
+        ``None`` otherwise.
+        """
+        if msg.tp not in self.assigned:
+            return None  # raced a rebalance; the new owner gets its own install
+        processor = self._processor_for(msg.tp)
+        if processor.has_metric(msg.metric.metric_id):
+            # Already spliced (a duplicate install after a coordinator
+            # reset): determinism makes the existing state identical to
+            # what this install would produce — just re-ack.
+            self.outbox.append(
+                wire.BackfillInstalled(msg.tp, msg.metric.metric_id)
+            )
+            return None
+        if processor.next_offset > msg.at_offset:
+            pending = self._pending_splices.get(msg.tp)
+            if pending is not None:
+                pending.pop(msg.metric.metric_id, None)
+            return processor.next_offset
+        self._pending_splices.setdefault(msg.tp, {})[
+            msg.metric.metric_id
+        ] = _PendingSplice(
+            at_offset=msg.at_offset,
+            metric=msg.metric,
+            state=BackfillState(
+                metric_id=msg.metric.metric_id,
+                state_rows=msg.state_rows,
+                distinct_rows=msg.distinct_rows,
+                iterator_positions=msg.iterator_positions,
+            ),
+        )
+        self._apply_ready_splices(msg.tp, processor)
+        return None
+
+    def _stash_activation(
+        self, tp: TopicPartition, metric: MetricDef, at_offset: int
+    ) -> None:
+        """Queue a zero-state splice registering ``metric`` at its cut."""
+        self._pending_splices.setdefault(tp, {})[
+            metric.metric_id
+        ] = _PendingSplice(at_offset=at_offset, metric=metric, state=None)
+
+    def _apply_ready_splices(
+        self, tp: TopicPartition, processor: TaskProcessor
+    ) -> int:
+        """Apply every stashed splice whose cut the task sits exactly at.
+
+        Returns the number of splices resolved (applied or retired).
+        Stale *installs* — the task progressed past the cut before the
+        frame landed, possible when work arrives on a channel the
+        control pipe is not ordered against — are dropped without
+        acking; the coordinator notices the frontier moved and
+        re-exports at a later cut. Stale *activations* cannot occur
+        (partition offsets are dense and the cut is stashed before any
+        replay), but if one ever did, registering immediately keeps the
+        metric live rather than silently lost.
+        """
+        pending = self._pending_splices.get(tp)
+        if not pending:
+            return 0
+        resolved = 0
+        for metric_id, splice in list(pending.items()):
+            if processor.next_offset == splice.at_offset:
+                del pending[metric_id]
+                resolved += 1
+                if splice.state is None:
+                    processor.add_metric(splice.metric)
+                else:
+                    processor.apply_backfill(splice.metric, splice.state)
+                    self.outbox.append(
+                        wire.BackfillInstalled(tp, metric_id)
+                    )
+            elif processor.next_offset > splice.at_offset:
+                del pending[metric_id]
+                resolved += 1
+                if splice.state is None:
+                    processor.add_metric(splice.metric)
+        if not pending:
+            self._pending_splices.pop(tp, None)
+        return resolved
 
     # -- data plane -----------------------------------------------------------
 
     def handle_work(self, batch: wire.WorkBatch) -> wire.BatchDone:
-        """Process one contiguous offset run; build the reply frame."""
+        """Process one contiguous offset run; build the reply frame.
+
+        A pending splice whose cut offset lands inside the run splits
+        it: records below the cut are processed, the splice applies at
+        exactly the cut, then the rest of the run proceeds with the
+        metric live. Several pending cuts (a backfill install plus
+        recovery activations, say) split the run repeatedly, lowest cut
+        first.
+        """
         processor = self._processor_for(batch.tp)
-        answers = processor.process_batch(batch.records)
+        self._apply_ready_splices(batch.tp, processor)
+        answers: list = []
+        remaining = batch.records
+        while remaining:
+            pending = self._pending_splices.get(batch.tp)
+            cuts = (
+                [
+                    s.at_offset
+                    for s in pending.values()
+                    if s.at_offset <= remaining[-1][0]
+                ]
+                if pending
+                else []
+            )
+            if not cuts:
+                answers += processor.process_batch(remaining)
+                break
+            cut = min(cuts)
+            below = [r for r in remaining if r[0] < cut]
+            if below:
+                answers += processor.process_batch(below)
+            resolved = self._apply_ready_splices(batch.tp, processor)
+            remaining = [r for r in remaining if r[0] >= cut]
+            if not below and not resolved:
+                # The cut is unreachable within this run (it sits in an
+                # offset gap the log never minted): process the rest —
+                # the splice resolves as stale once the task passes it.
+                answers += processor.process_batch(remaining)
+                break
         self.messages_processed += len(batch.records)
         reply_from = batch.reply_from
         replies = [
@@ -164,6 +342,15 @@ class ShardWorker:
         The frame must arrive after the control log, so the catalogue
         already knows the stream and metrics; replay of the partition
         tail past ``frame.offset`` then brings the task up to date.
+
+        A catalogue metric *absent* from the checkpoint whose activation
+        cut lies past the checkpointed offset was created mid-stream
+        after this snapshot: the original incarnation processed the tail
+        below the cut without it, so registering it now would fold those
+        replayed records in and diverge from the reference. It is
+        deferred as a zero-state splice at exactly the cut instead.
+        (Control-pipe FIFO guarantees any checkpoint taken after the DDL
+        contains the metric, so absence implies the cut is ahead.)
         """
         tp = frame.tp
         stream = self.catalog.stream_of_topic(tp.topic)
@@ -172,13 +359,29 @@ class ShardWorker:
                 f"worker {self.worker_id} got a checkpoint for unknown "
                 f"topic {tp.topic!r}"
             )
-        self.task_processors[tp] = TaskProcessor.restore(
-            frame.checkpoint,
+        checkpoint = frame.checkpoint
+        live: list[MetricDef] = []
+        deferred: list[tuple[MetricDef, int]] = []
+        for metric in self.catalog.metrics_for_topic(tp.topic):
+            activation = self._activations.get((tp, metric.metric_id), 0)
+            if (
+                metric.metric_id not in checkpoint.metric_ids
+                and activation > checkpoint.offset
+            ):
+                deferred.append((metric, activation))
+            else:
+                live.append(metric)
+        processor = TaskProcessor.restore(
+            checkpoint,
             stream,
-            self.catalog.metrics_for_topic(tp.topic),
+            live,
             reservoir_config=self.config.reservoir,
             lsm_config=self.config.lsm,
         )
+        self.task_processors[tp] = processor
+        for metric, activation in deferred:
+            self._stash_activation(tp, metric, activation)
+        self._apply_ready_splices(tp, processor)
 
     def _processor_for(self, tp: TopicPartition) -> TaskProcessor:
         processor = self.task_processors.get(tp)
@@ -189,14 +392,27 @@ class ShardWorker:
             raise KeyError(
                 f"worker {self.worker_id} got work for unknown topic {tp.topic!r}"
             )
+        # Built-from-scratch tasks start at offset 0 and replay the full
+        # log, so mid-stream metrics defer to their activation cut just
+        # like the restore path above.
+        live = []
+        deferred = []
+        for metric in self.catalog.metrics_for_topic(tp.topic):
+            activation = self._activations.get((tp, metric.metric_id), 0)
+            if activation > 0:
+                deferred.append((metric, activation))
+            else:
+                live.append(metric)
         processor = TaskProcessor.build(
             tp,
             stream,
-            self.catalog.metrics_for_topic(tp.topic),
+            live,
             reservoir_config=self.config.reservoir,
             lsm_config=self.config.lsm,
         )
         self.task_processors[tp] = processor
+        for metric, activation in deferred:
+            self._stash_activation(tp, metric, activation)
         return processor
 
 
@@ -270,6 +486,26 @@ def _drain_data_ring(
             return False
         if payload is None:
             break
+        # A control frame (e.g. a backfill install) the frontend wrote
+        # to the socket before publishing this ring frame must apply
+        # first — the socket write completed before the publish, so it
+        # is already readable here. Without this re-poll a splice cut
+        # could be overtaken by the batches above it.
+        try:
+            while data_conn.poll(0):
+                msg = wire.decode(data_conn.recv_bytes())
+                if isinstance(msg, wire.BackfillInstall):
+                    stale = worker.handle_backfill_install(msg)
+                    if stale is not None:
+                        data_conn.send_bytes(wire.encode(
+                            wire.BackfillStale(
+                                msg.tp, msg.metric.metric_id, stale
+                            )
+                        ))
+                elif not isinstance(msg, wire.ShmDoorbell):
+                    worker.handle_control(msg)
+        except (EOFError, OSError):
+            return False
         done = columnar.encode(worker.handle_work(columnar.decode(payload)))
         try:
             reply.send(done)
@@ -419,6 +655,21 @@ def shard_worker_main(
                             ShmRing.attach(msg.work_ring, "consumer"),
                             ShmRing.attach(msg.reply_ring, "producer"),
                         )
+                    elif isinstance(msg, wire.BackfillInstall):
+                        stale = worker.handle_backfill_install(msg)
+                        if stale is not None:
+                            # Cut already passed (the frontend restored
+                            # from a snapshot behind this task): nack on
+                            # the data link so it re-splices higher.
+                            try:
+                                data_conn.send_bytes(wire.encode(
+                                    wire.BackfillStale(
+                                        msg.tp, msg.metric.metric_id, stale
+                                    )
+                                ))
+                            except OSError:
+                                drop_data_conn(data_conn, unlink=True)
+                                break
                     elif not _handle_one(worker, data_conn, msg):
                         return
                     if not data_conn.poll(0):
@@ -433,6 +684,15 @@ def shard_worker_main(
                     worker, data_conn, rings
                 ):
                     drop_data_conn(data_conn, unlink=True)
+            # Push unsolicited frames (backfill acks) to the supervisor
+            # at the end of each pass, whatever channel produced them.
+            while worker.outbox:
+                frame = wire.encode(worker.outbox[0])
+                try:
+                    conn.send_bytes(frame)
+                except OSError:
+                    break  # supervisor gone; orphan check will reap us
+                worker.outbox.pop(0)
     except EOFError:
         return  # supervisor went away; nothing left to reply to
     except BaseException:

@@ -143,6 +143,66 @@ class MetricStateStore:
         """Read the current result without mutating state."""
         return self.load(metric_id, agg_index, agg_name, group_key).result()
 
+    # -- metric-scoped rows (backfill splice, as-of reads) ---------------------------
+
+    @staticmethod
+    def metric_prefix(metric_id: int) -> bytes:
+        """The key prefix every row of one metric shares (both CFs)."""
+        buf = bytearray()
+        serde.write_varint(buf, metric_id)
+        return bytes(buf)
+
+    def export_metric_rows(
+        self, metric_id: int
+    ) -> tuple[list[tuple[bytes, bytes]], list[tuple[bytes, bytes]]]:
+        """Every live ``(key, value)`` row of one metric: aggregator
+        states and countDistinct counters. The rows are the transferable
+        form of a backfilled metric's state."""
+        prefix = self.metric_prefix(metric_id)
+        state_rows = list(self.db.prefix_scan(prefix, cf=_CF_STATE))
+        distinct_rows = list(self.db.prefix_scan(prefix, cf=_CF_DISTINCT))
+        return state_rows, distinct_rows
+
+    def import_metric_rows(
+        self,
+        metric_id: int,
+        state_rows: Sequence[tuple[bytes, bytes]],
+        distinct_rows: Sequence[tuple[bytes, bytes]],
+    ) -> None:
+        """Replace one metric's rows wholesale with exported rows."""
+        prefix = self.metric_prefix(metric_id)
+        for cf in (_CF_STATE, _CF_DISTINCT):
+            for key, _ in list(self.db.prefix_scan(prefix, cf=cf)):
+                self.db.delete(key, cf=cf)
+        for key, value in state_rows:
+            self.db.put(key, value, cf=_CF_STATE)
+        for key, value in distinct_rows:
+            self.db.put(key, value, cf=_CF_DISTINCT)
+
+    def metric_values(
+        self, metric_id: int, agg_specs: Sequence[tuple[int, str, str]]
+    ) -> dict[tuple, dict[str, Any]]:
+        """Current results of one metric for every group key it holds.
+
+        ``agg_specs`` is ``(agg_index, agg_name, display_name)`` per
+        aggregation, in reply-column order.
+        """
+        prefix = self.metric_prefix(metric_id)
+        keys: set[bytes] = set()
+        for key, _ in self.db.prefix_scan(prefix, cf=_CF_STATE):
+            _, offset = serde.read_varint(key, 0)  # metric id
+            _, offset = serde.read_varint(key, offset)  # agg index
+            keys.add(bytes(key[offset:]))
+        values: dict[tuple, dict[str, Any]] = {}
+        for group_key in sorted(keys):
+            row: dict[str, Any] = {}
+            for agg_index, agg_name, display_name in agg_specs:
+                row[display_name] = self.peek(
+                    metric_id, agg_index, agg_name, group_key
+                )
+            values[decode_group_key(group_key)] = row
+        return values
+
     # -- checkpoints -----------------------------------------------------------------
 
     def checkpoint(self) -> Checkpoint:

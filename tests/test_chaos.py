@@ -67,6 +67,23 @@ class TestScenarioDeterminism:
             assert indices == sorted(indices)
             assert all(0 <= i < len(scenario.batches) for i in indices)
 
+    def test_rebalance_and_mid_batch_kinds_are_scheduled(self):
+        """The PR-9 fault vocabulary (pool grow/shrink, kill-mid-batch)
+        is generated within the first forty seeds, with every fault's
+        fields inside the bounds the runner relies on: ``at_batch``
+        indexes a real batch, ``target`` is a small non-negative int the
+        runner takes modulo the live pool, and ``kind`` is never outside
+        ``FAULT_KINDS``."""
+        seen: set[str] = set()
+        for seed in range(40):
+            scenario = generate_scenario(seed)
+            for fault in scenario.faults:
+                assert fault.kind in FAULT_KINDS
+                assert 0 <= fault.at_batch < len(scenario.batches)
+                assert 0 <= fault.target < 4
+                seen.add(fault.kind)
+        assert {"add_worker", "remove_worker", "crash_mid_batch"} <= seen
+
 
 class TestRunnerContracts:
     def test_unknown_topology_raises(self):
@@ -102,10 +119,27 @@ class TestChaosSmoke:
 
     @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
     def test_seed_zero_everywhere(self, topology):
-        # Seed 0 schedules a worker crash, a checkpoint and a drain —
-        # one seed exercising most of the fault vocabulary.
+        # Seed 0 at this scenario size schedules a worker crash
+        # mid-stream; the rebalance kinds get their own smoke below.
         result = run_seed(0, topology, max_events=200)
         assert result.ok, f"{result.detail}\nreplay: {result.replay_command}"
+
+    def test_rebalance_faults_hold_the_invariant(self):
+        # Seed 4 at this size grows the pool twice around a worker
+        # crash — checkpoint shipping to fresh workers under traffic.
+        result = run_seed(4, "process", max_events=200)
+        assert result.ok, f"{result.detail}\nreplay: {result.replay_command}"
+        assert any(f.startswith("add_worker") for f in result.faults_applied)
+
+    def test_mid_batch_kill_holds_the_invariant(self):
+        # Seed 11 SIGKILLs a worker from a side thread while send_batch
+        # is in flight, then forces a checkpoint: the recovery replay
+        # must keep replies byte-identical to the single reference.
+        result = run_seed(11, "process", max_events=200)
+        assert result.ok, f"{result.detail}\nreplay: {result.replay_command}"
+        assert any(
+            f.startswith("crash_mid_batch") for f in result.faults_applied
+        )
 
 
 class TestPinnedCorpus:
@@ -122,3 +156,16 @@ class TestPinnedCorpus:
 
     def test_corpus_placeholder_keeps_class_importable(self):
         assert callable(run_seed)
+
+    def test_seed_10_mid_stream_ddl_races_the_data_plane(self):
+        """Seed 10 on the sharded-frontend topology caught a real bug
+        during PR 9 development: ``create_metric`` mid-stream broadcast
+        the metric on the supervisor control pipes while the next
+        batch rode the frontends' data sockets — two unordered
+        channels — so a worker could process the following events
+        before applying the metric and reply without its results
+        (reply[46] lost ``count(*)`` for the batch-2 mid-stream
+        metric). Fixed by ``ClusterRouter._sync_workers``: reply-shape
+        DDL round-trips the control pipe before returning."""
+        result = run_seed(10, "process-2f", max_events=200)
+        assert result.ok, f"{result.detail}\nreplay: {result.replay_command}"

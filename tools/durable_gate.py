@@ -4,16 +4,24 @@ Drives a durable ``create_cluster("process")`` through several ingest
 rounds with a tight checkpoint cadence and tiny segments, then asserts
 the truncation contract on the bytes actually left on disk:
 
-1. **Deletion happened**: every event partition's first surviving
-   segment starts above offset zero (whole segments below the stored
-   checkpoint offsets were removed).
-2. **Nothing above the checkpoint was deleted**: each surviving
-   completed segment reaches past its task's stored offset, and the
-   record *at* the offset is still readable.
+1. **Deletion happened**: no completed segment survives wholly below
+   the truncation horizon (whole segments under it must be removed).
+2. **Nothing above the horizon was deleted**: the record *at* the
+   horizon is still readable.
 3. **Bounded footprint**: per partition, on-disk bytes are at most the
-   bytes of the segments above the minimum checkpoint offset — measured
-   as ``ceil(retained_records / records_per_segment) + 1`` segments'
-   worth (the "+1" is the open active segment).
+   bytes of the segments above the horizon — measured as
+   ``ceil(retained_records / records_per_segment) + 1`` segments' worth
+   (the "+1" is the open active segment).
+
+The *horizon* is the stored checkpoint offset — **unless a replay
+cursor pins retention**. A backfill materializing a late-defined metric
+reads the log from behind the live writer; its unreplayed segments are
+legitimately held below the minimum checkpoint until the cursor passes
+them (``DurableLog.pin``), so the horizon is ``min(checkpoint,
+pinned_floor)``. Phase two of the gate exercises exactly that: a
+backfill is left mid-flight while a checkpoint truncates, the pinned
+history must survive, and once the backfill completes the pins must be
+gone and reclamation must catch back up.
 
 Run from the repository root (CI's ``durable-bus`` job)::
 
@@ -34,6 +42,53 @@ from repro.events.event import Event
 SEGMENT_BYTES = 2048
 ROUNDS = 4
 EVENTS_PER_ROUND = 300
+BACKFILL_QUERY = (
+    "SELECT avg(amount) FROM tx GROUP BY cardId OVER sliding 500 minutes"
+)
+
+
+def check_bounds(cluster, tasks, offsets, failures, phase) -> None:
+    """Assert the on-disk truncation contract for every event task."""
+    spans_map = cluster.bus.segment_spans()
+    for tp in tasks:
+        checkpoint = offsets.get(tp, 0)
+        if checkpoint <= 0:
+            failures.append(f"{phase} {tp}: no checkpoint stored")
+            continue
+        floor = cluster.bus.log(tp).pinned_floor
+        horizon = checkpoint if floor is None else min(checkpoint, floor)
+        task_spans = spans_map[tp]
+        end = cluster.bus.end_offset(tp)
+        for base, seg_end in task_spans[:-1]:
+            if seg_end <= horizon:
+                failures.append(
+                    f"{phase} {tp}: segment [{base},{seg_end}) survives "
+                    f"wholly below horizon {horizon}"
+                )
+        if not cluster.bus.read(tp, horizon, 1) and horizon < end:
+            failures.append(
+                f"{phase} {tp}: record at horizon {horizon} is "
+                f"unreadable after truncation"
+            )
+        # Bounded footprint: retained records fit the segments above
+        # the horizon plus the active one.
+        records_per_segment = max(
+            seg_end - base for base, seg_end in task_spans
+        )
+        retained = end - horizon
+        allowed_segments = (
+            retained + records_per_segment - 1
+        ) // records_per_segment + 1
+        if len(task_spans) > allowed_segments:
+            failures.append(
+                f"{phase} {tp}: {len(task_spans)} segments on disk for "
+                f"{retained} retained records above horizon {horizon} "
+                f"(allowed {allowed_segments})"
+            )
+        print(
+            f"{phase} {tp}: end={end} checkpoint={checkpoint} "
+            f"pin={floor} segments={task_spans}"
+        )
 
 
 def run_gate() -> list[str]:
@@ -64,52 +119,94 @@ def run_gate() -> list[str]:
                         for i in range(EVENTS_PER_ROUND)
                     ],
                 )
-            offsets = cluster.checkpoint_now()
-            spans = cluster.bus.segment_spans()
             tasks = cluster.bus.topic_partitions("tx.cardId")
+
+            # Phase 1: steady state, no readers behind — the horizon is
+            # the checkpoint and deletion must reach it.
+            offsets = cluster.checkpoint_now()
             for tp in tasks:
-                checkpoint = offsets.get(tp, 0)
-                task_spans = spans[tp]
-                end = cluster.bus.end_offset(tp)
-                first_base = task_spans[0][0]
-                if checkpoint <= 0:
-                    failures.append(f"{tp}: no checkpoint stored")
-                    continue
-                if first_base == 0:
+                if cluster.bus.log(tp).pinned_floor is not None:
                     failures.append(
-                        f"{tp}: no segment deleted below checkpoint {checkpoint}"
+                        f"steady {tp}: unexpected retention pin with no "
+                        f"replay in flight"
                     )
-                completed = task_spans[:-1]
-                for base, seg_end in completed:
-                    if seg_end <= checkpoint:
-                        failures.append(
-                            f"{tp}: segment [{base},{seg_end}) survives wholly "
-                            f"below checkpoint {checkpoint}"
+                if cluster.bus.segment_spans()[tp][0][0] == 0:
+                    failures.append(
+                        f"steady {tp}: no segment deleted below "
+                        f"checkpoint {offsets.get(tp, 0)}"
+                    )
+            check_bounds(cluster, tasks, offsets, failures, "steady")
+
+            # Phase 2: pile on fresh history, then leave a backfill
+            # mid-replay — its cursors must pin segments *below* the
+            # next checkpoint until the replay passes them.
+            for round_index in range(ROUNDS, ROUNDS + 2):
+                cluster.send_batch(
+                    "tx",
+                    [
+                        Event(
+                            f"r{round_index}-{i}",
+                            round_index * EVENTS_PER_ROUND + i + 1,
+                            {"cardId": f"c{i % 5}", "amount": float(i)},
                         )
-                if not cluster.bus.read(tp, checkpoint, 1) and checkpoint < end:
-                    failures.append(
-                        f"{tp}: record at checkpoint offset {checkpoint} "
-                        f"is unreadable after truncation"
-                    )
-                # Bounded footprint: retained records fit the segments
-                # above the checkpoint plus the active one.
-                records_per_segment = max(
-                    seg_end - base for base, seg_end in task_spans
+                        for i in range(EVENTS_PER_ROUND)
+                    ],
                 )
-                retained = end - checkpoint
-                allowed_segments = (
-                    retained + records_per_segment - 1
-                ) // records_per_segment + 1
-                if len(task_spans) > allowed_segments:
+            backfill_id = cluster.backfill_metric(BACKFILL_QUERY)
+            # Small replay steps so a single pump leaves the cursors
+            # strictly behind the live frontier (same spirit as the
+            # tiny segment_bytes override above).
+            for job in cluster._backfills:
+                job.batch = 64
+            cluster.pump()  # opens the shadow cursors mid-replay
+            pinned = {
+                tp: cluster.bus.log(tp).pinned_floor for tp in tasks
+            }
+            offsets = cluster.checkpoint_now()
+            for tp in tasks:
+                floor = pinned[tp]
+                if floor is None:
                     failures.append(
-                        f"{tp}: {len(task_spans)} segments on disk for "
-                        f"{retained} retained records "
-                        f"(allowed {allowed_segments})"
+                        f"backfill {tp}: replay in flight but no "
+                        f"retention pin open"
                     )
-                print(
-                    f"{tp}: end={end} checkpoint={checkpoint} "
-                    f"segments={task_spans} disk_ok={not failures}"
-                )
+                    continue
+                if floor >= offsets.get(tp, 0):
+                    failures.append(
+                        f"backfill {tp}: pin {floor} not below the "
+                        f"checkpoint {offsets.get(tp, 0)} — the phase "
+                        f"exercises nothing"
+                    )
+                first_base = cluster.bus.segment_spans()[tp][0][0]
+                if first_base > floor:
+                    failures.append(
+                        f"backfill {tp}: truncation deleted pinned "
+                        f"history (first base {first_base} > pin {floor})"
+                    )
+                if floor < cluster.bus.end_offset(tp) and not (
+                    cluster.bus.read(tp, floor, 1)
+                ):
+                    failures.append(
+                        f"backfill {tp}: pinned record {floor} unreadable"
+                    )
+            check_bounds(cluster, tasks, offsets, failures, "backfill")
+
+            # Phase 3: the backfill completes, pins release, and the
+            # next checkpoint reclaims everything it was holding.
+            for _ in range(10_000):
+                if cluster.backfill_status(backfill_id) != "running":
+                    break
+                cluster.pump()
+            if cluster.backfill_status(backfill_id) != "complete":
+                failures.append("backfill never completed")
+            offsets = cluster.checkpoint_now()
+            for tp in tasks:
+                if cluster.bus.log(tp).pinned_floor is not None:
+                    failures.append(
+                        f"released {tp}: backfill complete but a "
+                        f"retention pin leaked"
+                    )
+            check_bounds(cluster, tasks, offsets, failures, "released")
     finally:
         shutil.rmtree(root, ignore_errors=True)
     return failures
@@ -120,8 +217,11 @@ def main() -> int:
     for failure in failures:
         print(f"TRUNCATION GATE: {failure}", file=sys.stderr)
     if not failures:
-        print("truncation gate: on-disk bytes bounded by segments above "
-              "the checkpoint offsets")
+        print(
+            "truncation gate: on-disk bytes bounded by segments above "
+            "the horizon (checkpoint offsets, clamped to open replay "
+            "pins); pins released on backfill completion"
+        )
     return 1 if failures else 0
 
 
