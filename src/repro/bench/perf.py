@@ -339,6 +339,19 @@ def bench_engine_ingest_single_process(
     return _measure_slices(_slices(events, batch_size), run_slice)
 
 
+def _stage_histograms(cluster) -> dict[str, dict[str, float]]:
+    """Per-stage histogram summaries from the cluster's merged telemetry
+    snapshot, keyed by metric name; empty when telemetry is disabled."""
+    stages: dict[str, dict[str, float]] = {}
+    for name, hist in cluster.telemetry().get("histograms", {}).items():
+        stages[name] = {
+            key: hist[key]
+            for key in ("count", "sum_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+            if key in hist
+        }
+    return stages
+
+
 def _bench_engine_ingest_process(
     events: list[Event], batch_size: int, workers: int,
     transport: str = "socket",
@@ -355,7 +368,9 @@ def _bench_engine_ingest_process(
         def run_slice(chunk: Sequence[Event]) -> None:
             cluster.send_batch("tx", chunk)
 
-        return _measure_slices(_slices(events, batch_size), run_slice)
+        result = _measure_slices(_slices(events, batch_size), run_slice)
+        result["stages"] = _stage_histograms(cluster)
+        return result
 
 
 def bench_engine_ingest_process_1w(events: list[Event], batch_size: int) -> dict[str, float]:
@@ -409,7 +424,9 @@ def _bench_engine_ingest_frontends(
         def run_slice(chunk: Sequence[Event]) -> None:
             cluster.send_batch("tx", chunk)
 
-        return _measure_slices(_slices(events, batch_size), run_slice)
+        result = _measure_slices(_slices(events, batch_size), run_slice)
+        result["stages"] = _stage_histograms(cluster)
+        return result
 
 
 def bench_engine_ingest_process_1f(events: list[Event], batch_size: int) -> dict[str, float]:
@@ -632,7 +649,9 @@ def bench_engine_ingest_process_durable(
             def run_slice(chunk: Sequence[Event]) -> None:
                 cluster.send_batch("tx", chunk)
 
-            return _measure_slices(_slices(events, batch_size), run_slice)
+            result = _measure_slices(_slices(events, batch_size), run_slice)
+            result["stages"] = _stage_histograms(cluster)
+            return result
     finally:
         shutil.rmtree(root, ignore_errors=True)
 
@@ -875,6 +894,104 @@ def check_recovery_floors(
     return failures, skips
 
 
+#: The four stage histograms that decompose ``engine_batch_ms``.
+ENGINE_STAGE_PARTS = (
+    "engine_ingest_ms",
+    "engine_dispatch_ms",
+    "engine_collect_ms",
+    "engine_reply_ms",
+)
+
+
+def check_telemetry_decomposition(
+    results: dict[str, dict[str, float]],
+    bench: str = "engine_ingest_process_1w",
+    tolerance: float = 0.10,
+) -> list[str]:
+    """Require the per-stage telemetry histograms to decompose the
+    end-to-end batch time: sum(stage sums) within ``tolerance`` of
+    ``engine_batch_ms``'s sum on the 1w topology. Skips silently when
+    the bench didn't run or telemetry was disabled."""
+    current = results.get(bench)
+    if not current:
+        return []
+    stages = current.get("stages") or {}
+    total = stages.get("engine_batch_ms", {}).get("sum_ms", 0.0)
+    if total <= 0.0:
+        return []
+    part_sum = sum(
+        stages.get(part, {}).get("sum_ms", 0.0) for part in ENGINE_STAGE_PARTS
+    )
+    if abs(part_sum - total) > tolerance * total:
+        return [
+            f"{bench}: stage histograms sum to {part_sum:,.1f}ms but "
+            f"engine_batch_ms measured {total:,.1f}ms "
+            f"(off by more than {tolerance:.0%})"
+        ]
+    return []
+
+
+def check_telemetry_overhead(
+    event_count: int = 40_000,
+    batch_size: int = 512,
+    runs: int = 4,
+    max_overhead: float = 0.05,
+    cpu_count: int | None = None,
+) -> tuple[list[str], float | None]:
+    """Measure telemetry's cost on ``engine_ingest_process_4w``.
+
+    Runs ``runs`` interleaved off/on pairs with ``$RAILGUN_TELEMETRY=0``
+    and ``=1`` (registries resolve the knob at construction, and worker
+    processes inherit the env), comparing best-of per side — best-of
+    sheds scheduler noise, and interleaving keeps slow drift on a busy
+    host from landing entirely on one side. Fails when the enabled side
+    is more than ``max_overhead`` slower. Returns
+    ``(failures, measured_overhead)``.
+
+    Like the speedup floors, the gate only asserts on parallel
+    hardware: on a 1–3 cpu host six processes time-slice the cores and
+    run-to-run variance dwarfs the budget, so the check is skipped
+    (``overhead`` comes back ``None``) rather than reporting noise.
+    """
+    from repro.telemetry import TELEMETRY_ENV
+
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    if cpu_count < 4:
+        return [], None
+
+    events = _events(event_count)
+
+    def measure(value: str) -> float:
+        saved = os.environ.get(TELEMETRY_ENV)
+        os.environ[TELEMETRY_ENV] = value
+        try:
+            return bench_engine_ingest_process_4w(
+                events, batch_size
+            )["events_per_sec"]
+        finally:
+            if saved is None:
+                os.environ.pop(TELEMETRY_ENV, None)
+            else:
+                os.environ[TELEMETRY_ENV] = saved
+
+    disabled = enabled = 0.0
+    for _ in range(runs):
+        disabled = max(disabled, measure("0"))
+        enabled = max(enabled, measure("1"))
+    overhead = (disabled - enabled) / disabled if disabled > 0 else 0.0
+    if overhead > max_overhead:
+        return (
+            [
+                f"telemetry overhead on engine_ingest_process_4w is "
+                f"{overhead:.1%} ({enabled:,.0f} vs {disabled:,.0f} events/s); "
+                f"budget is {max_overhead:.0%}"
+            ],
+            overhead,
+        )
+    return [], overhead
+
+
 def check_speedup(
     results: dict[str, dict[str, float]], min_speedup: float
 ) -> list[str]:
@@ -913,6 +1030,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--min-speedup", type=float, default=None,
         help="required reservoir_append_batch / per_event throughput ratio",
+    )
+    parser.add_argument(
+        "--check-telemetry-overhead", action="store_true",
+        help="paired engine_ingest_process_4w runs with RAILGUN_TELEMETRY "
+             "0 vs 1; fails when telemetry costs more than the budget",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead", type=float, default=0.05,
+        help="telemetry overhead budget as a fraction (default 0.05)",
     )
     args = parser.parse_args(argv)
 
@@ -978,6 +1104,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"RECOVERY FLOOR SKIPPED: {skip}", file=sys.stderr)
     if args.min_speedup is not None and batched in results and per_event in results:
         failures.extend(check_speedup(results, args.min_speedup))
+    failures.extend(check_telemetry_decomposition(results))
+    if args.check_telemetry_overhead:
+        overhead_failures, overhead = check_telemetry_overhead(
+            event_count=min(2 * args.engine_events, args.events),
+            batch_size=args.batch_size,
+            max_overhead=args.max_telemetry_overhead,
+        )
+        failures.extend(overhead_failures)
+        if overhead is None:
+            print(
+                "telemetry overhead: skipped — "
+                f"{os.cpu_count() or 1} cpu(s) < 4; the off/on comparison "
+                "only asserts on parallel hardware"
+            )
+        else:
+            print(
+                f"telemetry overhead (engine_ingest_process_4w): {overhead:+.1%}"
+            )
     for failure in failures:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
     print(f"wrote {args.out}")

@@ -19,6 +19,7 @@ failure prints the seed and a ready-to-paste replay command.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .runner import TOPOLOGIES, run_seed
@@ -89,6 +90,11 @@ def main(argv: list[str] | None = None) -> int:
                 failures += 1
                 print(f"  {result.detail}")
                 print(f"  replay: {result.replay_command}")
+                if result.telemetry:
+                    print(
+                        "  telemetry: "
+                        + json.dumps(result.telemetry, sort_keys=True)
+                    )
     if failures:
         print(f"chaos: {failures} failing run(s)", file=sys.stderr)
         return 1

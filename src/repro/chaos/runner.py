@@ -54,6 +54,9 @@ class ChaosResult:
     scenario: str = ""
     replies: int = 0
     faults_applied: list[str] = field(default_factory=list)
+    #: the target cluster's merged telemetry snapshot, captured after
+    #: the run settles (printed next to the replay command on FAIL).
+    telemetry: dict | None = None
 
     @property
     def replay_command(self) -> str:
@@ -259,6 +262,13 @@ def run_seed(
             replies = _collect_replies(
                 cluster, scenario, faults=True, applied=result.faults_applied
             )
+            # Snapshot before close(): worker/frontend registries merge
+            # from snapshots piggybacked on reply traffic, so this is
+            # the freshest view the coordinator will ever hold.
+            try:
+                result.telemetry = cluster.telemetry()
+            except Exception:
+                result.telemetry = None
         finally:
             cluster.close()
     except Exception:
@@ -275,5 +285,27 @@ def run_seed(
     if mismatch:
         result.detail = mismatch
         return result
+    mismatch = _telemetry_mismatch(result.telemetry)
+    if mismatch:
+        result.detail = mismatch
+        return result
     result.ok = True
     return result
+
+
+def _telemetry_mismatch(telemetry: dict | None) -> str:
+    """The telemetry plane's own invariant: once a run settles, the
+    facade has answered every event it accepted — the merged counters
+    must agree, whatever faults landed mid-stream."""
+    if not telemetry:
+        return ""
+    counters = telemetry.get("counters", {})
+    events_in = counters.get("engine_events_in_total", 0)
+    replies_out = counters.get("engine_replies_out_total", 0)
+    if events_in != replies_out:
+        return (
+            f"telemetry invariant violated after settling: "
+            f"engine_events_in_total={events_in} != "
+            f"engine_replies_out_total={replies_out}"
+        )
+    return ""

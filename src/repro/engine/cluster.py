@@ -296,6 +296,11 @@ class RailgunCluster:
     ) -> None:
         if nodes <= 0:
             raise EngineError(f"need at least one node: {nodes}")
+        from repro.telemetry import MetricsRegistry
+
+        #: single-process registry; :meth:`telemetry` is the merged
+        #: (here: merge-of-one) stable-schema view all facades share.
+        self.metrics = MetricsRegistry("engine")
         self.clock = ManualClock(start_ms=1)
         self.durable_dir = durable_dir
         if durable_dir is not None:
@@ -539,13 +544,19 @@ class RailgunCluster:
         max_rounds: int = 500,
     ) -> Reply:
         """Send one event and pump the world until its reply completes."""
+        metrics = self.metrics
+        batch_started = metrics.now()
         correlation, frontend = self.send_async(
             stream, fields=fields, timestamp=timestamp, event=event,
             event_id=event_id, node_id=node_id,
         )
+        metrics.counter_add("engine_batches_in_total")
+        metrics.counter_add("engine_events_in_total")
         for _ in range(max_rounds):
             completed = frontend.take_completed(correlation)
             if completed is not None:
+                metrics.counter_add("engine_replies_out_total")
+                metrics.observe_since("engine_batch_ms", batch_started)
                 return Reply(
                     event=completed.event,
                     stream=completed.stream,
@@ -595,19 +606,28 @@ class RailgunCluster:
         batched ingestion path: the fan-out is published in one shot and
         the cluster then pumps until every fan-in completes.
         """
-        events: list[Event] = []
-        base_id = self.bus.messages_published
-        for index, item in enumerate(batch):
-            if isinstance(item, Event):
-                events.append(item)
-            else:
-                # Offsetting by the index keeps ids unique within the
-                # batch and ahead of every id a previous send() minted.
-                events.append(
-                    Event(f"client-{base_id + index:012d}", self.clock.now(), item)
-                )
-        node = self._pick_node(node_id)
-        correlations = node.frontend.send_batch(stream, events)
+        metrics = self.metrics
+        batch_started = metrics.now()
+        with metrics.time_stage("engine_ingest_ms"):
+            events: list[Event] = []
+            base_id = self.bus.messages_published
+            for index, item in enumerate(batch):
+                if isinstance(item, Event):
+                    events.append(item)
+                else:
+                    # Offsetting by the index keeps ids unique within the
+                    # batch and ahead of every id a previous send() minted.
+                    events.append(
+                        Event(
+                            f"client-{base_id + index:012d}",
+                            self.clock.now(),
+                            item,
+                        )
+                    )
+            node = self._pick_node(node_id)
+            correlations = node.frontend.send_batch(stream, events)
+        metrics.counter_add("engine_batches_in_total")
+        metrics.counter_add("engine_events_in_total", len(events))
         outstanding = set(correlations)
         for _ in range(max_rounds):
             if not outstanding:
@@ -622,16 +642,19 @@ class RailgunCluster:
                 f"not complete within {max_rounds} pump rounds"
             )
         replies: list[Reply] = []
-        for correlation in correlations:
-            completed = node.frontend.take_completed(correlation)
-            replies.append(
-                Reply(
-                    event=completed.event,
-                    stream=completed.stream,
-                    results=completed.results,
-                    latency_ms=completed.latency_ms,
+        with metrics.time_stage("engine_reply_ms"):
+            for correlation in correlations:
+                completed = node.frontend.take_completed(correlation)
+                replies.append(
+                    Reply(
+                        event=completed.event,
+                        stream=completed.stream,
+                        results=completed.results,
+                        latency_ms=completed.latency_ms,
+                    )
                 )
-            )
+        metrics.counter_add("engine_replies_out_total", len(replies))
+        metrics.observe_since("engine_batch_ms", batch_started)
         return replies
 
     def _pick_node(self, node_id: str | None) -> RailgunNode:
@@ -662,8 +685,11 @@ class RailgunCluster:
         for job in self._backfills:
             if not job.done:
                 handled += job.step()
-        for node in self.alive_nodes():
-            handled += node.pump()
+        # One cooperative step is dispatch and processing in one: the
+        # single-process engine has no finer per-hop boundary to time.
+        with self.metrics.time_stage("engine_dispatch_ms"):
+            for node in self.alive_nodes():
+                handled += node.pump()
         return handled
 
     def run_until_quiet(self, max_rounds: int = 300, quiet_rounds: int = 3) -> int:
@@ -842,6 +868,14 @@ class RailgunCluster:
             for node in self.nodes.values()
             for unit in node.units
         )
+
+    def telemetry(self) -> dict:
+        """One merged, stable-schema telemetry snapshot (merge of one:
+        every component runs in this process). Same schema as the
+        parallel facades — see docs/OBSERVABILITY.md."""
+        from repro.telemetry import merge_snapshots
+
+        return merge_snapshots([self.metrics.snapshot()])
 
     def recovery_stats(self) -> dict[str, int]:
         """Aggregated recovery counters across all units."""

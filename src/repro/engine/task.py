@@ -92,6 +92,10 @@ class TaskProcessor:
         self.next_offset = 0
         self.messages_processed = 0
         self.replays_skipped = 0
+        #: Optional telemetry registry hook (a shard worker attaches its
+        #: own when measurement is on): times reservoir batch appends
+        #: without the engine depending on the telemetry package.
+        self.telemetry = None
 
     @classmethod
     def build(
@@ -266,7 +270,15 @@ class TaskProcessor:
                 last_offset, last_ts = next_offset, next_event.timestamp
                 run_end += 1
             run = records[index:run_end]
-            results = reservoir.append_batch([e for _, e in run])
+            telemetry = self.telemetry
+            if telemetry is None:
+                results = reservoir.append_batch([e for _, e in run])
+            else:
+                append_started = telemetry.now()
+                results = reservoir.append_batch([e for _, e in run])
+                telemetry.observe_since(
+                    "worker_reservoir_append_ms", append_started
+                )
             for (run_offset, run_event), result in zip(run, results):
                 self.next_offset = run_offset + 1
                 self.messages_processed += 1
@@ -357,6 +369,7 @@ class TaskProcessor:
         processor.next_offset = checkpoint.offset
         processor.messages_processed = 0
         processor.replays_skipped = 0
+        processor.telemetry = None
 
         merged: dict[str, bytes] = dict(local_files or {})
         merged.update(checkpoint.reservoir_files)

@@ -29,6 +29,7 @@ Two deliberate API differences from the in-process facades:
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 from typing import Any, Iterable, Mapping
 
@@ -88,6 +89,7 @@ class AsyncRailgunClient:
         #: correlation -> (future, event, stream, monotonic send time).
         self._pending: dict[int, tuple[asyncio.Future, Event, str, float]] = {}
         self._ddl_pending: dict[int, asyncio.Future] = {}
+        self._stats_pending: dict[int, asyncio.Future] = {}
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -197,6 +199,14 @@ class AsyncRailgunClient:
                 future.set_result(msg.value)
             else:
                 future.set_exception(EngineError(f"ddl failed: {msg.error}"))
+        elif isinstance(msg, wire.StatsReply):
+            future = self._stats_pending.pop(msg.request_id, None)
+            if future is None or future.done():
+                return
+            try:
+                future.set_result(json.loads(bytes(msg.payload).decode()))
+            except ValueError as exc:
+                future.set_exception(EngineError(f"bad stats payload: {exc}"))
         else:
             self._fail_all(
                 EngineError(f"unexpected server frame {type(msg).__name__}")
@@ -209,6 +219,10 @@ class AsyncRailgunClient:
                 future.set_exception(error)
         ddl, self._ddl_pending = self._ddl_pending, {}
         for future in ddl.values():
+            if not future.done():
+                future.set_exception(error)
+        stats, self._stats_pending = self._stats_pending, {}
+        for future in stats.values():
             if not future.done():
                 future.set_exception(error)
 
@@ -313,6 +327,20 @@ class AsyncRailgunClient:
                 )
             )
             await write_frame(self._writer, frame)
+
+    # -- introspection --------------------------------------------------------
+
+    async def stats(self) -> dict:
+        """Fetch the server's merged telemetry snapshot (cluster
+        processes + the front-door server's own counters) over a
+        :class:`~repro.shard.wire.StatsRequest` round trip."""
+        request_id = self._request_id()
+        future = asyncio.get_running_loop().create_future()
+        self._stats_pending[request_id] = future
+        await write_frame(
+            self._writer, wire.encode(wire.StatsRequest(request_id))
+        )
+        return await future
 
     # -- DDL ------------------------------------------------------------------
 
@@ -503,6 +531,11 @@ class RailgunClient:
                 with_global_partitioner=with_global_partitioner,
             )
         )
+
+    def stats(self) -> dict:
+        """The server's merged telemetry snapshot; see
+        :meth:`AsyncRailgunClient.stats`."""
+        return self._call(self._async.stats())
 
     def create_metric(self, query_text: str, backfill: bool = False) -> int:
         return self._call(self._async.create_metric(query_text, backfill=backfill))

@@ -26,6 +26,7 @@ their replies stop draining.
 from __future__ import annotations
 
 import asyncio
+import json
 import queue
 import threading
 import traceback
@@ -37,6 +38,7 @@ from repro.common.timesource import TimeSource, resolve_time_source
 from repro.server.admission import AdmissionController
 from repro.server.framing import FrameError, read_frame, write_frame
 from repro.shard import wire
+from repro.telemetry import MetricsRegistry, merge_snapshots
 
 #: Replies coalesced into one ReplyBatch frame per writer wakeup.
 REPLY_CHUNK = 256
@@ -235,9 +237,7 @@ class RailgunServer:
         self._tasks: set[asyncio.Task] = set()
         self._stopped = False
         self.address: tuple[str, int] | None = None
-        self.frames_in = 0
-        self.frames_out = 0
-        self.busy_frames = 0
+        self.metrics = MetricsRegistry("server", time_source=self._time)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -284,18 +284,24 @@ class RailgunServer:
 
     def stats(self) -> dict:
         """Admission counters (quotas, latency vs budget) + server-side
-        connection/frame counters."""
+        connection/frame counters (a compat view over the registry)."""
         return {
             "admission": self.admission.stats(),
             "server": {
                 "connections": len(self._connections),
-                "frames_in": self.frames_in,
-                "frames_out": self.frames_out,
-                "busy_frames": self.busy_frames,
+                "frames_in": self.metrics.counter_value("server_frames_in_total"),
+                "frames_out": self.metrics.counter_value("server_frames_out_total"),
+                "busy_frames": self.metrics.counter_value("server_frames_busy_total"),
                 "dispatch_backlog": self._driver.backlog(),
                 "driver_error": self._driver.error,
             },
         }
+
+    def telemetry_snapshot(self) -> dict:
+        """The server's own registry snapshot (loop-thread counters);
+        merged with the cluster's ``telemetry()`` by ``_on_stats``."""
+        self.metrics.gauge_set("server_connections_open", len(self._connections))
+        return self.metrics.snapshot()
 
     # -- per-connection protocol ----------------------------------------------
 
@@ -354,12 +360,14 @@ class RailgunServer:
                 payload = await read_frame(reader)
                 if payload is None:
                     break
-                self.frames_in += 1
+                self.metrics.counter_add("server_frames_in_total")
                 msg = wire.decode(payload)
                 if isinstance(msg, wire.IngestBatch):
                     self._on_ingest(conn, msg)
                 elif isinstance(msg, wire.DdlRequest):
                     self._on_ddl(conn, msg)
+                elif isinstance(msg, wire.StatsRequest):
+                    self._on_stats(conn, msg)
                 elif isinstance(msg, wire.Goodbye):
                     break
                 else:
@@ -403,9 +411,11 @@ class RailgunServer:
         if self._driver.error is not None:
             decision_reason, retry = "cluster-error", 0
         else:
+            admit_started = self.metrics.now()
             decision = self.admission.admit(
                 conn.tenant, len(events), self._driver.backlog()
             )
+            self.metrics.observe_since("server_admission_wait_ms", admit_started)
             if decision.ok:
                 tenant = conn.tenant
                 started = self._time.monotonic()
@@ -416,6 +426,7 @@ class RailgunServer:
                     # is gone), then post the reply to the loop.
                     elapsed_ms = (self._time.monotonic() - started) * 1000.0
                     self.admission.complete(tenant, 1, elapsed_ms)
+                    self.metrics.observe_ms("server_request_ms", elapsed_ms)
                     self._post(
                         conn.enqueue_reply,
                         correlations[index],
@@ -426,7 +437,7 @@ class RailgunServer:
                 self._driver.submit_batch(msg.stream, events, on_reply)
                 return
             decision_reason, retry = decision.reason, decision.retry_after_ms
-        self.busy_frames += 1
+        self.metrics.counter_add("server_frames_busy_total")
         conn.enqueue_msg(
             wire.ServerBusy(decision_reason, retry, tuple(correlations))
         )
@@ -444,6 +455,50 @@ class RailgunServer:
                     f"{type(error).__name__}: {error}",
                 )
             self._post(conn.enqueue_msg, reply)
+
+        self._driver.submit_call(call, on_done)
+
+    def _on_stats(self, conn: _Connection, msg: wire.StatsRequest) -> None:
+        """Answer a StatsRequest with the merged cluster+server snapshot.
+
+        The cluster's ``telemetry()`` must run on the service thread
+        (it reads supervisor state); the server's own registry merges
+        in afterwards, on the loop thread that owns it.
+        """
+        self.metrics.counter_add("server_stats_requests_total")
+        telemetry = getattr(self._cluster, "telemetry", None)
+
+        def call():
+            return telemetry() if telemetry is not None else {}
+
+        def on_done(result, error) -> None:
+            if error is not None:
+                merged = {"error": f"{type(error).__name__}: {error}"}
+            else:
+                # The server's metric names live in their own server_*
+                # namespace, so folding its merged form into the
+                # cluster's merged form stays exact: counters sum,
+                # gauges/histograms never collide.
+                merged = dict(result) if isinstance(result, dict) else {}
+                own = merge_snapshots([self.telemetry_snapshot()])
+                merged["processes"] = sorted(
+                    set(merged.get("processes", ())) | set(own["processes"])
+                )
+                counters = dict(merged.get("counters", {}))
+                for key, value in own["counters"].items():
+                    counters[key] = counters.get(key, 0) + value
+                merged["counters"] = dict(sorted(counters.items()))
+                merged["gauges"] = {
+                    **merged.get("gauges", {}), **own["gauges"],
+                }
+                merged["histograms"] = {
+                    **merged.get("histograms", {}), **own["histograms"],
+                }
+                merged.setdefault("schema", own["schema"])
+            payload = json.dumps(merged, sort_keys=True).encode("utf-8")
+            self._post(
+                conn.enqueue_msg, wire.StatsReply(msg.request_id, payload)
+            )
 
         self._driver.submit_call(call, on_done)
 
@@ -513,7 +568,7 @@ class RailgunServer:
                     else:
                         frame = wire.encode(conn.outbox.popleft())
                     await write_frame(conn.writer, frame)
-                    self.frames_out += 1
+                    self.metrics.counter_add("server_frames_out_total")
                 if conn.closed:
                     return
         except (ConnectionError, OSError, RuntimeError):

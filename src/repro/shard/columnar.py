@@ -195,6 +195,7 @@ def _encode_work_batch(msg: wire.WorkBatch) -> bytes:
             matrix = [tuple(events[i]._fields.values()) for i in rows]
         for column in zip(*matrix):
             _write_value_column(buf, column)
+    wire._write_telemetry_tail(buf, msg.trace, None)
     return bytes(buf)
 
 
@@ -236,7 +237,8 @@ def _decode_work_batch(data) -> wire.WorkBatch:
                 ev.timestamp = timestamps[i]
                 ev._fields = {}
                 events[i] = ev
-    return wire.WorkBatch(tp, reply_from, list(zip(offsets, events)))
+    trace, _ = wire._read_telemetry_tail(data, offset)
+    return wire.WorkBatch(tp, reply_from, list(zip(offsets, events)), trace)
 
 
 # -- BatchDone ----------------------------------------------------------------
@@ -252,6 +254,7 @@ def _encode_batch_done(msg: wire.BatchDone) -> bytes:
     serde.write_varint(buf, msg.processed)
     serde.write_varint(buf, count)
     if count == 0:
+        wire._write_telemetry_tail(buf, msg.trace, msg.stats)
         return bytes(buf)
     if not _write_offsets(buf, [reply[0] for reply in replies], count):
         return wire.encode(msg)
@@ -287,6 +290,7 @@ def _encode_batch_done(msg: wire.BatchDone) -> bytes:
                 _write_value_column(
                     buf, [results[metric_id][column] for results in group_results]
                 )
+    wire._write_telemetry_tail(buf, msg.trace, msg.stats)
     return bytes(buf)
 
 
@@ -297,7 +301,8 @@ def _decode_batch_done(data) -> wire.BatchDone:
     processed, offset = serde.read_varint(data, offset)
     count, offset = serde.read_varint(data, offset)
     if count == 0:
-        return wire.BatchDone(tp, next_offset, processed, [])
+        trace, stats = wire._read_telemetry_tail(data, offset)
+        return wire.BatchDone(tp, next_offset, processed, [], trace, stats)
     offsets, offset = _read_offsets(data, offset, count)
     n_groups, offset = serde.read_varint(data, offset)
     results_by_row: list = [None] * count
@@ -333,8 +338,10 @@ def _decode_batch_done(data) -> wire.BatchDone:
                 metric_id: dict(zip(columns, value_rows[group_index]))
                 for metric_id, columns, value_rows in per_metric
             }
+    trace, stats = wire._read_telemetry_tail(data, offset)
     return wire.BatchDone(
-        tp, next_offset, processed, list(zip(offsets, results_by_row))
+        tp, next_offset, processed, list(zip(offsets, results_by_row)),
+        trace, stats,
     )
 
 

@@ -82,6 +82,7 @@ from repro.shard import wire
 from repro.shard.backfill import ShardBackfill
 from repro.shard.shm import resolve_transport
 from repro.shard.supervisor import ShardSupervisor
+from repro.telemetry import MetricsRegistry, decode_snapshot, merge_snapshots
 
 
 def op_to_wire(op: object) -> object:
@@ -128,6 +129,11 @@ class ParallelCluster:
         time_source: TimeSource | None = None,
     ) -> None:
         self._time = resolve_time_source(time_source)
+        #: coordinator-side registry, shared with the supervisor so the
+        #: whole front layer's accounting lives in one snapshot; the
+        #: merged cluster view is :meth:`telemetry`.
+        self.metrics = MetricsRegistry("coordinator", time_source=self._time)
+        self._span_seq = 0
         self.clock = ManualClock(start_ms=1)
         self.durable_dir = resolve_durable_dir(durable_dir, "parallel")
         if self.durable_dir is not None:
@@ -160,6 +166,7 @@ class ParallelCluster:
                 else None
             ),
             transport=resolve_transport(transport),
+            telemetry=self.metrics,
         )
         self.supervisor.on_restart = self._on_worker_restart
         self._views: dict[str, PartitionView] = {
@@ -416,6 +423,15 @@ class ParallelCluster:
 
     # -- the data path --------------------------------------------------------
 
+    def _mint_span(self) -> str | None:
+        """A fresh trace-span id for the batch about to ship (or ``None``
+        when telemetry is off); the supervisor stamps it onto every
+        ``WorkBatch`` so worker-side hop timings stay attributable."""
+        if not self.metrics.enabled:
+            return None
+        self._span_seq += 1
+        return f"{self.metrics.process}-{self._span_seq}"
+
     def send(
         self,
         stream: str,
@@ -434,10 +450,17 @@ class ParallelCluster:
             if event_id is None:
                 event_id = f"client-{self.bus.messages_published:012d}"
             event = Event(event_id, timestamp, fields)
+        metrics = self.metrics
+        batch_started = metrics.now()
+        self.supervisor.active_span = self._mint_span()
         correlation = self.frontend.send(stream, event)
+        metrics.counter_add("engine_batches_in_total")
+        metrics.counter_add("engine_events_in_total")
         for _ in range(max_rounds):
             completed = self.frontend.take_completed(correlation)
             if completed is not None:
+                metrics.counter_add("engine_replies_out_total")
+                metrics.observe_since("engine_batch_ms", batch_started)
                 return Reply(
                     event=completed.event,
                     stream=completed.stream,
@@ -457,16 +480,26 @@ class ParallelCluster:
         max_rounds: int = 20000,
     ) -> list[Reply]:
         """Send a batch and pump until every reply lands; input order."""
-        events: list[Event] = []
-        base_id = self.bus.messages_published
-        for index, item in enumerate(batch):
-            if isinstance(item, Event):
-                events.append(item)
-            else:
-                events.append(
-                    Event(f"client-{base_id + index:012d}", self.clock.now(), item)
-                )
-        correlations = self.frontend.send_batch(stream, events)
+        metrics = self.metrics
+        batch_started = metrics.now()
+        self.supervisor.active_span = self._mint_span()
+        with metrics.time_stage("engine_ingest_ms"):
+            events: list[Event] = []
+            base_id = self.bus.messages_published
+            for index, item in enumerate(batch):
+                if isinstance(item, Event):
+                    events.append(item)
+                else:
+                    events.append(
+                        Event(
+                            f"client-{base_id + index:012d}",
+                            self.clock.now(),
+                            item,
+                        )
+                    )
+            correlations = self.frontend.send_batch(stream, events)
+        metrics.counter_add("engine_batches_in_total")
+        metrics.counter_add("engine_events_in_total", len(events))
         outstanding = set(correlations)
         for _ in range(max_rounds):
             if not outstanding:
@@ -481,16 +514,19 @@ class ParallelCluster:
                 f"not complete within {max_rounds} pump rounds"
             )
         replies: list[Reply] = []
-        for correlation in correlations:
-            completed_reply = self.frontend.take_completed(correlation)
-            replies.append(
-                Reply(
-                    event=completed_reply.event,
-                    stream=completed_reply.stream,
-                    results=completed_reply.results,
-                    latency_ms=completed_reply.latency_ms,
+        with metrics.time_stage("engine_reply_ms"):
+            for correlation in correlations:
+                completed_reply = self.frontend.take_completed(correlation)
+                replies.append(
+                    Reply(
+                        event=completed_reply.event,
+                        stream=completed_reply.stream,
+                        results=completed_reply.results,
+                        latency_ms=completed_reply.latency_ms,
+                    )
                 )
-            )
+        metrics.counter_add("engine_replies_out_total", len(replies))
+        metrics.observe_since("engine_batch_ms", batch_started)
         return replies
 
     # -- the world loop -------------------------------------------------------
@@ -498,16 +534,20 @@ class ParallelCluster:
     def pump(self) -> int:
         """One coordinator round: dispatch, collect, assemble replies."""
         self.clock.advance(self.tick_ms)
-        shipped = self._dispatch()
-        shipped += self._step_backfills()
+        metrics = self.metrics
+        with metrics.time_stage("engine_dispatch_ms"):
+            shipped = self._dispatch()
+            shipped += self._step_backfills()
         # Nothing new to ship and work in flight: block briefly instead
         # of spinning — on a loaded host the coordinator must yield the
         # core to its workers.
         timeout = 0.0
         if shipped == 0 and self.supervisor.outstanding() > 0:
             timeout = 0.01
-        collected = self._collect(timeout)
-        self.frontend.poll_replies()
+        with metrics.time_stage("engine_collect_ms"):
+            collected = self._collect(timeout)
+        with metrics.time_stage("engine_reply_ms"):
+            self.frontend.poll_replies()
         return shipped + collected
 
     def run_until_quiet(self, max_rounds: int = 20000, quiet_rounds: int = 3) -> int:
@@ -684,6 +724,21 @@ class ParallelCluster:
     def total_messages_processed(self) -> int:
         """Messages processed across workers (replays included)."""
         return self.supervisor.total_messages_processed()
+
+    def telemetry(self) -> dict:
+        """One merged, stable-schema telemetry snapshot of the cluster.
+
+        Coordinator and supervisor share a registry; each worker's
+        latest snapshot rides its ``BatchDone`` frames. See
+        docs/OBSERVABILITY.md for the schema and the metric catalog.
+        """
+        snapshots = [self.metrics.snapshot()]
+        for blob in self.supervisor.child_snapshots():
+            try:
+                snapshots.append(decode_snapshot(blob))
+            except Exception:
+                continue  # torn/foreign snapshot: observation only, skip
+        return merge_snapshots(snapshots)
 
     def checkpoint_offsets(self) -> dict[TopicPartition, int]:
         """Consumed offsets per task, straight from the workers."""

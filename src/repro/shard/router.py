@@ -123,6 +123,14 @@ from repro.replay.backfill import ReplayError, ShadowReplay
 from repro.shard import columnar, shm, wire
 from repro.shard.shm import ShmError, ShmRing
 from repro.shard.supervisor import ShardSupervisor, _default_context
+from repro.telemetry import (
+    MetricsRegistry,
+    decode_bundle,
+    decode_snapshot,
+    encode_bundle,
+    encode_snapshot,
+    merge_snapshots,
+)
 
 #: reply entries per ReplyBatch frame (keeps frames under pipe buffers).
 REPLY_CHUNK = 512
@@ -264,6 +272,20 @@ class FrontendEngine:
         self.draining: int | None = None
         self.events_ingested = 0
         self.replies_collected = 0
+        #: per-frontend registry; its snapshot (plus the latest worker
+        #: snapshots absorbed from ``BatchDone`` frames) piggybacks on
+        #: the last chunk of every shipping :meth:`flush`.
+        self.telemetry = MetricsRegistry(
+            f"frontend:{frontend_id}", time_source=self._time
+        )
+        self._worker_snapshots: dict[str, bytes] = {}
+        #: last telemetry-bundle ship time; bundles ride at most every
+        #: 20ms (encoding one is the flush path's only telemetry cost).
+        self._stats_shipped_at: float | None = None
+        #: span id of the most recent ingest frame; stamped onto
+        #: outgoing ``WorkBatch`` frames so worker hop timings chain to
+        #: the span the router minted.
+        self._active_span: str | None = None
         self._reply_buf: list[tuple[int, str, dict | None]] = []
         self._processed_buf: dict[str, list[int]] = {}
         self._wm_dirty = False
@@ -525,13 +547,21 @@ class FrontendEngine:
         seq = self._ingest_seq
         self._ingest_seq = seq + 1
         self.events_ingested += len(msg.entries)
+        self.telemetry.counter_add(
+            "frontend_events_ingested_total", len(msg.entries)
+        )
+        if msg.trace is not None:
+            self._active_span = msg.trace[0]
         if seq < self._durable_applied:
             return
         log = self.bus.log
-        for correlation_id, event, targets in msg.entries:
-            for partitioner, partition in targets:
-                tp = TopicPartition(topic_name(msg.stream, partitioner), partition)
-                log(tp).append(correlation_id, event, event.timestamp)
+        with self.telemetry.time_stage("frontend_ingest_ms"):
+            for correlation_id, event, targets in msg.entries:
+                for partitioner, partition in targets:
+                    tp = TopicPartition(
+                        topic_name(msg.stream, partitioner), partition
+                    )
+                    log(tp).append(correlation_id, event, event.timestamp)
         self._ingested_since_sync += 1
 
     def sync_durable(self, force: bool = False) -> None:
@@ -548,17 +578,26 @@ class FrontendEngine:
         if not force and self._ingested_since_sync == 0:
             return
         self._ingested_since_sync = 0
-        self.bus.flush()
-        ends = {tp: self.bus.log(tp).end_offset for tp in self.bus.all_partitions()}
-        write_cut(self.durable_dir, self._ingest_seq, ends)
+        with self.telemetry.time_stage("frontend_fsync_ms"):
+            self.bus.flush()
+            ends = {
+                tp: self.bus.log(tp).end_offset
+                for tp in self.bus.all_partitions()
+            }
+            write_cut(self.durable_dir, self._ingest_seq, ends)
         if self._ingest_seq > self._durable_applied:
             self._durable_applied = self._ingest_seq
             self._durable_dirty = True
 
     def dispatch(self) -> int:
         """Ship contiguous offset runs to their owning workers."""
+        with self.telemetry.time_stage("frontend_dispatch_ms"):
+            return self._dispatch_runs()
+
+    def _dispatch_runs(self) -> int:
         shipped = 0
         pending = self.pending
+        telemetry = self.telemetry
         for tp in self.view.assignment():
             worker_id = self.routes.get(tp)
             if worker_id is None:
@@ -579,17 +618,22 @@ class FrontendEngine:
                 # the worker suppresses — tracking them again would leak.
                 if message.offset >= watermark:
                     pending[(tp, message.offset)] = message.key
+            trace = None
+            if telemetry.enabled:
+                # Continue the router-minted span; the send timestamp
+                # lets the worker attribute its queue wait to this hop.
+                trace = (
+                    self._active_span or "",
+                    (("sent_ms", telemetry.now() * 1000.0),),
+                )
+            work = wire.WorkBatch(tp, watermark, records, trace)
             rings = self.rings.get(worker_id)
             try:
                 if rings is not None:
-                    rings[0].send(
-                        columnar.encode(wire.WorkBatch(tp, watermark, records))
-                    )
+                    rings[0].send(columnar.encode(work))
                     conn.send_bytes(DOORBELL)
                 else:
-                    conn.send_bytes(
-                        wire.encode(wire.WorkBatch(tp, watermark, records))
-                    )
+                    conn.send_bytes(wire.encode(work))
             except (OSError, ShmError):
                 # Dead worker: the restart announcement re-seeks this
                 # task below the lost records, so the replay covers them.
@@ -644,18 +688,24 @@ class FrontendEngine:
         if not isinstance(msg, wire.BatchDone):
             raise TypeError(f"unexpected data frame: {type(msg).__name__}")
         self.outstanding[worker_id] = max(0, self.outstanding.get(worker_id, 0) - 1)
+        if msg.stats is not None:
+            self._worker_snapshots[worker_id] = msg.stats
         tp = msg.tp
-        for offset, results in msg.replies:
-            correlation_id = self.pending.pop((tp, offset), None)
-            if correlation_id is None or results is None:
-                continue
-            self._reply_buf.append((correlation_id, tp.topic, results))
+        with self.telemetry.time_stage("frontend_reply_merge_ms"):
+            for offset, results in msg.replies:
+                correlation_id = self.pending.pop((tp, offset), None)
+                if correlation_id is None or results is None:
+                    continue
+                self._reply_buf.append((correlation_id, tp.topic, results))
         self.watermarks[tp] = max(self.watermarks.get(tp, 0), msg.next_offset)
         self._wm_dirty = True
         bucket = self._processed_buf.setdefault(worker_id, [0, 0])
         bucket[0] += msg.processed
         bucket[1] += len(msg.replies)
         self.replies_collected += len(msg.replies)
+        self.telemetry.counter_add(
+            "frontend_replies_collected_total", len(msg.replies)
+        )
 
     def idle(self) -> bool:
         """True when nothing is in flight or awaiting dispatch."""
@@ -696,7 +746,19 @@ class FrontendEngine:
             # here, so they must never precede reply entries that could
             # still be lost with this process — a crash mid-flush must
             # leave the router's snapshot at or below the replies it
-            # actually received.
+            # actually received. Telemetry rides there too: one bundle
+            # of this frontend's snapshot plus the latest raw worker
+            # snapshots (forwarded without re-serialising).
+            bundle = None
+            if self.telemetry.enabled:
+                now = self.telemetry.now()
+                shipped = self._stats_shipped_at
+                if shipped is None or now - shipped >= 0.02:
+                    bundle = encode_bundle(
+                        [encode_snapshot(self.telemetry.snapshot())]
+                        + list(self._worker_snapshots.values())
+                    )
+                    self._stats_shipped_at = now
             last = len(chunks) - 1
             for index, chunk in enumerate(chunks):
                 conn.send_bytes(
@@ -706,6 +768,7 @@ class FrontendEngine:
                             watermarks if index == last else (),
                             processed if index == last else (),
                             self._durable_applied if index == last else 0,
+                            stats=bundle if index == last else None,
                         )
                     )
                 )
@@ -989,8 +1052,6 @@ class FrontendHandle:
     ingest_seq: int = 0
     #: ingest frames the frontend reported durably applied (prune base).
     durable_seq: int = 0
-    events_routed: int = 0
-    replies_merged: int = 0
     restarts: int = 0
 
     @property
@@ -1112,6 +1173,14 @@ class ClusterRouter:
         #: shared ring-name prefix across all frontends; swept on close
         #: as the backstop for rings a SIGKILLed frontend left behind.
         self._shm_prefix = f"rgshm-{uuid.uuid4().hex[:8]}"
+        #: router-side registry, shared with the supervisor; the merged
+        #: cluster view (router + frontends + workers) is
+        #: :meth:`telemetry`.
+        self.metrics = MetricsRegistry("router", time_source=self._time)
+        self._span_seq = 0
+        #: latest telemetry bundle per frontend (its own snapshot plus
+        #: forwarded worker snapshots), piggybacked on ``ReplyBatch``.
+        self._frontend_bundles: dict[str, bytes] = {}
         self.clock = ManualClock(start_ms=1)
         self.catalog = Catalog()
         self.tick_ms = tick_ms
@@ -1135,6 +1204,7 @@ class ClusterRouter:
                 if self.durable_dir is not None
                 else None
             ),
+            telemetry=self.metrics,
         )
         self.supervisor.on_restart = self._on_worker_restart
         self.frontend_strategy = (
@@ -1559,10 +1629,16 @@ class ClusterRouter:
             if event_id is None:
                 event_id = f"client-{self._published:012d}"
             event = Event(event_id, timestamp, fields)
+        metrics = self.metrics
+        batch_started = metrics.now()
         correlation = self._route_and_ship(stream, [event])[0]
+        metrics.counter_add("engine_batches_in_total")
+        metrics.counter_add("engine_events_in_total")
         for _ in range(max_rounds):
             reply = self.completed.pop(correlation, None)
             if reply is not None:
+                metrics.counter_add("engine_replies_out_total")
+                metrics.observe_since("engine_batch_ms", batch_started)
                 return reply
             self.pump()
         raise EngineError(
@@ -1577,16 +1653,25 @@ class ClusterRouter:
         max_rounds: int = 20000,
     ) -> list[Reply]:
         """Send a batch and pump until every reply lands; input order."""
-        events: list[Event] = []
-        base_id = self._published
-        for index, item in enumerate(batch):
-            if isinstance(item, Event):
-                events.append(item)
-            else:
-                events.append(
-                    Event(f"client-{base_id + index:012d}", self.clock.now(), item)
-                )
-        correlations = self._route_and_ship(stream, events)
+        metrics = self.metrics
+        batch_started = metrics.now()
+        with metrics.time_stage("engine_ingest_ms"):
+            events: list[Event] = []
+            base_id = self._published
+            for index, item in enumerate(batch):
+                if isinstance(item, Event):
+                    events.append(item)
+                else:
+                    events.append(
+                        Event(
+                            f"client-{base_id + index:012d}",
+                            self.clock.now(),
+                            item,
+                        )
+                    )
+            correlations = self._route_and_ship(stream, events)
+        metrics.counter_add("engine_batches_in_total")
+        metrics.counter_add("engine_events_in_total", len(events))
         outstanding = set(correlations)
         for _ in range(max_rounds):
             if not outstanding:
@@ -1599,7 +1684,13 @@ class ClusterRouter:
                 f"{len(outstanding)} of {len(correlations)} batched replies did "
                 f"not complete within {max_rounds} pump rounds"
             )
-        return [self.completed.pop(correlation) for correlation in correlations]
+        with metrics.time_stage("engine_reply_ms"):
+            replies = [
+                self.completed.pop(correlation) for correlation in correlations
+            ]
+        metrics.counter_add("engine_replies_out_total", len(replies))
+        metrics.observe_since("engine_batch_ms", batch_started)
+        return replies
 
     # -- thread-safe submission (the asyncio front door) ----------------------
 
@@ -1645,6 +1736,8 @@ class ClusterRouter:
             except queue.Empty:
                 break
             if kind == "batch":
+                self.metrics.counter_add("engine_batches_in_total")
+                self.metrics.counter_add("engine_events_in_total", len(b))
                 correlations = self._route_and_ship(a, b)
                 for index, correlation in enumerate(correlations):
                     self._service_pending[correlation] = (callback, index)
@@ -1665,6 +1758,7 @@ class ClusterRouter:
                     continue  # a direct send/send_batch owns this reply
                 reply = self.completed.pop(correlation)
                 callback, index = entry
+                self.metrics.counter_add("engine_replies_out_total")
                 callback(index, reply)
         return handled
 
@@ -1677,6 +1771,16 @@ class ClusterRouter:
         frontend. Frames are journaled before they are sent, so a
         frontend crash mid-ship loses nothing.
         """
+        with self.metrics.time_stage("engine_dispatch_ms"):
+            return self._route_and_ship_inner(stream, events)
+
+    def _route_and_ship_inner(self, stream: str, events: list[Event]) -> list[int]:
+        span = None
+        if self.metrics.enabled:
+            # One span per routed run; it rides the IngestBatch frames
+            # and the frontends re-stamp it onto their WorkBatches.
+            self._span_seq += 1
+            span = f"router-{self._span_seq}"
         stream_def = self.catalog.streams.get(stream)
         if stream_def is None:
             raise EngineError(f"unknown stream {stream!r}")
@@ -1722,10 +1826,16 @@ class ClusterRouter:
             correlations.append(correlation)
         for frontend_id, entries in buckets.items():
             handle = self._frontends[frontend_id]
-            handle.events_routed += len(entries)
+            self.metrics.counter_add(
+                "router_events_routed_total", len(entries), label=frontend_id
+            )
             for start in range(0, len(entries), self.ingest_max):
                 frame = wire.encode(
-                    wire.IngestBatch(stream, entries[start:start + self.ingest_max])
+                    wire.IngestBatch(
+                        stream,
+                        entries[start:start + self.ingest_max],
+                        (span, ()) if span is not None else None,
+                    )
                 )
                 handle.journal.append((handle.ingest_seq, frame))
                 handle.ingest_seq += 1
@@ -1744,8 +1854,9 @@ class ClusterRouter:
     def pump(self) -> int:
         """One router round: drain replies, police processes, cadence."""
         self.clock.advance(self.tick_ms)
-        handled = self._drain_replies()
-        self.supervisor.poll(0.0)
+        with self.metrics.time_stage("engine_collect_ms"):
+            handled = self._drain_replies()
+            self.supervisor.poll(0.0)
         for job in self._backfills:
             handled += job.step()
         self._truncate_durable_logs()
@@ -1754,10 +1865,11 @@ class ClusterRouter:
         if handled == 0:
             # Nothing moved: block briefly on reply traffic instead of
             # spinning — the router must yield the core to its children.
-            multiprocessing.connection.wait(
-                [handle.conn for handle in self._frontends.values()], 0.01
-            )
-            handled += self._drain_replies()
+            with self.metrics.time_stage("engine_collect_ms"):
+                multiprocessing.connection.wait(
+                    [handle.conn for handle in self._frontends.values()], 0.01
+                )
+                handled += self._drain_replies()
         return handled
 
     def run_until_quiet(self, max_rounds: int = 20000, quiet_rounds: int = 3) -> int:
@@ -1866,7 +1978,13 @@ class ClusterRouter:
         if isinstance(msg, wire.ReplyBatch):
             for correlation_id, topic, results in msg.replies:
                 self._deliver(correlation_id, topic, results)
-            handle.replies_merged += len(msg.replies)
+            self.metrics.counter_add(
+                "router_replies_merged_total",
+                len(msg.replies),
+                label=handle.frontend_id,
+            )
+            if msg.stats is not None:
+                self._frontend_bundles[handle.frontend_id] = msg.stats
             for tp, offset in msg.watermarks:
                 if offset > self._watermarks.get(tp, 0):
                     self._watermarks[tp] = offset
@@ -2080,6 +2198,9 @@ class ClusterRouter:
         handle.process = fresh.process
         handle.conn = fresh.conn
         handle.restarts += 1
+        self.metrics.counter_add(
+            "router_frontend_restarts_total", label=handle.frontend_id
+        )
         watermarks = tuple(
             (tp, self._watermarks.get(tp, 0))
             for tp in sorted(handle.owned, key=str)
@@ -2140,21 +2261,49 @@ class ClusterRouter:
 
         Worker counters live at the supervisor (fed by
         ``note_processed`` in this mode); frontend counters live here.
-        The invariants tests assert: summed ``events_routed`` equals
-        events accepted, summed worker ``processed`` equals records
-        processed (replays included).
+        Both halves are thin compat views over the telemetry registry
+        (legacy key names, ``router_*``/``supervisor_*`` counters — see
+        docs/OBSERVABILITY.md). The invariants tests assert: summed
+        ``events_routed`` equals events accepted, summed worker
+        ``processed`` equals records processed (replays included).
         """
+        metrics = self.metrics
         return {
             "workers": self.supervisor.stats(),
             "frontends": {
                 frontend_id: {
-                    "events_routed": handle.events_routed,
-                    "replies_merged": handle.replies_merged,
+                    "events_routed": metrics.counter_value(
+                        "router_events_routed_total", frontend_id
+                    ),
+                    "replies_merged": metrics.counter_value(
+                        "router_replies_merged_total", frontend_id
+                    ),
                     "restarts": handle.restarts,
                 }
                 for frontend_id, handle in self._frontends.items()
             },
         }
+
+    def telemetry(self) -> dict:
+        """One merged, stable-schema telemetry snapshot of the cluster.
+
+        Router and supervisor share a registry; each frontend ships a
+        bundle of its own snapshot plus the latest worker snapshots it
+        absorbed, piggybacked on its reply traffic. See
+        docs/OBSERVABILITY.md for the schema and the metric catalog.
+        """
+        snapshots = [self.metrics.snapshot()]
+        for blob in self.supervisor.child_snapshots():
+            try:
+                snapshots.append(decode_snapshot(blob))
+            except Exception:
+                continue  # observation only: a torn snapshot is skipped
+        for bundle in self._frontend_bundles.values():
+            try:
+                snapshots.extend(decode_bundle(bundle))
+            except Exception:
+                continue  # torn bundle: skipped, never raises
+        return merge_snapshots(snapshots)
 
     def close(self, drain: bool = True, drain_timeout: float = 10.0) -> None:
         """Stop every frontend and worker process; idempotent.

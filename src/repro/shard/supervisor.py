@@ -57,6 +57,7 @@ from repro.messaging.log import TopicPartition
 from repro.shard import columnar, shm, wire
 from repro.shard.shm import ShmError, ShmRing
 from repro.shard.worker import shard_worker_main
+from repro.telemetry import MetricsRegistry
 
 #: pre-encoded doorbell frame: wakes a peer's ``connection.wait`` after
 #: frames were published to its ring (see :mod:`repro.shard.shm`).
@@ -212,11 +213,7 @@ class WorkerHandle:
     conn: multiprocessing.connection.Connection
     assigned: set[TopicPartition] = field(default_factory=set)
     outstanding: int = 0
-    processed: int = 0
-    replies_sent: int = 0
     restarts: int = 0
-    checkpoint_acks: int = 0
-    late_checkpoint_acks: int = 0
     #: shm transport only: WorkBatch frames out / BatchDone frames back.
     #: The supervisor owns both segments (creates, unlinks); the pipe
     #: stays the control plane and the doorbell channel.
@@ -243,10 +240,29 @@ class ShardSupervisor:
         checkpoint_dir: str | None = None,
         transport: str = "socket",
         time_source: TimeSource | None = None,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         if workers <= 0:
             raise EngineError(f"need at least one shard worker: {workers}")
         self._time = resolve_time_source(time_source)
+        #: the facade usually passes its own registry so coordinator and
+        #: supervisor accounting live in one snapshot; standalone use
+        #: gets a private one. Per-worker counters are labeled by
+        #: worker id and survive worker removal/restart.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else MetricsRegistry("supervisor", time_source=self._time)
+        )
+        #: span id minted by the facade for the batch currently being
+        #: dispatched; :meth:`submit` stamps it (plus a send timestamp)
+        #: onto outgoing ``WorkBatch`` frames so workers attribute their
+        #: queue wait to the right span.
+        self.active_span: str | None = None
+        #: latest encoded registry snapshot per worker, piggybacked on
+        #: ``BatchDone`` frames. Replace semantics: a restarted worker's
+        #: fresh snapshot supersedes its predecessor's.
+        self._worker_snapshots: dict[str, bytes] = {}
         if transport not in ("socket", "shm"):
             raise EngineError(f"unknown shard transport: {transport!r}")
         #: ``"shm"`` moves WorkBatch/BatchDone payloads onto per-worker
@@ -288,7 +304,6 @@ class ShardSupervisor:
         self._inflight_checkpoints: dict[int, set[str]] = {}
         self._records_since_checkpoint = 0
         self.handles: dict[str, WorkerHandle] = {}
-        self._processed_retired = 0
         self.restarts = 0
         self.late_checkpoint_acks = 0
         self.worker_errors: list[str] = []
@@ -330,7 +345,6 @@ class ShardSupervisor:
         handle = self._handle(worker_id)
         self._stop_handle(handle)
         del self.handles[worker_id]
-        self._processed_retired += handle.processed
         self._forget_expected_acks(worker_id)
         self._buffered = [
             (msg, owner) for msg, owner in self._buffered if owner is not handle
@@ -582,11 +596,17 @@ class ShardSupervisor:
             expected.discard(handle.worker_id)
             if not expected:
                 del self._inflight_checkpoints[msg.request_id]
-            handle.checkpoint_acks += 1
+            self.telemetry.counter_add(
+                "supervisor_checkpoint_acks_total", label=handle.worker_id
+            )
         elif expected_id is not None and msg.request_id == expected_id:
-            handle.checkpoint_acks += 1
+            self.telemetry.counter_add(
+                "supervisor_checkpoint_acks_total", label=handle.worker_id
+            )
         else:
-            handle.late_checkpoint_acks += 1
+            self.telemetry.counter_add(
+                "supervisor_checkpoint_acks_late_total", label=handle.worker_id
+            )
             self.late_checkpoint_acks += 1
 
     def _forget_expected_acks(self, worker_id: str) -> None:
@@ -622,20 +642,26 @@ class ShardSupervisor:
         if worker_id is None:
             raise EngineError(f"task {tp} is not assigned to any worker")
         handle = self._handle(worker_id)
+        trace = None
+        if self.telemetry.enabled:
+            # Stamp the facade's span plus our send time (source-seconds
+            # on the shared monotonic clock, in ms); the worker turns
+            # the delta into its queue-wait observation.
+            trace = (
+                self.active_span or "",
+                (("sent_ms", self.telemetry.now() * 1000.0),),
+            )
+        batch = wire.WorkBatch(tp, reply_from, records, trace)
         try:
             if handle.work_ring is not None:
                 # Payload travels the ring (columnar-packed); the pipe
                 # carries only a doorbell so the worker's blocking wait
                 # wakes. Publish-then-ring ordering means a consumed
                 # doorbell always finds the frame already visible.
-                handle.work_ring.send(
-                    columnar.encode(wire.WorkBatch(tp, reply_from, records))
-                )
+                handle.work_ring.send(columnar.encode(batch))
                 handle.conn.send_bytes(DOORBELL)
             else:
-                handle.conn.send_bytes(
-                    wire.encode(wire.WorkBatch(tp, reply_from, records))
-                )
+                handle.conn.send_bytes(wire.encode(batch))
         except (OSError, ShmError):
             return  # dead worker; _reap_dead restarts + replays
         handle.outstanding += 1
@@ -659,12 +685,12 @@ class ShardSupervisor:
         a worker that died or was retired meanwhile still count toward
         the cluster totals.
         """
-        handle = self.handles.get(worker_id)
-        if handle is not None:
-            handle.processed += records
-            handle.replies_sent += replies
-        else:
-            self._processed_retired += records
+        self.telemetry.counter_add(
+            "supervisor_worker_records_total", records, label=worker_id
+        )
+        self.telemetry.counter_add(
+            "supervisor_worker_replies_total", replies, label=worker_id
+        )
         self._records_since_checkpoint += records
 
     def poll(self, timeout: float = 0.0) -> list[wire.BatchDone]:
@@ -682,8 +708,18 @@ class ShardSupervisor:
         for msg, handle in self._drain(timeout):
             if isinstance(msg, wire.BatchDone):
                 handle.outstanding = max(0, handle.outstanding - 1)
-                handle.processed += msg.processed
-                handle.replies_sent += len(msg.replies)
+                self.telemetry.counter_add(
+                    "supervisor_worker_records_total",
+                    msg.processed,
+                    label=handle.worker_id,
+                )
+                self.telemetry.counter_add(
+                    "supervisor_worker_replies_total",
+                    len(msg.replies),
+                    label=handle.worker_id,
+                )
+                if msg.stats is not None:
+                    self._worker_snapshots[handle.worker_id] = msg.stats
                 self._records_since_checkpoint += msg.processed
                 done.append(msg)
             elif isinstance(msg, wire.CheckpointAck):
@@ -693,6 +729,9 @@ class ShardSupervisor:
             elif isinstance(msg, wire.WorkerError):
                 self.worker_errors.append(msg.message)
         self._reap_dead()
+        self.telemetry.gauge_set(
+            "supervisor_outstanding_batches", self.outstanding()
+        )
         if (
             self.checkpoint_interval is not None
             and self._records_since_checkpoint >= self.checkpoint_interval
@@ -794,6 +833,9 @@ class ShardSupervisor:
         handle.outstanding = 0
         handle.restarts += 1
         self.restarts += 1
+        self.telemetry.counter_add(
+            "supervisor_worker_restarts_total", label=handle.worker_id
+        )
         for frame in self._control_log:
             handle.conn.send_bytes(frame)
         handle.conn.send_bytes(
@@ -811,19 +853,35 @@ class ShardSupervisor:
     def total_messages_processed(self) -> int:
         """Messages processed across workers, retired ones included
         (replays count too)."""
-        return self._processed_retired + sum(
-            handle.processed for handle in self.handles.values()
-        )
+        return self.telemetry.counter_sum("supervisor_worker_records_total")
+
+    def child_snapshots(self) -> list[bytes]:
+        """Latest encoded worker registry snapshots, for facade merges."""
+        return list(self._worker_snapshots.values())
 
     def stats(self) -> dict[str, dict[str, int]]:
-        """Per-worker counters for tests and benches."""
+        """Per-worker counters for tests and benches.
+
+        A thin compat view over the telemetry registry: the legacy key
+        names survive, the numbers come from the worker-labeled
+        ``supervisor_*_total`` counters (see docs/OBSERVABILITY.md).
+        """
+        telemetry = self.telemetry
         return {
             worker_id: {
-                "processed": handle.processed,
-                "replies_sent": handle.replies_sent,
+                "processed": telemetry.counter_value(
+                    "supervisor_worker_records_total", worker_id
+                ),
+                "replies_sent": telemetry.counter_value(
+                    "supervisor_worker_replies_total", worker_id
+                ),
                 "restarts": handle.restarts,
-                "checkpoint_acks": handle.checkpoint_acks,
-                "late_checkpoint_acks": handle.late_checkpoint_acks,
+                "checkpoint_acks": telemetry.counter_value(
+                    "supervisor_checkpoint_acks_total", worker_id
+                ),
+                "late_checkpoint_acks": telemetry.counter_value(
+                    "supervisor_checkpoint_acks_late_total", worker_id
+                ),
             }
             for worker_id, handle in self.handles.items()
         }

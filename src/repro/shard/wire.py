@@ -105,6 +105,10 @@ MSG_BACKFILL_READ = 41
 MSG_BACKFILL_RECORDS = 42
 MSG_BACKFILL_STALE = 43
 
+# Telemetry introspection over the TCP front door.
+MSG_STATS_REQUEST = 44
+MSG_STATS_REPLY = 45
+
 
 @dataclass(frozen=True)
 class CreateStream:
@@ -171,6 +175,11 @@ class WorkBatch:
     tp: TopicPartition
     reply_from: int
     records: list[tuple[int, Event]]
+    #: Optional trace span ``(span_id, ((hop_name, ms), ...))`` — rides
+    #: a telemetry tail appended after the original payload, so frames
+    #: without one stay byte-identical to the pre-telemetry encoding
+    #: and old frames decode with ``trace=None``.
+    trace: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -242,6 +251,12 @@ class BatchDone:
     next_offset: int
     processed: int
     replies: list[tuple[int, dict[int, dict[str, Any]] | None]]
+    #: Optional trace span continuing the WorkBatch's: the worker's
+    #: per-hop timings ``(span_id, ((hop_name, ms), ...))``.
+    trace: tuple | None = None
+    #: Optional encoded registry snapshot piggybacking the worker's
+    #: telemetry back to its dispatcher (observation only).
+    stats: bytes | None = None
 
 
 @dataclass
@@ -383,6 +398,9 @@ class IngestBatch:
 
     stream: str
     entries: list[tuple[int, Event, tuple[tuple[str, int], ...]]]
+    #: Optional trace span minted at the router's ``send_batch``; the
+    #: frontend continues it onto the WorkBatch frames it dispatches.
+    trace: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -485,6 +503,11 @@ class ReplyBatch:
     #: durable frontends: ingest frames fsynced behind a consistent cut
     #: — the router's authority to prune its write-ahead journal.
     durable_seq: int = 0
+    #: Optional trace span (last span this frontend completed).
+    trace: tuple | None = None
+    #: Optional telemetry *bundle* (the frontend's own snapshot plus the
+    #: worker snapshots it holds), shipped on the last chunk of a flush.
+    stats: bytes | None = None
 
 
 @dataclass(frozen=True)
@@ -604,6 +627,22 @@ class DdlReply:
 class Goodbye:
     """Clean client hangup: the server may drop connection state
     immediately instead of waiting for the TCP FIN to surface."""
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask the front door for the cluster's merged telemetry snapshot."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """Answer to :class:`StatsRequest`: the merged snapshot (the same
+    dict every facade's ``telemetry()`` returns) as canonical JSON."""
+
+    request_id: int
+    payload: bytes
 
 
 # -- topic partitions ---------------------------------------------------------
@@ -824,6 +863,58 @@ def _read_task_checkpoint(
     return checkpoint, offset
 
 
+# -- telemetry tails ----------------------------------------------------------
+#
+# The four hot frames (WorkBatch/BatchDone/IngestBatch/ReplyBatch)
+# carry telemetry as an *optional trailing section*: the original
+# decoders read an exact field sequence and ignore trailing bytes, so a
+# frame with no tail is byte-identical to the pre-telemetry encoding,
+# an old frame decodes with ``trace``/``stats`` of ``None``, and an old
+# decoder simply never looks at the tail.
+
+
+def _write_telemetry_tail(
+    buf: bytearray, trace: tuple | None, stats: bytes | None
+) -> None:
+    if trace is None and stats is None:
+        return
+    flags = (1 if trace is not None else 0) | (2 if stats is not None else 0)
+    buf.append(flags)
+    if trace is not None:
+        span_id, hops = trace
+        serde.write_str(buf, span_id)
+        serde.write_varint(buf, len(hops))
+        for stage, ms in hops:
+            serde.write_str(buf, stage)
+            serde.write_f64(buf, ms)
+    if stats is not None:
+        serde.write_bytes(buf, stats)
+
+
+def _read_telemetry_tail(
+    view: memoryview, offset: int
+) -> tuple[tuple | None, bytes | None]:
+    if offset >= len(view):
+        return None, None
+    flags = view[offset]
+    offset += 1
+    trace: tuple | None = None
+    stats: bytes | None = None
+    if flags & 1:
+        span_id, offset = serde.read_str(view, offset)
+        count, offset = serde.read_varint(view, offset)
+        hops = []
+        for _ in range(count):
+            stage, offset = serde.read_str(view, offset)
+            ms, offset = serde.read_f64(view, offset)
+            hops.append((stage, ms))
+        trace = (span_id, tuple(hops))
+    if flags & 2:
+        blob, offset = serde.read_bytes(view, offset)
+        stats = bytes(blob)
+    return trace, stats
+
+
 # -- encoders -----------------------------------------------------------------
 
 
@@ -1025,6 +1116,13 @@ def encode(msg: object) -> bytes:
         serde.write_str(buf, msg.error)
     elif isinstance(msg, Goodbye):
         buf.append(MSG_GOODBYE)
+    elif isinstance(msg, StatsRequest):
+        buf.append(MSG_STATS_REQUEST)
+        serde.write_varint(buf, msg.request_id)
+    elif isinstance(msg, StatsReply):
+        buf.append(MSG_STATS_REPLY)
+        serde.write_varint(buf, msg.request_id)
+        serde.write_bytes(buf, msg.payload)
     else:
         raise SerdeError(f"unsupported wire message: {type(msg).__name__}")
     return bytes(buf)
@@ -1050,6 +1148,7 @@ def _encode_work_batch(buf: bytearray, msg: WorkBatch) -> None:
         for name, value in event.items():
             serde.write_varint(buf, names[name])
             serde.write_value(buf, value)
+    _write_telemetry_tail(buf, msg.trace, None)
 
 
 def _encode_batch_done(buf: bytearray, msg: BatchDone) -> None:
@@ -1080,6 +1179,7 @@ def _encode_batch_done(buf: bytearray, msg: BatchDone) -> None:
             for column, value in values.items():
                 serde.write_varint(buf, columns[column])
                 serde.write_value(buf, value)
+    _write_telemetry_tail(buf, msg.trace, msg.stats)
 
 
 def _encode_ingest_batch(buf: bytearray, msg: IngestBatch) -> None:
@@ -1108,6 +1208,7 @@ def _encode_ingest_batch(buf: bytearray, msg: IngestBatch) -> None:
         for partitioner, partition in targets:
             serde.write_varint(buf, names[partitioner])
             serde.write_varint(buf, partition)
+    _write_telemetry_tail(buf, msg.trace, None)
 
 
 def _encode_reply_batch(buf: bytearray, msg: ReplyBatch) -> None:
@@ -1151,6 +1252,7 @@ def _encode_reply_batch(buf: bytearray, msg: ReplyBatch) -> None:
         serde.write_varint(buf, records)
         serde.write_varint(buf, replies)
     serde.write_varint(buf, msg.durable_seq)
+    _write_telemetry_tail(buf, msg.trace, msg.stats)
 
 
 # -- decoders -----------------------------------------------------------------
@@ -1390,6 +1492,13 @@ def decode(data: bytes) -> object:
         return DdlReply(request_id, ok, value, error)
     if tag == MSG_GOODBYE:
         return Goodbye()
+    if tag == MSG_STATS_REQUEST:
+        request_id, offset = serde.read_varint(view, offset)
+        return StatsRequest(request_id)
+    if tag == MSG_STATS_REPLY:
+        request_id, offset = serde.read_varint(view, offset)
+        payload, offset = serde.read_bytes(view, offset)
+        return StatsReply(request_id, bytes(payload))
     raise SerdeError(f"unknown wire message tag {tag}")
 
 
@@ -1417,7 +1526,8 @@ def _decode_ingest_batch(view: memoryview, offset: int) -> IngestBatch:
         entries.append(
             (correlation_id, Event(event_id, timestamp, fields), tuple(targets))
         )
-    return IngestBatch(stream, entries)
+    trace, _ = _read_telemetry_tail(view, offset)
+    return IngestBatch(stream, entries, trace)
 
 
 def _decode_reply_batch(view: memoryview, offset: int) -> ReplyBatch:
@@ -1453,7 +1563,10 @@ def _decode_reply_batch(view: memoryview, offset: int) -> ReplyBatch:
         reply_count, offset = serde.read_varint(view, offset)
         processed.append((table[worker_index], records, reply_count))
     durable_seq, offset = serde.read_varint(view, offset)
-    return ReplyBatch(replies, watermarks, tuple(processed), durable_seq)
+    trace, stats = _read_telemetry_tail(view, offset)
+    return ReplyBatch(
+        replies, watermarks, tuple(processed), durable_seq, trace, stats
+    )
 
 
 def _decode_work_batch(view: memoryview, offset: int) -> WorkBatch:
@@ -1473,7 +1586,8 @@ def _decode_work_batch(view: memoryview, offset: int) -> WorkBatch:
             value, offset = serde.read_value(view, offset)
             fields[names[name_index]] = value
         records.append((record_offset, Event(event_id, timestamp, fields)))
-    return WorkBatch(tp, reply_from, records)
+    trace, _ = _read_telemetry_tail(view, offset)
+    return WorkBatch(tp, reply_from, records, trace)
 
 
 def _decode_batch_done(view: memoryview, offset: int) -> BatchDone:
@@ -1502,4 +1616,5 @@ def _decode_batch_done(view: memoryview, offset: int) -> BatchDone:
                 values[columns[column_index]] = value
             results[metric_id] = values
         replies.append((reply_offset, results))
-    return BatchDone(tp, next_offset, processed, replies)
+    trace, stats = _read_telemetry_tail(view, offset)
+    return BatchDone(tp, next_offset, processed, replies, trace, stats)

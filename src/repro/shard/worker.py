@@ -46,9 +46,13 @@ from repro.engine.task import BackfillState, TaskCheckpoint, TaskProcessor
 from repro.messaging.log import TopicPartition
 from repro.shard import columnar, wire
 from repro.shard.shm import ShmError, ShmRing
+from repro.telemetry import MetricsRegistry, encode_snapshot
 
 #: Pre-encoded readiness ping for the shm transport; see shard.shm.
 DOORBELL = wire.encode(wire.ShmDoorbell())
+
+#: Minimum seconds between snapshot ships on BatchDone frames.
+_STATS_SHIP_INTERVAL_S = 0.02
 
 
 @dataclass
@@ -98,6 +102,14 @@ class ShardWorker:
         #: rhythm (backfill acks); the main loop flushes after each pass.
         self.outbox: list[object] = []
         self.messages_processed = 0
+        #: This process's metric registry; its snapshot piggybacks on
+        #: BatchDone frames so the dispatcher side always holds a fresh
+        #: copy (observation only — never influences replies).
+        self.telemetry = MetricsRegistry(f"worker:{worker_id}")
+        #: Monotonic stamp of the last snapshot shipped: encoding one is
+        #: the telemetry plane's single hot-path cost, so it rides at
+        #: most every ``_STATS_SHIP_INTERVAL_S`` (first batch always).
+        self._stats_shipped_at: float | None = None
 
     # -- control plane --------------------------------------------------------
 
@@ -253,6 +265,20 @@ class ShardWorker:
         recovery activations, say) split the run repeatedly, lowest cut
         first.
         """
+        telemetry = self.telemetry
+        measured = telemetry.enabled
+        hops: list[tuple[str, float]] = []
+        span_id = batch.trace[0] if batch.trace is not None else ""
+        started = telemetry.now() if measured else 0.0
+        if measured and batch.trace is not None:
+            # The dispatcher stamped its send time in source-seconds on
+            # the system-wide monotonic clock; the delta is how long the
+            # frame sat in the pipe/ring plus the worker's loop latency.
+            for stage, stamp in batch.trace[1]:
+                if stage == "sent_ms":
+                    wait_ms = max(0.0, started * 1000.0 - stamp)
+                    telemetry.observe_ms("worker_queue_wait_ms", wait_ms)
+                    hops.append(("worker_queue_wait_ms", wait_ms))
         processor = self._processor_for(batch.tp)
         self._apply_ready_splices(batch.tp, processor)
         answers: list = []
@@ -284,18 +310,36 @@ class ShardWorker:
                 answers += processor.process_batch(remaining)
                 break
         self.messages_processed += len(batch.records)
+        if measured:
+            process_ms = (telemetry.now() - started) * 1000.0
+            telemetry.observe_ms("worker_process_batch_ms", process_ms)
+            hops.append(("worker_process_batch_ms", process_ms))
+            merge_started = telemetry.now()
         reply_from = batch.reply_from
         replies = [
             (offset, answer)
             for (offset, _), answer in zip(batch.records, answers)
             if offset >= reply_from
         ]
-        return wire.BatchDone(
+        telemetry.counter_add("worker_batches_total")
+        telemetry.counter_add("worker_records_total", len(batch.records))
+        telemetry.counter_add("worker_replies_total", len(replies))
+        done = wire.BatchDone(
             tp=batch.tp,
             next_offset=processor.next_offset,
             processed=len(batch.records),
             replies=replies,
         )
+        if measured:
+            merge_ms = (telemetry.now() - merge_started) * 1000.0
+            telemetry.observe_ms("worker_reply_merge_ms", merge_ms)
+            hops.append(("worker_reply_merge_ms", merge_ms))
+            done.trace = (span_id, tuple(hops))
+            shipped = self._stats_shipped_at
+            if shipped is None or started - shipped >= _STATS_SHIP_INTERVAL_S:
+                done.stats = encode_snapshot(telemetry.snapshot())
+                self._stats_shipped_at = started
+        return done
 
     def checkpoint_offsets(self) -> dict[TopicPartition, int]:
         """Consumed offsets per owned task (message-boundary consistent)."""
@@ -378,6 +422,8 @@ class ShardWorker:
             reservoir_config=self.config.reservoir,
             lsm_config=self.config.lsm,
         )
+        if self.telemetry.enabled:
+            processor.telemetry = self.telemetry
         self.task_processors[tp] = processor
         for metric, activation in deferred:
             self._stash_activation(tp, metric, activation)
@@ -410,6 +456,8 @@ class ShardWorker:
             reservoir_config=self.config.reservoir,
             lsm_config=self.config.lsm,
         )
+        if self.telemetry.enabled:
+            processor.telemetry = self.telemetry
         self.task_processors[tp] = processor
         for metric, activation in deferred:
             self._stash_activation(tp, metric, activation)

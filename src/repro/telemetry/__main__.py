@@ -1,0 +1,73 @@
+"""``python -m repro.telemetry --dump``: Prometheus-style exposition.
+
+Without a snapshot file the command runs a tiny in-process demo
+workload on :class:`~repro.engine.cluster.RailgunCluster` and dumps its
+merged telemetry; with ``--snapshot path.json`` it formats a snapshot
+previously saved from any facade's ``telemetry()``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.telemetry.registry import merge_snapshots, to_prometheus
+
+
+def _demo_snapshot(events: int) -> dict:
+    from repro.engine.cluster import create_cluster
+
+    cluster = create_cluster("single", nodes=1, processor_units=2)
+    try:
+        cluster.create_stream(
+            "payments",
+            partitioners=["cardId"],
+            partitions=4,
+            schema=[("cardId", "string"), ("amount", "float")],
+        )
+        cluster.create_metric(
+            "SELECT sum(amount) FROM payments "
+            "GROUP BY cardId OVER sliding 5 minutes"
+        )
+        batch = [
+            {"cardId": f"card-{i % 4}", "amount": float(i)}
+            for i in range(events)
+        ]
+        cluster.send_batch("payments", batch)
+        cluster.run_until_quiet()
+        return cluster.telemetry()
+    finally:
+        cluster.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.telemetry")
+    parser.add_argument(
+        "--dump", action="store_true",
+        help="print a Prometheus-style text exposition",
+    )
+    parser.add_argument(
+        "--snapshot", metavar="PATH", default=None,
+        help="dump this saved telemetry() JSON instead of running the demo",
+    )
+    parser.add_argument(
+        "--events", type=int, default=256,
+        help="demo workload size when no snapshot is given",
+    )
+    args = parser.parse_args(argv)
+    if not args.dump:
+        parser.error("nothing to do: pass --dump")
+    if args.snapshot:
+        with open(args.snapshot, encoding="utf-8") as fh:
+            snap = json.load(fh)
+        if "processes" not in snap:  # single-process snapshot: merge of one
+            snap = merge_snapshots([snap])
+    else:
+        snap = _demo_snapshot(args.events)
+    sys.stdout.write(to_prometheus(snap))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -597,3 +597,39 @@ class TestClusterSendBatchEquivalence:
         assert [r.results for r in replies_a] == [r.results for r in replies_b]
         assert [r.event for r in replies_a] == [r.event for r in replies_b]
         assert processed == len(events) == single.total_messages_processed()
+
+    @pytest.mark.parametrize("transport", ["socket", "shm"])
+    def test_telemetry_toggle_never_changes_replies(self, transport, monkeypatch):
+        # Telemetry is observation-only: the same event stream through
+        # the process-parallel engine with $RAILGUN_TELEMETRY=0 and =1
+        # (traces, snapshot piggybacks and all) yields byte-identical
+        # reply values. The env var is resolved at registry
+        # construction and inherited by worker processes, so each
+        # cluster is built fresh under its toggle.
+        from repro.shard.parallel import ParallelCluster
+
+        events = [
+            Event(f"b{i}", 1000 + i // 2, {"cardId": f"c{i % 3}", "amount": float(i)})
+            for i in range(40)
+        ]
+        events.append(events[7])  # duplicate id: replies read-only
+        replies = {}
+        for toggle in ("0", "1"):
+            monkeypatch.setenv("RAILGUN_TELEMETRY", toggle)
+            with ParallelCluster(workers=2, transport=transport) as cluster:
+                cluster.create_stream(
+                    "tx", ["cardId"], partitions=2,
+                    schema={"cardId": "string", "amount": "float"},
+                )
+                cluster.create_metric(
+                    "SELECT sum(amount), count(*) FROM tx GROUP BY cardId "
+                    "OVER sliding 5 minutes"
+                )
+                replies[toggle] = cluster.send_batch("tx", events)
+                if toggle == "0":
+                    assert cluster.telemetry()["histograms"] == {}
+                else:
+                    assert cluster.telemetry()["histograms"]
+        off, on = replies["0"], replies["1"]
+        assert [r.results for r in off] == [r.results for r in on]
+        assert [r.event for r in off] == [r.event for r in on]

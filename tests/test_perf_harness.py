@@ -12,6 +12,19 @@ REQUIRED_KEYS = {"events_per_sec", "p50_us", "p99_us"}
 RECOVERY_KEYS = REQUIRED_KEYS | {"recovery_ms", "events_replayed"}
 #: the durable reopen bench reports wall time (but replays nothing).
 REOPEN_KEYS = REQUIRED_KEYS | {"recovery_ms"}
+#: the end-to-end process/frontends ingest benches attach per-stage
+#: telemetry histogram summaries from the cluster's merged snapshot.
+STAGE_BENCHES = {
+    "engine_ingest_process_1w",
+    "engine_ingest_process_4w",
+    "engine_ingest_process_shm_1w",
+    "engine_ingest_process_shm_4w",
+    "engine_ingest_process_durable",
+    "engine_ingest_process_1f",
+    "engine_ingest_process_2f",
+    "engine_ingest_process_4f",
+    "engine_ingest_process_shm_2f",
+}
 
 
 def expected_keys(name: str) -> set:
@@ -19,6 +32,8 @@ def expected_keys(name: str) -> set:
         return RECOVERY_KEYS
     if name == "durable_recovery_reopen":
         return REOPEN_KEYS
+    if name in STAGE_BENCHES:
+        return REQUIRED_KEYS | {"stages"}
     return REQUIRED_KEYS
 
 
@@ -113,6 +128,13 @@ class TestGates:
         failures, skips = perf.check_speedup_floors({}, floors, cpu_count=8)
         assert failures == [] and len(skips) == 1
 
+    def test_telemetry_overhead_skips_on_small_hosts(self):
+        # On a 1-core host the 4w bench time-slices six processes and
+        # run-to-run variance dwarfs the 5% budget; the gate must skip
+        # without spawning any workers (overhead comes back None).
+        failures, overhead = perf.check_telemetry_overhead(cpu_count=1)
+        assert failures == [] and overhead is None
+
     def recovery_sample(self, recovery_ms: float, replayed: float) -> dict:
         return {
             "events_per_sec": 1000.0, "p50_us": 1.0, "p99_us": 2.0,
@@ -158,6 +180,38 @@ class TestGates:
         failures, skips = perf.check_recovery_floors(results, floors)
         assert len(failures) == 1 and "recovery metrics" in failures[0]
         assert skips == []
+
+    def test_telemetry_decomposition_within_tolerance(self):
+        stages = {
+            "engine_batch_ms": {"sum_ms": 100.0},
+            "engine_ingest_ms": {"sum_ms": 20.0},
+            "engine_dispatch_ms": {"sum_ms": 30.0},
+            "engine_collect_ms": {"sum_ms": 40.0},
+            "engine_reply_ms": {"sum_ms": 8.0},
+        }
+        results = {
+            "engine_ingest_process_1w": {**self.sample(1.0), "stages": stages},
+        }
+        assert perf.check_telemetry_decomposition(results) == []
+
+    def test_telemetry_decomposition_flags_unaccounted_time(self):
+        stages = {
+            "engine_batch_ms": {"sum_ms": 100.0},
+            "engine_ingest_ms": {"sum_ms": 10.0},
+            "engine_dispatch_ms": {"sum_ms": 10.0},
+            "engine_collect_ms": {"sum_ms": 10.0},
+            "engine_reply_ms": {"sum_ms": 10.0},
+        }
+        results = {
+            "engine_ingest_process_1w": {**self.sample(1.0), "stages": stages},
+        }
+        failures = perf.check_telemetry_decomposition(results)
+        assert len(failures) == 1 and "engine_batch_ms" in failures[0]
+
+    def test_telemetry_decomposition_skips_disabled_and_missing(self):
+        assert perf.check_telemetry_decomposition({}) == []
+        results = {"engine_ingest_process_1w": {**self.sample(1.0), "stages": {}}}
+        assert perf.check_telemetry_decomposition(results) == []
 
     def test_checked_in_baseline_floor_names_are_real(self):
         import pathlib

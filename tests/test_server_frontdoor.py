@@ -183,8 +183,11 @@ class TestConcurrentOrdering:
 class TestQuotaShedding:
     def build(self):
         cluster = make_single()
+        # Refill slow enough (100/s) that a scheduler hiccup between
+        # two back-to-back batches cannot quietly refill the bucket
+        # and admit what the test expects to see shed.
         admission = AdmissionController(
-            default_quota=TenantQuota(events_per_sec=2_000.0, burst=30)
+            default_quota=TenantQuota(events_per_sec=100.0, burst=30)
         )
         handle = serve_cluster(cluster, admission=admission)
         return cluster, handle
@@ -223,7 +226,7 @@ class TestQuotaShedding:
                 ]
                 client.send_batch("tx", batch, timestamp=1_000)
                 # Shed once, then admitted after honoring retry_after_ms
-                # (the bucket refills at 2000/s: ~5ms for 10 tokens).
+                # (the bucket refills at 100/s: ~100ms for 10 tokens).
                 replies = client.send_batch(
                     "tx", batch, timestamp=1_000, busy_retries=10
                 )

@@ -536,6 +536,18 @@ class TestParallelClusterFailures:
                 cluster.frontend.take_completed(c).results for c in correlations
             ]
             assert results == expected
+            # Shm reply-ring salvage can complete the batch before the
+            # supervisor reaps the corpse — wait for the restart and
+            # its replay rather than racing them.
+            default_time_source().wait_until(
+                lambda: (
+                    cluster.pump(),
+                    cluster.supervisor.restarts >= 1
+                    and cluster.total_messages_processed() > len(events),
+                )[1],
+                timeout=30.0,
+                poll=0.0,
+            )
             assert cluster.supervisor.restarts == 1
             # The uncommitted tail replayed: the restarted worker
             # reprocessed its partitions from offset zero.
